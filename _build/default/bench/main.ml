@@ -1,0 +1,110 @@
+(* Regenerates every table and figure of "Virtualizing the VAX
+   Architecture" (Hall & Robinson, ISCA 1991), plus the quantitative
+   experiments of its evaluation sections.
+
+   Usage:
+     main.exe                 run everything
+     main.exe --experiment t4 run one item (t1-t4, f1-f3, e1-e10)
+     main.exe --microbench    wall-clock microbenchmarks of the simulator
+                              itself (one Bechamel test per experiment
+                              family)
+     main.exe --list          list experiment ids *)
+
+open Vax_workloads
+
+let experiments =
+  [
+    ("t1", "Table 1: sensitive unprivileged instructions", Conformance.table1);
+    ("t2", "Table 2: PROBE versus PROBEVM", Conformance.table2);
+    ("t3", "Table 3: solutions for sensitive data", Conformance.table3);
+    ("t4", "Table 4: summary of architecture changes", Conformance.table4);
+    ("f1", "Figure 1: VAX virtual address space", Conformance.figure1);
+    ("f2", "Figure 2: VM/VMM shared address space", Conformance.figure2);
+    ("f3", "Figure 3: ring compression", Conformance.figure3);
+    ("e1", "E1: overall VM performance (47-48%)", Perf.e1_overall_performance);
+    ("e2", "E2: multi-process shadow tables (~80%)", Perf.e2_shadow_cache);
+    ("e3", "E3: faults between context switches (~17)", Perf.e3_faults_per_switch);
+    ("e4", "E4: MTPR-to-IPL cost (10-12x)", Perf.e4_mtpr_ipl);
+    ("e5", "E5: start-I/O versus memory-mapped I/O", Perf.e5_io_discipline);
+    ("e6", "E6: modify fault versus read-only shadow", Perf.e6_modify_scheme);
+    ("e7", "E7: on-demand versus anticipatory fill", Perf.e7_prefill);
+    ("e8", "E8: Popek-Goldberg efficiency", Perf.e8_efficiency);
+    ("e9", "E9: separate VMM address space ablation", Perf.e9_separate_space);
+    ("e10", "E10: the 50% goal per workload", Perf.e10_goal_check);
+  ]
+
+let run_one ppf (id, title, f) =
+  Format.fprintf ppf "==== %s — %s ====@." id title;
+  let t0 = Unix.gettimeofday () in
+  f ppf;
+  Format.fprintf ppf "(%s completed in %.2fs)@.@." id
+    (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock microbenchmarks of the simulator substrate      *)
+
+let microbench () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let open Vax_vmos in
+  let built =
+    Minivms.build ~programs:[ Programs.syscall_storm ~iterations:20 ] ()
+  in
+  let bench_bare () = ignore (Runner.run_bare built) in
+  let bench_vm () = ignore (Runner.run_vm built) in
+  let bench_translate =
+    let cpu = Vax_cpu.Cpu.create () in
+    let mmu = cpu.Vax_cpu.Cpu.mmu in
+    Vax_mem.Mmu.set_mapen mmu false;
+    fun () ->
+      for i = 0 to 63 do
+        ignore
+          (Vax_mem.Mmu.translate mmu ~mode:Vax_arch.Mode.Kernel ~write:false
+             (i * 512))
+      done
+  in
+  let bench_assemble () = ignore (Programs.compute ~ident:0 ~iterations:1) in
+  let tests =
+    [
+      Test.make ~name:"boot+run bare MiniVMS (20 syscalls)"
+        (Staged.stage bench_bare);
+      Test.make ~name:"boot+run MiniVMS in a VM (20 syscalls)"
+        (Staged.stage bench_vm);
+      Test.make ~name:"64 MMU translations" (Staged.stage bench_translate);
+      Test.make ~name:"assemble a user program" (Staged.stage bench_assemble);
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let res = Analyze.all ols (Instance.monotonic_clock) raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Format.printf "  %-45s %12.0f ns/run@." name est
+          | _ -> Format.printf "  %-45s (no estimate)@." name)
+        res)
+    tests
+
+let () =
+  let ppf = Format.std_formatter in
+  match Array.to_list Sys.argv with
+  | _ :: "--list" :: _ ->
+      List.iter (fun (id, title, _) -> Format.printf "%-5s %s@." id title)
+        experiments
+  | _ :: "--experiment" :: id :: _ -> (
+      match List.find_opt (fun (i, _, _) -> i = id) experiments with
+      | Some e -> run_one ppf e
+      | None ->
+          Format.eprintf "unknown experiment %s (try --list)@." id;
+          exit 1)
+  | _ :: "--microbench" :: _ -> microbench ()
+  | _ ->
+      Format.printf
+        "Reproduction of \"Virtualizing the VAX Architecture\" (ISCA 1991)@.@.";
+      List.iter (run_one ppf) experiments

@@ -1,0 +1,113 @@
+(* vaxrun — boot MiniVMS workloads on the simulated VAX, bare or under
+   the VMM, from the command line.
+
+   Examples:
+     vaxrun --workload mix                 # bare standard VAX
+     vaxrun --workload mix --vm            # in a virtual machine
+     vaxrun --workload io --vm --mmio      # MMIO-emulation ablation
+     vaxrun --workload ipl --vm --assist   # with the 730-style assist *)
+
+open Cmdliner
+open Vax_vmm
+open Vax_vmos
+open Vax_workloads
+
+let build_workload ~force_mmio = function
+  | "hello" -> Minivms.build ~force_mmio ~programs:[ Programs.hello ~ident:1 ] ()
+  | "mix" ->
+      Minivms.build ~force_mmio
+        ~programs:
+          [
+            Programs.editing ~ident:1 ~rounds:60;
+            Programs.transaction ~ident:2 ~count:40;
+            Programs.compute ~ident:3 ~iterations:4000;
+          ]
+        ()
+  | "editing" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.editing ~ident:1 ~rounds:80 ] ()
+  | "transaction" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.transaction ~ident:1 ~count:60 ] ()
+  | "compute" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.compute ~ident:1 ~iterations:8000 ] ()
+  | "syscall" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.syscall_storm ~iterations:1000 ] ()
+  | "ipl" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.ipl_storm ~iterations:1500 ] ()
+  | "io" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.io_storm ~ident:1 ~count:50 ] ()
+  | w -> failwith ("unknown workload: " ^ w)
+
+let run workload vm mmio assist slots no_cache prefill separate quiet =
+  let built = build_workload ~force_mmio:(vm && mmio) workload in
+  let m =
+    if vm then
+      Runner.run_vm
+        ~config:
+          {
+            Vmm.default_config with
+            shadow_cache_slots = slots;
+            shadow_cache_enabled = not no_cache;
+            prefill_group = prefill;
+            ipl_assist = assist;
+            separate_vmm_space = separate;
+            default_io_mode = (if mmio then Vm.Mmio_io else Vm.Kcall_io);
+          }
+        built
+    else Runner.run_bare built
+  in
+  Format.printf "outcome: %a@." Vax_dev.Machine.pp_outcome m.Runner.outcome;
+  if not quiet then Format.printf "console:@.%s@." m.Runner.console;
+  Format.printf "cycles: %d (guest %d, monitor %d), instructions: %d@."
+    m.Runner.total_cycles m.Runner.guest_cycles m.Runner.monitor_cycles
+    m.Runner.instructions;
+  match m.Runner.vm with
+  | Some g -> Format.printf "%a@." Vmm.pp_vm_stats g
+  | None -> ()
+
+let cmd =
+  let workload =
+    Arg.(
+      value
+      & opt string "mix"
+      & info [ "workload"; "w" ]
+          ~doc:
+            "Workload: hello, mix, editing, transaction, compute, syscall, \
+             ipl, io.")
+  in
+  let vm = Arg.(value & flag & info [ "vm" ] ~doc:"Run in a virtual machine.") in
+  let mmio =
+    Arg.(value & flag & info [ "mmio" ] ~doc:"Emulated memory-mapped I/O.")
+  in
+  let assist =
+    Arg.(value & flag & info [ "assist" ] ~doc:"MTPR-to-IPL microcode assist.")
+  in
+  let slots =
+    Arg.(value & opt int 4 & info [ "slots" ] ~doc:"Shadow cache slots.")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the shadow cache.")
+  in
+  let prefill =
+    Arg.(value & opt int 0 & info [ "prefill" ] ~doc:"Shadow prefill group.")
+  in
+  let separate =
+    Arg.(
+      value & flag
+      & info [ "separate-space" ] ~doc:"Separate VMM address space ablation.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress console output.")
+  in
+  Cmd.v
+    (Cmd.info "vaxrun" ~doc:"Run MiniVMS workloads on the simulated VAX")
+    Term.(
+      const run $ workload $ vm $ mmio $ assist $ slots $ no_cache $ prefill
+      $ separate $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/bare_vs_vm.ml: Format Minivms Programs Runner Variant Vax_cpu Vax_vmos Vax_workloads

@@ -1,0 +1,1 @@
+examples/bare_vs_vm.mli:

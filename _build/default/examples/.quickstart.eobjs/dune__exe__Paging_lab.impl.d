@@ -1,0 +1,1 @@
+examples/paging_lab.ml: Format Minivms Programs Runner Vax_vmm Vax_vmos Vax_workloads Vm Vmm

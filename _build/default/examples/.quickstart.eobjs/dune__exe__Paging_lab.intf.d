@@ -1,0 +1,1 @@
+examples/paging_lab.mli:

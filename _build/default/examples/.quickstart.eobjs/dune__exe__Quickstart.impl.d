@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Char Format Ipr Machine Opcode String Vax_arch Vax_asm Vax_cpu Vax_dev Vax_vmm Vm Vmm

@@ -1,0 +1,1 @@
+examples/two_guests.ml: Format Machine Minivms Programs Runner String Vax_dev Vax_vmm Vax_vmos Vax_workloads Vmm

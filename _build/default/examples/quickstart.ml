@@ -1,0 +1,42 @@
+(* Quickstart: build a tiny guest with the assembler eDSL, run it in a
+   virtual machine under the VMM, and read its console.
+
+   The guest runs in virtual kernel mode with memory management off; its
+   MTPRs to the console transmit register trap to the VMM, which emulates
+   the virtual console.  Run with:  dune exec examples/quickstart.exe *)
+
+open Vax_arch
+open Vax_dev
+open Vax_vmm
+module Asm = Vax_asm.Asm
+
+let () =
+  (* a machine with the modified (virtualizing) VAX architecture *)
+  let machine =
+    Machine.create ~variant:Vax_cpu.Variant.Virtualizing ~memory_pages:4096 ()
+  in
+  let vmm = Vmm.create machine in
+
+  (* assemble the guest: print "hi!" on the console, compute 6*7, halt *)
+  let a = Asm.create ~origin:0x200 in
+  String.iter
+    (fun ch ->
+      Asm.ins a Opcode.Mtpr
+        [ Asm.Imm (Char.code ch); Asm.Imm (Ipr.to_int Ipr.TXDB) ])
+    "hi from a virtual VAX!\n";
+  Asm.ins a Opcode.Movl [ Asm.Imm 6; Asm.R 0 ];
+  Asm.ins a Opcode.Mull2 [ Asm.Imm 7; Asm.R 0 ];
+  Asm.ins a Opcode.Halt [];
+  let img = Asm.assemble a in
+
+  (* create the VM and run to completion *)
+  let vm =
+    Vmm.add_vm vmm ~name:"demo" ~memory_pages:64 ~disk_blocks:8
+      ~images:[ (0x200, img.Asm.code) ]
+      ~start_pc:0x200 ()
+  in
+  let outcome = Vmm.run vmm ~max_cycles:1_000_000 () in
+  Format.printf "outcome: %a@." Machine.pp_outcome outcome;
+  Format.printf "console: %s" (Vmm.console_output vm);
+  Format.printf "R0 = %d@." vm.Vm.saved_regs.(0);
+  Format.printf "%a@." Vmm.pp_vm_stats vm

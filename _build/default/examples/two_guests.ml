@@ -1,0 +1,51 @@
+(* Two MiniVMS guests time-sharing one machine under the VMM.
+
+   One VM runs an interactive-editing workload, the other transaction
+   processing; the VMM round-robins them on real timer interrupts while
+   each guest preemptively schedules its own processes.  This is the
+   configuration the VAX security kernel was built for: mutually isolated
+   operating systems on one machine.
+
+   Run with:  dune exec examples/two_guests.exe *)
+
+open Vax_dev
+open Vax_vmm
+open Vax_vmos
+open Vax_workloads
+
+let () =
+  let editing_os =
+    Minivms.build
+      ~programs:
+        [
+          Programs.editing ~ident:1 ~rounds:30;
+          Programs.editing ~ident:2 ~rounds:30;
+        ]
+      ()
+  in
+  let txn_os =
+    Minivms.build
+      ~programs:
+        [
+          Programs.transaction ~ident:3 ~count:25;
+          Programs.compute ~ident:4 ~iterations:2000;
+        ]
+      ()
+  in
+  let m1, m2 = Runner.run_two_vms editing_os txn_os in
+  Format.printf "machine outcome: %a@." Machine.pp_outcome m1.Runner.outcome;
+  let show name (m : Runner.measurement) =
+    Format.printf "@.--- %s ---@." name;
+    Format.printf "console (%d chars):@.%s@." (String.length m.Runner.console)
+      m.Runner.console;
+    match m.Runner.vm with
+    | Some vm -> Format.printf "%a@." Vmm.pp_vm_stats vm
+    | None -> ()
+  in
+  show "VM 1: interactive editing" m1;
+  show "VM 2: transaction processing" m2;
+  Format.printf "@.total: %d cycles, %d in the VMM (%.1f%%)@."
+    m1.Runner.total_cycles m1.Runner.monitor_cycles
+    (100.0
+    *. float_of_int m1.Runner.monitor_cycles
+    /. float_of_int m1.Runner.total_cycles)

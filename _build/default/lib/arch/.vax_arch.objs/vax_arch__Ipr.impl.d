@@ -1,0 +1,1 @@
+lib/arch/ipr.ml: Format List

@@ -1,0 +1,1 @@
+lib/arch/ipr.mli: Format

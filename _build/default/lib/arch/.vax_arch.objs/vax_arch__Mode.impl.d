@@ -1,0 +1,1 @@
+lib/arch/mode.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/arch/mode.mli: Format

@@ -1,0 +1,1 @@
+lib/arch/opcode.ml: Array Format List Mode

@@ -1,0 +1,1 @@
+lib/arch/opcode.mli: Format Mode

@@ -1,0 +1,1 @@
+lib/arch/protection.ml: Format List Mode Printf

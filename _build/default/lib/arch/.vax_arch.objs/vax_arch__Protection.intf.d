@@ -1,0 +1,1 @@
+lib/arch/protection.mli: Format Mode

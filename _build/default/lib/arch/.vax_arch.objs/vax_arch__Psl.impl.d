@@ -1,0 +1,1 @@
+lib/arch/psl.ml: Format Mode Word

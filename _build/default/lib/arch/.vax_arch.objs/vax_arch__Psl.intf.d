@@ -1,0 +1,1 @@
+lib/arch/psl.mli: Format Mode Word

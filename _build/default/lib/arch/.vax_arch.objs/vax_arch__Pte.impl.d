@@ -1,0 +1,1 @@
+lib/arch/pte.ml: Format Protection Word

@@ -1,0 +1,1 @@
+lib/arch/scb.ml: Mode Printf

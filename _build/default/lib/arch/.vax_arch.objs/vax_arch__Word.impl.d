@@ -1,0 +1,1 @@
+lib/arch/word.ml: Format Printf

@@ -1,0 +1,50 @@
+type region = P0 | P1 | S | Reserved_region
+
+let page_size = 512
+let page_shift = 9
+let vpn_width = 21
+
+let region_of va =
+  match Word.extract va ~pos:30 ~width:2 with
+  | 0 -> P0
+  | 1 -> P1
+  | 2 -> S
+  | _ -> Reserved_region
+
+let region_base = function
+  | P0 -> 0
+  | P1 -> 0x4000_0000
+  | S -> 0x8000_0000
+  | Reserved_region -> 0xC000_0000
+
+let vpn va = Word.extract va ~pos:page_shift ~width:vpn_width
+let offset va = va land (page_size - 1)
+
+let of_region_vpn r v =
+  Word.logor (region_base r) ((v land 0x1F_FFFF) lsl page_shift)
+
+let phys_of_pfn pfn = Word.mask (pfn lsl page_shift)
+let pfn_of_phys pa = Word.mask pa lsr page_shift
+
+let page_align_down va = va land lnot (page_size - 1) land 0xFFFF_FFFF
+let page_align_up va = page_align_down (Word.add va (page_size - 1))
+
+let pages_spanned va len =
+  assert (len >= 1);
+  let first = Word.mask va lsr page_shift in
+  let last = Word.add va (len - 1) lsr page_shift in
+  last - first + 1
+
+let in_length region ~vpn ~length_register =
+  match region with
+  | P0 | S -> vpn < length_register
+  | P1 -> vpn >= length_register
+  | Reserved_region -> false
+
+let region_name = function
+  | P0 -> "P0"
+  | P1 -> "P1"
+  | S -> "S"
+  | Reserved_region -> "reserved"
+
+let pp_region ppf r = Format.pp_print_string ppf (region_name r)

@@ -1,0 +1,51 @@
+(** VAX virtual and physical address geometry.
+
+    A 32-bit virtual address splits as:
+    {v
+      bits 31:30  region   00 = P0, 01 = P1, 10 = S (system), 11 = reserved
+      bits 29:9   VPN      virtual page number within the region
+      bits  8:0   offset   byte within the 512-byte page
+    v}
+
+    P0 grows upward from 0; P1 grows *downward* toward [0x40000000]; S is
+    common to all processes.  Each region is described by its own page
+    table.  Length checks differ by region: a P0 or S address is valid when
+    [VPN < length register]; a P1 address is valid when [VPN >= P1LR]
+    (because P1 fills from the top of the region down). *)
+
+type region = P0 | P1 | S | Reserved_region
+
+val page_size : int (* 512 *)
+val page_shift : int (* 9 *)
+val vpn_width : int (* 21 bits of VPN per region *)
+
+val region_of : Word.t -> region
+val region_base : region -> Word.t
+(** Lowest virtual address of the region ([P0 -> 0], [P1 -> 0x40000000],
+    [S -> 0x80000000]). *)
+
+val vpn : Word.t -> int
+(** VPN within the region (bits 29:9). *)
+
+val offset : Word.t -> int
+
+val of_region_vpn : region -> int -> Word.t
+(** Virtual address of byte 0 of the given page. *)
+
+val phys_of_pfn : int -> Word.t
+(** Physical byte address of page frame [pfn]. *)
+
+val pfn_of_phys : Word.t -> int
+
+val page_align_down : Word.t -> Word.t
+val page_align_up : Word.t -> Word.t
+
+val pages_spanned : Word.t -> int -> int
+(** [pages_spanned va len] is how many pages the byte range
+    [va, va+len-1] touches ([len >= 1]). *)
+
+val in_length : region -> vpn:int -> length_register:int -> bool
+(** The region's length check as described above. *)
+
+val region_name : region -> string
+val pp_region : Format.formatter -> region -> unit

@@ -1,0 +1,85 @@
+(** The cycle cost model.
+
+    All performance experiments are expressed in simulated cycles charged
+    from this one table, so bare-machine and virtual-machine runs are
+    directly comparable.  Magnitudes are calibrated to late-1980s VAX
+    implementations (VAX 8800 class): a simple register-to-register
+    instruction is ~2 cycles, a TLB miss costs a page-table walk, taking an
+    exception through the SCB is a few tens of cycles, and privileged
+    software (the VMM) pays for every guest-state access it makes.  The
+    paper's reported numbers are ratios, which depend only on the relative
+    weights here. *)
+
+val memory_access : int
+(** Each memory read/write of an aligned datum once translated. *)
+
+val tlb_hit : int
+(** Translation buffer hit (added to every mapped access). *)
+
+val tlb_miss_walk : int
+(** Extra cost of one page-table-entry fetch on a TB miss; a P0/P1 miss
+    whose page-table page also misses pays it twice (double walk). *)
+
+val exception_initiate : int
+(** Microcode exception/interrupt initiation: PSL save, stack switch, SCB
+    vector fetch — excluding the per-longword pushes, which are charged as
+    memory accesses. *)
+
+val vm_exit_extra : int
+(** Additional microcode work when an exception/interrupt clears PSL<VM>:
+    saving the merged VM PSL, loading VMM context. *)
+
+val vm_operand_capture : int
+(** Per-operand microcode cost of recording a decoded operand in the
+    VM-emulation trap frame (paper §4.2: "all of that is done by microcode
+    before the VMM is invoked"). *)
+
+val operand_specifier : int
+(** Decode cost per general operand specifier. *)
+
+(** {1 VMM software path costs}
+
+    The VMM is host software; each primitive it performs against guest or
+    machine state is charged explicitly so that emulation has a realistic
+    price. *)
+
+val vmm_dispatch : int
+(** Entry bookkeeping: identify the VM, read the trap frame header. *)
+
+val vmm_guest_mem : int
+(** One VMM read or write of guest memory (a kernel-mode memory reference:
+    probe + access). *)
+
+val vmm_ipr_emulate : int
+(** Emulating a simple IPR move once dispatched. *)
+
+val vmm_shadow_fill : int
+(** Translating one VM PTE into a shadow PTE (excluding the guest memory
+    traffic to read the VM PTE and write the shadow, charged separately). *)
+
+val vmm_chm_emulate : int
+(** Core of CHM forwarding: mode bookkeeping, SCB lookup arithmetic. *)
+
+val vmm_rei_emulate : int
+(** Core of REI emulation: PSL compression checks, stack switch logic. *)
+
+val vmm_interrupt_deliver : int
+(** Building a virtual exception/interrupt frame for the VM. *)
+
+val vmm_io_start : int
+(** Starting one I/O request from a KCALL packet. *)
+
+val vmm_context_switch : int
+(** Switching the running VM (scheduler bookkeeping). *)
+
+val vmm_address_space_switch : int
+(** Cost of switching to a separate VMM address space (TB flush + MM
+    register reload).  Charged only in the rejected-alternative ablation
+    (paper §7.1, third alternative). *)
+
+val device_io_latency_cycles : int
+(** Disk access latency in cycles (simulated seek+transfer). *)
+
+val wait_timeout_cycles : int
+(** WAIT "times out after some seconds" (paper §5, note 10): cycles after
+    which an idle VM is resumed even with no event pending. *)

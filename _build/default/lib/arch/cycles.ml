@@ -1,0 +1,26 @@
+type t = {
+  mutable now : int;
+  mutable guest : int;
+  mutable monitor : int;
+  mutable in_monitor : bool;
+}
+
+let create () = { now = 0; guest = 0; monitor = 0; in_monitor = false }
+let now t = t.now
+
+let charge t n =
+  t.now <- t.now + n;
+  if t.in_monitor then t.monitor <- t.monitor + n else t.guest <- t.guest + n
+
+let advance_to t target = if target > t.now then t.now <- target
+
+let reset t =
+  t.now <- 0;
+  t.guest <- 0;
+  t.monitor <- 0;
+  t.in_monitor <- false
+
+let in_monitor t = t.in_monitor
+let set_in_monitor t b = t.in_monitor <- b
+let guest_cycles t = t.guest
+let monitor_cycles t = t.monitor

@@ -1,0 +1,25 @@
+(** A mutable cycle counter shared by the CPU, MMU, devices and the VMM.
+
+    Simulated time is measured in cycles; every component charges work to
+    one counter so that bare-metal and virtualized runs are comparable.
+    Charges are attributed either to the machine's own execution or to the
+    VMM software path, according to {!in_monitor}; the split powers the
+    performance experiments. *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+val charge : t -> int -> unit
+val advance_to : t -> int -> unit
+(** Jump simulated time forward (idle skip); attributed to neither bucket. *)
+
+val reset : t -> unit
+
+val in_monitor : t -> bool
+val set_in_monitor : t -> bool -> unit
+(** While true, {!charge} accounts to the monitor bucket.  The VMM brackets
+    its handlers with this. *)
+
+val guest_cycles : t -> int
+val monitor_cycles : t -> int

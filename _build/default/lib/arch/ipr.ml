@@ -1,0 +1,126 @@
+type t =
+  | KSP
+  | ESP
+  | SSP
+  | USP
+  | ISP
+  | P0BR
+  | P0LR
+  | P1BR
+  | P1LR
+  | SBR
+  | SLR
+  | PCBB
+  | SCBB
+  | IPL
+  | SIRR
+  | SISR
+  | ICCS
+  | NICR
+  | ICR
+  | TODR
+  | RXCS
+  | RXDB
+  | TXCS
+  | TXDB
+  | MAPEN
+  | TBIA
+  | TBIS
+  | SID
+  | VMPSL
+  | VMPEND
+  | MEMSIZE
+  | KCALL
+  | IORESET
+  | UPTIME
+
+let to_int = function
+  | KSP -> 0
+  | ESP -> 1
+  | SSP -> 2
+  | USP -> 3
+  | ISP -> 4
+  | P0BR -> 8
+  | P0LR -> 9
+  | P1BR -> 10
+  | P1LR -> 11
+  | SBR -> 12
+  | SLR -> 13
+  | PCBB -> 16
+  | SCBB -> 17
+  | IPL -> 18
+  | SIRR -> 19
+  | SISR -> 20
+  | ICCS -> 24
+  | NICR -> 25
+  | ICR -> 26
+  | TODR -> 27
+  | RXCS -> 32
+  | RXDB -> 33
+  | TXCS -> 34
+  | TXDB -> 35
+  | MAPEN -> 56
+  | TBIA -> 57
+  | TBIS -> 58
+  | SID -> 62
+  | VMPSL -> 144
+  | VMPEND -> 145
+  | MEMSIZE -> 160
+  | KCALL -> 161
+  | IORESET -> 162
+  | UPTIME -> 163
+
+let all =
+  [
+    KSP; ESP; SSP; USP; ISP; P0BR; P0LR; P1BR; P1LR; SBR; SLR; PCBB; SCBB;
+    IPL; SIRR; SISR; ICCS; NICR; ICR; TODR; RXCS; RXDB; TXCS; TXDB; MAPEN;
+    TBIA; TBIS; SID; VMPSL; VMPEND; MEMSIZE; KCALL; IORESET; UPTIME;
+  ]
+
+let of_int n = List.find_opt (fun r -> to_int r = n) all
+
+let name = function
+  | KSP -> "KSP"
+  | ESP -> "ESP"
+  | SSP -> "SSP"
+  | USP -> "USP"
+  | ISP -> "ISP"
+  | P0BR -> "P0BR"
+  | P0LR -> "P0LR"
+  | P1BR -> "P1BR"
+  | P1LR -> "P1LR"
+  | SBR -> "SBR"
+  | SLR -> "SLR"
+  | PCBB -> "PCBB"
+  | SCBB -> "SCBB"
+  | IPL -> "IPL"
+  | SIRR -> "SIRR"
+  | SISR -> "SISR"
+  | ICCS -> "ICCS"
+  | NICR -> "NICR"
+  | ICR -> "ICR"
+  | TODR -> "TODR"
+  | RXCS -> "RXCS"
+  | RXDB -> "RXDB"
+  | TXCS -> "TXCS"
+  | TXDB -> "TXDB"
+  | MAPEN -> "MAPEN"
+  | TBIA -> "TBIA"
+  | TBIS -> "TBIS"
+  | SID -> "SID"
+  | VMPSL -> "VMPSL"
+  | VMPEND -> "VMPEND"
+  | MEMSIZE -> "MEMSIZE"
+  | KCALL -> "KCALL"
+  | IORESET -> "IORESET"
+  | UPTIME -> "UPTIME"
+
+let pp ppf r = Format.pp_print_string ppf (name r)
+
+let modified_only = function VMPSL | VMPEND -> true | _ -> false
+
+let virtual_only = function
+  | MEMSIZE | KCALL | IORESET | UPTIME -> true
+  | _ -> false
+
+let standard r = not (modified_only r || virtual_only r)

@@ -1,0 +1,123 @@
+(** The instruction subset implemented by the simulator.
+
+    Opcodes take their standard VAX encodings.  The [0xFD] page carries the
+    extensions: WAIT (paper §5) and the PROBEVM pair (paper §4.3.3); the
+    standard VAX takes a reserved-instruction fault on the whole page.
+
+    Each instruction's operands are described by (access, width) pairs in
+    evaluation order; branch displacements are a distinct access kind
+    because they are not general operand specifiers. *)
+
+type access =
+  | Read  (** operand value is read *)
+  | Write  (** operand is a pure destination *)
+  | Modify  (** operand is read then written *)
+  | Address  (** operand's address is taken (.ab/.al specifiers) *)
+  | Branch_byte  (** 8-bit PC-relative displacement *)
+  | Branch_word  (** 16-bit PC-relative displacement *)
+
+type width = Byte | Word | Long
+
+type t =
+  | Halt
+  | Nop
+  | Rei
+  | Bpt
+  | Ret
+  | Rsb
+  | Ldpctx
+  | Svpctx
+  | Prober
+  | Probew
+  | Bsbb
+  | Brb
+  | Bneq
+  | Beql
+  | Bgtr
+  | Bleq
+  | Jsb
+  | Jmp
+  | Bgeq
+  | Blss
+  | Bgtru
+  | Blequ
+  | Bvc
+  | Bvs
+  | Bcc
+  | Bcs
+  | Brw
+  | Movb
+  | Cmpb
+  | Clrb
+  | Tstb
+  | Movzbl
+  | Bispsw
+  | Bicpsw
+  | Chmk
+  | Chme
+  | Chms
+  | Chmu
+  | Addl2
+  | Addl3
+  | Subl2
+  | Subl3
+  | Mull2
+  | Mull3
+  | Divl2
+  | Divl3
+  | Bisl2
+  | Bisl3
+  | Bicl2
+  | Bicl3
+  | Xorl2
+  | Xorl3
+  | Mnegl
+  | Ashl
+  | Movl
+  | Cmpl
+  | Clrl
+  | Tstl
+  | Incl
+  | Decl
+  | Mtpr
+  | Mfpr
+  | Movpsl
+  | Pushl
+  | Moval
+  | Blbs
+  | Blbc
+  | Aoblss
+  | Sobgtr
+  | Calls
+  | Wait  (** extension: VM idle handshake *)
+  | Probevmr  (** extension: probe VM memory for read *)
+  | Probevmw  (** extension: probe VM memory for write *)
+
+val encoding : t -> int list
+(** The one- or two-byte opcode. *)
+
+val decode : int -> ?second:int -> unit -> t option
+(** [decode b ()] decodes a one-byte opcode; [decode 0xFD ~second ()]
+    decodes an extended one.  [None] = reserved instruction. *)
+
+val is_extended_prefix : int -> bool
+(** True for [0xFD]. *)
+
+val operands : t -> (access * width) list
+(** Operand specifiers in evaluation order. *)
+
+val privileged : t -> bool
+(** Instructions reserved to kernel mode on the standard VAX (HALT,
+    LDPCTX, SVPCTX, MTPR, MFPR) and the privileged extensions (PROBEVM).
+    WAIT is also privileged.  CHM/REI/PROBE/MOVPSL are NOT privileged —
+    that is the whole problem the paper solves. *)
+
+val base_cycles : t -> int
+(** Cost-model base execution time in cycles, excluding per-operand and
+    memory costs (see {!Cost}). *)
+
+val all : t list
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val chm_target : t -> Mode.t option
+(** [Some mode] for the four CHM instructions. *)

@@ -1,0 +1,116 @@
+type t =
+  | NA
+  | Reserved
+  | KW
+  | KR
+  | UW
+  | EW
+  | ERKW
+  | ER
+  | SW
+  | SREW
+  | SRKW
+  | SR
+  | URSW
+  | UREW
+  | URKW
+  | UR
+
+let to_code = function
+  | NA -> 0
+  | Reserved -> 1
+  | KW -> 2
+  | KR -> 3
+  | UW -> 4
+  | EW -> 5
+  | ERKW -> 6
+  | ER -> 7
+  | SW -> 8
+  | SREW -> 9
+  | SRKW -> 10
+  | SR -> 11
+  | URSW -> 12
+  | UREW -> 13
+  | URKW -> 14
+  | UR -> 15
+
+let of_code = function
+  | 0 -> NA
+  | 1 -> Reserved
+  | 2 -> KW
+  | 3 -> KR
+  | 4 -> UW
+  | 5 -> EW
+  | 6 -> ERKW
+  | 7 -> ER
+  | 8 -> SW
+  | 9 -> SREW
+  | 10 -> SRKW
+  | 11 -> SR
+  | 12 -> URSW
+  | 13 -> UREW
+  | 14 -> URKW
+  | 15 -> UR
+  | n -> invalid_arg (Printf.sprintf "Protection.of_code %d" n)
+
+let all = List.init 16 of_code
+
+let modes = function
+  | NA | Reserved -> (None, None)
+  | KW -> (Some Mode.Kernel, Some Mode.Kernel)
+  | KR -> (Some Mode.Kernel, None)
+  | UW -> (Some Mode.User, Some Mode.User)
+  | EW -> (Some Mode.Executive, Some Mode.Executive)
+  | ERKW -> (Some Mode.Executive, Some Mode.Kernel)
+  | ER -> (Some Mode.Executive, None)
+  | SW -> (Some Mode.Supervisor, Some Mode.Supervisor)
+  | SREW -> (Some Mode.Supervisor, Some Mode.Executive)
+  | SRKW -> (Some Mode.Supervisor, Some Mode.Kernel)
+  | SR -> (Some Mode.Supervisor, None)
+  | URSW -> (Some Mode.User, Some Mode.Supervisor)
+  | UREW -> (Some Mode.User, Some Mode.Executive)
+  | URKW -> (Some Mode.User, Some Mode.Kernel)
+  | UR -> (Some Mode.User, None)
+
+let read_mode p = fst (modes p)
+let write_mode p = snd (modes p)
+
+let allows limit mode =
+  match limit with
+  | None -> false
+  | Some least -> Mode.at_least_as_privileged mode least
+
+let can_read p mode = allows (read_mode p) mode
+let can_write p mode = allows (write_mode p) mode
+
+let of_modes ~read ~write =
+  let matches p = read_mode p = read && write_mode p = write in
+  List.find_opt matches all
+
+let compress p =
+  let promote = function Some Mode.Kernel -> Some Mode.Executive | m -> m in
+  let read, write = modes p in
+  match of_modes ~read:(promote read) ~write:(promote write) with
+  | Some p' -> p'
+  | None -> p (* NA and Reserved map to themselves *)
+
+let name = function
+  | NA -> "NA"
+  | Reserved -> "RESERVED"
+  | KW -> "KW"
+  | KR -> "KR"
+  | UW -> "UW"
+  | EW -> "EW"
+  | ERKW -> "ERKW"
+  | ER -> "ER"
+  | SW -> "SW"
+  | SREW -> "SREW"
+  | SRKW -> "SRKW"
+  | SR -> "SR"
+  | URSW -> "URSW"
+  | UREW -> "UREW"
+  | URKW -> "URKW"
+  | UR -> "UR"
+
+let pp ppf p = Format.pp_print_string ppf (name p)
+let equal a b = to_code a = to_code b

@@ -1,0 +1,62 @@
+(** VAX page protection codes.
+
+    A 4-bit field of every PTE names the least privileged mode allowed to
+    read the page and the least privileged mode allowed to write it; for
+    any mode, write access implies read access.  The fifteen legal codes
+    are those of the VAX Architecture Reference Manual; code 1 is reserved
+    and unpredictable, which we model as a distinct constructor that grants
+    no access and that well-formed software never writes. *)
+
+type t =
+  | NA  (** no access for any mode *)
+  | Reserved  (** code 1: architecturally unpredictable; we deny access *)
+  | KW  (** kernel write *)
+  | KR  (** kernel read *)
+  | UW  (** all modes write *)
+  | EW  (** executive write *)
+  | ERKW  (** executive read, kernel write *)
+  | ER  (** executive read *)
+  | SW  (** supervisor write *)
+  | SREW  (** supervisor read, executive write *)
+  | SRKW  (** supervisor read, kernel write *)
+  | SR  (** supervisor read *)
+  | URSW  (** user read, supervisor write *)
+  | UREW  (** user read, executive write *)
+  | URKW  (** user read, kernel write *)
+  | UR  (** user read *)
+
+val to_code : t -> int
+(** The 4-bit PTE encoding (0–15). *)
+
+val of_code : int -> t
+(** Inverse of {!to_code}; raises [Invalid_argument] outside [0, 15]. *)
+
+val all : t list
+(** All sixteen codes in encoding order. *)
+
+val read_mode : t -> Mode.t option
+(** Least privileged mode that may read, or [None] if no mode may. *)
+
+val write_mode : t -> Mode.t option
+(** Least privileged mode that may write, or [None] if the page is
+    read-only (or inaccessible). *)
+
+val can_read : t -> Mode.t -> bool
+val can_write : t -> Mode.t -> bool
+
+val of_modes : read:Mode.t option -> write:Mode.t option -> t option
+(** The code granting exactly the given access, if one exists.  Write
+    access implies read access, so [read] must be no more restrictive than
+    [write]. *)
+
+val compress : t -> t
+(** Ring compression of a protection code (paper §4.3.1): any code that
+    limits read or write access to kernel mode is rewritten to extend that
+    access to executive mode, so that VM-kernel code (which really runs in
+    executive mode) can still touch the page.  All other codes are
+    unchanged.  E.g. [KW -> EW], [KR -> ER], [ERKW -> EW], [SRKW -> SREW],
+    [URKW -> UREW]. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

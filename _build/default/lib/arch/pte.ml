@@ -1,0 +1,37 @@
+type t = Word.t
+
+let bit_v = 31
+let pos_prot = 27
+let bit_m = 26
+let pos_sw = 21
+let pfn_mask = 0x1F_FFFF
+
+let make ?(valid = true) ?(modify = false) ?(sw = 0) ~prot ~pfn () =
+  let w = pfn land pfn_mask in
+  let w = Word.insert w ~pos:pos_prot ~width:4 (Protection.to_code prot) in
+  let w = Word.insert w ~pos:pos_sw ~width:5 sw in
+  let w = Word.set_bit w bit_m modify in
+  Word.set_bit w bit_v valid
+
+let valid t = Word.bit t bit_v
+let prot t = Protection.of_code (Word.extract t ~pos:pos_prot ~width:4)
+let modify t = Word.bit t bit_m
+let pfn t = t land pfn_mask
+let sw t = Word.extract t ~pos:pos_sw ~width:5
+
+let with_valid t b = Word.set_bit t bit_v b
+let with_modify t b = Word.set_bit t bit_m b
+
+let with_prot t p =
+  Word.insert t ~pos:pos_prot ~width:4 (Protection.to_code p)
+
+let with_pfn t pfn = Word.logor (Word.logand t (Word.lognot pfn_mask)) (pfn land pfn_mask)
+
+let null = make ~valid:false ~prot:Protection.UW ~pfn:0 ()
+
+let pp ppf t =
+  Format.fprintf ppf "pte{v=%d %a m=%d pfn=%05x}"
+    (if valid t then 1 else 0)
+    Protection.pp (prot t)
+    (if modify t then 1 else 0)
+    (pfn t)

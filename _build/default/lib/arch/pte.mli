@@ -1,0 +1,32 @@
+(** VAX page table entries.
+
+    Layout (VAX Architecture Reference Manual):
+    {v
+      bit  31     V      valid: PFN and M are current; hardware may cache
+      bits 30:27  PROT   protection code (checked even when V = 0)
+      bit  26     M      modify: page has been written since M was cleared
+      bits 25:21  SW     reserved to software (the simulator preserves them)
+      bits 20:0   PFN    page frame number
+    v} *)
+
+type t = Word.t
+
+val make : ?valid:bool -> ?modify:bool -> ?sw:int -> prot:Protection.t -> pfn:int -> unit -> t
+
+val valid : t -> bool
+val prot : t -> Protection.t
+val modify : t -> bool
+val pfn : t -> int
+val sw : t -> int
+
+val with_valid : t -> bool -> t
+val with_modify : t -> bool -> t
+val with_prot : t -> Protection.t -> t
+val with_pfn : t -> int -> t
+
+val null : t
+(** The VMM's default shadow PTE (paper §4.3.1): invalid, protection UW so
+    that the protection check always succeeds and the reference proceeds to
+    a translation-not-valid fault, PFN 0. *)
+
+val pp : Format.formatter -> t -> unit

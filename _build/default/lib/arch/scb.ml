@@ -1,0 +1,64 @@
+type vector = int
+
+let machine_check = 0x04
+let kernel_stack_not_valid = 0x08
+let power_fail = 0x0C
+let privileged_instruction = 0x10
+let customer_reserved_instruction = 0x14
+let reserved_operand = 0x18
+let reserved_addressing_mode = 0x1C
+let access_violation = 0x20
+let translation_not_valid = 0x24
+let trace_pending = 0x28
+let breakpoint = 0x2C
+let arithmetic = 0x34
+let chmk = 0x40
+let chme = 0x44
+let chms = 0x48
+let chmu = 0x4C
+let modify_fault = 0x50
+let vm_emulation = 0x54
+
+let software_interrupt level =
+  assert (level >= 1 && level <= 15);
+  0x80 + (4 * level)
+
+let interval_timer = 0xC0
+let console_receive = 0xF8
+let console_transmit = 0xFC
+let disk = 0x100
+
+let chm_vector = function
+  | Mode.Kernel -> chmk
+  | Mode.Executive -> chme
+  | Mode.Supervisor -> chms
+  | Mode.User -> chmu
+
+let size_bytes = 512
+
+let name v =
+  if v = machine_check then "machine check"
+  else if v = kernel_stack_not_valid then "kernel stack not valid"
+  else if v = power_fail then "power fail"
+  else if v = privileged_instruction then "privileged instruction"
+  else if v = customer_reserved_instruction then "customer reserved instruction"
+  else if v = reserved_operand then "reserved operand"
+  else if v = reserved_addressing_mode then "reserved addressing mode"
+  else if v = access_violation then "access violation"
+  else if v = translation_not_valid then "translation not valid"
+  else if v = trace_pending then "trace pending"
+  else if v = breakpoint then "breakpoint"
+  else if v = arithmetic then "arithmetic"
+  else if v = chmk then "CHMK"
+  else if v = chme then "CHME"
+  else if v = chms then "CHMS"
+  else if v = chmu then "CHMU"
+  else if v = modify_fault then "modify fault"
+  else if v = vm_emulation then "VM emulation"
+  else if v >= 0x84 && v <= 0xBC && v mod 4 = 0 then
+    Printf.sprintf "software interrupt %d" ((v - 0x80) / 4)
+  else if v = interval_timer then "interval timer"
+  else if v = console_receive then "console receive"
+  else if v = console_transmit then "console transmit"
+  else if v = disk then "disk"
+  else Printf.sprintf "vector 0x%02x" v

@@ -1,0 +1,48 @@
+(** System Control Block layout.
+
+    The SCB is a page of longword vectors, indexed by event, whose physical
+    base is in the SCBB register.  Each entry holds the virtual address of
+    the service routine; its two low bits select the service stack:
+    [00] = kernel stack (or the interrupt stack if already on it),
+    [01] = interrupt stack.
+
+    Vectors 0x50 (modify fault) and 0x54 (VM emulation) are new in the
+    modified architecture; the paper introduces the events but not their
+    numbers, which we chose from the architecturally reserved range. *)
+
+type vector = int
+
+val machine_check : vector (* 0x04 *)
+val kernel_stack_not_valid : vector (* 0x08 *)
+val power_fail : vector (* 0x0C *)
+val privileged_instruction : vector (* 0x10 *)
+val customer_reserved_instruction : vector (* 0x14 *)
+val reserved_operand : vector (* 0x18 *)
+val reserved_addressing_mode : vector (* 0x1C *)
+val access_violation : vector (* 0x20 *)
+val translation_not_valid : vector (* 0x24 *)
+val trace_pending : vector (* 0x28 *)
+val breakpoint : vector (* 0x2C *)
+val arithmetic : vector (* 0x34 *)
+val chmk : vector (* 0x40 *)
+val chme : vector (* 0x44 *)
+val chms : vector (* 0x48 *)
+val chmu : vector (* 0x4C *)
+val modify_fault : vector (* 0x50, modified VAX only *)
+val vm_emulation : vector (* 0x54, modified VAX only *)
+
+val software_interrupt : int -> vector
+(** [software_interrupt level] for levels 1–15: [0x80 + 4*level]. *)
+
+val interval_timer : vector (* 0xC0 *)
+val console_receive : vector (* 0xF8 *)
+val console_transmit : vector (* 0xFC *)
+
+val disk : vector (* 0x100: the simulator's disk controller vector *)
+
+val chm_vector : Mode.t -> vector
+val size_bytes : int
+(** Total SCB size we architect (one page). *)
+
+val name : vector -> string
+(** Human-readable vector name (for traces and the conformance bench). *)

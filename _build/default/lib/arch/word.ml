@@ -1,0 +1,55 @@
+type t = int
+
+let mask32 = 0xFFFF_FFFF
+
+let mask x = x land mask32
+let add a b = (a + b) land mask32
+let sub a b = (a - b) land mask32
+let mul a b = (a * b) land mask32
+
+let to_signed x =
+  let x = x land mask32 in
+  if x land 0x8000_0000 <> 0 then x - 0x1_0000_0000 else x
+
+let of_signed v = v land mask32
+
+let div a b =
+  if b land mask32 = 0 then None
+  else
+    let sa = to_signed a and sb = to_signed b in
+    (* OCaml integer division truncates toward zero, like the VAX DIVL. *)
+    Some (of_signed (sa / sb))
+
+let logand a b = a land b land mask32
+let logor a b = (a lor b) land mask32
+let logxor a b = (a lxor b) land mask32
+let lognot a = lnot a land mask32
+let neg a = (0 - a) land mask32
+
+let signed_lt a b = to_signed a < to_signed b
+let signed_le a b = to_signed a <= to_signed b
+
+let bit x i = (x lsr i) land 1 = 1
+
+let set_bit x i v =
+  if v then x lor (1 lsl i) else x land lnot (1 lsl i) land mask32
+
+let extract x ~pos ~width = (x lsr pos) land ((1 lsl width) - 1)
+
+let insert x ~pos ~width v =
+  let m = ((1 lsl width) - 1) lsl pos in
+  (x land lnot m land mask32) lor ((v lsl pos) land m)
+
+let sext ~width v =
+  let v = v land ((1 lsl width) - 1) in
+  let s = 1 lsl (width - 1) in
+  if v land s <> 0 then (v - (1 lsl width)) land mask32 else v
+
+let byte x i = (x lsr (8 * i)) land 0xFF
+
+let of_bytes b0 b1 b2 b3 =
+  (b0 land 0xFF) lor ((b1 land 0xFF) lsl 8) lor ((b2 land 0xFF) lsl 16)
+  lor ((b3 land 0xFF) lsl 24)
+
+let pp ppf x = Format.fprintf ppf "%08x" (mask x)
+let to_hex x = Printf.sprintf "%08x" (mask x)

@@ -1,0 +1,58 @@
+(** 32-bit unsigned machine words, represented as OCaml [int] in the range
+    [0, 0xFFFF_FFFF].  All arithmetic wraps modulo 2^32.  The VAX is a
+    little-endian, byte-addressable machine with 32-bit longwords; every
+    register and memory longword in the simulator is a [Word.t]. *)
+
+type t = int
+
+val mask : t -> t
+(** [mask x] truncates [x] to 32 bits. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t option
+(** Signed division; [None] on division by zero. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val neg : t -> t
+(** Two's-complement negation. *)
+
+val to_signed : t -> int
+(** Interpret as a signed 32-bit value (sign-extend bit 31). *)
+
+val of_signed : int -> t
+(** Truncate a signed OCaml int to a 32-bit word. *)
+
+val signed_lt : t -> t -> bool
+val signed_le : t -> t -> bool
+
+val bit : t -> int -> bool
+(** [bit x i] is bit [i] of [x]. *)
+
+val set_bit : t -> int -> bool -> t
+
+val extract : t -> pos:int -> width:int -> int
+(** [extract x ~pos ~width] reads the bit field [x<pos+width-1:pos>]. *)
+
+val insert : t -> pos:int -> width:int -> int -> t
+(** [insert x ~pos ~width v] writes [v] into the field [x<pos+width-1:pos>]. *)
+
+val sext : width:int -> int -> t
+(** [sext ~width v] sign-extends the [width]-bit value [v] to 32 bits. *)
+
+val byte : t -> int -> int
+(** [byte x i] is byte [i] (0 = least significant) of [x]. *)
+
+val of_bytes : int -> int -> int -> int -> t
+(** [of_bytes b0 b1 b2 b3] assembles a longword from little-endian bytes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [%08x]. *)
+
+val to_hex : t -> string

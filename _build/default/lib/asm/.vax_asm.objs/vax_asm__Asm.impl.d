@@ -1,0 +1,1 @@
+lib/asm/asm.ml: Buffer Bytes Char Hashtbl List Opcode Printf String Vax_arch

@@ -1,0 +1,1 @@
+lib/asm/disasm.ml: Bytes Char List Opcode Option Printf String Vax_arch Word

@@ -1,0 +1,241 @@
+open Vax_arch
+
+type operand =
+  | Lit of int
+  | Imm of int
+  | R of int
+  | Deref of int
+  | Predec of int
+  | Postinc of int
+  | Postinc_deref of int
+  | Abs of int
+  | Abs_label of string
+  | Disp of int * int
+  | Disp_deref of int * int
+  | Branch of string
+
+let ap = 12
+let fp = 13
+let sp = 14
+let pc = 15
+
+type fixup_kind = Fix_abs32 | Fix_branch8 | Fix_branch16
+
+type fixup = {
+  fix_offset : int;  (** offset of the field within the buffer *)
+  fix_kind : fixup_kind;
+  fix_label : string;
+  fix_next : int;  (** address of the byte after the displacement field *)
+}
+
+type t = {
+  origin : int;
+  buf : Buffer.t;
+  labels : (string, int) Hashtbl.t;
+  mutable fixups : fixup list;
+}
+
+let create ~origin =
+  { origin; buf = Buffer.create 1024; labels = Hashtbl.create 64; fixups = [] }
+
+let origin t = t.origin
+let here t = t.origin + Buffer.length t.buf
+
+let label t name =
+  if Hashtbl.mem t.labels name then
+    invalid_arg (Printf.sprintf "Asm.label: duplicate %S" name);
+  Hashtbl.replace t.labels name (here t)
+
+let byte t b = Buffer.add_char t.buf (Char.chr (b land 0xFF))
+
+let word t w =
+  byte t (w land 0xFF);
+  byte t ((w lsr 8) land 0xFF)
+
+let long t l =
+  byte t (l land 0xFF);
+  byte t ((l lsr 8) land 0xFF);
+  byte t ((l lsr 16) land 0xFF);
+  byte t ((l lsr 24) land 0xFF)
+
+let add_fixup t kind label next =
+  t.fixups <-
+    {
+      fix_offset = Buffer.length t.buf;
+      fix_kind = kind;
+      fix_label = label;
+      fix_next = next;
+    }
+    :: t.fixups
+
+let long_label t name =
+  add_fixup t Fix_abs32 name 0;
+  long t 0
+
+let string_z t s =
+  String.iter (fun ch -> byte t (Char.code ch)) s;
+  byte t 0
+
+let space t n =
+  for _ = 1 to n do
+    byte t 0
+  done
+
+let align t boundary =
+  while here t land (boundary - 1) <> 0 do
+    byte t 0
+  done
+
+let emit_width t width v =
+  match width with
+  | Opcode.Byte -> byte t v
+  | Opcode.Word -> word t v
+  | Opcode.Long -> long t v
+
+let specifier_byte mode rn = ((mode land 0xF) lsl 4) lor (rn land 0xF)
+
+let check_reg rn =
+  if rn < 0 || rn > 15 then invalid_arg "Asm: bad register number"
+
+(* Emit one general operand specifier. *)
+let emit_operand t (access, width) op =
+  let writable =
+    match access with Opcode.Write | Opcode.Modify -> true | _ -> false
+  in
+  let addressed = access = Opcode.Address in
+  match op with
+  | Lit n ->
+      if writable || addressed then invalid_arg "Asm: literal not writable";
+      if n < 0 || n > 63 then invalid_arg "Asm: literal out of range";
+      byte t n
+  | Imm v ->
+      if writable || addressed then invalid_arg "Asm: immediate not writable";
+      byte t (specifier_byte 8 pc);
+      emit_width t width v
+  | R rn ->
+      check_reg rn;
+      if addressed then invalid_arg "Asm: cannot take address of register";
+      if rn = pc then invalid_arg "Asm: PC as register operand";
+      byte t (specifier_byte 5 rn)
+  | Deref rn ->
+      check_reg rn;
+      byte t (specifier_byte 6 rn)
+  | Predec rn ->
+      check_reg rn;
+      byte t (specifier_byte 7 rn)
+  | Postinc rn ->
+      check_reg rn;
+      if rn = pc then invalid_arg "Asm: use Imm for immediates";
+      byte t (specifier_byte 8 rn)
+  | Postinc_deref rn ->
+      check_reg rn;
+      if rn = pc then invalid_arg "Asm: use Abs for absolute";
+      byte t (specifier_byte 9 rn)
+  | Abs a ->
+      byte t (specifier_byte 9 pc);
+      long t a
+  | Abs_label name ->
+      byte t (specifier_byte 9 pc);
+      add_fixup t Fix_abs32 name 0;
+      long t 0
+  | Disp (d, rn) ->
+      check_reg rn;
+      if d >= -128 && d <= 127 then begin
+        byte t (specifier_byte 0xA rn);
+        byte t d
+      end
+      else if d >= -32768 && d <= 32767 then begin
+        byte t (specifier_byte 0xC rn);
+        word t d
+      end
+      else begin
+        byte t (specifier_byte 0xE rn);
+        long t d
+      end
+  | Disp_deref (d, rn) ->
+      check_reg rn;
+      if d >= -128 && d <= 127 then begin
+        byte t (specifier_byte 0xB rn);
+        byte t d
+      end
+      else if d >= -32768 && d <= 32767 then begin
+        byte t (specifier_byte 0xD rn);
+        word t d
+      end
+      else begin
+        byte t (specifier_byte 0xF rn);
+        long t d
+      end
+  | Branch _ -> invalid_arg "Asm: Branch operand on non-branch position"
+
+let emit_branch t access op =
+  match op with
+  | Branch name -> (
+      match access with
+      | Opcode.Branch_byte ->
+          add_fixup t Fix_branch8 name (here t + 1);
+          byte t 0
+      | Opcode.Branch_word ->
+          add_fixup t Fix_branch16 name (here t + 2);
+          word t 0
+      | _ -> assert false)
+  | _ -> invalid_arg "Asm: branch instruction needs a Branch operand"
+
+let ins t opcode operands =
+  let specs = Opcode.operands opcode in
+  if List.length specs <> List.length operands then
+    invalid_arg
+      (Printf.sprintf "Asm: %s expects %d operands, got %d"
+         (Opcode.name opcode) (List.length specs) (List.length operands));
+  List.iter (byte t) (Opcode.encoding opcode);
+  List.iter2
+    (fun (access, width) op ->
+      match access with
+      | Opcode.Branch_byte | Opcode.Branch_word -> emit_branch t access op
+      | _ -> emit_operand t (access, width) op)
+    specs operands
+
+type image = { image_origin : int; code : bytes; symbols : (string * int) list }
+
+let patch_byte code off v = Bytes.set code off (Char.chr (v land 0xFF))
+
+let patch_long code off v =
+  for i = 0 to 3 do
+    patch_byte code (off + i) ((v lsr (8 * i)) land 0xFF)
+  done
+
+let assemble t =
+  let code = Buffer.to_bytes t.buf in
+  let resolve name =
+    match Hashtbl.find_opt t.labels name with
+    | Some a -> a
+    | None -> invalid_arg (Printf.sprintf "Asm: undefined label %S" name)
+  in
+  List.iter
+    (fun f ->
+      let target = resolve f.fix_label in
+      match f.fix_kind with
+      | Fix_abs32 -> patch_long code f.fix_offset target
+      | Fix_branch8 ->
+          let disp = target - f.fix_next in
+          if disp < -128 || disp > 127 then
+            invalid_arg
+              (Printf.sprintf "Asm: branch to %S out of byte range (%d)"
+                 f.fix_label disp);
+          patch_byte code f.fix_offset disp
+      | Fix_branch16 ->
+          let disp = target - f.fix_next in
+          if disp < -32768 || disp > 32767 then
+            invalid_arg
+              (Printf.sprintf "Asm: branch to %S out of word range (%d)"
+                 f.fix_label disp);
+          patch_byte code f.fix_offset disp;
+          patch_byte code (f.fix_offset + 1) (disp asr 8))
+    t.fixups;
+  {
+    image_origin = t.origin;
+    code;
+    symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.labels [];
+  }
+
+let lookup image name = List.assoc name image.symbols

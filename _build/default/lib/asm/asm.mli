@@ -1,0 +1,76 @@
+(** A two-pass assembler eDSL for the simulator's VAX subset.
+
+    Programs are built imperatively: define labels, emit instructions and
+    data, then {!assemble} to obtain the image and symbol table.  Label
+    references are fixed up at assembly time; branch displacement widths
+    are fixed by the opcode (byte for Bxx, word for BRW), and label data
+    references use absolute addressing, so all sizes are known on the
+    first pass.
+
+    The [origin] is the virtual (or physical, for boot code) address of
+    the first emitted byte. *)
+
+open Vax_arch
+
+type operand =
+  | Lit of int  (** short literal 0–63 (read-only) *)
+  | Imm of int  (** immediate of the instruction's operand width *)
+  | R of int  (** register Rn *)
+  | Deref of int  (** (Rn) *)
+  | Predec of int  (** -(Rn) *)
+  | Postinc of int  (** (Rn)+ *)
+  | Postinc_deref of int  (** @(Rn)+ *)
+  | Abs of int  (** @#address *)
+  | Abs_label of string  (** @#label *)
+  | Disp of int * int  (** disp(Rn): displacement, register *)
+  | Disp_deref of int * int  (** @disp(Rn) *)
+  | Branch of string  (** branch target label (Bxx/BRW/BSBB only) *)
+
+(* Register conventions *)
+val ap : int (* 12 *)
+val fp : int (* 13 *)
+val sp : int (* 14 *)
+val pc : int (* 15 *)
+
+type t
+
+val create : origin:int -> t
+val origin : t -> int
+val here : t -> int
+(** Address of the next byte to be emitted. *)
+
+val label : t -> string -> unit
+(** Define [name] at the current address; duplicate definitions fail. *)
+
+val ins : t -> Opcode.t -> operand list -> unit
+(** Emit one instruction.  Fails (with [Invalid_argument]) on operand
+    count mismatch or an operand unsuitable for the access type (e.g. a
+    literal as a write destination). *)
+
+val byte : t -> int -> unit
+val word : t -> int -> unit
+val long : t -> int -> unit
+val long_label : t -> string -> unit
+(** Emit the 32-bit address of a label as data. *)
+
+val string_z : t -> string -> unit
+(** Bytes of the string followed by a NUL. *)
+
+val space : t -> int -> unit
+(** Zero-filled gap. *)
+
+val align : t -> int -> unit
+(** Pad with zeros to the given power-of-two boundary. *)
+
+type image = {
+  image_origin : int;
+  code : bytes;
+  symbols : (string * int) list;
+}
+
+val assemble : t -> image
+(** Resolve all fixups.  Fails with [Invalid_argument] on undefined labels
+    or out-of-range branch displacements. *)
+
+val lookup : image -> string -> int
+(** Symbol address; raises [Not_found]. *)

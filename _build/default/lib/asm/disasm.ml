@@ -1,0 +1,122 @@
+open Vax_arch
+
+type operand_text = string
+
+type insn = {
+  address : int;
+  length : int;
+  mnemonic : string;
+  operands : operand_text list;
+}
+
+exception Truncated
+
+let reg_name = function
+  | 12 -> "AP"
+  | 13 -> "FP"
+  | 14 -> "SP"
+  | 15 -> "PC"
+  | n -> Printf.sprintf "R%d" n
+
+let byte b pos = if pos >= Bytes.length b then raise Truncated
+  else Char.code (Bytes.get b pos)
+
+let word b pos = byte b pos lor (byte b (pos + 1) lsl 8)
+
+let long b pos =
+  byte b pos
+  lor (byte b (pos + 1) lsl 8)
+  lor (byte b (pos + 2) lsl 16)
+  lor (byte b (pos + 3) lsl 24)
+
+let width_bytes = function Opcode.Byte -> 1 | Opcode.Word -> 2 | Opcode.Long -> 4
+
+(* returns (text, bytes consumed) *)
+let specifier b pos width =
+  let s = byte b pos in
+  let m = s lsr 4 and rn = s land 0xF in
+  match m with
+  | 0 | 1 | 2 | 3 -> (Printf.sprintf "S^#%d" (s land 0x3F), 1)
+  | 4 -> (Printf.sprintf "[%s]?" (reg_name rn), 1) (* not in the subset *)
+  | 5 -> (reg_name rn, 1)
+  | 6 -> (Printf.sprintf "(%s)" (reg_name rn), 1)
+  | 7 -> (Printf.sprintf "-(%s)" (reg_name rn), 1)
+  | 8 when rn = 15 ->
+      let n = width_bytes width in
+      let v =
+        match width with
+        | Opcode.Byte -> byte b (pos + 1)
+        | Opcode.Word -> word b (pos + 1)
+        | Opcode.Long -> long b (pos + 1)
+      in
+      (Printf.sprintf "#%#x" v, 1 + n)
+  | 8 -> (Printf.sprintf "(%s)+" (reg_name rn), 1)
+  | 9 when rn = 15 -> (Printf.sprintf "@#%#x" (long b (pos + 1)), 5)
+  | 9 -> (Printf.sprintf "@(%s)+" (reg_name rn), 1)
+  | 0xA ->
+      (Printf.sprintf "%d(%s)" (Word.to_signed (Word.sext ~width:8 (byte b (pos + 1)))) (reg_name rn), 2)
+  | 0xB ->
+      (Printf.sprintf "@%d(%s)" (Word.to_signed (Word.sext ~width:8 (byte b (pos + 1)))) (reg_name rn), 2)
+  | 0xC ->
+      (Printf.sprintf "%d(%s)" (Word.to_signed (Word.sext ~width:16 (word b (pos + 1)))) (reg_name rn), 3)
+  | 0xD ->
+      (Printf.sprintf "@%d(%s)" (Word.to_signed (Word.sext ~width:16 (word b (pos + 1)))) (reg_name rn), 3)
+  | 0xE -> (Printf.sprintf "%d(%s)" (Word.to_signed (long b (pos + 1))) (reg_name rn), 5)
+  | 0xF -> (Printf.sprintf "@%d(%s)" (Word.to_signed (long b (pos + 1))) (reg_name rn), 5)
+  | _ -> assert false
+
+let decode_one b ~pos ~address =
+  match
+    let b0 = byte b pos in
+    let opcode, oplen =
+      if Opcode.is_extended_prefix b0 then
+        (Opcode.decode b0 ~second:(byte b (pos + 1)) (), 2)
+      else (Opcode.decode b0 (), 1)
+    in
+    Option.map
+      (fun opcode ->
+        let cur = ref (pos + oplen) in
+        let operands =
+          List.map
+            (fun (access, width) ->
+              match access with
+              | Opcode.Branch_byte ->
+                  let d = Word.to_signed (Word.sext ~width:8 (byte b !cur)) in
+                  incr cur;
+                  Printf.sprintf "%#x" (address + (!cur - pos) + d)
+              | Opcode.Branch_word ->
+                  let d = Word.to_signed (Word.sext ~width:16 (word b !cur)) in
+                  cur := !cur + 2;
+                  Printf.sprintf "%#x" (address + (!cur - pos) + d)
+              | _ ->
+                  let text, n = specifier b !cur width in
+                  cur := !cur + n;
+                  text)
+            (Opcode.operands opcode)
+        in
+        {
+          address;
+          length = !cur - pos;
+          mnemonic = Opcode.name opcode;
+          operands;
+        })
+      opcode
+  with
+  | v -> v
+  | exception Truncated -> None
+
+let decode_all b ~base =
+  let rec go pos acc =
+    if pos >= Bytes.length b then List.rev acc
+    else
+      match decode_one b ~pos ~address:(base + pos) with
+      | Some i -> go (pos + i.length) (i :: acc)
+      | None -> List.rev acc
+  in
+  go 0 []
+
+let to_string i =
+  if i.operands = [] then Printf.sprintf "%x: %s" i.address i.mnemonic
+  else
+    Printf.sprintf "%x: %s %s" i.address i.mnemonic
+      (String.concat ", " i.operands)

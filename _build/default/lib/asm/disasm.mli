@@ -1,0 +1,25 @@
+(** Disassembler for the simulator's VAX subset.
+
+    Decodes raw bytes (no CPU state needed: addressing modes are shown
+    symbolically, register-relative operands as written).  Used by traces,
+    debugging tools, and the assembler round-trip tests. *)
+
+type operand_text = string
+
+type insn = {
+  address : int;
+  length : int;  (** bytes consumed *)
+  mnemonic : string;
+  operands : operand_text list;
+}
+
+val decode_one : bytes -> pos:int -> address:int -> insn option
+(** Decode the instruction starting at byte offset [pos]; [address] is the
+    virtual address of that byte (for branch-target rendering).  [None] on
+    a reserved opcode or truncated instruction. *)
+
+val decode_all : bytes -> base:int -> insn list
+(** Linear sweep from offset 0; stops at the first undecodable byte. *)
+
+val to_string : insn -> string
+(** e.g. ["1000: MOVL #5, R0"]. *)

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Addr Vax_arch

@@ -1,0 +1,1 @@
+lib/core/ring.ml: List Mode Protection Vax_arch

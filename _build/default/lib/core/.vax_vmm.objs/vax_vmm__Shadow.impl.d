@@ -1,0 +1,1 @@
+lib/core/shadow.ml: Addr Array Cost Cycles Layout Mmu Mode Phys_mem Printf Protection Pte Vax_arch Vax_mem Vm Word

@@ -1,0 +1,1 @@
+lib/core/shadow.mli: Mmu Mode Phys_mem Vax_arch Vax_mem Vm Word

@@ -1,0 +1,1 @@
+lib/core/vm.ml: Buffer Hashtbl List Opcode Option Scb Vax_arch Word

@@ -1,0 +1,1 @@
+lib/core/vmm.mli: Format Machine Vax_arch Vax_dev Vm Word

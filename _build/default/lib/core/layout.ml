@@ -1,0 +1,51 @@
+open Vax_arch
+
+let vm_s_limit_vpn = 4096
+let max_p0_entries = 1024
+let max_p1_entries = 128
+let p1_first_vpn = (1 lsl Addr.vpn_width) - max_p1_entries
+
+let pages_for_ptes n = (n * 4 + Addr.page_size - 1) / Addr.page_size
+
+let shadow_s_pages = pages_for_ptes vm_s_limit_vpn
+let shadow_p0_pages = pages_for_ptes max_p0_entries
+let shadow_p1_pages = pages_for_ptes max_p1_entries
+let vmm_s_base_vpn = vm_s_limit_vpn
+let vmm_stack_pages = 4
+
+let kernel_stack_top_va =
+  Addr.of_region_vpn Addr.S (vmm_s_base_vpn + 2)
+
+let interrupt_stack_top_va =
+  Addr.of_region_vpn Addr.S (vmm_s_base_vpn + 4)
+
+let slot_pages = shadow_p0_pages + shadow_p1_pages
+
+let slot_p0_vpn i = vmm_s_base_vpn + vmm_stack_pages + (i * slot_pages)
+let slot_p1_vpn i = slot_p0_vpn i + shadow_p0_pages
+let identity_vpn ~nslots = vmm_s_base_vpn + vmm_stack_pages + (nslots * slot_pages)
+
+let shadow_s_table_pages ~nslots ~memsize =
+  pages_for_ptes (identity_vpn ~nslots + pages_for_ptes memsize)
+
+type allocator = {
+  total : int;
+  mutable low : int;  (** next PFN for VM blocks *)
+  mutable high : int;  (** one past the last free PFN for VMM pages *)
+}
+
+let allocator ~total_pages ~reserved_low =
+  { total = total_pages; low = reserved_low; high = total_pages }
+
+let alloc_vmm_pages a n =
+  if a.high - n < a.low then failwith "Layout: out of physical memory (vmm)";
+  a.high <- a.high - n;
+  a.high
+
+let alloc_vm_block a n =
+  if a.low + n > a.high then failwith "Layout: out of physical memory (vm)";
+  let base = a.low in
+  a.low <- a.low + n;
+  base
+
+let free_pages a = a.high - a.low

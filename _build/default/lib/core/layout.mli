@@ -1,0 +1,76 @@
+(** VMM address-space and physical-memory layout (paper §4, Figure 2).
+
+    The VMM shares the S region with the VM: VM-visible S space runs from
+    the bottom of S up to the installation-defined boundary; the VMM's own
+    mappings (notably the shadow P0/P1 page tables, which the architecture
+    requires to live in S virtual memory) sit above it, protected KW so no
+    VM mode can touch them.
+
+    Real physical memory is carved as: VMM-owned pages are allocated from
+    the top of RAM down; VM physical memory blocks are contiguous and
+    allocated from the bottom up ("physical memory is presented to each VM
+    as contiguous and starting at physical page 0"). *)
+
+
+
+val vm_s_limit_vpn : int
+(** S pages a VM may map (the boundary of Figure 2).  The architecture
+    allows the VMM to impose this smaller-than-1GB limit (paper §5). *)
+
+val max_p0_entries : int
+(** Largest P0LR the VMM supports for a VM process. *)
+
+val max_p1_entries : int
+(** P1 pages supported, at the top of the P1 region. *)
+
+val p1_first_vpn : int
+(** First P1 VPN covered: [2^21 - max_p1_entries]. *)
+
+val pages_for_ptes : int -> int
+(** Page frames needed to hold [n] PTEs. *)
+
+val shadow_s_pages : int
+(** Page frames of one VM's shadow system page table. *)
+
+val shadow_p0_pages : int
+val shadow_p1_pages : int
+
+val vmm_s_base_vpn : int
+(** First S VPN of the VMM-private region. *)
+
+val vmm_stack_pages : int
+(** Pages of VMM kernel + interrupt stack mapped at the bottom of the
+    VMM region in every VM's shadow S table (the VMM shares the VM's
+    address space; its service stacks must translate while a VM runs). *)
+
+val kernel_stack_top_va : int
+val interrupt_stack_top_va : int
+
+val slot_p0_vpn : int -> int
+(** S VPN where shadow-cache slot [i]'s P0 table is mapped. *)
+
+val slot_p1_vpn : int -> int
+
+val identity_vpn : nslots:int -> int
+(** S VPN of the identity table, after all slots. *)
+
+val shadow_s_table_pages : nslots:int -> memsize:int -> int
+(** Page frames needed for one VM's shadow system page table, covering
+    both the VM-visible S region and the VMM region above it. *)
+
+(** Bump allocator for VMM-owned real page frames (top of RAM, downward)
+    and VM memory blocks (bottom of RAM, upward). *)
+type allocator
+
+val allocator : total_pages:int -> reserved_low:int -> allocator
+(** [reserved_low] pages at the bottom stay free for the VMM's own boot
+    data (real SCB page, VMM stacks). *)
+
+val alloc_vmm_pages : allocator -> int -> int
+(** Returns the first PFN of a VMM-owned block; raises [Failure] when
+    RAM is exhausted. *)
+
+val alloc_vm_block : allocator -> int -> int
+(** Returns the base PFN of a contiguous VM memory block. *)
+
+val free_pages : allocator -> int

@@ -1,0 +1,1292 @@
+open Vax_arch
+open Vax_mem
+open Vax_cpu
+open Vax_dev
+
+type config = {
+  shadow_cache_slots : int;
+  shadow_cache_enabled : bool;
+  prefill_group : int;
+  separate_vmm_space : bool;
+  ipl_assist : bool;
+  time_slice_cycles : int;
+  default_io_mode : Vm.io_mode;
+  ro_shadow_scheme : bool;
+}
+
+let default_config =
+  {
+    shadow_cache_slots = 4;
+    shadow_cache_enabled = true;
+    prefill_group = 0;
+    separate_vmm_space = false;
+    ipl_assist = false;
+    time_slice_cycles = 20_000;
+    default_io_mode = Vm.Kcall_io;
+    ro_shadow_scheme = false;
+  }
+
+type t = {
+  m : Machine.t;
+  cfg : config;
+  alloc : Layout.allocator;
+  shared_stack_pfn : int;
+  mutable vm_list : Vm.t list;
+  mutable running : Vm.t option;
+  mutable installed_for : int option;  (** vid whose shadow tables are live *)
+  mutable slice_expired : bool;
+  mutable next_vid : int;
+  mutable next_disk_block : int;
+}
+
+let machine t = t.m
+let config t = t.cfg
+let vms t = t.vm_list
+let doorbell_level = 1
+
+let st t = t.m.Machine.cpu
+let mmu t = t.m.Machine.mmu
+let phys t = t.m.Machine.phys
+let clock t = t.m.Machine.clock
+let charge t n = Cycles.charge (clock t) n
+let now t = Cycles.now (clock t)
+
+let doorbell t = (st t).State.sisr <- (st t).State.sisr lor (1 lsl doorbell_level)
+
+let console_output (vm : Vm.t) = Buffer.contents vm.Vm.console_out
+let guest_instructions (vm : Vm.t) = vm.Vm.guest_instructions
+
+(* ------------------------------------------------------------------ *)
+(* VM-physical access (host side)                                      *)
+
+let vm_phys_pa (vm : Vm.t) vmpa =
+  if vmpa < 0 || vmpa >= vm.Vm.memsize * Addr.page_size then
+    raise (Shadow.Vm_nxm (Printf.sprintf "VM-physical %08x out of range" vmpa));
+  Addr.phys_of_pfn vm.Vm.base_pfn + vmpa
+
+let vm_phys_read_long t vm vmpa = Phys_mem.read_long (phys t) (vm_phys_pa vm vmpa)
+
+let vm_phys_write_long t vm vmpa v =
+  Phys_mem.write_long (phys t) (vm_phys_pa vm vmpa) v
+
+(* ------------------------------------------------------------------ *)
+(* Halting a VM                                                        *)
+
+let halt_vm t (vm : Vm.t) reason =
+  vm.Vm.run_state <- Vm.Halted_vm reason;
+  vm.Vm.timer_gen <- vm.Vm.timer_gen + 1;
+  if t.running == Some vm then t.running <- None
+
+(* ------------------------------------------------------------------ *)
+(* Guest virtual-memory access with shadow servicing                   *)
+
+exception Reflect_to_vm of Mmu.fault
+
+let ensure_installed t (vm : Vm.t) =
+  if t.installed_for <> Some vm.Vm.vid then begin
+    Shadow.install_mm_registers (mmu t) vm;
+    t.installed_for <- Some vm.Vm.vid
+  end
+
+(* Perform a guest memory access, demand-filling shadow PTEs and
+   propagating modify bits as the hardware/VMM pair would.  VM-level
+   faults are raised as [Reflect_to_vm]; NXM raises [Shadow.Vm_nxm]. *)
+let rec guest_try t vm ~attempts f =
+  match f () with
+  | Ok v ->
+      charge t Cost.vmm_guest_mem;
+      v
+  | Error f' when attempts = 0 -> raise (Reflect_to_vm f')
+  | Error (Mmu.Translation_not_valid { va; _ }) -> (
+      match Shadow.fill (mmu t) vm ~prefill:t.cfg.prefill_group
+              ~ro_scheme:t.cfg.ro_shadow_scheme va with
+      | Shadow.Filled -> guest_try t vm ~attempts:(attempts - 1) f
+      | Shadow.Reflect fault -> raise (Reflect_to_vm fault)
+      | Shadow.Io_ref _ ->
+          raise (Shadow.Vm_nxm "VMM access touched VM I/O space")
+      | Shadow.Halt_nxm m -> raise (Shadow.Vm_nxm m))
+  | Error (Mmu.Modify_fault { va }) -> (
+      match Shadow.set_modify (mmu t) vm va with
+      | Ok () -> guest_try t vm ~attempts:(attempts - 1) f
+      | Error m -> raise (Shadow.Vm_nxm m))
+  | Error f' -> raise (Reflect_to_vm f')
+
+let guest_read_long t vm ~vmode va =
+  ensure_installed t vm;
+  let mode = Ring.compress_mode vmode in
+  guest_try t vm ~attempts:3 (fun () -> Mmu.v_read_long (mmu t) ~mode va)
+
+let guest_write_long t vm ~vmode va v =
+  ensure_installed t vm;
+  let mode = Ring.compress_mode vmode in
+  guest_try t vm ~attempts:4 (fun () -> Mmu.v_write_long (mmu t) ~mode va v)
+
+(* ------------------------------------------------------------------ *)
+(* PSL plumbing                                                        *)
+
+(* The real PSL a VM runs with: condition codes and trap enables from
+   [cc_src], current/previous mode compressed from the virtual PSL, real
+   IPL 0 (so the VMM regains control on any real interrupt), PSL<VM>. *)
+let resume_psl (vm : Vm.t) cc_src =
+  let p = Word.logand cc_src 0xFF in
+  let p = Psl.with_cur p (Ring.compress_mode (Psl.cur vm.Vm.saved_vmpsl)) in
+  let p = Psl.with_prv p (Ring.compress_mode (Psl.prv vm.Vm.saved_vmpsl)) in
+  let p = Psl.with_ipl p 0 in
+  let p = Psl.with_is p false in
+  Psl.with_vm p true
+
+let merged_saved_psl (vm : Vm.t) =
+  let p = vm.Vm.saved_psl in
+  let vp = vm.Vm.saved_vmpsl in
+  let p = Psl.with_cur p (Psl.cur vp) in
+  let p = Psl.with_prv p (Psl.prv vp) in
+  let p = Psl.with_ipl p (Psl.ipl vp) in
+  let p = Psl.with_is p (Psl.is vp) in
+  Psl.with_vm p false
+
+let vstack_slot (vm : Vm.t) =
+  if Psl.is vm.Vm.saved_vmpsl then 4 else Mode.to_int (Psl.cur vm.Vm.saved_vmpsl)
+
+(* ------------------------------------------------------------------ *)
+(* Reflecting exceptions and delivering virtual interrupts             *)
+
+let read_vm_scb_entry t (vm : Vm.t) vector =
+  charge t Cost.vmm_guest_mem;
+  vm_phys_read_long t vm (Word.add vm.Vm.scbb vector)
+
+(* Build an exception/interrupt frame on one of the VM's stacks and
+   redirect the VM to its handler.  Operates on the VM's saved context. *)
+let push_vm_frame t (vm : Vm.t) ~target_slot ~params ~pc ~psl =
+  let sp = ref vm.Vm.sps.(target_slot) in
+  let push v =
+    sp := Word.sub !sp 4;
+    guest_write_long t vm ~vmode:Mode.Kernel !sp v
+  in
+  push psl;
+  push pc;
+  List.iter push (List.rev params);
+  vm.Vm.sps.(target_slot) <- !sp
+
+let reflect_exception t (vm : Vm.t) ~vector ~params ~pc =
+  if Sys.getenv_opt "VMM_DEBUG" <> None then
+    Format.eprintf "reflect %s vec=0x%x pc=%x params=%s sps0=%x@."
+      vm.Vm.name vector pc
+      (String.concat "," (List.map (Printf.sprintf "%x") params))
+      vm.Vm.sps.(0);
+  charge t Cost.vmm_interrupt_deliver;
+  vm.Vm.stats.Vm.reflected_faults <- vm.Vm.stats.Vm.reflected_faults + 1;
+  match
+    try `Entry (read_vm_scb_entry t vm vector)
+    with Shadow.Vm_nxm m -> `Nxm m
+  with
+  | `Nxm m -> halt_vm t vm ("SCB unreachable: " ^ m)
+  | `Entry entry -> (
+      let use_is = entry land 1 = 1 || Psl.is vm.Vm.saved_vmpsl in
+      let target_slot = if use_is then 4 else 0 in
+      let old_cur = Psl.cur vm.Vm.saved_vmpsl in
+      match
+        push_vm_frame t vm ~target_slot ~params ~pc ~psl:(merged_saved_psl vm)
+      with
+      | exception Reflect_to_vm _ ->
+          halt_vm t vm "VM kernel stack not valid during exception"
+      | exception Shadow.Vm_nxm m -> halt_vm t vm m
+      | () ->
+          let vp = vm.Vm.saved_vmpsl in
+          let vp = Psl.with_cur vp Mode.Kernel in
+          let vp = Psl.with_prv vp old_cur in
+          let vp = Psl.with_is vp use_is in
+          vm.Vm.saved_vmpsl <- vp;
+          vm.Vm.saved_regs.(15) <- Word.logand entry (Word.lognot 3);
+          vm.Vm.saved_psl <- resume_psl vm 0)
+
+let reflect_fault t vm (fault : Mmu.fault) ~orig_write ~pc =
+  let param ~len ~pt ~write =
+    (if len then 1 else 0) lor (if pt then 2 else 0) lor if write then 4 else 0
+  in
+  match fault with
+  | Mmu.Access_violation { va; length_violation; ptbl_ref; write } ->
+      reflect_exception t vm ~vector:Scb.access_violation
+        ~params:
+          [
+            param ~len:length_violation ~pt:ptbl_ref ~write:(write || orig_write);
+            va;
+          ]
+        ~pc
+  | Mmu.Translation_not_valid { va; ptbl_ref; write } ->
+      reflect_exception t vm ~vector:Scb.translation_not_valid
+        ~params:[ param ~len:false ~pt:ptbl_ref ~write:(write || orig_write); va ]
+        ~pc
+  | Mmu.Modify_fault { va } ->
+      (* the virtual VAX also uses the modify-fault discipline *)
+      reflect_exception t vm ~vector:Scb.modify_fault
+        ~params:[ param ~len:false ~pt:false ~write:true; va ]
+        ~pc
+
+let deliver_virq t (vm : Vm.t) ~level ~vector =
+  charge t Cost.vmm_interrupt_deliver;
+  vm.Vm.stats.Vm.virq_delivered <- vm.Vm.stats.Vm.virq_delivered + 1;
+  (if vector >= Scb.software_interrupt 1 && vector <= Scb.software_interrupt 15
+   then vm.Vm.sisr <- vm.Vm.sisr land lnot (1 lsl ((vector - 0x80) / 4))
+   else Vm.retract_virq vm ~vector);
+  match
+    try `Entry (read_vm_scb_entry t vm vector)
+    with Shadow.Vm_nxm m -> `Nxm m
+  with
+  | `Nxm m -> halt_vm t vm ("SCB unreachable: " ^ m)
+  | `Entry entry -> (
+      let use_is = entry land 1 = 1 || Psl.is vm.Vm.saved_vmpsl in
+      let target_slot = if use_is then 4 else 0 in
+      match
+        push_vm_frame t vm ~target_slot ~params:[]
+          ~pc:vm.Vm.saved_regs.(15)
+          ~psl:(merged_saved_psl vm)
+      with
+      | exception Reflect_to_vm _ ->
+          halt_vm t vm "VM interrupt stack not valid"
+      | exception Shadow.Vm_nxm m -> halt_vm t vm m
+      | () ->
+          let vp = vm.Vm.saved_vmpsl in
+          let vp = Psl.with_cur vp Mode.Kernel in
+          let vp = Psl.with_prv vp Mode.Kernel in
+          let vp = Psl.with_is vp use_is in
+          let vp = Psl.with_ipl vp level in
+          vm.Vm.saved_vmpsl <- vp;
+          vm.Vm.saved_regs.(15) <- Word.logand entry (Word.lognot 3);
+          vm.Vm.saved_psl <- resume_psl vm 0)
+
+(* ------------------------------------------------------------------ *)
+(* Virtual interval timer                                              *)
+
+let vtimer_running (vm : Vm.t) = vm.Vm.iccs land 1 <> 0 && vm.Vm.iccs land 0x40 <> 0
+
+(* The virtual interval clock ticks in simulated wall time whenever the
+   guest has it running: a pending tick wakes an idle (WAITing) VM, but
+   is *delivered* only when the VM next runs — the paper's "timer
+   interrupts are delivered only when the VM is actually running". *)
+let rec arm_vtimer t (vm : Vm.t) =
+  let gen = vm.Vm.timer_gen in
+  Sched.after t.m.Machine.sched ~delay:(max 500 vm.Vm.nicr) (fun () ->
+      if gen = vm.Vm.timer_gen && vtimer_running vm
+         && (match vm.Vm.run_state with Vm.Halted_vm _ -> false | _ -> true)
+      then begin
+        let was = Cycles.in_monitor (clock t) in
+        Cycles.set_in_monitor (clock t) true;
+        vm.Vm.uptime_ticks <- vm.Vm.uptime_ticks + 1;
+        vm.Vm.iccs <- vm.Vm.iccs lor 0x80;
+        Vm.post_virq vm ~level:Timer.ipl ~vector:Scb.interval_timer;
+        doorbell t;
+        Cycles.set_in_monitor (clock t) was;
+        arm_vtimer t vm
+      end)
+
+let cancel_vtimer (vm : Vm.t) = vm.Vm.timer_gen <- vm.Vm.timer_gen + 1
+
+(* ------------------------------------------------------------------ *)
+(* Entering and leaving VMs                                            *)
+
+let sync_vm_on_exit t (vm : Vm.t) (ev : State.event) =
+  let s = st t in
+  let real_slot = Mode.to_int (Psl.cur ev.State.ev_psl) in
+  let guest_sp = State.read_sp_of s real_slot in
+  (* [vstack_slot] reads saved_vmpsl, so refresh it before using it *)
+  vm.Vm.saved_vmpsl <- s.State.vmpsl;
+  vm.Vm.sps.(vstack_slot vm) <- guest_sp;
+  for r = 0 to 13 do
+    vm.Vm.saved_regs.(r) <- State.reg s r
+  done;
+  vm.Vm.saved_regs.(14) <- guest_sp;
+  vm.Vm.saved_regs.(15) <- ev.State.ev_pc;
+  vm.Vm.saved_psl <- ev.State.ev_psl;
+  vm.Vm.guest_instructions <-
+    vm.Vm.guest_instructions + (s.State.vm_instructions - vm.Vm.instr_mark);
+  vm.Vm.instr_mark <- s.State.vm_instructions
+
+let enter_vm t (vm : Vm.t) =
+  let s = st t in
+  Vm.wake vm;
+  ensure_installed t vm;
+  (* deliver the highest pending virtual interrupt first, if any is above
+     the VM's IPL *)
+  (match Vm.deliverable_virq vm ~vm_ipl:(Psl.ipl vm.Vm.saved_vmpsl) with
+  | Some (level, vector) -> deliver_virq t vm ~level ~vector
+  | None -> ());
+  match vm.Vm.run_state with
+  | Vm.Halted_vm _ -> false
+  | Vm.Idle_until _ | Vm.Runnable ->
+      if t.cfg.separate_vmm_space then begin
+        charge t Cost.vmm_address_space_switch;
+        Mmu.tbia (mmu t)
+      end;
+      for r = 0 to 13 do
+        State.set_reg s r vm.Vm.saved_regs.(r)
+      done;
+      s.State.vmpsl <- vm.Vm.saved_vmpsl;
+      s.State.vmpend <- Vm.highest_pending_level vm;
+      s.State.ipl_assist <- t.cfg.ipl_assist;
+      (* real stack bank: VMM stacks in kernel/interrupt slots, the VM's
+         virtual stack pointers in the outer-ring slots *)
+      s.State.sp_bank.(0) <- Layout.kernel_stack_top_va;
+      s.State.sp_bank.(4) <- Layout.interrupt_stack_top_va;
+      s.State.sp_bank.(2) <- vm.Vm.sps.(2);
+      s.State.sp_bank.(3) <- vm.Vm.sps.(3);
+      let vslot = vstack_slot vm in
+      s.State.sp_bank.(1) <-
+        (if vslot = 4 then vm.Vm.sps.(4)
+         else
+           match Psl.cur vm.Vm.saved_vmpsl with
+           | Mode.Kernel -> vm.Vm.sps.(0)
+           | Mode.Executive -> vm.Vm.sps.(1)
+           | Mode.Supervisor | Mode.User -> vm.Vm.sps.(1));
+      s.State.psl <- resume_psl vm vm.Vm.saved_psl;
+      let cur_slot = Mode.to_int (Psl.cur s.State.psl) in
+      State.set_sp s s.State.sp_bank.(cur_slot);
+      State.set_pc s vm.Vm.saved_regs.(15);
+      charge t (Opcode.base_cycles Opcode.Rei);
+      vm.Vm.instr_mark <- s.State.vm_instructions;
+      vm.Vm.run_state <- Vm.Runnable;
+      t.running <- Some vm;
+      s.State.idle_hint <- false;
+      true
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+
+let rotate_to_back t vm =
+  t.vm_list <- List.filter (fun v -> v != vm) t.vm_list @ [ vm ]
+
+let pick t =
+  let now' = now t in
+  let runnable = List.filter (fun v -> Vm.is_runnable v ~now:now') t.vm_list in
+  match runnable with
+  | [] -> None
+  | first :: _ -> (
+      match t.running with
+      | Some cur
+        when (not t.slice_expired) && Vm.is_runnable cur ~now:now'
+             && List.memq cur runnable ->
+          Some cur
+      | Some cur ->
+          t.slice_expired <- false;
+          rotate_to_back t cur;
+          let next =
+            match
+              List.filter (fun v -> Vm.is_runnable v ~now:now') t.vm_list
+            with
+            | [] -> first
+            | v :: _ -> v
+          in
+          Some next
+      | None -> Some first)
+
+let go_idle t =
+  let s = st t in
+  t.running <- None;
+  let all_halted =
+    List.for_all
+      (fun (v : Vm.t) ->
+        match v.Vm.run_state with Vm.Halted_vm _ -> true | _ -> false)
+      t.vm_list
+  in
+  if all_halted then s.State.stop_requested <- true
+  else begin
+    (* park in kernel mode at IPL 0 on the interrupt stack so the next
+       event (doorbell, timer, idle deadline) reaches the VMM *)
+    s.State.psl <-
+      Psl.with_is (Psl.with_ipl (Psl.with_cur 0 Mode.Kernel) 0) true;
+    s.State.sp_bank.(4) <- Layout.interrupt_stack_top_va;
+    State.set_sp s Layout.interrupt_stack_top_va;
+    s.State.idle_hint <- true;
+    (* make sure idle deadlines generate wakeups *)
+    List.iter
+      (fun (v : Vm.t) ->
+        match v.Vm.run_state with
+        | Vm.Idle_until deadline when deadline > now t ->
+            Sched.at t.m.Machine.sched ~cycle:deadline (fun () -> doorbell t)
+        | _ -> ())
+      t.vm_list
+  end
+
+let schedule t =
+  let before = t.running in
+  let rec try_enter () =
+    match pick t with
+    | None -> go_idle t
+    | Some vm ->
+        let same = match before with Some v -> v == vm | None -> false in
+        if not same then charge t Cost.vmm_context_switch;
+        if enter_vm t vm then () else try_enter ()
+  in
+  try_enter ()
+
+(* ------------------------------------------------------------------ *)
+(* Emulation helpers: operand plumbing                                 *)
+
+let op_value (o : State.vm_operand) = o.State.value
+
+let resume_after t (vm : Vm.t) (f : State.vm_frame) =
+  ignore t;
+  (* emulated rather than retried: advance the PC and re-apply operand
+     side effects that the trap microcode backed out *)
+  vm.Vm.saved_regs.(15) <- Word.add vm.Vm.saved_regs.(15) f.State.vf_length;
+  List.iter
+    (fun (o : State.vm_operand) ->
+      match o.State.side_effect with
+      | Some (rn, delta) ->
+          let d = Word.sext ~width:8 delta in
+          if rn = 14 then begin
+            let vs = vstack_slot vm in
+            vm.Vm.sps.(vs) <- Word.add vm.Vm.sps.(vs) d;
+            vm.Vm.saved_regs.(14) <- vm.Vm.sps.(vs)
+          end
+          else vm.Vm.saved_regs.(rn) <- Word.add vm.Vm.saved_regs.(rn) d
+      | None -> ())
+    f.State.vf_operands
+
+let write_result t (vm : Vm.t) (o : State.vm_operand) v =
+  match o.State.tag with
+  | 2 ->
+      if o.State.value = 14 then begin
+        let vs = vstack_slot vm in
+        vm.Vm.sps.(vs) <- Word.mask v;
+        vm.Vm.saved_regs.(14) <- Word.mask v
+      end
+      else vm.Vm.saved_regs.(o.State.value) <- Word.mask v
+  | 1 ->
+      guest_write_long t vm ~vmode:(Psl.cur vm.Vm.saved_vmpsl) o.State.value v
+  | _ -> ()
+
+let set_result_cc (vm : Vm.t) ~n ~z ~v ~c =
+  vm.Vm.saved_psl <- Psl.with_nzvc vm.Vm.saved_psl ~n ~z ~v ~c
+
+(* ------------------------------------------------------------------ *)
+(* Virtual console and KCALL                                           *)
+
+let console_feed t (vm : Vm.t) text =
+  let was_empty = vm.Vm.console_in = [] in
+  vm.Vm.console_in <-
+    vm.Vm.console_in
+    @ List.init (String.length text) (fun i -> Char.code text.[i]);
+  if was_empty && vm.Vm.rxcs land 0x40 <> 0 then begin
+    Vm.post_virq vm ~level:Console.rx_ipl ~vector:Scb.console_receive;
+    doorbell t
+  end
+
+let load_vm_disk t (vm : Vm.t) block data =
+  assert (block >= 0 && block < vm.Vm.disk_blocks);
+  Disk.write_block t.m.Machine.disk (vm.Vm.disk_base + block) data
+
+let read_vm_disk t (vm : Vm.t) block =
+  assert (block >= 0 && block < vm.Vm.disk_blocks);
+  Disk.read_block t.m.Machine.disk (vm.Vm.disk_base + block)
+
+let start_vm_disk_io t (vm : Vm.t) ~write ~vm_block ~vm_buf ~on_done =
+  vm.Vm.stats.Vm.io_requests <- vm.Vm.stats.Vm.io_requests + 1;
+  charge t Cost.vmm_io_start;
+  if vm_block < 0 || vm_block >= vm.Vm.disk_blocks then on_done 2
+  else
+    match vm_phys_pa vm vm_buf with
+    | exception Shadow.Vm_nxm _ -> on_done 2
+    | pa ->
+        Disk.submit t.m.Machine.disk ~write ~block:(vm.Vm.disk_base + vm_block)
+          ~phys_addr:pa ~on_complete:(fun () ->
+            let was = Cycles.in_monitor (clock t) in
+            Cycles.set_in_monitor (clock t) true;
+            on_done 1;
+            Cycles.set_in_monitor (clock t) was)
+
+let kcall t (vm : Vm.t) packet_vmpa =
+  charge t (4 * Cost.vmm_guest_mem);
+  match
+    let fn = vm_phys_read_long t vm packet_vmpa in
+    let block = vm_phys_read_long t vm (Word.add packet_vmpa 4) in
+    let buf = vm_phys_read_long t vm (Word.add packet_vmpa 8) in
+    (fn, block, buf)
+  with
+  | exception Shadow.Vm_nxm m -> halt_vm t vm ("bad KCALL packet: " ^ m)
+  | fn, block, buf -> (
+      let finish status =
+        (try vm_phys_write_long t vm (Word.add packet_vmpa 12) status
+         with Shadow.Vm_nxm _ -> ());
+        Vm.post_virq vm ~level:Disk.ipl ~vector:Scb.disk;
+        doorbell t
+      in
+      match fn with
+      | 0 -> finish 1
+      | 1 -> start_vm_disk_io t vm ~write:false ~vm_block:block ~vm_buf:buf
+               ~on_done:finish
+      | 2 -> start_vm_disk_io t vm ~write:true ~vm_block:block ~vm_buf:buf
+               ~on_done:finish
+      | _ -> finish 3)
+
+(* ------------------------------------------------------------------ *)
+(* Virtual processor registers                                         *)
+
+exception Vm_reserved_operand
+
+let virtual_mfpr t (vm : Vm.t) regnum =
+  charge t Cost.vmm_ipr_emulate;
+  match Ipr.of_int (Word.mask regnum) with
+  | None -> raise Vm_reserved_operand
+  | Some r -> (
+      match r with
+      | Ipr.KSP -> vm.Vm.sps.(0)
+      | Ipr.ESP -> vm.Vm.sps.(1)
+      | Ipr.SSP -> vm.Vm.sps.(2)
+      | Ipr.USP -> vm.Vm.sps.(3)
+      | Ipr.ISP -> vm.Vm.sps.(4)
+      | Ipr.P0BR -> vm.Vm.p0br
+      | Ipr.P0LR -> vm.Vm.p0lr
+      | Ipr.P1BR -> vm.Vm.p1br
+      | Ipr.P1LR -> vm.Vm.p1lr
+      | Ipr.SBR -> vm.Vm.sbr
+      | Ipr.SLR -> vm.Vm.slr
+      | Ipr.PCBB -> vm.Vm.pcbb
+      | Ipr.SCBB -> vm.Vm.scbb
+      | Ipr.IPL -> Psl.ipl vm.Vm.saved_vmpsl
+      | Ipr.SISR -> vm.Vm.sisr
+      | Ipr.MAPEN -> if vm.Vm.mapen then 1 else 0
+      | Ipr.SID -> State.sid_virtual_vax
+      | Ipr.ICCS -> vm.Vm.iccs
+      | Ipr.ICR -> vm.Vm.nicr
+      | Ipr.TODR -> Word.mask (now t / 1000)
+      | Ipr.RXCS ->
+          vm.Vm.rxcs lor (if vm.Vm.console_in <> [] then 0x80 else 0)
+      | Ipr.RXDB -> (
+          match vm.Vm.console_in with
+          | [] -> 0
+          | c :: rest ->
+              vm.Vm.console_in <- rest;
+              Vm.retract_virq vm ~vector:Scb.console_receive;
+              if rest <> [] && vm.Vm.rxcs land 0x40 <> 0 then
+                Vm.post_virq vm ~level:Console.rx_ipl
+                  ~vector:Scb.console_receive;
+              c)
+      | Ipr.TXCS -> vm.Vm.txcs lor 0x80
+      | Ipr.TXDB -> 0
+      | Ipr.MEMSIZE -> vm.Vm.memsize
+      | Ipr.UPTIME -> Word.mask (now t / 10_000)
+      | Ipr.NICR | Ipr.SIRR | Ipr.TBIA | Ipr.TBIS | Ipr.KCALL | Ipr.IORESET
+      | Ipr.VMPSL | Ipr.VMPEND ->
+          (* write-only or nonexistent on the virtual VAX *)
+          raise Vm_reserved_operand)
+
+let virtual_mtpr t (vm : Vm.t) ~value ~regnum =
+  charge t Cost.vmm_ipr_emulate;
+  match Ipr.of_int (Word.mask regnum) with
+  | None -> raise Vm_reserved_operand
+  | Some r -> (
+      match r with
+      | Ipr.KSP -> vm.Vm.sps.(0) <- value
+      | Ipr.ESP -> vm.Vm.sps.(1) <- value
+      | Ipr.SSP -> vm.Vm.sps.(2) <- value
+      | Ipr.USP -> vm.Vm.sps.(3) <- value
+      | Ipr.ISP -> vm.Vm.sps.(4) <- value
+      | Ipr.P0BR ->
+          if Addr.region_of value <> Addr.S then raise Vm_reserved_operand;
+          vm.Vm.p0br <- value;
+          if vm.Vm.mapen then
+            Shadow.activate_process (mmu t) vm
+              ~cache:t.cfg.shadow_cache_enabled
+      | Ipr.P0LR ->
+          vm.Vm.p0lr <- Word.mask value;
+          if vm.Vm.mapen then Shadow.install_mm_registers (mmu t) vm
+      | Ipr.P1BR -> vm.Vm.p1br <- value
+      | Ipr.P1LR ->
+          vm.Vm.p1lr <- Word.mask value;
+          if vm.Vm.mapen then Shadow.install_mm_registers (mmu t) vm
+      | Ipr.SBR ->
+          vm.Vm.sbr <- Word.mask value;
+          Shadow.invalidate_all (mmu t) vm
+      | Ipr.SLR ->
+          vm.Vm.slr <- min (Word.mask value) Layout.vm_s_limit_vpn;
+          Shadow.invalidate_all (mmu t) vm
+      | Ipr.PCBB -> vm.Vm.pcbb <- Word.logand value (Word.lognot 3)
+      | Ipr.SCBB -> vm.Vm.scbb <- Addr.page_align_down value
+      | Ipr.IPL ->
+          vm.Vm.saved_vmpsl <- Psl.with_ipl vm.Vm.saved_vmpsl (value land 31)
+      | Ipr.SIRR ->
+          let l = Word.mask value in
+          if l < 1 || l > 15 then raise Vm_reserved_operand;
+          vm.Vm.sisr <- vm.Vm.sisr lor (1 lsl l)
+      | Ipr.SISR -> vm.Vm.sisr <- value land 0xFFFE
+      | Ipr.MAPEN ->
+          vm.Vm.mapen <- value land 1 = 1;
+          if vm.Vm.mapen then
+            (* bind the guest's current process registers to a shadow slot *)
+            Shadow.activate_process (mmu t) vm
+              ~cache:t.cfg.shadow_cache_enabled;
+          t.installed_for <- None
+      | Ipr.TBIA -> Shadow.invalidate_all (mmu t) vm
+      | Ipr.TBIS -> Shadow.invalidate_single (mmu t) vm value
+      | Ipr.ICCS ->
+          if value land 0x80 <> 0 then begin
+            vm.Vm.iccs <- vm.Vm.iccs land lnot 0x80;
+            Vm.retract_virq vm ~vector:Scb.interval_timer
+          end;
+          let was_on = vtimer_running vm in
+          vm.Vm.iccs <- (vm.Vm.iccs land lnot 0x41) lor (value land 0x41);
+          if vtimer_running vm && not was_on then begin
+            cancel_vtimer vm;
+            arm_vtimer t vm
+          end
+          else if was_on && not (vtimer_running vm) then cancel_vtimer vm
+      | Ipr.NICR -> vm.Vm.nicr <- max 500 (Word.mask value)
+      | Ipr.TODR -> ()
+      | Ipr.RXCS ->
+          vm.Vm.rxcs <- value land 0x40;
+          if vm.Vm.console_in <> [] && vm.Vm.rxcs land 0x40 <> 0 then
+            Vm.post_virq vm ~level:Console.rx_ipl ~vector:Scb.console_receive
+      | Ipr.TXCS -> vm.Vm.txcs <- value land 0x40
+      | Ipr.TXDB ->
+          Buffer.add_char vm.Vm.console_out (Char.chr (value land 0xFF));
+          if vm.Vm.txcs land 0x40 <> 0 then
+            Vm.post_virq vm ~level:Console.tx_ipl ~vector:Scb.console_transmit
+      | Ipr.RXDB -> ()
+      | Ipr.KCALL -> kcall t vm value
+      | Ipr.IORESET ->
+          vm.Vm.pending_virq <- [];
+          vm.Vm.vdisk.Vm.vd_csr <- 0
+      | Ipr.SID | Ipr.ICR | Ipr.MEMSIZE | Ipr.UPTIME | Ipr.VMPSL | Ipr.VMPEND
+        ->
+          raise Vm_reserved_operand)
+
+(* ------------------------------------------------------------------ *)
+(* Emulation of the sensitive instructions (paper §4.2, §4.4)          *)
+
+let emulate_rei t (vm : Vm.t) (f : State.vm_frame) =
+  charge t Cost.vmm_rei_emulate;
+  vm.Vm.stats.Vm.rei_emulated <- vm.Vm.stats.Vm.rei_emulated + 1;
+  let vp = vm.Vm.saved_vmpsl in
+  let cur_slot = vstack_slot vm in
+  let sp = vm.Vm.sps.(cur_slot) in
+  let vmode = Psl.cur vp in
+  let new_pc = guest_read_long t vm ~vmode sp in
+  let new_psl = guest_read_long t vm ~vmode (Word.add sp 4) in
+  let bad cond = if cond then raise Vm_reserved_operand in
+  let n_cur = Mode.to_int (Psl.cur new_psl) in
+  bad (n_cur < Mode.to_int (Psl.cur vp));
+  bad (Mode.to_int (Psl.prv new_psl) < n_cur);
+  bad (Psl.is new_psl && not (Psl.is vp));
+  bad (Psl.is new_psl && n_cur <> 0);
+  bad (Psl.ipl new_psl > Psl.ipl vp);
+  bad (n_cur <> 0 && Psl.ipl new_psl <> 0);
+  bad (Psl.vm new_psl) (* self-virtualization is not supported *);
+  bad (Psl.mbz_violation new_psl);
+  vm.Vm.sps.(cur_slot) <- Word.add sp 8;
+  let vp' =
+    Psl.with_is
+      (Psl.with_ipl
+         (Psl.with_prv (Psl.with_cur vp (Psl.cur new_psl)) (Psl.prv new_psl))
+         (Psl.ipl new_psl))
+      (Psl.is new_psl)
+  in
+  vm.Vm.saved_vmpsl <- vp';
+  vm.Vm.saved_psl <- resume_psl vm new_psl;
+  vm.Vm.saved_regs.(15) <- new_pc;
+  vm.Vm.saved_regs.(14) <- vm.Vm.sps.(vstack_slot vm);
+  ignore f
+
+let emulate_chm t (vm : Vm.t) (f : State.vm_frame) target =
+  charge t Cost.vmm_chm_emulate;
+  vm.Vm.stats.Vm.chm_forwarded <- vm.Vm.stats.Vm.chm_forwarded + 1;
+  let code =
+    match f.State.vf_operands with
+    | [ o ] -> Word.sext ~width:16 (op_value o)
+    | _ -> 0
+  in
+  let cur = Psl.cur vm.Vm.saved_vmpsl in
+  let new_mode =
+    if Mode.to_int target < Mode.to_int cur then target else cur
+  in
+  let next_pc = Word.add vm.Vm.saved_regs.(15) f.State.vf_length in
+  match
+    try `Entry (read_vm_scb_entry t vm (Scb.chm_vector target))
+    with Shadow.Vm_nxm m -> `Nxm m
+  with
+  | `Nxm m -> halt_vm t vm ("SCB unreachable: " ^ m)
+  | `Entry entry -> (
+      let target_slot = Mode.to_int new_mode in
+      match
+        push_vm_frame t vm ~target_slot ~params:[ code ] ~pc:next_pc
+          ~psl:(merged_saved_psl vm)
+      with
+      | exception Reflect_to_vm fault ->
+          reflect_fault t vm fault ~orig_write:true ~pc:vm.Vm.saved_regs.(15)
+      | exception Shadow.Vm_nxm m -> halt_vm t vm m
+      | () ->
+          let vp = vm.Vm.saved_vmpsl in
+          let vp = Psl.with_prv (Psl.with_cur vp new_mode) cur in
+          vm.Vm.saved_vmpsl <- vp;
+          vm.Vm.saved_regs.(15) <- Word.logand entry (Word.lognot 3);
+          vm.Vm.saved_psl <- resume_psl vm vm.Vm.saved_psl)
+
+let emulate_ldpctx t (vm : Vm.t) (f : State.vm_frame) =
+  charge t (Opcode.base_cycles Opcode.Ldpctx + (24 * Cost.vmm_guest_mem));
+  match
+    let pcb off = vm_phys_read_long t vm (Word.add vm.Vm.pcbb off) in
+    for slot = 0 to 3 do
+      vm.Vm.sps.(slot) <- pcb (4 * slot)
+    done;
+    for r = 0 to 13 do
+      vm.Vm.saved_regs.(r) <- pcb (16 + (4 * r))
+    done;
+    let p0br = pcb 80 in
+    if Addr.region_of p0br <> Addr.S then raise Vm_reserved_operand;
+    vm.Vm.p0br <- p0br;
+    vm.Vm.p0lr <- pcb 84;
+    vm.Vm.p1br <- pcb 88;
+    vm.Vm.p1lr <- pcb 92;
+    Shadow.activate_process (mmu t) vm ~cache:t.cfg.shadow_cache_enabled;
+    (* push the PCB's PC/PSL pair on the VM's kernel stack for the REI *)
+    let pc = pcb Microcode.pcb_off_pc and psl = pcb Microcode.pcb_off_psl in
+    vm.Vm.saved_vmpsl <- Psl.with_is vm.Vm.saved_vmpsl false;
+    push_vm_frame t vm ~target_slot:0 ~params:[] ~pc ~psl;
+    vm.Vm.saved_regs.(15) <- Word.add vm.Vm.saved_regs.(15) f.State.vf_length;
+    vm.Vm.saved_regs.(14) <- vm.Vm.sps.(0);
+    vm.Vm.saved_psl <- resume_psl vm vm.Vm.saved_psl
+  with
+  | exception Shadow.Vm_nxm m -> halt_vm t vm ("LDPCTX: " ^ m)
+  | exception Reflect_to_vm _ -> halt_vm t vm "LDPCTX: kernel stack not valid"
+  | () -> ()
+
+let emulate_svpctx t (vm : Vm.t) (f : State.vm_frame) =
+  charge t (Opcode.base_cycles Opcode.Svpctx + (20 * Cost.vmm_guest_mem));
+  match
+    let cur_slot = vstack_slot vm in
+    let sp = vm.Vm.sps.(cur_slot) in
+    let vmode = Psl.cur vm.Vm.saved_vmpsl in
+    let pc = guest_read_long t vm ~vmode sp in
+    let psl = guest_read_long t vm ~vmode (Word.add sp 4) in
+    vm.Vm.sps.(cur_slot) <- Word.add sp 8;
+    let pcb_write off v = vm_phys_write_long t vm (Word.add vm.Vm.pcbb off) v in
+    pcb_write Microcode.pcb_off_pc pc;
+    pcb_write Microcode.pcb_off_psl psl;
+    for slot = 0 to 3 do
+      pcb_write (4 * slot) vm.Vm.sps.(slot)
+    done;
+    for r = 0 to 13 do
+      pcb_write (16 + (4 * r)) vm.Vm.saved_regs.(r)
+    done;
+    vm.Vm.saved_vmpsl <- Psl.with_is vm.Vm.saved_vmpsl true;
+    vm.Vm.saved_regs.(15) <- Word.add vm.Vm.saved_regs.(15) f.State.vf_length;
+    vm.Vm.saved_regs.(14) <- vm.Vm.sps.(4);
+    vm.Vm.saved_psl <- resume_psl vm vm.Vm.saved_psl
+  with
+  | exception Shadow.Vm_nxm m -> halt_vm t vm ("SVPCTX: " ^ m)
+  | exception Reflect_to_vm _ -> halt_vm t vm "SVPCTX: stack not valid"
+  | () -> ()
+
+let emulate_probe t (vm : Vm.t) (f : State.vm_frame) ~write =
+  vm.Vm.stats.Vm.probe_emulated <- vm.Vm.stats.Vm.probe_emulated + 1;
+  match f.State.vf_operands with
+  | [ mode_op; len_op; base_op ] -> (
+      let requested = Mode.of_int (op_value mode_op land 3) in
+      let probe_mode =
+        Mode.least_privileged (Psl.prv vm.Vm.saved_vmpsl) requested
+      in
+      let len =
+        let l = op_value len_op land 0xFFFF in
+        if l = 0 then 1 else l
+      in
+      let base = op_value base_op in
+      let check va =
+        (* opportunistically fill the shadow so later PROBEs take the
+           microcode path *)
+        (match Shadow.fill (mmu t) vm ~prefill:0 va with
+        | Shadow.Filled | Shadow.Reflect _ | Shadow.Io_ref _
+        | Shadow.Halt_nxm _ ->
+            ());
+        Shadow.probe_vm_pte (mmu t) vm ~write ~mode:probe_mode va
+      in
+      match
+        let first = check base in
+        let last = check (Word.add base (len - 1)) in
+        (first, last)
+      with
+      | exception Shadow.Vm_nxm m -> halt_vm t vm ("PROBE: " ^ m)
+      | Error fault, _ | _, Error fault ->
+          reflect_fault t vm fault ~orig_write:write ~pc:vm.Vm.saved_regs.(15)
+      | Ok a, Ok b ->
+          let accessible = a && b in
+          set_result_cc vm ~n:false ~z:(not accessible) ~v:false ~c:false;
+          resume_after t vm f)
+  | _ -> halt_vm t vm "malformed PROBE frame"
+
+let emulate_mtpr_trap t (vm : Vm.t) (f : State.vm_frame) =
+  match f.State.vf_operands with
+  | [ src; regnum ] -> (
+      match virtual_mtpr t vm ~value:(op_value src) ~regnum:(op_value regnum) with
+      | exception Vm_reserved_operand ->
+          reflect_exception t vm ~vector:Scb.reserved_operand ~params:[]
+            ~pc:vm.Vm.saved_regs.(15)
+      | exception Shadow.Vm_nxm m -> halt_vm t vm m
+      | () -> resume_after t vm f)
+  | _ -> halt_vm t vm "malformed MTPR frame"
+
+let emulate_mfpr_trap t (vm : Vm.t) (f : State.vm_frame) =
+  match f.State.vf_operands with
+  | [ regnum; dst ] -> (
+      match virtual_mfpr t vm (op_value regnum) with
+      | exception Vm_reserved_operand ->
+          reflect_exception t vm ~vector:Scb.reserved_operand ~params:[]
+            ~pc:vm.Vm.saved_regs.(15)
+      | exception Shadow.Vm_nxm m -> halt_vm t vm m
+      | v -> (
+          match write_result t vm dst v with
+          | exception Reflect_to_vm fault ->
+              reflect_fault t vm fault ~orig_write:true
+                ~pc:vm.Vm.saved_regs.(15)
+          | exception Shadow.Vm_nxm m -> halt_vm t vm m
+          | () -> resume_after t vm f))
+  | _ -> halt_vm t vm "malformed MFPR frame"
+
+let emulate t (vm : Vm.t) (f : State.vm_frame) =
+  vm.Vm.stats.Vm.emulation_traps <- vm.Vm.stats.Vm.emulation_traps + 1;
+  Vm.count_opcode vm.Vm.stats f.State.vf_opcode;
+  match f.State.vf_opcode with
+  | Opcode.Rei -> (
+      match emulate_rei t vm f with
+      | exception Vm_reserved_operand ->
+          reflect_exception t vm ~vector:Scb.reserved_operand ~params:[]
+            ~pc:vm.Vm.saved_regs.(15)
+      | exception Reflect_to_vm fault ->
+          reflect_fault t vm fault ~orig_write:false ~pc:vm.Vm.saved_regs.(15)
+      | exception Shadow.Vm_nxm m -> halt_vm t vm m
+      | () -> ())
+  | Opcode.Chmk -> emulate_chm t vm f Mode.Kernel
+  | Opcode.Chme -> emulate_chm t vm f Mode.Executive
+  | Opcode.Chms -> emulate_chm t vm f Mode.Supervisor
+  | Opcode.Chmu -> emulate_chm t vm f Mode.User
+  | Opcode.Mtpr -> emulate_mtpr_trap t vm f
+  | Opcode.Mfpr -> emulate_mfpr_trap t vm f
+  | Opcode.Ldpctx -> emulate_ldpctx t vm f
+  | Opcode.Svpctx -> emulate_svpctx t vm f
+  | Opcode.Halt -> halt_vm t vm "guest HALT"
+  | Opcode.Wait ->
+      vm.Vm.saved_regs.(15) <-
+        Word.add vm.Vm.saved_regs.(15) f.State.vf_length;
+      vm.Vm.run_state <- Vm.Idle_until (now t + Cost.wait_timeout_cycles)
+  | Opcode.Prober -> emulate_probe t vm f ~write:false
+  | Opcode.Probew -> emulate_probe t vm f ~write:true
+  | Opcode.Probevmr | Opcode.Probevmw ->
+      (* self-virtualization unsupported: unimplemented instruction *)
+      reflect_exception t vm ~vector:Scb.privileged_instruction ~params:[]
+        ~pc:vm.Vm.saved_regs.(15)
+  | op ->
+      halt_vm t vm
+        (Printf.sprintf "unexpected VM-emulation trap for %s" (Opcode.name op))
+
+(* ------------------------------------------------------------------ *)
+(* Memory-management event service                                     *)
+
+(* Emulated memory-mapped I/O (paper §4.4.3's expensive baseline): the
+   VMM decodes the faulting instruction in software and interprets the
+   device register access. *)
+let vdisk_read (vm : Vm.t) offset =
+  match offset land lnot 3 with
+  | 0 -> vm.Vm.vdisk.Vm.vd_csr
+  | 4 -> vm.Vm.vdisk.Vm.vd_block
+  | 8 -> vm.Vm.vdisk.Vm.vd_addr
+  | _ -> 0
+
+let vdisk_write t (vm : Vm.t) offset v =
+  match offset land lnot 3 with
+  | 0 ->
+      if v land 0x80 <> 0 then begin
+        vm.Vm.vdisk.Vm.vd_csr <- vm.Vm.vdisk.Vm.vd_csr land lnot 0x80;
+        Vm.retract_virq vm ~vector:Scb.disk
+      end;
+      vm.Vm.vdisk.Vm.vd_csr <-
+        (vm.Vm.vdisk.Vm.vd_csr land lnot 0x40) lor (v land 0x40);
+      if v land 3 = 1 || v land 3 = 2 then begin
+        vm.Vm.vdisk.Vm.vd_csr <- vm.Vm.vdisk.Vm.vd_csr lor 1;
+        start_vm_disk_io t vm ~write:(v land 3 = 2)
+          ~vm_block:vm.Vm.vdisk.Vm.vd_block ~vm_buf:vm.Vm.vdisk.Vm.vd_addr
+          ~on_done:(fun status ->
+            ignore status;
+            vm.Vm.vdisk.Vm.vd_csr <-
+              (vm.Vm.vdisk.Vm.vd_csr land lnot 1) lor 0x80;
+            if vm.Vm.vdisk.Vm.vd_csr land 0x40 <> 0 then begin
+              Vm.post_virq vm ~level:Disk.ipl ~vector:Scb.disk;
+              doorbell t
+            end)
+      end
+  | 4 -> vm.Vm.vdisk.Vm.vd_block <- Word.mask v
+  | 8 -> vm.Vm.vdisk.Vm.vd_addr <- Word.mask v
+  | _ -> ()
+
+let mmio_software_decode_cost = 60
+
+(* Interpret the instruction at the VM's PC, which references VM I/O
+   space.  Only the MOVL forms device drivers actually use are
+   supported; anything else halts the VM.  The CPU's decoder is reused
+   by temporarily restoring the guest context. *)
+let emulate_mmio t (vm : Vm.t) ~va ~io_vmpa =
+  vm.Vm.stats.Vm.mmio_trap_count <- vm.Vm.stats.Vm.mmio_trap_count + 1;
+  charge t mmio_software_decode_cost;
+  let s = st t in
+  ensure_installed t vm;
+  let saved_psl_real = s.State.psl in
+  let saved_sp = State.sp s in
+  (* While decoding, alias the I/O page to a scratch frame so the
+     decoder's operand prefetch does not fault; the emulation below never
+     uses the prefetched value for the device side. *)
+  let io_spa = Shadow.shadow_pte_addr vm va in
+  let saved_spte =
+    Option.map (fun pa -> Phys_mem.read_long (phys t) pa) io_spa
+  in
+  (match io_spa with
+  | Some pa ->
+      Phys_mem.write_long (phys t) pa
+        (Pte.make ~valid:true ~modify:true ~prot:Protection.UW
+           ~pfn:vm.Vm.shadow_s_pfn ());
+      Mmu.tbis (mmu t) va
+  | None -> ());
+  (* restore guest context for decoding *)
+  s.State.psl <- Psl.with_vm vm.Vm.saved_psl false;
+  State.set_sp s vm.Vm.saved_regs.(14);
+  State.set_pc s vm.Vm.saved_regs.(15);
+  let restore () =
+    s.State.psl <- saved_psl_real;
+    State.set_sp s saved_sp;
+    match (io_spa, saved_spte) with
+    | Some pa, Some spte ->
+        Phys_mem.write_long (phys t) pa spte;
+        Mmu.tbis (mmu t) va
+    | _ -> ()
+  in
+  let io_offset = io_vmpa - Phys_mem.io_space_base in
+  match Decode.decode s with
+  | exception State.Fault _ ->
+      restore ();
+      halt_vm t vm "MMIO emulation: cannot decode instruction"
+  | d -> (
+      let finish () =
+        (* changes made through Decode land in the live registers *)
+        for r = 0 to 13 do
+          vm.Vm.saved_regs.(r) <- State.reg s r
+        done;
+        vm.Vm.sps.(vstack_slot vm) <- State.sp s;
+        vm.Vm.saved_regs.(14) <- State.sp s;
+        vm.Vm.saved_regs.(15) <- d.Decode.next_pc;
+        restore ()
+      in
+      let vm_pa_of_operand (o : Decode.operand) =
+        match o.Decode.loc with
+        | Decode.Mem va -> (
+            match Shadow.read_vm_pte (phys t) vm va with
+            | Ok (pte, _) when Pte.valid pte ->
+                Some ((Pte.pfn pte * Addr.page_size) + Addr.offset va)
+            | _ -> None)
+        | Decode.Reg _ | Decode.Imm _ -> None
+      in
+      let is_io o =
+        match vm_pa_of_operand o with
+        | Some pa -> pa >= Phys_mem.io_space_base
+        | None -> false
+      in
+      match (d.Decode.opcode, d.Decode.operands) with
+      | Opcode.Movl, [ src; dst ] when is_io src -> (
+          let v = vdisk_read vm io_offset in
+          match Decode.write_value s dst v with
+          | exception State.Fault _ ->
+              restore ();
+              halt_vm t vm "MMIO emulation: destination fault"
+          | () -> finish ())
+      | Opcode.Movl, [ src; dst ] when is_io dst -> (
+          match Decode.read_value s src with
+          | exception State.Fault _ ->
+              restore ();
+              halt_vm t vm "MMIO emulation: source fault"
+          | v ->
+              vdisk_write t vm io_offset v;
+              finish ())
+      | (Opcode.Tstl | Opcode.Bisl2), _ ->
+          restore ();
+          halt_vm t vm "MMIO emulation: unsupported read-modify-write"
+      | _ ->
+          restore ();
+          halt_vm t vm
+            (Printf.sprintf "MMIO emulation: unsupported opcode %s"
+               (Opcode.name d.Decode.opcode)))
+
+let param_write params =
+  match params with p :: _ -> p land 4 <> 0 | [] -> false
+
+let handle_tnv t (vm : Vm.t) (ev : State.event) =
+  let va = match ev.State.ev_params with [ _; va ] -> va | _ -> 0 in
+  match Shadow.fill (mmu t) vm ~prefill:t.cfg.prefill_group
+              ~ro_scheme:t.cfg.ro_shadow_scheme va with
+  | Shadow.Filled -> () (* retry at the same PC *)
+  | Shadow.Reflect fault ->
+      reflect_fault t vm fault
+        ~orig_write:(param_write ev.State.ev_params)
+        ~pc:ev.State.ev_pc
+  | Shadow.Io_ref io_vmpa ->
+      if vm.Vm.io_mode = Vm.Mmio_io then emulate_mmio t vm ~va ~io_vmpa
+      else halt_vm t vm "VM mapped I/O space in KCALL mode"
+  | Shadow.Halt_nxm m -> halt_vm t vm m
+
+let handle_acv t (vm : Vm.t) (ev : State.event) =
+  let param, va =
+    match ev.State.ev_params with
+    | [ p; va ] -> (p, va)
+    | _ -> (0, 0)
+  in
+  let write = param land 4 <> 0 in
+  let length = param land 1 <> 0 in
+  if length then
+    (* beyond the real (clamped) length registers: the VM sees its own
+       length violation, since the VMM's limit is architected (paper §5) *)
+    reflect_fault t vm
+      (Mmu.Access_violation
+         { va; length_violation = true; ptbl_ref = param land 2 <> 0; write })
+      ~orig_write:write ~pc:ev.State.ev_pc
+  else begin
+    (* protection violation: distinguish VM I/O space (MMIO emulation)
+       from a genuine VM-level protection fault *)
+    match Shadow.read_vm_pte (phys t) vm va with
+    | Ok (pte, _)
+      when Pte.valid pte && Pte.pfn pte >= Shadow.vm_io_base_pfn
+           && vm.Vm.io_mode = Vm.Mmio_io ->
+        emulate_mmio t vm ~va
+          ~io_vmpa:((Pte.pfn pte * Addr.page_size) + Addr.offset va)
+    | Ok (pte, _)
+      when t.cfg.ro_shadow_scheme && write && Pte.valid pte
+           && (not (Pte.modify pte))
+           && Protection.can_write
+                (Protection.compress (Pte.prot pte))
+                (Psl.cur ev.State.ev_psl) -> (
+        (* read-only-shadow scheme: first write to the page *)
+        match Shadow.upgrade_ro (mmu t) vm va with
+        | Ok () -> () (* retry *)
+        | Error m -> halt_vm t vm m)
+    | exception Shadow.Vm_nxm m -> halt_vm t vm m
+    | _ ->
+        reflect_fault t vm
+          (Mmu.Access_violation
+             { va; length_violation = false; ptbl_ref = false; write })
+          ~orig_write:write ~pc:ev.State.ev_pc
+  end
+
+let handle_modify t (vm : Vm.t) (ev : State.event) =
+  let va = match ev.State.ev_params with [ _; va ] -> va | _ -> 0 in
+  match Shadow.set_modify (mmu t) vm va with
+  | Ok () -> () (* retry *)
+  | Error _ ->
+      (* shadow PTE invalid: treat as TNV (fill first) *)
+      handle_tnv t vm ev
+
+(* ------------------------------------------------------------------ *)
+(* Host (real) interrupts                                              *)
+
+let ack_real_timer t =
+  (* dismiss the device request and charge the MTPR the VMM issues *)
+  charge t (Opcode.base_cycles Opcode.Mtpr);
+  ignore ((st t).State.ipr_write_hook Ipr.ICCS 0xC1)
+
+let handle_host_interrupt t (ev : State.event) =
+  if ev.State.ev_vector = Scb.interval_timer then begin
+    ack_real_timer t;
+    t.slice_expired <- true
+  end
+  (* doorbell software interrupts need no action: scheduling below picks
+     up whatever became deliverable; other device vectors are spurious
+     under the VMM and are simply dismissed *)
+
+(* ------------------------------------------------------------------ *)
+(* The kernel agent                                                    *)
+
+let dispatch t (ev : State.event) =
+  let s = st t in
+  Cycles.set_in_monitor (clock t) true;
+  charge t Cost.vmm_dispatch;
+  if t.cfg.separate_vmm_space then begin
+    charge t Cost.vmm_address_space_switch;
+    Mmu.tbia (mmu t)
+  end;
+  (* consume the trap frame the microcode pushed *)
+  State.set_sp s
+    (Word.add (State.sp s) (8 + (4 * List.length ev.State.ev_params)));
+  (if ev.State.ev_from_vm then begin
+     match t.running with
+     | None -> () (* cannot happen: PSL<VM> only set while a VM runs *)
+     | Some vm -> (
+         sync_vm_on_exit t vm ev;
+         if ev.State.ev_interrupt then handle_host_interrupt t ev
+         else
+           match ev.State.ev_vector with
+           | v when v = Scb.vm_emulation -> (
+               match ev.State.ev_vm_frame with
+               | Some f -> emulate t vm f
+               | None -> halt_vm t vm "VM-emulation trap without frame")
+           | v when v = Scb.translation_not_valid -> handle_tnv t vm ev
+           | v when v = Scb.access_violation -> handle_acv t vm ev
+           | v when v = Scb.modify_fault -> handle_modify t vm ev
+           | v when v = Scb.machine_check ->
+               halt_vm t vm "machine check (nonexistent memory)"
+           | v
+             when v = Scb.privileged_instruction
+                  || v = Scb.reserved_operand
+                  || v = Scb.reserved_addressing_mode
+                  || v = Scb.breakpoint ->
+               reflect_exception t vm ~vector:v ~params:[] ~pc:ev.State.ev_pc
+           | v when v = Scb.arithmetic ->
+               reflect_exception t vm ~vector:v ~params:ev.State.ev_params
+                 ~pc:ev.State.ev_pc
+           | v when v = Scb.chmk || v = Scb.chme || v = Scb.chms || v = Scb.chmu
+             ->
+               (* CHM traps are turned into VM-emulation traps by the
+                  microcode; reaching here means a bug *)
+               halt_vm t vm "unexpected CHM trap from VM"
+           | v -> halt_vm t vm (Printf.sprintf "unhandled vector 0x%x" v))
+   end
+   else handle_host_interrupt t ev);
+  schedule t;
+  if t.cfg.separate_vmm_space then charge t Cost.vmm_address_space_switch;
+  Cycles.set_in_monitor (clock t) false
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let create ?(config = default_config) (m : Machine.t) =
+  if m.Machine.cpu.State.variant <> Variant.Virtualizing then
+    invalid_arg "Vmm.create: machine must use the Virtualizing variant";
+  let alloc =
+    Layout.allocator ~total_pages:(Phys_mem.pages m.Machine.phys)
+      ~reserved_low:16
+  in
+  let shared_stack_pfn =
+    Layout.alloc_vmm_pages alloc Layout.vmm_stack_pages
+  in
+  let t =
+    {
+      m;
+      cfg = config;
+      alloc;
+      shared_stack_pfn;
+      vm_list = [];
+      running = None;
+      installed_for = None;
+      slice_expired = false;
+      next_vid = 0;
+      next_disk_block = 0;
+    }
+  in
+  m.Machine.cpu.State.agent <- Some (dispatch t);
+  m.Machine.cpu.State.ipl_assist <- config.ipl_assist;
+  (* program the real interval timer for time slicing *)
+  ignore
+    (m.Machine.cpu.State.ipr_write_hook Ipr.NICR config.time_slice_cycles);
+  ignore (m.Machine.cpu.State.ipr_write_hook Ipr.ICCS 0x41);
+  t
+
+let add_vm t ~name ~memory_pages ~disk_blocks ?io_mode ~images ~start_pc () =
+  let io_mode = Option.value ~default:t.cfg.default_io_mode io_mode in
+  let base_pfn = Layout.alloc_vm_block t.alloc memory_pages in
+  let nslots = max 1 t.cfg.shadow_cache_slots in
+  let shadow_s_pfn =
+    Layout.alloc_vmm_pages t.alloc
+      (Layout.shadow_s_table_pages ~nslots ~memsize:memory_pages)
+  in
+  let slots =
+    Array.init nslots (fun i ->
+        {
+          Vm.slot_index = i;
+          sp0_pfn = Layout.alloc_vmm_pages t.alloc Layout.shadow_p0_pages;
+          sp1_pfn = Layout.alloc_vmm_pages t.alloc Layout.shadow_p1_pages;
+          sp0_va = Addr.of_region_vpn Addr.S (Layout.slot_p0_vpn i);
+          sp1_va = Addr.of_region_vpn Addr.S (Layout.slot_p1_vpn i);
+          key = None;
+          sp0_len = 0;
+          sp1_lr = Layout.p1_first_vpn;
+          last_used = 0;
+        })
+  in
+  let identity_pfn =
+    Layout.alloc_vmm_pages t.alloc (Layout.pages_for_ptes memory_pages)
+  in
+  let disk_base = t.next_disk_block in
+  t.next_disk_block <- t.next_disk_block + disk_blocks;
+  if t.next_disk_block > Disk.blocks t.m.Machine.disk then
+    failwith "add_vm: disk exhausted";
+  let vm =
+    {
+      Vm.name;
+      vid = t.next_vid;
+      base_pfn;
+      memsize = memory_pages;
+      disk_base;
+      disk_blocks;
+      io_mode;
+      run_state = Vm.Runnable;
+      saved_regs = Array.make 16 0;
+      saved_psl = 0;
+      saved_vmpsl = Psl.initial;
+      sps = Array.make 5 (memory_pages * Addr.page_size);
+      scbb = 0;
+      pcbb = 0;
+      sisr = 0;
+      mapen = false;
+      p0br = 0x8000_0000;
+      p0lr = 0;
+      p1br = 0x8000_0000;
+      p1lr = 1 lsl Addr.vpn_width;
+      sbr = 0;
+      slr = 0;
+      pending_virq = [];
+      iccs = 0;
+      nicr = 10_000;
+      timer_gen = 0;
+      uptime_ticks = 0;
+      console_out = Buffer.create 256;
+      console_in = [];
+      rxcs = 0;
+      txcs = 0;
+      vdisk = { Vm.vd_csr = 0; vd_block = 0; vd_addr = 0 };
+      shadow_s_pfn;
+      shared_stack_pfn = t.shared_stack_pfn;
+      identity_pfn;
+      slots;
+      active_slot = 0;
+      lru_clock = 0;
+      guest_instructions = 0;
+      instr_mark = 0;
+      stats = Vm.fresh_stats ();
+    }
+  in
+  t.next_vid <- t.next_vid + 1;
+  Shadow.init_vm_tables (phys t) vm;
+  List.iter
+    (fun (vmpa, data) ->
+      Phys_mem.blit_in (phys t) (vm_phys_pa vm vmpa) data)
+    images;
+  vm.Vm.saved_regs.(15) <- start_pc;
+  (* power-on virtual PSL: kernel, interrupt stack, IPL 31 *)
+  vm.Vm.saved_vmpsl <- Psl.initial;
+  vm.Vm.saved_psl <- resume_psl vm 0;
+  t.vm_list <- t.vm_list @ [ vm ];
+  vm
+
+let run t ?max_cycles () =
+  Cycles.set_in_monitor (clock t) true;
+  schedule t;
+  Cycles.set_in_monitor (clock t) false;
+  Machine.run t.m ?max_cycles ()
+
+let pp_vm_stats ppf (vm : Vm.t) =
+  let s = vm.Vm.stats in
+  Format.fprintf ppf
+    "@[<v>VM %s: state=%s@ instructions=%d emulation_traps=%d \
+     shadow_fills=%d modify_faults=%d reflected=%d@ chm=%d rei=%d virq=%d \
+     io=%d mmio=%d probes=%d switches=%d cache(h/m)=%d/%d@]"
+    vm.Vm.name
+    (match vm.Vm.run_state with
+    | Vm.Runnable -> "runnable"
+    | Vm.Idle_until _ -> "idle"
+    | Vm.Halted_vm r -> "halted: " ^ r)
+    vm.Vm.guest_instructions s.Vm.emulation_traps s.Vm.shadow_fills
+    s.Vm.modify_faults s.Vm.reflected_faults s.Vm.chm_forwarded
+    s.Vm.rei_emulated s.Vm.virq_delivered s.Vm.io_requests s.Vm.mmio_trap_count
+    s.Vm.probe_emulated s.Vm.context_switches s.Vm.shadow_cache_hits
+    s.Vm.shadow_cache_misses

@@ -1,0 +1,1 @@
+lib/cpu/cpu.mli: Cycles Exec Mmu Phys_mem State Variant Vax_arch Vax_mem Word

@@ -1,0 +1,1 @@
+lib/cpu/decode.ml: Cost Cycles List Opcode Option State Variant Vax_arch Word

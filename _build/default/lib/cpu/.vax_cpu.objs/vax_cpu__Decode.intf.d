@@ -1,0 +1,1 @@
+lib/cpu/decode.mli: Opcode State Vax_arch Word

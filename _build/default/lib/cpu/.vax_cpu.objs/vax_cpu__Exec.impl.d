@@ -1,0 +1,1 @@
+lib/cpu/exec.ml: Cycles Decode Ipr Microcode Mmu Mode Opcode Option Phys_mem Protection Psl Pte State Variant Vax_arch Vax_mem Word

@@ -1,0 +1,1 @@
+lib/cpu/microcode.ml: Addr Array Cost Cycles Decode Ipr List Mmu Mode Opcode Phys_mem Psl Scb State Variant Vax_arch Vax_mem Word

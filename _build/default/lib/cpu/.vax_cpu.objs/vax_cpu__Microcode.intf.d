@@ -1,0 +1,1 @@
+lib/cpu/microcode.mli: Decode Mode Scb State Vax_arch Word

@@ -1,0 +1,1 @@
+lib/cpu/state.ml: Array Char Cycles Format Hashtbl Ipr List Mmu Mode Opcode Option Phys_mem Psl Scb String Variant Vax_arch Vax_mem Word

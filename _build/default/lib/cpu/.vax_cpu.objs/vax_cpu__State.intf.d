@@ -1,0 +1,1 @@
+lib/cpu/state.mli: Cycles Format Hashtbl Ipr Mmu Mode Opcode Psl Scb Variant Vax_arch Vax_mem Word

@@ -1,0 +1,29 @@
+open Vax_arch
+open Vax_mem
+
+type t = {
+  state : State.t;
+  mmu : Mmu.t;
+  phys : Phys_mem.t;
+  clock : Cycles.t;
+}
+
+let create ?(variant = Variant.Standard) ?(memory_pages = 1024) ?modify_policy
+    () =
+  let policy =
+    match modify_policy with
+    | Some p -> p
+    | None -> (
+        match variant with
+        | Variant.Standard -> Mmu.Hardware_sets_m
+        | Variant.Virtualizing -> Mmu.Modify_fault_policy)
+  in
+  let phys = Phys_mem.create ~pages:memory_pages in
+  let clock = Cycles.create () in
+  let mmu = Mmu.create ~policy ~phys ~clock () in
+  let state = State.create ~variant ~mmu ~clock () in
+  { state; mmu; phys; clock }
+
+let load t pa image = Phys_mem.blit_in t.phys pa image
+let step t = Exec.step t.state
+let run t ?max_instructions () = Exec.run t.state ?max_instructions ()

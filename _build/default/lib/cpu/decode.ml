@@ -1,0 +1,279 @@
+open Vax_arch
+
+type loc = Reg of int | Mem of Word.t | Imm of Word.t
+
+type operand = {
+  loc : loc;
+  value : Word.t option;
+  width : Opcode.width;
+  access : Opcode.access;
+  side_effect : (int * int) option;
+  branch_target : Word.t option;
+}
+
+type decoded = {
+  opcode : Opcode.t;
+  operands : operand list;
+  length : int;
+  next_pc : Word.t;
+}
+
+let width_bytes = function Opcode.Byte -> 1 | Opcode.Word -> 2 | Opcode.Long -> 4
+
+(* A decode in progress: a byte cursor and the undo log of register side
+   effects. *)
+type cursor = {
+  st : State.t;
+  start : Word.t;
+  mutable pos : Word.t;
+  mutable applied : (int * int) list;
+}
+
+let fetch_byte c =
+  let b = State.fetch_byte c.st c.pos in
+  c.pos <- Word.add c.pos 1;
+  b
+
+let fetch_width c = function
+  | Opcode.Byte -> fetch_byte c
+  | Opcode.Word ->
+      let b0 = fetch_byte c in
+      let b1 = fetch_byte c in
+      b0 lor (b1 lsl 8)
+  | Opcode.Long ->
+      let b0 = fetch_byte c in
+      let b1 = fetch_byte c in
+      let b2 = fetch_byte c in
+      let b3 = fetch_byte c in
+      Word.of_bytes b0 b1 b2 b3
+
+let apply_side_effect c rn delta =
+  State.set_reg c.st rn (Word.add (State.reg c.st rn) delta);
+  c.applied <- (rn, delta) :: c.applied
+
+let undo_all c =
+  List.iter
+    (fun (rn, delta) -> State.set_reg c.st rn (Word.sub (State.reg c.st rn) delta))
+    c.applied;
+  c.applied <- []
+
+let read_mem c width va =
+  match width with
+  | Opcode.Byte -> State.read_byte c.st (State.cur_mode c.st) va
+  | Opcode.Word -> State.read_word16 c.st (State.cur_mode c.st) va
+  | Opcode.Long -> State.read_long c.st (State.cur_mode c.st) va
+
+(* Reading a register as an operand: R15 reads as the current decode
+   cursor (the address of the byte after the specifier), per the VAX rule
+   that PC-relative computations see the updated PC. *)
+let reg_value c rn =
+  if rn = 15 then c.pos else State.reg c.st rn
+
+let reserved_addressing () = raise (State.Fault State.Reserved_addressing)
+
+(* Decode one general operand specifier. *)
+let rec specifier c (access, width) =
+  let b = fetch_byte c in
+  let m = b lsr 4 and rn = b land 0xF in
+  let writable = match access with
+    | Opcode.Write | Opcode.Modify -> true
+    | Opcode.Read | Opcode.Address | Opcode.Branch_byte | Opcode.Branch_word ->
+        false
+  in
+  match m with
+  | 0 | 1 | 2 | 3 ->
+      (* short literal *)
+      if writable || access = Opcode.Address then reserved_addressing ();
+      mk c access width (Imm (b land 0x3F)) None
+  | 4 -> reserved_addressing () (* indexed: outside the subset *)
+  | 5 ->
+      if access = Opcode.Address then reserved_addressing ();
+      if rn = 15 then reserved_addressing ();
+      mk c access width (Reg rn) None
+  | 6 -> mk c access width (Mem (reg_value c rn)) None
+  | 7 ->
+      if rn = 15 then reserved_addressing ();
+      let delta = -width_bytes width in
+      apply_side_effect c rn delta;
+      mk c access width (Mem (State.reg c.st rn)) (Some (rn, delta))
+  | 8 ->
+      if rn = 15 then begin
+        (* immediate *)
+        if writable || access = Opcode.Address then reserved_addressing ();
+        let v = fetch_width c width in
+        mk c access width (Imm v) None
+      end
+      else begin
+        let va = State.reg c.st rn in
+        let delta = width_bytes width in
+        apply_side_effect c rn delta;
+        mk c access width (Mem va) (Some (rn, delta))
+      end
+  | 9 ->
+      if rn = 15 then begin
+        (* absolute *)
+        let va = fetch_width c Opcode.Long in
+        mk c access width (Mem va) None
+      end
+      else begin
+        let ptr = State.reg c.st rn in
+        let va = State.read_long c.st (State.cur_mode c.st) ptr in
+        apply_side_effect c rn 4;
+        mk c access width (Mem va) (Some (rn, 4))
+      end
+  | 0xA | 0xB ->
+      let d = Word.sext ~width:8 (fetch_byte c) in
+      displacement c access width m rn d 0xB
+  | 0xC | 0xD ->
+      let d = Word.sext ~width:16 (fetch_width c Opcode.Word) in
+      displacement c access width m rn d 0xD
+  | 0xE | 0xF ->
+      let d = fetch_width c Opcode.Long in
+      displacement c access width m rn d 0xF
+  | _ -> assert false
+
+and displacement c access width m rn d deferred_mode =
+  let base = reg_value c rn in
+  let va = Word.add base d in
+  let va = if m = deferred_mode then State.read_long c.st (State.cur_mode c.st) va else va in
+  mk c access width (Mem va) None
+
+and mk c access width loc side_effect =
+  let value =
+    match access with
+    | Opcode.Read | Opcode.Modify -> (
+        match loc with
+        | Imm v -> Some v
+        | Reg rn -> (
+            let v = reg_value c rn in
+            match width with
+            | Opcode.Byte -> Some (v land 0xFF)
+            | Opcode.Word -> Some (v land 0xFFFF)
+            | Opcode.Long -> Some v)
+        | Mem va -> Some (read_mem c width va))
+    | Opcode.Write | Opcode.Address | Opcode.Branch_byte | Opcode.Branch_word
+      ->
+        None
+  in
+  { loc; value; width; access; side_effect; branch_target = None }
+
+let branch_operand c access =
+  let disp, width =
+    match access with
+    | Opcode.Branch_byte -> (Word.sext ~width:8 (fetch_byte c), Opcode.Byte)
+    | Opcode.Branch_word ->
+        (Word.sext ~width:16 (fetch_width c Opcode.Word), Opcode.Word)
+    | _ -> assert false
+  in
+  {
+    loc = Imm disp;
+    value = None;
+    width;
+    access;
+    side_effect = None;
+    branch_target = Some (Word.add c.pos disp);
+  }
+
+let decode st =
+  let c = { st; start = State.pc st; pos = State.pc st; applied = [] } in
+  try
+    let b0 = fetch_byte c in
+    let opcode =
+      if Opcode.is_extended_prefix b0 then begin
+        let b1 = fetch_byte c in
+        match Opcode.decode b0 ~second:b1 () with
+        | Some op when st.State.variant = Variant.Virtualizing -> Some op
+        | _ -> None
+        (* the 0xFD page is reserved on the standard VAX *)
+      end
+      else Opcode.decode b0 ()
+    in
+    match opcode with
+    | None -> raise (State.Fault State.Reserved_instruction)
+    | Some opcode ->
+        let operands =
+          List.map
+            (fun (access, width) ->
+              Cycles.charge st.State.clock Cost.operand_specifier;
+              match access with
+              | Opcode.Branch_byte | Opcode.Branch_word ->
+                  branch_operand c access
+              | _ -> specifier c (access, width))
+            (Opcode.operands opcode)
+        in
+        {
+          opcode;
+          operands;
+          length = Word.sub c.pos c.start;
+          next_pc = c.pos;
+        }
+  with e ->
+    undo_all c;
+    raise e
+
+let undo_side_effects st d =
+  List.iter
+    (fun o ->
+      match o.side_effect with
+      | Some (rn, delta) -> State.set_reg st rn (Word.sub (State.reg st rn) delta)
+      | None -> ())
+    d.operands
+
+let redo_side_effects st d =
+  List.iter
+    (fun o ->
+      match o.side_effect with
+      | Some (rn, delta) -> State.set_reg st rn (Word.add (State.reg st rn) delta)
+      | None -> ())
+    d.operands
+
+let read_value st o =
+  match o.value with
+  | Some v -> v
+  | None -> (
+      match o.loc with
+      | Imm v -> v
+      | Reg rn -> State.reg st rn
+      | Mem va -> (
+          match o.width with
+          | Opcode.Byte -> State.read_byte st (State.cur_mode st) va
+          | Opcode.Word -> State.read_word16 st (State.cur_mode st) va
+          | Opcode.Long -> State.read_long st (State.cur_mode st) va))
+
+let write_value st o v =
+  match o.loc with
+  | Imm _ -> reserved_addressing ()
+  | Reg rn -> (
+      match o.width with
+      | Opcode.Long -> State.set_reg st rn v
+      | Opcode.Word ->
+          State.set_reg st rn
+            (Word.logor (Word.logand (State.reg st rn) 0xFFFF_0000) (v land 0xFFFF))
+      | Opcode.Byte ->
+          State.set_reg st rn
+            (Word.logor (Word.logand (State.reg st rn) 0xFFFF_FF00) (v land 0xFF)))
+  | Mem va -> (
+      match o.width with
+      | Opcode.Byte -> State.write_byte st (State.cur_mode st) va (v land 0xFF)
+      | Opcode.Word -> State.write_word16 st (State.cur_mode st) va (v land 0xFFFF)
+      | Opcode.Long -> State.write_long st (State.cur_mode st) va v)
+
+let capture_vm_operands d =
+  List.map
+    (fun o ->
+      let tag, value =
+        match (o.access, o.loc) with
+        | (Opcode.Read | Opcode.Modify), Imm v -> (0, v)
+        | Opcode.Read, Reg _ | Opcode.Read, Mem _ ->
+            (0, Option.value ~default:0 o.value)
+        | Opcode.Modify, Reg rn -> (2, rn)
+        | Opcode.Modify, Mem va -> (1, va)
+        | Opcode.Write, Reg rn -> (2, rn)
+        | (Opcode.Write | Opcode.Address), Mem va -> (1, va)
+        | Opcode.Address, Reg _ | Opcode.Address, Imm _ -> (0, 0)
+        | Opcode.Write, Imm v -> (0, v)
+        | (Opcode.Branch_byte | Opcode.Branch_word), _ ->
+            (3, Option.value ~default:0 o.branch_target)
+      in
+      { State.tag; value; side_effect = o.side_effect })
+    d.operands

@@ -1,0 +1,62 @@
+(** Instruction and operand-specifier decoding.
+
+    Implements the VAX general operand specifiers: short literal (modes
+    0–3), register (5), register deferred (6), autodecrement (7),
+    autoincrement / immediate (8), autoincrement deferred / absolute (9),
+    and byte/word/longword displacement, plain and deferred (A–F).
+    Indexed mode (4) is outside our subset and takes a
+    reserved-addressing-mode fault.
+
+    Register side effects (autoincrement/-decrement) are applied to the
+    CPU state as they are decoded, and recorded so the microcode can undo
+    them when an instruction must back out (fault-style exceptions,
+    including the VM-emulation trap). *)
+
+open Vax_arch
+
+type loc =
+  | Reg of int
+  | Mem of Word.t  (** virtual address *)
+  | Imm of Word.t  (** literal or immediate: not writable *)
+
+type operand = {
+  loc : loc;
+  value : Word.t option;  (** fetched for Read/Modify accesses, raw *)
+  width : Opcode.width;
+  access : Opcode.access;
+  side_effect : (int * int) option;  (** (register, signed delta) applied *)
+  branch_target : Word.t option;
+}
+
+type decoded = {
+  opcode : Opcode.t;
+  operands : operand list;
+  length : int;  (** total instruction bytes *)
+  next_pc : Word.t;
+}
+
+val decode : State.t -> decoded
+(** Decode the instruction at the current PC.  Applies register side
+    effects.  On any fault (memory, reserved opcode/addressing), side
+    effects already applied are undone and the fault re-raised; the PC is
+    not moved. *)
+
+val undo_side_effects : State.t -> decoded -> unit
+(** Back out all autoincrement/-decrement effects of a decoded
+    instruction (used before delivering a fault-style exception). *)
+
+val redo_side_effects : State.t -> decoded -> unit
+(** Re-apply them (the VMM path, after emulating the instruction). *)
+
+val read_value : State.t -> operand -> Word.t
+(** The operand's raw value; fetches from memory for [Mem] locations when
+    it was not prefetched. *)
+
+val write_value : State.t -> operand -> Word.t -> unit
+(** Store to the operand location, respecting width (byte and word stores
+    to registers merge into the low bits). *)
+
+val capture_vm_operands : decoded -> State.vm_operand list
+(** Render decoded operands in the VM-emulation trap frame format. *)
+
+val width_bytes : Opcode.width -> int

@@ -1,0 +1,623 @@
+open Vax_arch
+open Vax_mem
+
+type status = Stepped | Machine_halted | Stopped
+
+(* ------------------------------------------------------------------ *)
+(* Condition-code helpers                                              *)
+
+let set_nzvc st ~n ~z ~v ~c = st.State.psl <- Psl.with_nzvc st.State.psl ~n ~z ~v ~c
+
+let set_nz_keep_c st value =
+  let n = Word.to_signed value < 0 and z = value = 0 in
+  set_nzvc st ~n ~z ~v:false ~c:(Psl.c st.State.psl)
+
+let set_nz_byte_keep_c st value =
+  let v = value land 0xFF in
+  let n = v land 0x80 <> 0 and z = v = 0 in
+  set_nzvc st ~n ~z ~v:false ~c:(Psl.c st.State.psl)
+
+let check_overflow_trap st =
+  if Psl.v st.State.psl && Psl.iv st.State.psl then
+    raise (State.Fault (State.Arithmetic_trap 1))
+
+(* ------------------------------------------------------------------ *)
+(* Privilege / virtualization gates                                    *)
+
+let in_vm st = st.State.variant = Variant.Virtualizing && Psl.vm st.State.psl
+
+let vm_kernel st = in_vm st && Psl.cur st.State.vmpsl = Mode.Kernel
+
+(* Privileged instructions: VM-emulation trap when the VM thinks it is in
+   kernel mode, privileged-instruction trap otherwise (paper §4.4.1). *)
+let check_privileged st d ~start_pc =
+  if in_vm st then
+    if vm_kernel st then Microcode.vm_emulation_trap st d ~start_pc
+    else raise (State.Fault State.Privileged_instruction)
+  else if State.cur_mode st <> Mode.Kernel then
+    raise (State.Fault State.Privileged_instruction)
+
+(* Sensitive but unprivileged instructions (CHM, REI, and PROBE on an
+   invalid PTE): trap whenever PSL<VM> is set, regardless of mode. *)
+let vm_sensitive_trap st d ~start_pc =
+  if in_vm st then Microcode.vm_emulation_trap st d ~start_pc
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+
+let do_add st a b =
+  let r = Word.add a b in
+  let sa = Word.to_signed a < 0 and sb = Word.to_signed b < 0 in
+  let sr = Word.to_signed r < 0 in
+  let v = sa = sb && sr <> sa in
+  let c = a + b > 0xFFFF_FFFF in
+  set_nzvc st ~n:sr ~z:(r = 0) ~v ~c;
+  r
+
+let do_sub st a b =
+  (* a - b *)
+  let r = Word.sub a b in
+  let sa = Word.to_signed a < 0 and sb = Word.to_signed b < 0 in
+  let sr = Word.to_signed r < 0 in
+  let v = sa <> sb && sr <> sa in
+  let c = a < b in
+  set_nzvc st ~n:sr ~z:(r = 0) ~v ~c;
+  r
+
+let do_mul st a b =
+  let wide = Word.to_signed a * Word.to_signed b in
+  let r = Word.of_signed wide in
+  let v = wide < -0x8000_0000 || wide > 0x7FFF_FFFF in
+  set_nzvc st ~n:(Word.to_signed r < 0) ~z:(r = 0) ~v ~c:false;
+  r
+
+let do_div st a b =
+  (* a / b, VAX operand order handled by caller *)
+  match Word.div a b with
+  | None ->
+      st.State.psl <- Psl.with_v st.State.psl true;
+      raise (State.Fault (State.Arithmetic_trap 2))
+  | Some r ->
+      set_nzvc st ~n:(Word.to_signed r < 0) ~z:(r = 0) ~v:false ~c:false;
+      r
+
+let do_logic st f a b =
+  let r = f a b in
+  set_nzvc st ~n:(Word.to_signed r < 0) ~z:(r = 0) ~v:false
+    ~c:(Psl.c st.State.psl);
+  r
+
+let compare_long st a b =
+  set_nzvc st
+    ~n:(Word.to_signed a < Word.to_signed b)
+    ~z:(a = b) ~v:false ~c:(a < b)
+
+let compare_byte st a b =
+  let sa = Word.to_signed (Word.sext ~width:8 a) in
+  let sb = Word.to_signed (Word.sext ~width:8 b) in
+  set_nzvc st ~n:(sa < sb) ~z:(sa = sb) ~v:false
+    ~c:(a land 0xFF < b land 0xFF)
+
+(* ------------------------------------------------------------------ *)
+(* PROBE                                                               *)
+
+let probe_previous_mode st =
+  if in_vm st then Psl.prv st.State.vmpsl else Psl.prv st.State.psl
+
+let probe_one_byte st d ~start_pc ~mode ~write va =
+  match
+    (try Mmu.probe st.State.mmu ~mode ~write va
+     with Phys_mem.Nonexistent_memory pa ->
+       raise (State.Fault (State.Machine_check_fault pa)))
+  with
+  | Error f -> raise (State.Fault (State.Mm_fault f))
+  | Ok { Mmu.accessible; pte_valid } ->
+      (* Modified VAX: a PROBE that would read a not-yet-filled shadow PTE
+         cannot trust its protection field; trap to the VMM instead
+         (paper §4.3.2). *)
+      if in_vm st && not pte_valid then
+        Microcode.vm_emulation_trap st d ~start_pc
+      else accessible
+
+let exec_probe st d ~start_pc ~write ops =
+  match ops with
+  | [ mode_op; len_op; base_op ] ->
+      let requested = Mode.of_int (Decode.read_value st mode_op land 3) in
+      let probe_mode =
+        Mode.least_privileged (probe_previous_mode st) requested
+      in
+      let len =
+        let l = Decode.read_value st len_op land 0xFFFF in
+        if l = 0 then 1 else l
+      in
+      let base =
+        match base_op.Decode.loc with
+        | Decode.Mem va -> va
+        | Decode.Reg _ | Decode.Imm _ ->
+            raise (State.Fault State.Reserved_addressing)
+      in
+      let first = probe_one_byte st d ~start_pc ~mode:probe_mode ~write base in
+      let last =
+        probe_one_byte st d ~start_pc ~mode:probe_mode ~write
+          (Word.add base (len - 1))
+      in
+      let accessible = first && last in
+      set_nzvc st ~n:false ~z:(not accessible) ~v:false ~c:false
+  | _ -> assert false
+
+let exec_probevm st ~write ops =
+  match ops with
+  | [ mode_op; base_op ] ->
+      let requested = Mode.of_int (Decode.read_value st mode_op land 3) in
+      (* probe mode no more privileged than executive (paper Table 2) *)
+      let probe_mode = Mode.least_privileged requested Mode.Executive in
+      let base =
+        match base_op.Decode.loc with
+        | Decode.Mem va -> va
+        | Decode.Reg _ | Decode.Imm _ ->
+            raise (State.Fault State.Reserved_addressing)
+      in
+      if not (Mmu.mapen st.State.mmu) then
+        set_nzvc st ~n:false ~z:false ~v:false ~c:false
+      else begin
+        match
+          (try Mmu.read_pte st.State.mmu base
+           with Phys_mem.Nonexistent_memory pa ->
+             raise (State.Fault (State.Machine_check_fault pa)))
+        with
+        | Error (Mmu.Access_violation { length_violation = true; _ }) ->
+            set_nzvc st ~n:false ~z:true ~v:false ~c:false
+        | Error f -> raise (State.Fault (State.Mm_fault f))
+        | Ok (pte, _) ->
+            let prot = Pte.prot pte in
+            let ok =
+              (if write then Protection.can_write else Protection.can_read)
+                prot probe_mode
+            in
+            (* protection, validity, modify — in that order *)
+            set_nzvc st ~n:false ~z:(not ok)
+              ~v:(not (Pte.valid pte))
+              ~c:(write && not (Pte.modify pte))
+      end
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* MTPR / MFPR with the optional IPL microcode assist                  *)
+
+let ipl_regnum = Ipr.to_int Ipr.IPL
+
+let exec_mtpr st d ~start_pc ops =
+  match ops with
+  | [ src; regnum_op ] ->
+      let value = Decode.read_value st src in
+      let regnum = Decode.read_value st regnum_op in
+      if in_vm st then begin
+        if not (vm_kernel st) then
+          raise (State.Fault State.Privileged_instruction);
+        if st.State.ipl_assist && Word.mask regnum = ipl_regnum then begin
+          (* VAX-11/730-style assist: maintain the VM's IPL in microcode,
+             trapping only when the new level would make a pending virtual
+             interrupt deliverable (paper §7.3). *)
+          let new_ipl = value land 31 in
+          if new_ipl < st.State.vmpend then
+            Microcode.vm_emulation_trap st d ~start_pc
+          else st.State.vmpsl <- Psl.with_ipl st.State.vmpsl new_ipl
+        end
+        else Microcode.vm_emulation_trap st d ~start_pc
+      end
+      else begin
+        if State.cur_mode st <> Mode.Kernel then
+          raise (State.Fault State.Privileged_instruction);
+        Microcode.mtpr st ~value ~regnum
+      end
+  | _ -> assert false
+
+let exec_mfpr st d ~start_pc ops =
+  match ops with
+  | [ regnum_op; dst ] ->
+      let regnum = Decode.read_value st regnum_op in
+      if in_vm st then begin
+        if not (vm_kernel st) then
+          raise (State.Fault State.Privileged_instruction);
+        if st.State.ipl_assist && Word.mask regnum = ipl_regnum then
+          Decode.write_value st dst (Psl.ipl st.State.vmpsl)
+        else Microcode.vm_emulation_trap st d ~start_pc
+      end
+      else begin
+        if State.cur_mode st <> Mode.Kernel then
+          raise (State.Fault State.Privileged_instruction);
+        let v = Microcode.mfpr st ~regnum in
+        Decode.write_value st dst v
+      end
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* The big dispatch                                                    *)
+
+let branch_to st op =
+  match op.Decode.branch_target with
+  | Some t -> State.set_pc st t
+  | None -> assert false
+
+let cond_branch st d cond =
+  match d.Decode.operands with
+  | [ op ] ->
+      if cond then branch_to st op else State.set_pc st d.Decode.next_pc
+  | _ -> assert false
+
+(* PROBE itself executes in VM mode without trapping when the PTE is
+   valid; the trap decision is inside [probe_one_byte].  This hook exists
+   to keep the dispatch uniform and documented. *)
+let vm_sensitive_trap_noop _st = ()
+
+(* Returns [true] when the instruction set the PC itself. *)
+let execute st (d : Decode.decoded) ~start_pc =
+  let ops = d.Decode.operands in
+  let rv o = Decode.read_value st o in
+  let p = st.State.psl in
+  match (d.Decode.opcode, ops) with
+  | Opcode.Nop, [] -> false
+  | Opcode.Halt, [] ->
+      check_privileged st d ~start_pc;
+      st.State.halted <- true;
+      true (* leave PC at the HALT *)
+  | Opcode.Bpt, [] -> raise (State.Fault State.Breakpoint_fault)
+  | Opcode.Rei, [] ->
+      vm_sensitive_trap st d ~start_pc;
+      Microcode.rei st;
+      true
+  | Opcode.Ldpctx, [] ->
+      check_privileged st d ~start_pc;
+      Microcode.ldpctx st;
+      false
+  | Opcode.Svpctx, [] ->
+      check_privileged st d ~start_pc;
+      Microcode.svpctx st;
+      false
+  | Opcode.Wait, [] ->
+      (* Not implemented by real processors, modified or not (Table 4:
+         "no change"); the VMM catches the VM-emulation trap and
+         deschedules the VM.  Bare kernels must not use it. *)
+      check_privileged st d ~start_pc;
+      raise (State.Fault State.Privileged_instruction)
+  | (Opcode.Chmk | Opcode.Chme | Opcode.Chms | Opcode.Chmu), [ code_op ] ->
+      vm_sensitive_trap st d ~start_pc;
+      let target = Option.get (Opcode.chm_target d.Decode.opcode) in
+      let code = rv code_op in
+      Microcode.chm st ~target ~code ~next_pc:d.Decode.next_pc;
+      true
+  | Opcode.Prober, ops ->
+      vm_sensitive_trap_noop st;
+      exec_probe st d ~start_pc ~write:false ops;
+      false
+  | Opcode.Probew, ops ->
+      vm_sensitive_trap_noop st;
+      exec_probe st d ~start_pc ~write:true ops;
+      false
+  | Opcode.Probevmr, ops ->
+      check_privileged st d ~start_pc;
+      exec_probevm st ~write:false ops;
+      false
+  | Opcode.Probevmw, ops ->
+      check_privileged st d ~start_pc;
+      exec_probevm st ~write:true ops;
+      false
+  | Opcode.Movpsl, [ dst ] ->
+      Decode.write_value st dst (Microcode.movpsl_value st);
+      false
+  | Opcode.Mtpr, ops ->
+      exec_mtpr st d ~start_pc ops;
+      false
+  | Opcode.Mfpr, ops ->
+      exec_mfpr st d ~start_pc ops;
+      false
+  | Opcode.Bispsw, [ src ] ->
+      let v = rv src in
+      if v land 0xFF00 <> 0 then raise (State.Fault State.Reserved_operand);
+      st.State.psl <- Word.logor p (v land 0xFF);
+      false
+  | Opcode.Bicpsw, [ src ] ->
+      let v = rv src in
+      if v land 0xFF00 <> 0 then raise (State.Fault State.Reserved_operand);
+      st.State.psl <- Word.logand p (Word.lognot (v land 0xFF));
+      false
+  | Opcode.Movl, [ src; dst ] ->
+      let v = rv src in
+      Decode.write_value st dst v;
+      set_nz_keep_c st v;
+      false
+  | Opcode.Pushl, [ src ] ->
+      let v = rv src in
+      State.push_long st v;
+      set_nz_keep_c st v;
+      false
+  | Opcode.Moval, [ src; dst ] ->
+      let va =
+        match src.Decode.loc with
+        | Decode.Mem va -> va
+        | Decode.Reg _ | Decode.Imm _ ->
+            raise (State.Fault State.Reserved_addressing)
+      in
+      Decode.write_value st dst va;
+      set_nz_keep_c st va;
+      false
+  | Opcode.Clrl, [ dst ] ->
+      Decode.write_value st dst 0;
+      set_nz_keep_c st 0;
+      false
+  | Opcode.Clrb, [ dst ] ->
+      Decode.write_value st dst 0;
+      set_nz_byte_keep_c st 0;
+      false
+  | Opcode.Tstl, [ src ] ->
+      let v = rv src in
+      set_nzvc st ~n:(Word.to_signed v < 0) ~z:(v = 0) ~v:false ~c:false;
+      false
+  | Opcode.Tstb, [ src ] ->
+      let v = rv src land 0xFF in
+      set_nzvc st ~n:(v land 0x80 <> 0) ~z:(v = 0) ~v:false ~c:false;
+      false
+  | Opcode.Movb, [ src; dst ] ->
+      let v = rv src land 0xFF in
+      Decode.write_value st dst v;
+      set_nz_byte_keep_c st v;
+      false
+  | Opcode.Movzbl, [ src; dst ] ->
+      let v = rv src land 0xFF in
+      Decode.write_value st dst v;
+      set_nzvc st ~n:false ~z:(v = 0) ~v:false ~c:(Psl.c p);
+      false
+  | Opcode.Cmpl, [ a; b ] ->
+      compare_long st (rv a) (rv b);
+      false
+  | Opcode.Cmpb, [ a; b ] ->
+      compare_byte st (rv a) (rv b);
+      false
+  | Opcode.Incl, [ dst ] ->
+      let r = do_add st (rv dst) 1 in
+      Decode.write_value st dst r;
+      check_overflow_trap st;
+      false
+  | Opcode.Decl, [ dst ] ->
+      let r = do_sub st (rv dst) 1 in
+      Decode.write_value st dst r;
+      check_overflow_trap st;
+      false
+  | Opcode.Mnegl, [ src; dst ] ->
+      let r = do_sub st 0 (rv src) in
+      Decode.write_value st dst r;
+      check_overflow_trap st;
+      false
+  | Opcode.Ashl, [ cnt_op; src; dst ] ->
+      let cnt = Word.to_signed (Word.sext ~width:8 (rv cnt_op)) in
+      let s = rv src in
+      let r =
+        if cnt >= 32 then 0
+        else if cnt >= 0 then Word.mask (s lsl cnt)
+        else if cnt <= -32 then if Word.to_signed s < 0 then 0xFFFF_FFFF else 0
+        else Word.of_signed (Word.to_signed s asr -cnt)
+      in
+      Decode.write_value st dst r;
+      set_nzvc st ~n:(Word.to_signed r < 0) ~z:(r = 0)
+        ~v:(cnt > 0 && Word.to_signed r <> Word.to_signed s * (1 lsl min cnt 62))
+        ~c:false;
+      false
+  | Opcode.Addl2, [ src; dst ] ->
+      let r = do_add st (rv dst) (rv src) in
+      Decode.write_value st dst r;
+      check_overflow_trap st;
+      false
+  | Opcode.Addl3, [ a; b; dst ] ->
+      let r = do_add st (rv a) (rv b) in
+      Decode.write_value st dst r;
+      check_overflow_trap st;
+      false
+  | Opcode.Subl2, [ src; dst ] ->
+      let r = do_sub st (rv dst) (rv src) in
+      Decode.write_value st dst r;
+      check_overflow_trap st;
+      false
+  | Opcode.Subl3, [ a; b; dst ] ->
+      (* dst <- b - a *)
+      let r = do_sub st (rv b) (rv a) in
+      Decode.write_value st dst r;
+      check_overflow_trap st;
+      false
+  | Opcode.Mull2, [ src; dst ] ->
+      let r = do_mul st (rv dst) (rv src) in
+      Decode.write_value st dst r;
+      check_overflow_trap st;
+      false
+  | Opcode.Mull3, [ a; b; dst ] ->
+      let r = do_mul st (rv a) (rv b) in
+      Decode.write_value st dst r;
+      check_overflow_trap st;
+      false
+  | Opcode.Divl2, [ src; dst ] ->
+      let r = do_div st (rv dst) (rv src) in
+      Decode.write_value st dst r;
+      false
+  | Opcode.Divl3, [ a; b; dst ] ->
+      (* dst <- b / a *)
+      let r = do_div st (rv b) (rv a) in
+      Decode.write_value st dst r;
+      false
+  | Opcode.Bisl2, [ src; dst ] ->
+      let r = do_logic st Word.logor (rv dst) (rv src) in
+      Decode.write_value st dst r;
+      false
+  | Opcode.Bisl3, [ a; b; dst ] ->
+      let r = do_logic st Word.logor (rv a) (rv b) in
+      Decode.write_value st dst r;
+      false
+  | Opcode.Bicl2, [ src; dst ] ->
+      let r = do_logic st (fun d s -> Word.logand d (Word.lognot s)) (rv dst) (rv src) in
+      Decode.write_value st dst r;
+      false
+  | Opcode.Bicl3, [ a; b; dst ] ->
+      (* dst <- b AND NOT a *)
+      let r = do_logic st (fun a b -> Word.logand b (Word.lognot a)) (rv a) (rv b) in
+      Decode.write_value st dst r;
+      false
+  | Opcode.Xorl2, [ src; dst ] ->
+      let r = do_logic st Word.logxor (rv dst) (rv src) in
+      Decode.write_value st dst r;
+      false
+  | Opcode.Xorl3, [ a; b; dst ] ->
+      let r = do_logic st Word.logxor (rv a) (rv b) in
+      Decode.write_value st dst r;
+      false
+  | Opcode.Brb, _ | Opcode.Brw, _ ->
+      cond_branch st d true;
+      true
+  | Opcode.Bneq, _ ->
+      cond_branch st d (not (Psl.z p));
+      true
+  | Opcode.Beql, _ ->
+      cond_branch st d (Psl.z p);
+      true
+  | Opcode.Bgtr, _ ->
+      cond_branch st d (not (Psl.n p || Psl.z p));
+      true
+  | Opcode.Bleq, _ ->
+      cond_branch st d (Psl.n p || Psl.z p);
+      true
+  | Opcode.Bgeq, _ ->
+      cond_branch st d (not (Psl.n p));
+      true
+  | Opcode.Blss, _ ->
+      cond_branch st d (Psl.n p);
+      true
+  | Opcode.Bgtru, _ ->
+      cond_branch st d (not (Psl.c p || Psl.z p));
+      true
+  | Opcode.Blequ, _ ->
+      cond_branch st d (Psl.c p || Psl.z p);
+      true
+  | Opcode.Bvc, _ ->
+      cond_branch st d (not (Psl.v p));
+      true
+  | Opcode.Bvs, _ ->
+      cond_branch st d (Psl.v p);
+      true
+  | Opcode.Bcc, _ ->
+      cond_branch st d (not (Psl.c p));
+      true
+  | Opcode.Bcs, _ ->
+      cond_branch st d (Psl.c p);
+      true
+  | Opcode.Blbs, [ src; disp ] ->
+      if rv src land 1 = 1 then branch_to st disp
+      else State.set_pc st d.Decode.next_pc;
+      true
+  | Opcode.Blbc, [ src; disp ] ->
+      if rv src land 1 = 0 then branch_to st disp
+      else State.set_pc st d.Decode.next_pc;
+      true
+  | Opcode.Aoblss, [ limit; index; disp ] ->
+      let r = do_add st (rv index) 1 in
+      Decode.write_value st index r;
+      if Word.signed_lt r (rv limit) then branch_to st disp
+      else State.set_pc st d.Decode.next_pc;
+      true
+  | Opcode.Sobgtr, [ index; disp ] ->
+      let r = do_sub st (rv index) 1 in
+      Decode.write_value st index r;
+      if Word.to_signed r > 0 then branch_to st disp
+      else State.set_pc st d.Decode.next_pc;
+      true
+  | Opcode.Bsbb, [ disp ] ->
+      State.push_long st d.Decode.next_pc;
+      branch_to st disp;
+      true
+  | Opcode.Jsb, [ dst ] -> (
+      match dst.Decode.loc with
+      | Decode.Mem va ->
+          State.push_long st d.Decode.next_pc;
+          State.set_pc st va;
+          true
+      | Decode.Reg _ | Decode.Imm _ ->
+          raise (State.Fault State.Reserved_addressing))
+  | Opcode.Rsb, [] ->
+      State.set_pc st (State.pop_long st);
+      true
+  | Opcode.Jmp, [ dst ] -> (
+      match dst.Decode.loc with
+      | Decode.Mem va ->
+          State.set_pc st va;
+          true
+      | Decode.Reg _ | Decode.Imm _ ->
+          raise (State.Fault State.Reserved_addressing))
+  | Opcode.Calls, [ narg; dst ] -> (
+      match dst.Decode.loc with
+      | Decode.Mem va ->
+          let n = rv narg in
+          State.push_long st n;
+          let arg_base = State.sp st in
+          State.push_long st d.Decode.next_pc;
+          State.push_long st (State.reg st 13) (* FP *);
+          State.push_long st (State.reg st 12) (* AP *);
+          State.set_reg st 13 (State.sp st);
+          State.set_reg st 12 arg_base;
+          State.set_pc st va;
+          true
+      | Decode.Reg _ | Decode.Imm _ ->
+          raise (State.Fault State.Reserved_addressing))
+  | Opcode.Ret, [] ->
+      State.set_sp st (State.reg st 13);
+      State.set_reg st 12 (State.pop_long st);
+      State.set_reg st 13 (State.pop_long st);
+      let ret_pc = State.pop_long st in
+      let n = State.pop_long st in
+      State.set_sp st (Word.add (State.sp st) (4 * (n land 0xFF)));
+      State.set_pc st ret_pc;
+      true
+  | _ ->
+      (* operand-count mismatch: impossible for decoded instructions *)
+      assert false
+
+(* ------------------------------------------------------------------ *)
+(* Step                                                                *)
+
+let step st =
+  if st.State.halted then Machine_halted
+  else if st.State.stop_requested then Stopped
+  else begin
+    (match State.highest_pending st with
+    | Some (ipl, vector) -> Microcode.take_interrupt st ~ipl ~vector
+    | None -> (
+        let start_pc = State.pc st in
+        let decoded = ref None in
+        try
+          let d = Decode.decode st in
+          decoded := Some d;
+          st.State.instructions <- st.State.instructions + 1;
+          if Psl.vm st.State.psl then
+            st.State.vm_instructions <- st.State.vm_instructions + 1;
+          Cycles.charge st.State.clock (Opcode.base_cycles d.Decode.opcode);
+          let pc_set = execute st d ~start_pc in
+          if not pc_set then State.set_pc st d.Decode.next_pc
+        with State.Fault f ->
+          let next_pc =
+            match !decoded with Some d -> d.Decode.next_pc | None -> start_pc
+          in
+          (* fault-style exceptions back out operand side effects;
+             trap-style (arithmetic) leave them applied *)
+          (match (f, !decoded) with
+          | State.Arithmetic_trap _, _ | _, None -> ()
+          | _, Some d -> Decode.undo_side_effects st d);
+          Microcode.dispatch_fault st ~start_pc ~next_pc f));
+    if st.State.halted then Machine_halted
+    else if st.State.stop_requested then Stopped
+    else Stepped
+  end
+
+let run st ?(max_instructions = max_int) () =
+  let rec loop n =
+    if n <= 0 then Stepped
+    else
+      match step st with
+      | Stepped -> loop (n - 1)
+      | (Machine_halted | Stopped) as s -> s
+  in
+  loop max_instructions

@@ -1,0 +1,19 @@
+(** Instruction execution: one architectural step at a time.
+
+    [step] checks for a deliverable interrupt, then fetches, decodes and
+    executes one instruction, delivering any resulting exception.  All
+    mode/privilege/virtualization rules of the paper's Table 4 are
+    enforced here and in {!Microcode}. *)
+
+type status =
+  | Stepped  (** one instruction (or interrupt delivery) completed *)
+  | Machine_halted  (** HALT executed in kernel mode on the bare machine *)
+  | Stopped  (** the host agent requested the machine stop *)
+
+val step : State.t -> status
+
+val run : State.t -> ?max_instructions:int -> unit -> status
+(** Step until halt/stop or the instruction budget is exhausted
+    ([Stepped] then means "budget exhausted").  The machine loop in
+    [Vax_dev.Machine] is the full-featured driver; this one is for tests
+    and bare-CPU programs with no devices. *)

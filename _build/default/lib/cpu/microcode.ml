@@ -1,0 +1,421 @@
+open Vax_arch
+open Vax_mem
+
+(* ------------------------------------------------------------------ *)
+(* Exception initiation                                                *)
+
+let push_kernel_frame st words =
+  (* Push [words] (last element pushed first) on the current stack.  A
+     fault here means the service stack itself is bad: kernel stack not
+     valid, which we treat as fatal for the machine (the VAX aborts to
+     the console; our console is the test harness). *)
+  List.iter (State.push_long st) (List.rev words)
+
+let vm_frame_params (f : State.vm_frame) =
+  let opcode_byte =
+    match Opcode.encoding f.State.vf_opcode with
+    | [ b ] -> b
+    | [ p; b ] -> (p lsl 8) lor b
+    | _ -> assert false
+  in
+  let per_operand =
+    List.concat_map
+      (fun (o : State.vm_operand) ->
+        let se =
+          match o.State.side_effect with
+          | None -> 0xFFFF_FFFF
+          | Some (rn, delta) -> (rn lsl 8) lor (delta land 0xFF)
+        in
+        [ o.State.tag; o.State.value; se ])
+      f.State.vf_operands
+  in
+  (opcode_byte :: f.State.vf_length :: f.State.vf_vm_psl
+   :: List.length f.State.vf_operands :: per_operand)
+
+let deliver_exception st ~vector ~params ~saved_pc ?(interrupt = false)
+    ?new_ipl ?(force_is = false) ?vm_frame () =
+  Cycles.charge st.State.clock Cost.exception_initiate;
+  State.count_exception st vector;
+  let from_vm =
+    st.State.variant = Variant.Virtualizing && Psl.vm st.State.psl
+  in
+  if from_vm then Cycles.charge st.State.clock Cost.vm_exit_extra;
+  let saved_psl = st.State.psl in
+  (* Read the SCB entry (physically, via SCBB); with an agent attached the
+     handler address is unused but the fetch is still charged. *)
+  Cycles.charge st.State.clock Cost.memory_access;
+  let entry =
+    if st.State.agent = None then
+      Phys_mem.read_long (Mmu.phys st.State.mmu)
+        (Word.add st.State.scbb vector)
+    else 0
+  in
+  let use_is =
+    interrupt || force_is || Psl.is saved_psl
+    || (st.State.agent = None && entry land 1 = 1)
+  in
+  let new_psl =
+    let p = saved_psl in
+    let p = Psl.with_cur p Mode.Kernel in
+    let p =
+      Psl.with_prv p (if interrupt then Mode.Kernel else Psl.cur saved_psl)
+    in
+    let p = Psl.with_vm p false in
+    let p = Psl.with_fpd p false in
+    let p = Psl.with_is p use_is in
+    match new_ipl with Some l -> Psl.with_ipl p l | None -> p
+  in
+  let target_slot = if use_is then 4 else Mode.to_int Mode.Kernel in
+  let old_slot = State.stack_slot st in
+  if old_slot <> target_slot then begin
+    st.State.sp_bank.(old_slot) <- State.sp st;
+    State.set_sp st st.State.sp_bank.(target_slot)
+  end;
+  st.State.psl <- new_psl;
+  let all_params =
+    match vm_frame with
+    | None -> params
+    | Some f ->
+        List.iter
+          (fun (_ : State.vm_operand) ->
+            Cycles.charge st.State.clock Cost.vm_operand_capture)
+          f.State.vf_operands;
+        vm_frame_params f @ params
+  in
+  push_kernel_frame st (all_params @ [ saved_pc; saved_psl ]);
+  match st.State.agent with
+  | Some agent ->
+      agent
+        {
+          State.ev_vector = vector;
+          ev_params = all_params;
+          ev_pc = saved_pc;
+          ev_psl = saved_psl;
+          ev_interrupt = interrupt;
+          ev_from_vm = from_vm;
+          ev_vm_frame = vm_frame;
+        }
+  | None -> State.set_pc st (Word.logand entry (Word.lognot 3))
+
+(* ------------------------------------------------------------------ *)
+(* Fault dispatch                                                      *)
+
+let mm_param ~length_violation ~ptbl_ref ~write =
+  (if length_violation then 1 else 0)
+  lor (if ptbl_ref then 2 else 0)
+  lor if write then 4 else 0
+
+let dispatch_fault st ~start_pc ~next_pc (fault : State.fault) =
+  match fault with
+  | State.Mm_fault (Mmu.Access_violation { va; length_violation; ptbl_ref; write })
+    ->
+      deliver_exception st ~vector:Scb.access_violation
+        ~params:[ mm_param ~length_violation ~ptbl_ref ~write; va ]
+        ~saved_pc:start_pc ()
+  | State.Mm_fault (Mmu.Translation_not_valid { va; ptbl_ref; write }) ->
+      deliver_exception st ~vector:Scb.translation_not_valid
+        ~params:[ mm_param ~length_violation:false ~ptbl_ref ~write; va ]
+        ~saved_pc:start_pc ()
+  | State.Mm_fault (Mmu.Modify_fault { va }) ->
+      deliver_exception st ~vector:Scb.modify_fault
+        ~params:[ mm_param ~length_violation:false ~ptbl_ref:false ~write:true; va ]
+        ~saved_pc:start_pc ()
+  | State.Privileged_instruction | State.Reserved_instruction ->
+      deliver_exception st ~vector:Scb.privileged_instruction ~params:[]
+        ~saved_pc:start_pc ()
+  | State.Reserved_operand ->
+      deliver_exception st ~vector:Scb.reserved_operand ~params:[]
+        ~saved_pc:start_pc ()
+  | State.Reserved_addressing ->
+      deliver_exception st ~vector:Scb.reserved_addressing_mode ~params:[]
+        ~saved_pc:start_pc ()
+  | State.Breakpoint_fault ->
+      deliver_exception st ~vector:Scb.breakpoint ~params:[] ~saved_pc:start_pc
+        ()
+  | State.Chm_trap _ ->
+      (* handled by [chm], never dispatched here *)
+      assert false
+  | State.Arithmetic_trap code ->
+      deliver_exception st ~vector:Scb.arithmetic ~params:[ code ]
+        ~saved_pc:next_pc ()
+  | State.Vm_emulation_fault frame ->
+      deliver_exception st ~vector:Scb.vm_emulation ~params:[]
+        ~saved_pc:start_pc ~vm_frame:frame ()
+  | State.Machine_check_fault pa ->
+      deliver_exception st ~vector:Scb.machine_check ~params:[ pa ]
+        ~saved_pc:start_pc ~new_ipl:31 ~force_is:true ()
+
+let take_interrupt st ~ipl ~vector =
+  st.State.interrupts_taken <- st.State.interrupts_taken + 1;
+  (* software interrupts clear their SISR bit; device requests are
+     retracted when taken (level-triggered devices re-post). *)
+  if vector >= Scb.software_interrupt 1 && vector <= Scb.software_interrupt 15
+  then st.State.sisr <- st.State.sisr land lnot (1 lsl ((vector - 0x80) / 4))
+  else State.retract_interrupt st ~vector;
+  deliver_exception st ~vector ~params:[] ~saved_pc:(State.pc st)
+    ~interrupt:true ~new_ipl:ipl ()
+
+(* ------------------------------------------------------------------ *)
+(* REI                                                                 *)
+
+let rei st =
+  let cur_psl = st.State.psl in
+  let mode = Psl.cur cur_psl in
+  let new_pc = State.read_long st mode (State.sp st) in
+  let new_psl = State.read_long st mode (Word.add (State.sp st) 4) in
+  let bad cond = if cond then raise (State.Fault State.Reserved_operand) in
+  let n_cur = Mode.to_int (Psl.cur new_psl) in
+  let c_cur = Mode.to_int (Psl.cur cur_psl) in
+  bad (n_cur < c_cur);
+  bad (Mode.to_int (Psl.prv new_psl) < n_cur);
+  bad (Psl.is new_psl && not (Psl.is cur_psl));
+  bad (Psl.is new_psl && n_cur <> 0);
+  bad (Psl.ipl new_psl > Psl.ipl cur_psl);
+  bad (n_cur <> 0 && Psl.ipl new_psl <> 0);
+  (* PSL<VM>: rejected outright on the standard VAX; on the modified VAX
+     it may be *loaded* only by kernel-mode software that is not already
+     in a VM — the VMM's entry into VM mode ("PSL<VM> is set only by
+     software"). *)
+  if Psl.vm new_psl then begin
+    bad (st.State.variant = Variant.Standard);
+    bad (c_cur <> 0);
+    bad (Psl.vm cur_psl)
+  end;
+  bad (Psl.mbz_violation (Psl.with_vm new_psl false));
+  (* commit *)
+  State.set_sp st (Word.add (State.sp st) 8);
+  let old_slot = State.stack_slot st in
+  st.State.psl <- new_psl;
+  let new_slot = State.stack_slot st in
+  if old_slot <> new_slot then begin
+    st.State.sp_bank.(old_slot) <- State.sp st;
+    State.set_sp st st.State.sp_bank.(new_slot)
+  end;
+  State.set_pc st new_pc
+
+(* ------------------------------------------------------------------ *)
+(* CHM                                                                 *)
+
+let chm st ~target ~code ~next_pc =
+  let cur = Psl.cur st.State.psl in
+  (* mode of equal or increased privilege only *)
+  let new_mode =
+    if Mode.to_int target < Mode.to_int cur then target else cur
+  in
+  Cycles.charge st.State.clock Cost.exception_initiate;
+  let vector = Scb.chm_vector target in
+  State.count_exception st vector;
+  Cycles.charge st.State.clock Cost.memory_access;
+  let entry =
+    if st.State.agent = None then
+      Phys_mem.read_long (Mmu.phys st.State.mmu) (Word.add st.State.scbb vector)
+    else 0
+  in
+  let saved_psl = st.State.psl in
+  let new_psl =
+    let p = saved_psl in
+    let p = Psl.with_cur p new_mode in
+    let p = Psl.with_prv p cur in
+    Psl.with_fpd p false
+  in
+  let old_slot = State.stack_slot st in
+  let new_slot = Mode.to_int new_mode in
+  if old_slot <> new_slot then begin
+    st.State.sp_bank.(old_slot) <- State.sp st;
+    State.set_sp st st.State.sp_bank.(new_slot)
+  end;
+  st.State.psl <- new_psl;
+  push_kernel_frame st [ Word.sext ~width:16 code; next_pc; saved_psl ];
+  match st.State.agent with
+  | Some agent ->
+      agent
+        {
+          State.ev_vector = vector;
+          ev_params = [ Word.sext ~width:16 code ];
+          ev_pc = next_pc;
+          ev_psl = saved_psl;
+          ev_interrupt = false;
+          ev_from_vm = false;
+          ev_vm_frame = None;
+        }
+  | None -> State.set_pc st (Word.logand entry (Word.lognot 3))
+
+(* ------------------------------------------------------------------ *)
+(* MOVPSL                                                              *)
+
+let movpsl_value st =
+  if st.State.variant = Variant.Virtualizing && Psl.vm st.State.psl then
+    State.merged_vm_psl st
+  else Psl.with_vm st.State.psl false
+
+(* ------------------------------------------------------------------ *)
+(* Process context                                                     *)
+
+let pcb_size = 96
+let pcb_off_pc = 72
+let pcb_off_psl = 76
+
+let pcb_read st off =
+  Cycles.charge st.State.clock Cost.memory_access;
+  Phys_mem.read_long (Mmu.phys st.State.mmu) (Word.add st.State.pcbb off)
+
+let pcb_write st off v =
+  Cycles.charge st.State.clock Cost.memory_access;
+  Phys_mem.write_long (Mmu.phys st.State.mmu) (Word.add st.State.pcbb off) v
+
+let ldpctx st =
+  (* load stack pointers and general registers *)
+  for slot = 0 to 3 do
+    State.write_sp_of st slot (pcb_read st (4 * slot))
+  done;
+  for r = 0 to 13 do
+    State.set_reg st r (pcb_read st (16 + (4 * r)))
+  done;
+  Mmu.set_p0br st.State.mmu (pcb_read st 80);
+  Mmu.set_p0lr st.State.mmu (pcb_read st 84);
+  Mmu.set_p1br st.State.mmu (pcb_read st 88);
+  Mmu.set_p1lr st.State.mmu (pcb_read st 92);
+  Mmu.tb_invalidate_process st.State.mmu;
+  (* switch to the kernel stack and set up a frame for the final REI *)
+  let old_slot = State.stack_slot st in
+  st.State.psl <- Psl.with_is st.State.psl false;
+  let new_slot = State.stack_slot st in
+  if old_slot <> new_slot then begin
+    st.State.sp_bank.(old_slot) <- State.sp st;
+    State.set_sp st st.State.sp_bank.(new_slot)
+  end;
+  State.push_long st (pcb_read st pcb_off_psl);
+  State.push_long st (pcb_read st pcb_off_pc)
+
+let svpctx st =
+  (* pop the PC/PSL pair (pushed by the exception that entered the
+     kernel) into the PCB, save registers, switch to the interrupt
+     stack *)
+  let pc = State.pop_long st in
+  let psl = State.pop_long st in
+  pcb_write st pcb_off_pc pc;
+  pcb_write st pcb_off_psl psl;
+  for slot = 0 to 3 do
+    pcb_write st (4 * slot) (State.read_sp_of st slot)
+  done;
+  for r = 0 to 13 do
+    pcb_write st (16 + (4 * r)) (State.reg st r)
+  done;
+  let old_slot = State.stack_slot st in
+  st.State.psl <- Psl.with_is st.State.psl true;
+  let new_slot = State.stack_slot st in
+  if old_slot <> new_slot then begin
+    st.State.sp_bank.(old_slot) <- State.sp st;
+    State.set_sp st st.State.sp_bank.(new_slot)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Processor registers                                                 *)
+
+let reserved () = raise (State.Fault State.Reserved_operand)
+
+let mtpr st ~value ~regnum =
+  match Ipr.of_int (Word.mask regnum) with
+  | None -> reserved ()
+  | Some r ->
+      if st.State.ipr_write_hook r value then ()
+      else begin
+        match r with
+        | Ipr.KSP -> State.write_sp_of st 0 value
+        | Ipr.ESP -> State.write_sp_of st 1 value
+        | Ipr.SSP -> State.write_sp_of st 2 value
+        | Ipr.USP -> State.write_sp_of st 3 value
+        | Ipr.ISP -> State.write_sp_of st 4 value
+        | Ipr.P0BR ->
+            if Addr.region_of value <> Addr.S then reserved ();
+            Mmu.set_p0br st.State.mmu value
+        | Ipr.P0LR -> Mmu.set_p0lr st.State.mmu (Word.mask value)
+        | Ipr.P1BR -> Mmu.set_p1br st.State.mmu value
+        | Ipr.P1LR -> Mmu.set_p1lr st.State.mmu (Word.mask value)
+        | Ipr.SBR -> Mmu.set_sbr st.State.mmu value
+        | Ipr.SLR -> Mmu.set_slr st.State.mmu (Word.mask value)
+        | Ipr.PCBB -> st.State.pcbb <- Word.logand value (Word.lognot 3)
+        | Ipr.SCBB -> st.State.scbb <- Addr.page_align_down value
+        | Ipr.IPL -> st.State.psl <- Psl.with_ipl st.State.psl (value land 31)
+        | Ipr.SIRR ->
+            let l = Word.mask value in
+            if l < 1 || l > 15 then reserved ();
+            st.State.sisr <- st.State.sisr lor (1 lsl l)
+        | Ipr.SISR -> st.State.sisr <- value land 0xFFFE
+        | Ipr.MAPEN ->
+            Mmu.set_mapen st.State.mmu (value land 1 = 1);
+            Mmu.tbia st.State.mmu
+        | Ipr.TBIA -> Mmu.tbia st.State.mmu
+        | Ipr.TBIS -> Mmu.tbis st.State.mmu value
+        | Ipr.SID -> reserved ()
+        | Ipr.VMPSL ->
+            if st.State.variant <> Variant.Virtualizing then reserved ();
+            st.State.vmpsl <- Word.mask value
+        | Ipr.VMPEND ->
+            if st.State.variant <> Variant.Virtualizing then reserved ();
+            st.State.vmpend <- value land 31
+        | Ipr.MEMSIZE | Ipr.KCALL | Ipr.IORESET | Ipr.UPTIME ->
+            (* virtual-VAX-only registers: reserved on real processors *)
+            reserved ()
+        | Ipr.ICCS | Ipr.NICR | Ipr.TODR | Ipr.RXCS | Ipr.RXDB | Ipr.TXCS
+        | Ipr.TXDB ->
+            (* device register with no device attached: write ignored *)
+            ()
+        | Ipr.ICR -> reserved () (* read-only *)
+      end
+
+let mfpr st ~regnum =
+  match Ipr.of_int (Word.mask regnum) with
+  | None -> reserved ()
+  | Some r -> (
+      match st.State.ipr_read_hook r with
+      | Some v -> v
+      | None -> (
+          match r with
+          | Ipr.KSP -> State.read_sp_of st 0
+          | Ipr.ESP -> State.read_sp_of st 1
+          | Ipr.SSP -> State.read_sp_of st 2
+          | Ipr.USP -> State.read_sp_of st 3
+          | Ipr.ISP -> State.read_sp_of st 4
+          | Ipr.P0BR -> Mmu.p0br st.State.mmu
+          | Ipr.P0LR -> Mmu.p0lr st.State.mmu
+          | Ipr.P1BR -> Mmu.p1br st.State.mmu
+          | Ipr.P1LR -> Mmu.p1lr st.State.mmu
+          | Ipr.SBR -> Mmu.sbr st.State.mmu
+          | Ipr.SLR -> Mmu.slr st.State.mmu
+          | Ipr.PCBB -> st.State.pcbb
+          | Ipr.SCBB -> st.State.scbb
+          | Ipr.IPL -> Psl.ipl st.State.psl
+          | Ipr.SIRR -> reserved () (* write-only *)
+          | Ipr.SISR -> st.State.sisr
+          | Ipr.MAPEN -> if Mmu.mapen st.State.mmu then 1 else 0
+          | Ipr.TBIA | Ipr.TBIS -> reserved () (* write-only *)
+          | Ipr.SID -> st.State.sid
+          | Ipr.VMPSL ->
+              if st.State.variant <> Variant.Virtualizing then reserved ();
+              st.State.vmpsl
+          | Ipr.VMPEND ->
+              if st.State.variant <> Variant.Virtualizing then reserved ();
+              st.State.vmpend
+          | Ipr.MEMSIZE | Ipr.KCALL | Ipr.IORESET | Ipr.UPTIME -> reserved ()
+          | Ipr.ICCS | Ipr.NICR | Ipr.ICR | Ipr.TODR | Ipr.RXCS | Ipr.RXDB
+          | Ipr.TXCS | Ipr.TXDB ->
+              0))
+
+(* ------------------------------------------------------------------ *)
+(* VM-emulation trap construction                                      *)
+
+(* Side effects are NOT undone here: the step loop backs them out for all
+   fault-style exceptions uniformly, and the frame's side-effect fields
+   let the VMM re-apply them when it emulates rather than retries. *)
+let vm_emulation_trap st (d : Decode.decoded) ~start_pc =
+  ignore start_pc;
+  let frame =
+    {
+      State.vf_opcode = d.Decode.opcode;
+      vf_length = d.Decode.length;
+      vf_vm_psl = State.merged_vm_psl st;
+      vf_operands = Decode.capture_vm_operands d;
+    }
+  in
+  raise (State.Fault (State.Vm_emulation_fault frame))

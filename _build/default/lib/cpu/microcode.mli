@@ -1,0 +1,66 @@
+(** The microcode layer: exception and interrupt initiation, REI, CHM,
+    process context switching, and processor-register moves.
+
+    Everything here manipulates architectural state exactly as the VAX
+    microcode would: frames are really pushed on the service stacks,
+    stacks are really switched, and the costs of the work are charged.
+    When a host kernel agent (the VMM) is attached, it is invoked *after*
+    frame initiation, in lieu of fetching handler code; otherwise the PC
+    is vectored through the SCB to guest handler code. *)
+
+open Vax_arch
+
+val deliver_exception :
+  State.t ->
+  vector:Scb.vector ->
+  params:Word.t list ->
+  saved_pc:Word.t ->
+  ?interrupt:bool ->
+  ?new_ipl:int ->
+  ?force_is:bool ->
+  ?vm_frame:State.vm_frame ->
+  unit ->
+  unit
+(** Initiate an exception or interrupt: push PSL, PC and [params] on the
+    service stack, switch mode (and stack), clear PSL<VM> (charging the VM
+    exit cost when it was set), then dispatch to the agent or through the
+    SCB.  [params] are listed top-of-stack first. *)
+
+val dispatch_fault : State.t -> start_pc:Word.t -> next_pc:Word.t -> State.fault -> unit
+(** Map a {!State.fault} to its vector, parameters and PC-backup
+    convention and deliver it. *)
+
+val take_interrupt : State.t -> ipl:int -> vector:Scb.vector -> unit
+(** Deliver a pending interrupt (device or software). *)
+
+val rei : State.t -> unit
+(** The REI instruction.  Raises {!State.Fault} [Reserved_operand] on an
+    invalid PSL image.  On the Virtualizing variant, loading a PSL with
+    PSL<VM> set is permitted only from kernel mode with PSL<VM> clear —
+    the VMM's doorway into a VM. *)
+
+val chm : State.t -> target:Mode.t -> code:Word.t -> next_pc:Word.t -> unit
+(** The CHM trap: change to a mode of equal or greater privilege through
+    the target mode's SCB vector. *)
+
+val movpsl_value : State.t -> Word.t
+(** What MOVPSL stores: the real PSL, or the merged VM PSL when PSL<VM>
+    is set; PSL<VM> itself reads as zero either way. *)
+
+val ldpctx : State.t -> unit
+val svpctx : State.t -> unit
+
+(** Process control block layout used by LDPCTX/SVPCTX (byte offsets):
+    KSP=0 ESP=4 SSP=8 USP=12, R0–R13 at 16+4n, PC=72, PSL=76,
+    P0BR=80 P0LR=84 P1BR=88 P1LR=92.  [pcb_size] = 96. *)
+
+val pcb_size : int
+val pcb_off_pc : int
+val pcb_off_psl : int
+
+val mtpr : State.t -> value:Word.t -> regnum:Word.t -> unit
+val mfpr : State.t -> regnum:Word.t -> Word.t
+
+val vm_emulation_trap : State.t -> Decode.decoded -> start_pc:Word.t -> 'a
+(** Undo the instruction's side effects, build the VM-emulation frame and
+    raise it as a fault (never returns). *)

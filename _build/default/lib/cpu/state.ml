@@ -1,0 +1,228 @@
+open Vax_arch
+open Vax_mem
+
+type vm_operand = {
+  tag : int;
+  value : Word.t;
+  side_effect : (int * int) option;
+}
+
+type vm_frame = {
+  vf_opcode : Opcode.t;
+  vf_length : int;
+  vf_vm_psl : Word.t;
+  vf_operands : vm_operand list;
+}
+
+type fault =
+  | Mm_fault of Mmu.fault
+  | Privileged_instruction
+  | Reserved_instruction
+  | Reserved_operand
+  | Reserved_addressing
+  | Breakpoint_fault
+  | Chm_trap of { target : Mode.t; code : Word.t }
+  | Arithmetic_trap of int
+  | Vm_emulation_fault of vm_frame
+  | Machine_check_fault of Word.t
+
+exception Fault of fault
+
+let pp_fault ppf = function
+  | Mm_fault f -> Mmu.pp_fault ppf f
+  | Privileged_instruction -> Format.pp_print_string ppf "privileged instruction"
+  | Reserved_instruction -> Format.pp_print_string ppf "reserved instruction"
+  | Reserved_operand -> Format.pp_print_string ppf "reserved operand"
+  | Reserved_addressing -> Format.pp_print_string ppf "reserved addressing mode"
+  | Breakpoint_fault -> Format.pp_print_string ppf "breakpoint"
+  | Chm_trap { target; code } ->
+      Format.fprintf ppf "CHM%c code=%a"
+        (Char.uppercase_ascii (Mode.name target).[0])
+        Word.pp code
+  | Arithmetic_trap c -> Format.fprintf ppf "arithmetic trap %d" c
+  | Vm_emulation_fault f ->
+      Format.fprintf ppf "VM-emulation trap (%s)" (Opcode.name f.vf_opcode)
+  | Machine_check_fault pa -> Format.fprintf ppf "machine check pa=%a" Word.pp pa
+
+type event = {
+  ev_vector : Scb.vector;
+  ev_params : Word.t list;
+  ev_pc : Word.t;
+  ev_psl : Word.t;
+  ev_interrupt : bool;
+  ev_from_vm : bool;
+  ev_vm_frame : vm_frame option;
+}
+
+type t = {
+  variant : Variant.t;
+  mmu : Mmu.t;
+  clock : Cycles.t;
+  regs : Word.t array;
+  mutable psl : Psl.t;
+  sp_bank : Word.t array;
+  mutable vmpsl : Word.t;
+  mutable vmpend : int;
+  mutable ipl_assist : bool;
+  mutable scbb : Word.t;
+  mutable pcbb : Word.t;
+  mutable sisr : int;
+  mutable sid : Word.t;
+  mutable pending_interrupts : (int * Scb.vector) list;
+  mutable agent : (event -> unit) option;
+  mutable ipr_read_hook : Ipr.t -> Word.t option;
+  mutable ipr_write_hook : Ipr.t -> Word.t -> bool;
+  mutable halted : bool;
+  mutable stop_requested : bool;
+  mutable idle_hint : bool;
+  mutable instructions : int;
+  mutable vm_instructions : int;
+  mutable interrupts_taken : int;
+  exceptions_by_vector : (Scb.vector, int) Hashtbl.t;
+}
+
+let sid_standard = 0x0178_0000
+let sid_virtualizing = 0x0179_0000
+let sid_virtual_vax = 0x017A_0000
+
+let create ?(variant = Variant.Standard) ?sid ~mmu ~clock () =
+  let sid =
+    match sid with
+    | Some s -> s
+    | None -> (
+        match variant with
+        | Variant.Standard -> sid_standard
+        | Variant.Virtualizing -> sid_virtualizing)
+  in
+  {
+    variant;
+    mmu;
+    clock;
+    regs = Array.make 16 0;
+    psl = Psl.initial;
+    sp_bank = Array.make 5 0;
+    vmpsl = 0;
+    vmpend = 0;
+    ipl_assist = false;
+    scbb = 0;
+    pcbb = 0;
+    sisr = 0;
+    sid;
+    pending_interrupts = [];
+    agent = None;
+    ipr_read_hook = (fun _ -> None);
+    ipr_write_hook = (fun _ _ -> false);
+    halted = false;
+    stop_requested = false;
+    idle_hint = false;
+    instructions = 0;
+    vm_instructions = 0;
+    interrupts_taken = 0;
+    exceptions_by_vector = Hashtbl.create 32;
+  }
+
+let pc t = t.regs.(15)
+let set_pc t v = t.regs.(15) <- Word.mask v
+let sp t = t.regs.(14)
+let set_sp t v = t.regs.(14) <- Word.mask v
+let reg t n = t.regs.(n)
+let set_reg t n v = t.regs.(n) <- Word.mask v
+let cur_mode t = Psl.cur t.psl
+
+let stack_slot t =
+  if Psl.is t.psl then 4 else Mode.to_int (Psl.cur t.psl)
+
+let switch_stack_to t slot =
+  let current = stack_slot t in
+  if current <> slot then begin
+    t.sp_bank.(current) <- sp t;
+    set_sp t t.sp_bank.(slot)
+  end
+
+let read_sp_of t slot = if slot = stack_slot t then sp t else t.sp_bank.(slot)
+
+let write_sp_of t slot v =
+  if slot = stack_slot t then set_sp t v else t.sp_bank.(slot) <- Word.mask v
+
+let lift = function Ok v -> v | Error f -> raise (Fault (Mm_fault f))
+
+let wrap_nxm f =
+  try f () with Phys_mem.Nonexistent_memory pa ->
+    raise (Fault (Machine_check_fault pa))
+
+let read_byte t mode va = wrap_nxm (fun () -> lift (Mmu.v_read_byte t.mmu ~mode va))
+
+let fetch_byte t va =
+  wrap_nxm (fun () ->
+      let pa = lift (Mmu.translate t.mmu ~mode:(cur_mode t) ~write:false va) in
+      Phys_mem.read_byte (Mmu.phys t.mmu) pa)
+let write_byte t mode va b =
+  wrap_nxm (fun () -> lift (Mmu.v_write_byte t.mmu ~mode va b))
+let read_word16 t mode va =
+  wrap_nxm (fun () -> lift (Mmu.v_read_word t.mmu ~mode va))
+let write_word16 t mode va w =
+  wrap_nxm (fun () -> lift (Mmu.v_write_word t.mmu ~mode va w))
+let read_long t mode va =
+  wrap_nxm (fun () -> lift (Mmu.v_read_long t.mmu ~mode va))
+let write_long t mode va w =
+  wrap_nxm (fun () -> lift (Mmu.v_write_long t.mmu ~mode va w))
+
+let push_long t w =
+  let nsp = Word.sub (sp t) 4 in
+  write_long t (cur_mode t) nsp w;
+  set_sp t nsp
+
+let pop_long t =
+  let v = read_long t (cur_mode t) (sp t) in
+  set_sp t (Word.add (sp t) 4);
+  v
+
+let post_interrupt t ~ipl ~vector =
+  if not (List.exists (fun (_, v) -> v = vector) t.pending_interrupts) then
+    t.pending_interrupts <- (ipl, vector) :: t.pending_interrupts
+
+let retract_interrupt t ~vector =
+  t.pending_interrupts <-
+    List.filter (fun (_, v) -> v <> vector) t.pending_interrupts
+
+let highest_software t =
+  (* highest set bit of SISR, levels 1-15 *)
+  let rec scan l = if l = 0 then None else
+    if t.sisr land (1 lsl l) <> 0 then Some l else scan (l - 1)
+  in
+  scan 15
+
+let highest_pending t =
+  let cur_ipl = Psl.ipl t.psl in
+  let best =
+    List.fold_left
+      (fun acc (ipl, v) ->
+        match acc with
+        | Some (bi, _) when bi >= ipl -> acc
+        | _ -> Some (ipl, v))
+      None t.pending_interrupts
+  in
+  let best =
+    match highest_software t with
+    | Some l -> (
+        match best with
+        | Some (bi, _) when bi >= l -> best
+        | _ -> Some (l, Scb.software_interrupt l))
+    | None -> best
+  in
+  match best with
+  | Some (ipl, _) when ipl > cur_ipl -> best
+  | _ -> None
+
+let merged_vm_psl t =
+  let p = t.psl in
+  let vp = t.vmpsl in
+  let p = Psl.with_cur p (Psl.cur vp) in
+  let p = Psl.with_prv p (Psl.prv vp) in
+  let p = Psl.with_ipl p (Psl.ipl vp) in
+  let p = Psl.with_is p (Psl.is vp) in
+  Psl.with_vm p false
+
+let count_exception t vector =
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.exceptions_by_vector vector) in
+  Hashtbl.replace t.exceptions_by_vector vector (n + 1)

@@ -1,0 +1,161 @@
+(** CPU state and the fault/event taxonomy.
+
+    The record type is transparent: the VMM legitimately manipulates all
+    of this state (it is privileged software), and tests inspect it.
+
+    R14 is the stack pointer of the current mode; the other four stack
+    pointers live in {!field-sp_bank} and are exchanged with R14 on every
+    mode or interrupt-stack switch.  R15 is the PC. *)
+
+open Vax_arch
+open Vax_mem
+
+(** One operand captured by the modified microcode for the VM-emulation
+    trap frame (paper §4.2: the VMM receives the instruction "and its
+    decoded operands"). *)
+type vm_operand = {
+  tag : int;  (** 0 = value, 1 = memory address, 2 = register number,
+                  3 = branch target *)
+  value : Word.t;
+  side_effect : (int * int) option;
+      (** register autoincrement/-decrement the instruction would apply,
+          as [(register, signed delta)]; the VMM re-applies it when it
+          emulates the instruction rather than retrying it *)
+}
+
+type vm_frame = {
+  vf_opcode : Opcode.t;
+  vf_length : int;  (** total instruction length in bytes *)
+  vf_vm_psl : Word.t;  (** the VM's merged PSL at the time of the trap *)
+  vf_operands : vm_operand list;
+}
+
+type fault =
+  | Mm_fault of Mmu.fault
+  | Privileged_instruction
+  | Reserved_instruction
+  | Reserved_operand
+  | Reserved_addressing
+  | Breakpoint_fault
+  | Chm_trap of { target : Mode.t; code : Word.t }
+  | Arithmetic_trap of int  (** 1 = integer overflow, 2 = divide by zero *)
+  | Vm_emulation_fault of vm_frame
+  | Machine_check_fault of Word.t  (** nonexistent physical address *)
+
+exception Fault of fault
+
+val pp_fault : Format.formatter -> fault -> unit
+
+(** What the microcode hands to the host kernel agent (the VMM) after
+    initiating an exception or interrupt: the frame is already on the
+    service stack; this is a decoded summary so the agent does not need to
+    re-parse it (it may still read the stack, which is where the data
+    architecturally lives). *)
+type event = {
+  ev_vector : Scb.vector;
+  ev_params : Word.t list;  (** parameters, first = top of stack *)
+  ev_pc : Word.t;  (** saved PC in the frame *)
+  ev_psl : Word.t;  (** saved PSL in the frame *)
+  ev_interrupt : bool;
+  ev_from_vm : bool;  (** PSL<VM> was set when the event occurred *)
+  ev_vm_frame : vm_frame option;  (** for VM-emulation traps *)
+}
+
+type t = {
+  variant : Variant.t;
+  mmu : Mmu.t;
+  clock : Cycles.t;
+  regs : Word.t array;  (** R0–R15; R14 = SP of current mode, R15 = PC *)
+  mutable psl : Psl.t;
+  sp_bank : Word.t array;  (** kernel, executive, supervisor, user, interrupt *)
+  mutable vmpsl : Word.t;  (** modified VAX only; zero otherwise *)
+  mutable vmpend : int;  (** highest pending virtual interrupt level *)
+  mutable ipl_assist : bool;
+      (** the VAX-11/730-style microcode assist for MTPR-to-IPL in VM mode
+          (paper §7.3); off by default, as on the 785/8800 *)
+  mutable scbb : Word.t;
+  mutable pcbb : Word.t;
+  mutable sisr : int;
+  mutable sid : Word.t;
+  mutable pending_interrupts : (int * Scb.vector) list;
+  mutable agent : (event -> unit) option;
+  mutable ipr_read_hook : Ipr.t -> Word.t option;
+  mutable ipr_write_hook : Ipr.t -> Word.t -> bool;
+  mutable halted : bool;
+  mutable stop_requested : bool;
+  mutable idle_hint : bool;
+      (** set by the VMM when no VM is runnable: the machine loop may skip
+          simulated time to the next device event *)
+  (* statistics *)
+  mutable instructions : int;
+  mutable vm_instructions : int;
+  mutable interrupts_taken : int;
+  exceptions_by_vector : (Scb.vector, int) Hashtbl.t;
+}
+
+val create :
+  ?variant:Variant.t -> ?sid:Word.t -> mmu:Mmu.t -> clock:Cycles.t -> unit -> t
+
+val sid_standard : Word.t
+val sid_virtualizing : Word.t
+val sid_virtual_vax : Word.t
+(** SID values for the three processor identities; the virtual VAX is "a
+    specific member of the family" (paper §8) with its own SID. *)
+
+(** {1 Register and PSL helpers} *)
+
+val pc : t -> Word.t
+val set_pc : t -> Word.t -> unit
+val sp : t -> Word.t
+val set_sp : t -> Word.t -> unit
+val reg : t -> int -> Word.t
+val set_reg : t -> int -> Word.t -> unit
+val cur_mode : t -> Mode.t
+
+val stack_slot : t -> int
+(** Bank slot of the current PSL (interrupt stack = 4). *)
+
+val switch_stack_to : t -> int -> unit
+(** Save R14 into the current slot, load R14 from the target slot. *)
+
+val read_sp_of : t -> int -> Word.t
+(** Read a banked stack pointer (slot 0–4), seeing through R14 when the
+    slot is current. *)
+
+val write_sp_of : t -> int -> Word.t -> unit
+
+(** {1 Memory access (raising {!Fault})} *)
+
+val read_byte : t -> Mode.t -> Word.t -> int
+
+(** Instruction-stream byte fetch in the current mode: fully translated
+    (and so subject to faults and TB costs) but without the per-datum
+    memory charge — the prefetch stream is covered by each instruction's
+    base cycles. *)
+val fetch_byte : t -> Word.t -> int
+
+val write_byte : t -> Mode.t -> Word.t -> int -> unit
+val read_word16 : t -> Mode.t -> Word.t -> int
+val write_word16 : t -> Mode.t -> Word.t -> int -> unit
+val read_long : t -> Mode.t -> Word.t -> Word.t
+val write_long : t -> Mode.t -> Word.t -> Word.t -> unit
+
+val push_long : t -> Word.t -> unit
+(** Push on the current stack (R14), checked in current mode. *)
+
+val pop_long : t -> Word.t
+
+(** {1 Interrupt requests} *)
+
+val post_interrupt : t -> ipl:int -> vector:Scb.vector -> unit
+val retract_interrupt : t -> vector:Scb.vector -> unit
+
+val highest_pending : t -> (int * Scb.vector) option
+(** Highest-priority pending request (device or software), if any is
+    above the current IPL. *)
+
+val merged_vm_psl : t -> Word.t
+(** The VM's PSL as MOVPSL and the VM-emulation frame present it: the real
+    PSL with CUR/PRV/IPL/IS taken from VMPSL and PSL<VM> cleared. *)
+
+val count_exception : t -> Scb.vector -> unit

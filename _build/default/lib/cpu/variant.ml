@@ -1,0 +1,5 @@
+type t = Standard | Virtualizing
+
+let name = function Standard -> "standard" | Virtualizing -> "virtualizing"
+let pp ppf v = Format.pp_print_string ppf (name v)
+let equal a b = a = b

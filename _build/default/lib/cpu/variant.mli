@@ -1,0 +1,14 @@
+(** Processor variant.
+
+    [Standard] is the unmodified VAX architecture; [Virtualizing] is the
+    modified architecture of the paper (PSL<VM>, VMPSL, VM-emulation trap,
+    modify fault, PROBEVM, interceptable WAIT opcode).  A Virtualizing
+    processor with PSL<VM> clear and no VMM behaves exactly like a
+    standard VAX — the paper's compatibility goal — which the conformance
+    tests check. *)
+
+type t = Standard | Virtualizing
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

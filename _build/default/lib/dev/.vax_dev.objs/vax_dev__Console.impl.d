@@ -1,0 +1,1 @@
+lib/dev/console.ml: Buffer Char Ipr List Scb Sched State String Vax_arch Vax_cpu Vax_mem Word

@@ -1,0 +1,1 @@
+lib/dev/console.mli: Ipr Sched State Vax_arch Vax_cpu Vax_mem Word

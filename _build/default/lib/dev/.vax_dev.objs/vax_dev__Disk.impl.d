@@ -1,0 +1,1 @@
+lib/dev/disk.ml: Bytes Cost Phys_mem Scb Sched State Vax_arch Vax_cpu Vax_mem Word

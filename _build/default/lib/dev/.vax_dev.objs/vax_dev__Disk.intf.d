@@ -1,0 +1,1 @@
+lib/dev/disk.mli: Phys_mem Sched State Vax_arch Vax_cpu Vax_mem Word

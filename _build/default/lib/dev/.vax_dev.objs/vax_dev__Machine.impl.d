@@ -1,0 +1,1 @@
+lib/dev/machine.ml: Console Cycles Disk Exec Format Mmu Phys_mem Sched State Timer Variant Vax_arch Vax_cpu Vax_mem

@@ -1,0 +1,1 @@
+lib/dev/machine.mli: Console Cycles Disk Format Mmu Phys_mem Sched State Timer Variant Vax_arch Vax_cpu Vax_mem Word

@@ -1,0 +1,1 @@
+lib/dev/sched.ml: Cycles Int List Map Option Vax_arch

@@ -1,0 +1,1 @@
+lib/dev/sched.mli: Cycles Vax_arch

@@ -1,0 +1,1 @@
+lib/dev/timer.ml: Cycles Ipr Scb Sched State Vax_arch Vax_cpu Word

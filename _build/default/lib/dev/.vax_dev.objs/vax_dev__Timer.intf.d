@@ -1,0 +1,1 @@
+lib/dev/timer.mli: Ipr Sched State Vax_arch Vax_cpu Word

@@ -1,0 +1,109 @@
+open Vax_arch
+open Vax_cpu
+
+let rx_ipl = 20
+let tx_ipl = 20
+let bit_ie = 1 lsl 6
+let bit_ready = 1 lsl 7
+
+type t = {
+  sched : Sched.t;
+  cpu : State.t;
+  out : Buffer.t;
+  mutable input : int list;
+  mutable rxcs : int;
+  mutable txcs : int;
+  mutable rx_ready : bool;
+  mutable written : int;
+}
+
+let create ~sched ~cpu () =
+  {
+    sched;
+    cpu;
+    out = Buffer.create 256;
+    input = [];
+    rxcs = 0;
+    txcs = bit_ready;
+    rx_ready = false;
+    written = 0;
+  }
+
+let arm_rx t =
+  Sched.after t.sched ~delay:200 (fun () ->
+      match t.input with
+      | [] -> ()
+      | _ when t.rx_ready -> ()
+      | _ :: _ ->
+          t.rx_ready <- true;
+          if t.rxcs land bit_ie <> 0 then
+            State.post_interrupt t.cpu ~ipl:rx_ipl ~vector:Scb.console_receive)
+
+let handles_read t = function
+  | Ipr.RXCS -> Some (t.rxcs lor (if t.rx_ready then bit_ready else 0))
+  | Ipr.RXDB ->
+      let v =
+        match t.input with
+        | [] -> 0
+        | c :: rest ->
+            t.input <- rest;
+            t.rx_ready <- false;
+            State.retract_interrupt t.cpu ~vector:Scb.console_receive;
+            if rest <> [] then arm_rx t;
+            c
+      in
+      Some v
+  | Ipr.TXCS -> Some t.txcs
+  | Ipr.TXDB -> Some 0
+  | _ -> None
+
+let handles_write t r v =
+  match r with
+  | Ipr.RXCS ->
+      t.rxcs <- v land bit_ie;
+      if t.rx_ready && t.rxcs land bit_ie <> 0 then
+        State.post_interrupt t.cpu ~ipl:rx_ipl ~vector:Scb.console_receive;
+      true
+  | Ipr.TXCS ->
+      t.txcs <- bit_ready lor (v land bit_ie);
+      true
+  | Ipr.TXDB ->
+      Buffer.add_char t.out (Char.chr (v land 0xFF));
+      t.written <- t.written + 1;
+      if t.txcs land bit_ie <> 0 then
+        State.post_interrupt t.cpu ~ipl:tx_ipl ~vector:Scb.console_transmit;
+      true
+  | _ -> false
+
+let output t = Buffer.contents t.out
+
+let take_output t =
+  let s = Buffer.contents t.out in
+  Buffer.clear t.out;
+  s
+
+let feed t s =
+  let was_empty = t.input = [] in
+  t.input <- t.input @ List.init (String.length s) (fun i -> Char.code s.[i]);
+  if was_empty && not t.rx_ready then arm_rx t
+
+let chars_written t = t.written
+
+type command =
+  | Examine of Word.t
+  | Deposit of Word.t * Word.t
+  | Start of Word.t
+  | Halt_cpu
+
+let execute_command t phys = function
+  | Examine pa -> Some (Vax_mem.Phys_mem.read_long phys pa)
+  | Deposit (pa, v) ->
+      Vax_mem.Phys_mem.write_long phys pa v;
+      None
+  | Start pc ->
+      State.set_pc t.cpu pc;
+      t.cpu.State.halted <- false;
+      None
+  | Halt_cpu ->
+      t.cpu.State.halted <- true;
+      None

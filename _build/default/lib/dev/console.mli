@@ -1,0 +1,46 @@
+(** Console terminal via the RXCS/RXDB/TXCS/TXDB processor registers,
+    plus the console command subset of §5 ("adequate for booting and
+    debugging"): examine, deposit, start, halt.
+
+    Output written through TXDB accumulates in a buffer the host can
+    read; input fed by the host arrives through RXDB, raising an
+    interrupt per character when receive interrupts are enabled. *)
+
+open Vax_arch
+open Vax_cpu
+
+type t
+
+val rx_ipl : int (* 20 *)
+val tx_ipl : int (* 20 *)
+
+val create : sched:Sched.t -> cpu:State.t -> unit -> t
+
+val handles_read : t -> Ipr.t -> Word.t option
+val handles_write : t -> Ipr.t -> Word.t -> bool
+
+val output : t -> string
+(** Everything the guest has written so far. *)
+
+val take_output : t -> string
+(** Read and clear the output buffer. *)
+
+val feed : t -> string -> unit
+(** Queue input characters; the first becomes available after a small
+    delay (and interrupts if RX IE is set). *)
+
+val chars_written : t -> int
+
+(** {1 Console command interface}
+
+    The console processor of a real VAX accepts commands when the CPU is
+    halted.  We provide the subset a VM console offers (paper §5). *)
+
+type command =
+  | Examine of Word.t  (** physical address *)
+  | Deposit of Word.t * Word.t
+  | Start of Word.t  (** set PC and un-halt *)
+  | Halt_cpu
+
+val execute_command : t -> Vax_mem.Phys_mem.t -> command -> Word.t option
+(** Returns the examined value for [Examine], [None] otherwise. *)

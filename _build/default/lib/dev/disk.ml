@@ -1,0 +1,106 @@
+open Vax_arch
+open Vax_cpu
+open Vax_mem
+
+let ipl = 21
+let mmio_base = Phys_mem.io_space_base
+let mmio_size = 512
+let block_size = 512
+let bit_busy = 1
+let bit_ie = 1 lsl 6
+let bit_done = 1 lsl 7
+
+type t = {
+  sched : Sched.t;
+  cpu : State.t;
+  phys : Phys_mem.t;
+  store : Bytes.t;
+  nblocks : int;
+  mutable csr : int;
+  mutable block : int;
+  mutable addr : Word.t;
+  mutable ios : int;
+}
+
+let blocks t = t.nblocks
+
+let read_block t n =
+  assert (n >= 0 && n < t.nblocks);
+  Bytes.sub t.store (n * block_size) block_size
+
+let write_block t n data =
+  assert (n >= 0 && n < t.nblocks);
+  assert (Bytes.length data <= block_size);
+  Bytes.blit data 0 t.store (n * block_size) (Bytes.length data)
+
+let transfer t ~write ~block ~phys_addr =
+  if block < 0 || block >= t.nblocks then ()
+  else if write then begin
+    let data = Phys_mem.blit_out t.phys phys_addr block_size in
+    Bytes.blit data 0 t.store (block * block_size) block_size
+  end
+  else
+    Phys_mem.blit_in t.phys phys_addr
+      (Bytes.sub t.store (block * block_size) block_size)
+
+let submit t ~write ~block ~phys_addr ~on_complete =
+  Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
+      transfer t ~write ~block ~phys_addr;
+      t.ios <- t.ios + 1;
+      on_complete ())
+
+let start_mmio t ~write =
+  t.csr <- t.csr lor bit_busy;
+  let block = t.block and phys_addr = t.addr in
+  Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
+      transfer t ~write ~block ~phys_addr;
+      t.ios <- t.ios + 1;
+      t.csr <- (t.csr land lnot bit_busy) lor bit_done;
+      if t.csr land bit_ie <> 0 then
+        State.post_interrupt t.cpu ~ipl ~vector:Scb.disk)
+
+let mmio_read t ~offset ~width:_ =
+  match offset land lnot 3 with
+  | 0 -> t.csr
+  | 4 -> t.block
+  | 8 -> t.addr
+  | _ -> 0
+
+let mmio_write t ~offset ~width:_ v =
+  match offset land lnot 3 with
+  | 0 ->
+      if v land bit_done <> 0 then begin
+        t.csr <- t.csr land lnot bit_done;
+        State.retract_interrupt t.cpu ~vector:Scb.disk
+      end;
+      t.csr <- (t.csr land lnot bit_ie) lor (v land bit_ie);
+      if v land 3 = 1 then start_mmio t ~write:false
+      else if v land 3 = 2 then start_mmio t ~write:true
+  | 4 -> t.block <- Word.mask v
+  | 8 -> t.addr <- Word.mask v
+  | _ -> ()
+
+let create ~sched ~cpu ~phys ~blocks () =
+  let t =
+    {
+      sched;
+      cpu;
+      phys;
+      store = Bytes.make (blocks * block_size) '\000';
+      nblocks = blocks;
+      csr = 0;
+      block = 0;
+      addr = 0;
+      ios = 0;
+    }
+  in
+  Phys_mem.register_io phys
+    {
+      Phys_mem.io_base = mmio_base;
+      io_size = mmio_size;
+      io_read = (fun ~offset ~width -> mmio_read t ~offset ~width);
+      io_write = (fun ~offset ~width v -> mmio_write t ~offset ~width v);
+    };
+  t
+
+let io_count t = t.ios

@@ -1,0 +1,90 @@
+open Vax_arch
+open Vax_cpu
+open Vax_mem
+
+type t = {
+  cpu : State.t;
+  mmu : Mmu.t;
+  phys : Phys_mem.t;
+  clock : Cycles.t;
+  sched : Sched.t;
+  timer : Timer.t;
+  console : Console.t;
+  disk : Disk.t;
+}
+
+type outcome = Halted | Stopped | Cycle_limit | Deadlock
+
+let pp_outcome ppf o =
+  Format.pp_print_string ppf
+    (match o with
+    | Halted -> "halted"
+    | Stopped -> "stopped"
+    | Cycle_limit -> "cycle limit"
+    | Deadlock -> "deadlock")
+
+let create ?(variant = Variant.Standard) ?(memory_pages = 2048)
+    ?(disk_blocks = 256) ?modify_policy () =
+  let policy =
+    match modify_policy with
+    | Some p -> p
+    | None -> (
+        match variant with
+        | Variant.Standard -> Mmu.Hardware_sets_m
+        | Variant.Virtualizing -> Mmu.Modify_fault_policy)
+  in
+  let phys = Phys_mem.create ~pages:memory_pages in
+  let clock = Cycles.create () in
+  let mmu = Mmu.create ~policy ~phys ~clock () in
+  let cpu = State.create ~variant ~mmu ~clock () in
+  let sched = Sched.create clock in
+  let timer = Timer.create ~sched ~cpu () in
+  let console = Console.create ~sched ~cpu () in
+  let disk = Disk.create ~sched ~cpu ~phys ~blocks:disk_blocks () in
+  (* chain the device IPR hooks *)
+  cpu.State.ipr_read_hook <-
+    (fun r ->
+      match Timer.handles_read timer r with
+      | Some v -> Some v
+      | None -> Console.handles_read console r);
+  cpu.State.ipr_write_hook <-
+    (fun r v -> Timer.handles_write timer r v || Console.handles_write console r v);
+  { cpu; mmu; phys; clock; sched; timer; console; disk }
+
+let load t pa image = Phys_mem.blit_in t.phys pa image
+
+let start t ~pc ~sp =
+  State.set_pc t.cpu pc;
+  State.set_sp t.cpu sp;
+  t.cpu.State.halted <- false
+
+let run t ?(max_cycles = 100_000_000) () =
+  let limit = Cycles.now t.clock + max_cycles in
+  let rec loop () =
+    if Cycles.now t.clock >= limit then Cycle_limit
+    else begin
+      Sched.run_due t.sched;
+      if t.cpu.State.halted then Halted
+      else if t.cpu.State.stop_requested then Stopped
+      else if t.cpu.State.idle_hint then begin
+        match State.highest_pending t.cpu with
+        | Some _ ->
+            t.cpu.State.idle_hint <- false;
+            step ()
+        | None -> (
+            match Sched.next_due t.sched with
+            | Some c when c > limit -> Cycle_limit
+            | Some c ->
+                Cycles.advance_to t.clock c;
+                loop ()
+            | None -> Deadlock)
+      end
+      else step ()
+    end
+  and step () =
+    match Exec.step t.cpu with
+    | Exec.Stepped -> loop ()
+    | Exec.Machine_halted -> Halted
+    | Exec.Stopped -> Stopped
+  in
+  loop ()

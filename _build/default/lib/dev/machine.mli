@@ -1,0 +1,48 @@
+(** A complete simulated VAX system: CPU + MMU + physical memory +
+    interval timer + console + disk + event scheduler.
+
+    [run] drives the CPU instruction by instruction, firing device events
+    at their simulated times.  When the CPU's [idle_hint] is set (the VMM
+    reporting that no VM is runnable), simulated time skips forward to the
+    next device event instead of burning cycles. *)
+
+open Vax_arch
+open Vax_cpu
+open Vax_mem
+
+type t = {
+  cpu : State.t;
+  mmu : Mmu.t;
+  phys : Phys_mem.t;
+  clock : Cycles.t;
+  sched : Sched.t;
+  timer : Timer.t;
+  console : Console.t;
+  disk : Disk.t;
+}
+
+type outcome =
+  | Halted  (** kernel-mode HALT on the bare machine *)
+  | Stopped  (** the host agent requested a stop *)
+  | Cycle_limit
+  | Deadlock  (** idle with no future event: nothing can ever happen *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val create :
+  ?variant:Variant.t ->
+  ?memory_pages:int ->
+  ?disk_blocks:int ->
+  ?modify_policy:Mmu.modify_policy ->
+  unit ->
+  t
+(** Defaults: 2048 pages (1 MB) RAM, 256-block disk; a [Virtualizing]
+    variant gets the modify-fault policy. *)
+
+val load : t -> Word.t -> bytes -> unit
+(** Copy an image into physical memory. *)
+
+val start : t -> pc:Word.t -> sp:Word.t -> unit
+(** Point the CPU at a boot address with an initial interrupt stack. *)
+
+val run : t -> ?max_cycles:int -> unit -> outcome

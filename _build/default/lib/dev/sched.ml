@@ -1,0 +1,27 @@
+open Vax_arch
+
+module Imap = Map.Make (Int)
+
+type t = { clock : Cycles.t; mutable events : (unit -> unit) list Imap.t }
+
+let create clock = { clock; events = Imap.empty }
+
+let at t ~cycle f =
+  let existing = Option.value ~default:[] (Imap.find_opt cycle t.events) in
+  (* keep FIFO order for same-cycle events *)
+  t.events <- Imap.add cycle (existing @ [ f ]) t.events
+
+let after t ~delay f = at t ~cycle:(Cycles.now t.clock + delay) f
+
+let rec run_due t =
+  match Imap.min_binding_opt t.events with
+  | Some (cycle, fs) when cycle <= Cycles.now t.clock ->
+      t.events <- Imap.remove cycle t.events;
+      List.iter (fun f -> f ()) fs;
+      run_due t
+  | Some _ | None -> ()
+
+let next_due t =
+  Option.map fst (Imap.min_binding_opt t.events)
+
+let pending t = Imap.fold (fun _ fs acc -> acc + List.length fs) t.events 0

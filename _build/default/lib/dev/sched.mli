@@ -1,0 +1,20 @@
+(** Simulated-time event scheduler.
+
+    Devices schedule callbacks at absolute cycle times; the machine loop
+    fires all due events between instructions.  Callbacks typically post
+    interrupts or complete I/O transfers. *)
+
+open Vax_arch
+
+type t
+
+val create : Cycles.t -> t
+val at : t -> cycle:int -> (unit -> unit) -> unit
+val after : t -> delay:int -> (unit -> unit) -> unit
+val run_due : t -> unit
+(** Fire every event whose time is <= now, in time order. *)
+
+val next_due : t -> int option
+(** Time of the earliest pending event. *)
+
+val pending : t -> int

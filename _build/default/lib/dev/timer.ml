@@ -1,0 +1,65 @@
+open Vax_arch
+open Vax_cpu
+
+let ipl = 22
+let bit_run = 1
+let bit_ie = 1 lsl 6
+let bit_int = 1 lsl 7
+
+type t = {
+  sched : Sched.t;
+  cpu : State.t;
+  mutable iccs : int;
+  mutable nicr : int;
+  mutable ticks : int;
+  mutable generation : int;  (** invalidates stale scheduled ticks *)
+}
+
+let create ~sched ~cpu () =
+  { sched; cpu; iccs = 0; nicr = 10_000; ticks = 0; generation = 0 }
+
+let running t = t.iccs land bit_run <> 0
+
+let rec arm t =
+  let gen = t.generation in
+  Sched.after t.sched ~delay:(max 16 t.nicr) (fun () ->
+      if gen = t.generation && running t then begin
+        t.ticks <- t.ticks + 1;
+        t.iccs <- t.iccs lor bit_int;
+        if t.iccs land bit_ie <> 0 then
+          State.post_interrupt t.cpu ~ipl ~vector:Scb.interval_timer;
+        arm t
+      end)
+
+let handles_read t = function
+  | Ipr.ICCS -> Some t.iccs
+  | Ipr.ICR -> Some t.nicr
+  | Ipr.TODR ->
+      (* time of day in 10ms-equivalent units of simulated time *)
+      Some (Word.mask (Cycles.now t.cpu.State.clock / 1000))
+  | _ -> None
+
+let handles_write t r v =
+  match r with
+  | Ipr.ICCS ->
+      let was_running = running t in
+      (* bit 7 is write-one-to-clear *)
+      if v land bit_int <> 0 then begin
+        t.iccs <- t.iccs land lnot bit_int;
+        State.retract_interrupt t.cpu ~vector:Scb.interval_timer
+      end;
+      t.iccs <- (t.iccs land lnot (bit_run lor bit_ie))
+                lor (v land (bit_run lor bit_ie));
+      if running t && not was_running then begin
+        t.generation <- t.generation + 1;
+        arm t
+      end;
+      if (not (running t)) && was_running then t.generation <- t.generation + 1;
+      true
+  | Ipr.NICR ->
+      t.nicr <- max 16 (Word.mask v);
+      true
+  | _ -> false
+
+let ticks t = t.ticks
+let period t = t.nicr

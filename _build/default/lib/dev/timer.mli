@@ -1,0 +1,28 @@
+(** Interval timer (ICCS/NICR/ICR).
+
+    A simplified VAX interval clock: NICR holds the tick period in cycles,
+    ICCS bit 0 (RUN) starts it, bit 6 (IE) enables the interrupt, bit 7
+    (INT) is the request flag, written-1-to-clear.  While running it posts
+    an interrupt at IPL 22 through SCB vector 0xC0 every period.
+
+    The paper's "Time" discussion (§5) hinges on this device: on a real
+    VAX the OS counts its interrupts to compute uptime; in a VM, ticks
+    arrive only while the VM runs, so the VMM maintains uptime instead. *)
+
+open Vax_arch
+open Vax_cpu
+
+type t
+
+val ipl : int (* 22 *)
+
+val create : sched:Sched.t -> cpu:State.t -> unit -> t
+
+val handles_read : t -> Ipr.t -> Word.t option
+val handles_write : t -> Ipr.t -> Word.t -> bool
+(** IPR hook entry points, chained by the machine. *)
+
+val ticks : t -> int
+(** Interrupts raised since creation. *)
+
+val period : t -> int

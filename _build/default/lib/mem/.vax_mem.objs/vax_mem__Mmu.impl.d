@@ -1,0 +1,1 @@
+lib/mem/mmu.ml: Addr Cost Cycles Format Mode Phys_mem Protection Pte Tlb Vax_arch Word

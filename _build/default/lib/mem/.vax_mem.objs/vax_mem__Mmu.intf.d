@@ -1,0 +1,1 @@
+lib/mem/mmu.mli: Cycles Format Mode Phys_mem Tlb Vax_arch Word

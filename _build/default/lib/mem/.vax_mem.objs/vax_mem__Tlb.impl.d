@@ -1,0 +1,1 @@
+lib/mem/tlb.ml: Addr Hashtbl List Protection Vax_arch Word

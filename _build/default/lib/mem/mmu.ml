@@ -1,0 +1,303 @@
+open Vax_arch
+
+type modify_policy = Hardware_sets_m | Modify_fault_policy
+
+type fault =
+  | Access_violation of {
+      va : Word.t;
+      length_violation : bool;
+      ptbl_ref : bool;
+      write : bool;
+    }
+  | Translation_not_valid of { va : Word.t; ptbl_ref : bool; write : bool }
+  | Modify_fault of { va : Word.t }
+
+let pp_fault ppf = function
+  | Access_violation { va; length_violation; ptbl_ref; write } ->
+      Format.fprintf ppf "ACV(va=%a%s%s%s)" Word.pp va
+        (if length_violation then " len" else "")
+        (if ptbl_ref then " pt" else "")
+        (if write then " w" else "")
+  | Translation_not_valid { va; ptbl_ref; write } ->
+      Format.fprintf ppf "TNV(va=%a%s%s)" Word.pp va
+        (if ptbl_ref then " pt" else "")
+        (if write then " w" else "")
+  | Modify_fault { va } -> Format.fprintf ppf "MF(va=%a)" Word.pp va
+
+type t = {
+  phys : Phys_mem.t;
+  tlb : Tlb.t;
+  clock : Cycles.t;
+  mutable policy : modify_policy;
+  mutable mapen : bool;
+  mutable p0br : Word.t;
+  mutable p0lr : int;
+  mutable p1br : Word.t;
+  mutable p1lr : int;
+  mutable sbr : Word.t;
+  mutable slr : int;
+  mutable walks : int;
+  mutable modify_faults : int;
+}
+
+let create ?tlb_capacity ?(policy = Hardware_sets_m) ~phys ~clock () =
+  {
+    phys;
+    tlb = Tlb.create ?capacity:tlb_capacity ();
+    clock;
+    policy;
+    mapen = false;
+    p0br = 0;
+    p0lr = 0;
+    p1br = 0;
+    p1lr = 0;
+    sbr = 0;
+    slr = 0;
+    walks = 0;
+    modify_faults = 0;
+  }
+
+let phys t = t.phys
+let tlb t = t.tlb
+let clock t = t.clock
+let policy t = t.policy
+let set_policy t p = t.policy <- p
+let mapen t = t.mapen
+let set_mapen t b = t.mapen <- b
+let p0br t = t.p0br
+let p0lr t = t.p0lr
+let p1br t = t.p1br
+let p1lr t = t.p1lr
+let sbr t = t.sbr
+let slr t = t.slr
+let set_p0br t v = t.p0br <- v
+let set_p0lr t v = t.p0lr <- v
+let set_p1br t v = t.p1br <- v
+let set_p1lr t v = t.p1lr <- v
+let set_sbr t v = t.sbr <- v
+let set_slr t v = t.slr <- v
+let tbia t = Tlb.invalidate_all t.tlb
+let tbis t va = Tlb.invalidate_single t.tlb va
+let tb_invalidate_process t = Tlb.invalidate_process t.tlb
+let walks t = t.walks
+let modify_faults_delivered t = t.modify_faults
+
+(* Fetch the PTE for [va], together with its physical address, respecting
+   the region geometry.  [ptbl_ref] faults are reported as such.  Does not
+   consult or fill the TLB for [va] itself, but the inner S translation of
+   a process PTE address naturally goes through the full path. *)
+let rec fetch_pte t ~write va =
+  let region = Addr.region_of va in
+  let vpn = Addr.vpn va in
+  let fail_len () =
+    Error
+      (Access_violation { va; length_violation = true; ptbl_ref = false; write })
+  in
+  match region with
+  | Addr.Reserved_region -> fail_len ()
+  | Addr.S ->
+      if not (Addr.in_length Addr.S ~vpn ~length_register:t.slr) then fail_len ()
+      else begin
+        t.walks <- t.walks + 1;
+        Cycles.charge t.clock Cost.tlb_miss_walk;
+        let pte_pa = Word.add t.sbr (4 * vpn) in
+        Ok (Phys_mem.read_long t.phys pte_pa, pte_pa)
+      end
+  | Addr.P0 | Addr.P1 ->
+      let br, lr = match region with
+        | Addr.P0 -> (t.p0br, t.p0lr)
+        | _ -> (t.p1br, t.p1lr)
+      in
+      if not (Addr.in_length region ~vpn ~length_register:lr) then fail_len ()
+      else begin
+        t.walks <- t.walks + 1;
+        Cycles.charge t.clock Cost.tlb_miss_walk;
+        let pte_va = Word.add br (4 * vpn) in
+        (* The process page tables live in S space; translate the PTE's
+           own address through the system path. *)
+        match translate_inner t ~mode:Mode.Kernel ~write:false ~ptbl_ref:true
+                pte_va
+        with
+        | Error e -> Error (retag_ptbl e)
+        | Ok pte_pa -> Ok (Phys_mem.read_long t.phys pte_pa, pte_pa)
+      end
+
+and retag_ptbl = function
+  | Access_violation a -> Access_violation { a with ptbl_ref = true }
+  | Translation_not_valid a -> Translation_not_valid { a with ptbl_ref = true }
+  | Modify_fault _ as f -> f
+
+(* The full translation algorithm for one byte.  [ptbl_ref] marks inner
+   page-table-page translations so their faults carry the PT flag. *)
+and translate_inner t ~mode ~write ~ptbl_ref va =
+  ignore ptbl_ref;
+  if not t.mapen then Ok (Word.mask va)
+  else begin
+    Cycles.charge t.clock Cost.tlb_hit;
+    match Tlb.lookup t.tlb va with
+    | Some e ->
+        if not ((if write then Protection.can_write else Protection.can_read)
+                  e.Tlb.prot mode)
+        then
+          Error
+            (Access_violation
+               { va; length_violation = false; ptbl_ref = false; write })
+        else if write && not e.Tlb.m then apply_modify_policy t va e
+        else Ok (Word.logor (Addr.phys_of_pfn e.Tlb.pfn) (Addr.offset va))
+    | None -> (
+        match fetch_pte t ~write va with
+        | Error e -> Error e
+        | Ok (pte, pte_pa) ->
+            let prot = Pte.prot pte in
+            if not ((if write then Protection.can_write else Protection.can_read)
+                      prot mode)
+            then
+              Error
+                (Access_violation
+                   { va; length_violation = false; ptbl_ref = false; write })
+            else if not (Pte.valid pte) then
+              Error (Translation_not_valid { va; ptbl_ref = false; write })
+            else begin
+              let entry =
+                {
+                  Tlb.pfn = Pte.pfn pte;
+                  prot;
+                  m = Pte.modify pte;
+                  system = Addr.region_of va = Addr.S;
+                }
+              in
+              Tlb.insert t.tlb va entry;
+              if write && not entry.Tlb.m then begin
+                match t.policy with
+                | Hardware_sets_m ->
+                    (* silently set PTE<M> in memory and in the TB *)
+                    Phys_mem.write_long t.phys pte_pa (Pte.with_modify pte true);
+                    entry.Tlb.m <- true;
+                    Ok (Word.logor (Addr.phys_of_pfn entry.Tlb.pfn)
+                          (Addr.offset va))
+                | Modify_fault_policy ->
+                    t.modify_faults <- t.modify_faults + 1;
+                    Error (Modify_fault { va })
+              end
+              else
+                Ok (Word.logor (Addr.phys_of_pfn entry.Tlb.pfn) (Addr.offset va))
+            end)
+  end
+
+and apply_modify_policy t va e =
+  match t.policy with
+  | Hardware_sets_m -> (
+      (* must update the in-memory PTE as well as the cached copy *)
+      match fetch_pte t ~write:true va with
+      | Error err -> Error err
+      | Ok (pte, pte_pa) ->
+          Phys_mem.write_long t.phys pte_pa (Pte.with_modify pte true);
+          e.Tlb.m <- true;
+          Ok (Word.logor (Addr.phys_of_pfn e.Tlb.pfn) (Addr.offset va)))
+  | Modify_fault_policy ->
+      t.modify_faults <- t.modify_faults + 1;
+      Error (Modify_fault { va })
+
+let translate t ~mode ~write va =
+  translate_inner t ~mode ~write ~ptbl_ref:false va
+
+type probe_outcome = { accessible : bool; pte_valid : bool }
+
+let probe t ~mode ~write va =
+  if not t.mapen then Ok { accessible = true; pte_valid = true }
+  else
+    let check prot valid =
+      let ok =
+        (if write then Protection.can_write else Protection.can_read) prot mode
+      in
+      Ok { accessible = ok; pte_valid = valid }
+    in
+    match Tlb.lookup t.tlb va with
+    | Some e -> check e.Tlb.prot true
+    | None -> (
+        match fetch_pte t ~write va with
+        | Error (Access_violation { length_violation = true; ptbl_ref = false; _ })
+          ->
+            (* beyond the region length: simply not accessible *)
+            Ok { accessible = false; pte_valid = true }
+        | Error e -> Error e
+        | Ok (pte, _) -> check (Pte.prot pte) (Pte.valid pte))
+
+let read_pte t va =
+  match fetch_pte t ~write:false va with
+  | Error e -> Error e
+  | Ok (pte, pa) -> Ok (pte, pa)
+
+(* Virtual accessors.  A multi-byte access contained in one page uses one
+   translation; one that crosses a page boundary is done bytewise. *)
+
+let charge_mem t = Cycles.charge t.clock Cost.memory_access
+
+let same_page va len = Addr.offset va + len <= Addr.page_size
+
+let v_read_byte t ~mode va =
+  match translate t ~mode ~write:false va with
+  | Error e -> Error e
+  | Ok pa ->
+      charge_mem t;
+      Ok (Phys_mem.read_byte t.phys pa)
+
+let v_write_byte t ~mode va b =
+  match translate t ~mode ~write:true va with
+  | Error e -> Error e
+  | Ok pa ->
+      charge_mem t;
+      Ok (Phys_mem.write_byte t.phys pa b)
+
+let rec bytes_read t ~mode va n acc shift =
+  if n = 0 then Ok acc
+  else
+    match v_read_byte t ~mode va with
+    | Error e -> Error e
+    | Ok b ->
+        bytes_read t ~mode (Word.add va 1) (n - 1)
+          (acc lor (b lsl shift))
+          (shift + 8)
+
+let rec bytes_write t ~mode va n v =
+  if n = 0 then Ok ()
+  else
+    match v_write_byte t ~mode va (v land 0xFF) with
+    | Error e -> Error e
+    | Ok () -> bytes_write t ~mode (Word.add va 1) (n - 1) (v lsr 8)
+
+let v_read_long t ~mode va =
+  if same_page va 4 then
+    match translate t ~mode ~write:false va with
+    | Error e -> Error e
+    | Ok pa ->
+        charge_mem t;
+        Ok (Phys_mem.read_long t.phys pa)
+  else bytes_read t ~mode va 4 0 0
+
+let v_write_long t ~mode va w =
+  if same_page va 4 then
+    match translate t ~mode ~write:true va with
+    | Error e -> Error e
+    | Ok pa ->
+        charge_mem t;
+        Ok (Phys_mem.write_long t.phys pa w)
+  else bytes_write t ~mode va 4 w
+
+let v_read_word t ~mode va =
+  if same_page va 2 then
+    match translate t ~mode ~write:false va with
+    | Error e -> Error e
+    | Ok pa ->
+        charge_mem t;
+        Ok (Phys_mem.read_word t.phys pa)
+  else bytes_read t ~mode va 2 0 0
+
+let v_write_word t ~mode va w =
+  if same_page va 2 then
+    match translate t ~mode ~write:true va with
+    | Error e -> Error e
+    | Ok pa ->
+        charge_mem t;
+        Ok (Phys_mem.write_word t.phys pa w)
+  else bytes_write t ~mode va 2 w

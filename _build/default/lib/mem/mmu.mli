@@ -1,0 +1,118 @@
+(** VAX memory management: address translation, protection, and the
+    modify-bit policy.
+
+    The MMU owns the memory-management processor registers (MAPEN, P0BR,
+    P0LR, P1BR, P1LR, SBR, SLR) and the translation buffer.  The S-space
+    page table lives in physical memory at SBR; the P0 and P1 page tables
+    live in S *virtual* memory at P0BR/P1BR, so a process-space miss can
+    take a second (system) walk for the page-table page, exactly as on the
+    VAX.
+
+    Checks are performed in architectural order: region/length (access
+    violation with the length-violation flag), protection (checked even
+    when the PTE is invalid — the property the VMM's null shadow PTE
+    relies on), validity (translation not valid), then modify.
+
+    Two modify-bit policies (paper §4.4.2):
+    - [Hardware_sets_m] (standard VAX): a legal write to an unmodified page
+      silently sets PTE<M> in memory and in the TB;
+    - [Modify_fault] (modified VAX): the same write takes a modify fault,
+      and software must set PTE<M> itself before retrying. *)
+
+open Vax_arch
+
+type t
+
+type modify_policy = Hardware_sets_m | Modify_fault_policy
+
+type fault =
+  | Access_violation of {
+      va : Word.t;
+      length_violation : bool;
+      ptbl_ref : bool;  (** fault occurred on the page-table reference *)
+      write : bool;
+    }
+  | Translation_not_valid of { va : Word.t; ptbl_ref : bool; write : bool }
+  | Modify_fault of { va : Word.t }
+
+val pp_fault : Format.formatter -> fault -> unit
+
+val create :
+  ?tlb_capacity:int ->
+  ?policy:modify_policy ->
+  phys:Phys_mem.t ->
+  clock:Cycles.t ->
+  unit ->
+  t
+
+val phys : t -> Phys_mem.t
+val tlb : t -> Tlb.t
+val clock : t -> Cycles.t
+
+val policy : t -> modify_policy
+val set_policy : t -> modify_policy -> unit
+
+(** {1 Memory-management registers} *)
+
+val mapen : t -> bool
+val set_mapen : t -> bool -> unit
+val p0br : t -> Word.t
+val p0lr : t -> int
+val p1br : t -> Word.t
+val p1lr : t -> int
+val sbr : t -> Word.t
+val slr : t -> int
+val set_p0br : t -> Word.t -> unit
+val set_p0lr : t -> int -> unit
+val set_p1br : t -> Word.t -> unit
+val set_p1lr : t -> int -> unit
+val set_sbr : t -> Word.t -> unit
+val set_slr : t -> int -> unit
+
+(** {1 Translation} *)
+
+val translate :
+  t -> mode:Mode.t -> write:bool -> Word.t -> (Word.t, fault) result
+(** Translate one virtual byte address for an access of the given intent.
+    Returns the physical address.  Applies the modify policy on writes. *)
+
+type probe_outcome = { accessible : bool; pte_valid : bool }
+
+val probe :
+  t -> mode:Mode.t -> write:bool -> Word.t -> (probe_outcome, fault) result
+(** The PROBE check for one byte: protection only (validity is reported,
+    not required).  Length violations yield [accessible = false] rather
+    than a fault; page-table faults (invalid or inaccessible page-table
+    page) are real faults, as on the VAX. *)
+
+val read_pte : t -> Word.t -> (Word.t * Word.t, fault) result
+(** [read_pte t va] walks to the PTE mapping [va] and returns
+    [(pte, physical address of the pte)] without any protection check
+    against the requester — the hardware's own view, used by the modified
+    microcode and by diagnostic tooling. *)
+
+(** {1 Virtual memory access}
+
+    Convenience accessors that translate then touch physical memory,
+    charging cycle costs.  Unaligned accesses that cross a page boundary
+    translate each page. *)
+
+val v_read_byte : t -> mode:Mode.t -> Word.t -> (int, fault) result
+val v_write_byte : t -> mode:Mode.t -> Word.t -> int -> (unit, fault) result
+val v_read_word : t -> mode:Mode.t -> Word.t -> (int, fault) result
+val v_write_word : t -> mode:Mode.t -> Word.t -> int -> (unit, fault) result
+val v_read_long : t -> mode:Mode.t -> Word.t -> (Word.t, fault) result
+val v_write_long : t -> mode:Mode.t -> Word.t -> Word.t -> (unit, fault) result
+
+(** {1 Translation buffer control} *)
+
+val tbia : t -> unit
+val tbis : t -> Word.t -> unit
+val tb_invalidate_process : t -> unit
+
+(** {1 Statistics} *)
+
+val walks : t -> int
+(** Page-table walks performed (each PTE fetch counts one). *)
+
+val modify_faults_delivered : t -> int

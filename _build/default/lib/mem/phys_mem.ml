@@ -1,0 +1,94 @@
+open Vax_arch
+
+exception Nonexistent_memory of Word.t
+
+type io_region = {
+  io_base : Word.t;
+  io_size : int;
+  io_read : offset:int -> width:int -> Word.t;
+  io_write : offset:int -> width:int -> Word.t -> unit;
+}
+
+type t = { ram : Bytes.t; npages : int; mutable io : io_region list }
+
+let io_space_base = 0x2000_0000
+
+let create ~pages =
+  { ram = Bytes.make (pages * Addr.page_size) '\000'; npages = pages; io = [] }
+
+let pages t = t.npages
+let size_bytes t = Bytes.length t.ram
+let is_io pa = Word.mask pa >= io_space_base
+let in_ram t pa = pa >= 0 && pa < size_bytes t
+
+let find_io t pa =
+  let inside r = pa >= r.io_base && pa < r.io_base + r.io_size in
+  match List.find_opt inside t.io with
+  | Some r -> r
+  | None -> raise (Nonexistent_memory pa)
+
+let register_io t r =
+  if not (is_io r.io_base) then invalid_arg "register_io: not in I/O space";
+  let overlaps r' =
+    r.io_base < r'.io_base + r'.io_size && r'.io_base < r.io_base + r.io_size
+  in
+  if List.exists overlaps t.io then invalid_arg "register_io: overlap";
+  t.io <- r :: t.io
+
+let read_byte t pa =
+  let pa = Word.mask pa in
+  if is_io pa then
+    let r = find_io t pa in
+    Word.mask (r.io_read ~offset:(pa - r.io_base) ~width:1) land 0xFF
+  else if in_ram t pa then Char.code (Bytes.get t.ram pa)
+  else raise (Nonexistent_memory pa)
+
+let write_byte t pa b =
+  let pa = Word.mask pa in
+  if is_io pa then
+    let r = find_io t pa in
+    r.io_write ~offset:(pa - r.io_base) ~width:1 (b land 0xFF)
+  else if in_ram t pa then Bytes.set t.ram pa (Char.chr (b land 0xFF))
+  else raise (Nonexistent_memory pa)
+
+let read_long t pa =
+  let pa = Word.mask pa in
+  if is_io pa then
+    let r = find_io t pa in
+    Word.mask (r.io_read ~offset:(pa - r.io_base) ~width:4)
+  else if in_ram t pa && in_ram t (pa + 3) then
+    (* fast path for aligned-in-RAM longwords *)
+    Word.of_bytes
+      (Char.code (Bytes.get t.ram pa))
+      (Char.code (Bytes.get t.ram (pa + 1)))
+      (Char.code (Bytes.get t.ram (pa + 2)))
+      (Char.code (Bytes.get t.ram (pa + 3)))
+  else raise (Nonexistent_memory pa)
+
+let write_long t pa w =
+  let pa = Word.mask pa in
+  if is_io pa then
+    let r = find_io t pa in
+    r.io_write ~offset:(pa - r.io_base) ~width:4 (Word.mask w)
+  else if in_ram t pa && in_ram t (pa + 3) then
+    for i = 0 to 3 do
+      Bytes.set t.ram (pa + i) (Char.chr (Word.byte w i))
+    done
+  else raise (Nonexistent_memory pa)
+
+let read_word t pa =
+  read_byte t pa lor (read_byte t (Word.add pa 1) lsl 8)
+
+let write_word t pa w =
+  write_byte t pa (w land 0xFF);
+  write_byte t (Word.add pa 1) ((w lsr 8) land 0xFF)
+
+let blit_in t pa data =
+  if not (in_ram t pa && in_ram t (pa + Bytes.length data - 1)) then
+    raise (Nonexistent_memory pa);
+  Bytes.blit data 0 t.ram pa (Bytes.length data)
+
+let blit_out t pa len =
+  if not (in_ram t pa && in_ram t (pa + len - 1)) then
+    raise (Nonexistent_memory pa);
+  Bytes.sub t.ram pa len

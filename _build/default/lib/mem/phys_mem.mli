@@ -1,0 +1,52 @@
+(** Physical memory and memory-mapped I/O space.
+
+    RAM occupies page frames [0, pages-1].  Physical addresses at or above
+    {!io_space_base} are I/O space: accesses are dispatched to registered
+    device regions (the typical VAX I/O mechanism the paper contrasts with
+    its start-I/O design).  A reference to a physical address that is
+    neither RAM nor a registered I/O region raises {!Nonexistent_memory},
+    which the CPU turns into a machine check. *)
+
+open Vax_arch
+
+type t
+
+exception Nonexistent_memory of Word.t
+
+val io_space_base : Word.t
+(** 0x2000_0000: start of the I/O region of physical address space. *)
+
+val create : pages:int -> t
+(** Zero-filled RAM of [pages] 512-byte page frames. *)
+
+val pages : t -> int
+val size_bytes : t -> int
+
+val in_ram : t -> Word.t -> bool
+val is_io : Word.t -> bool
+
+(** Byte / longword access, little-endian.  Longwords need not be
+    aligned (the VAX permits unaligned references). *)
+
+val read_byte : t -> Word.t -> int
+val write_byte : t -> Word.t -> int -> unit
+val read_word : t -> Word.t -> int
+val write_word : t -> Word.t -> int -> unit
+val read_long : t -> Word.t -> Word.t
+val write_long : t -> Word.t -> Word.t -> unit
+
+type io_region = {
+  io_base : Word.t;  (** first physical address of the region *)
+  io_size : int;  (** bytes *)
+  io_read : offset:int -> width:int -> Word.t;
+  io_write : offset:int -> width:int -> Word.t -> unit;
+}
+
+val register_io : t -> io_region -> unit
+(** Regions must lie in I/O space and not overlap existing ones. *)
+
+val blit_in : t -> Word.t -> bytes -> unit
+(** Bulk load (used by program loaders and the disk DMA path). *)
+
+val blit_out : t -> Word.t -> int -> bytes
+(** [blit_out t pa len] copies [len] bytes out of RAM. *)

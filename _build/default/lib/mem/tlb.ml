@@ -1,0 +1,51 @@
+open Vax_arch
+
+type entry = { pfn : int; prot : Protection.t; mutable m : bool; system : bool }
+
+type t = {
+  table : (int, entry) Hashtbl.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 1024) () =
+  { table = Hashtbl.create 64; capacity; hits = 0; misses = 0 }
+
+let key va = Word.mask va lsr Addr.page_shift
+
+let lookup t va =
+  match Hashtbl.find_opt t.table (key va) with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t va e =
+  if Hashtbl.length t.table >= t.capacity then begin
+    (* evict an arbitrary victim; correctness never depends on contents *)
+    match Hashtbl.fold (fun k _ _ -> Some k) t.table None with
+    | Some k -> Hashtbl.remove t.table k
+    | None -> ()
+  end;
+  Hashtbl.replace t.table (key va) e
+
+let invalidate_single t va = Hashtbl.remove t.table (key va)
+let invalidate_all t = Hashtbl.reset t.table
+
+let invalidate_process t =
+  let victims =
+    Hashtbl.fold (fun k e acc -> if e.system then acc else k :: acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) victims
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let entry_count t = Hashtbl.length t.table

@@ -1,0 +1,36 @@
+(** Translation buffer.
+
+    Caches valid PTEs keyed by virtual page.  Per the architecture,
+    hardware may cache a PTE only while it is valid; software that changes
+    a valid PTE must issue TBIS/TBIA, and LDPCTX invalidates all process
+    (P0/P1) entries.  The modify bit is cached so that writes to
+    already-modified pages need no walk. *)
+
+open Vax_arch
+
+type t
+
+type entry = {
+  pfn : int;
+  prot : Protection.t;
+  mutable m : bool;
+  system : bool;  (** S-region entry: survives process context switch *)
+}
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds the number of cached translations (default 1024);
+    insertion beyond it evicts an arbitrary entry, which is always safe. *)
+
+val lookup : t -> Word.t -> entry option
+(** Lookup by virtual address; counts a hit or miss. *)
+
+val insert : t -> Word.t -> entry -> unit
+val invalidate_single : t -> Word.t -> unit
+val invalidate_all : t -> unit
+val invalidate_process : t -> unit
+(** Drop all non-system entries (LDPCTX semantics). *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+val entry_count : t -> int

@@ -1,0 +1,1 @@
+lib/vmos/minivms.ml: Addr Asm Bytes Char Ipr List Opcode Printf Protection Pte Scb Userland Vax_arch Vax_asm Vax_cpu Vax_mem

@@ -1,0 +1,1 @@
+lib/vmos/minivms.mli: Asm Vax_asm

@@ -1,0 +1,1 @@
+lib/vmos/userland.ml: Asm Char Opcode Vax_arch Vax_asm

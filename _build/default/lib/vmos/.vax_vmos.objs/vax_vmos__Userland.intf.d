@@ -1,0 +1,1 @@
+lib/vmos/userland.mli: Asm Vax_asm

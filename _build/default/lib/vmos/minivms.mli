@@ -1,0 +1,65 @@
+(** MiniVMS — a miniature VMS-like operating system for the simulated
+    VAX, written in VAX assembly through the {!Vax_asm.Asm} eDSL.
+
+    MiniVMS is the VMOS of the reproduction: it is a *standard* VAX
+    program (it runs unchanged on a standard VAX, on the modified VAX,
+    and in a virtual machine), and it exercises everything the paper's
+    evaluation depends on:
+
+    - all four access modes: user programs call supervisor (CHMS command
+      service), executive (CHME record service) and kernel (CHMK system
+      services) layers;
+    - memory management: per-process P0/P1 page tables, demand-zero
+      paging, PROBE-checked argument passing, TBIS discipline, and a
+      modify-fault handler (the optional modified-architecture feature);
+    - preemptive round-robin scheduling over LDPCTX/SVPCTX with per-tick
+      interval-timer interrupts and a software-interrupt rescheduler —
+      lots of MTPR-to-IPL traffic, the paper's hottest emulated path;
+    - disk I/O through either discipline: KCALL start-I/O when running on
+      a virtual VAX, memory-mapped CSRs otherwise (selected at boot from
+      the SID register, the paper's "specific member of the family"
+      rule), and WAIT-based idling only on the virtual VAX.
+
+    The kernel image is position-fixed: boot stub at physical 0xE00
+    (entry, memory management off), kernel proper at 0x1000 linked at its
+    S-space address.  See the [layout] constants below. *)
+
+open Vax_asm
+
+type profile =
+  | Vms_like  (** all four modes, demand-zero paging *)
+  | Unix_like  (** two modes: CHME/CHMS are fatal, everything via CHMK *)
+
+type program = {
+  prog_name : string;
+  prog_image : Asm.image;  (** assembled at P0 origin 0 *)
+  prog_data_pages : int;  (** demand-zero pages at {!Userland.data_base} *)
+}
+
+type built = {
+  images : (int * bytes) list;  (** (physical address, contents) *)
+  entry : int;  (** boot PC (physical, MM off) *)
+  memsize : int;  (** pages of (VM-)physical memory the OS manages *)
+  kernel : Asm.image;  (** the kernel image, for symbol lookup *)
+}
+
+val max_processes : int (* 8 *)
+val max_code_pages : int (* 64 *)
+val max_data_pages : int (* 32 *)
+
+val kdata_sva : int
+(** S virtual address of the kernel data page (uptime cell at +0). *)
+
+val build :
+  ?profile:profile ->
+  ?tick:int ->
+  ?quantum:int ->
+  ?memsize:int ->
+  ?force_mmio:bool ->
+  programs:program list ->
+  unit ->
+  built
+(** Generate a bootable MiniVMS system running the given user programs
+    as processes 0..n-1.  [tick] is the interval-timer period in cycles
+    (default 8000); [quantum] the timeslice in ticks (default 4);
+    [memsize] the managed memory in pages (default 240, max 255). *)

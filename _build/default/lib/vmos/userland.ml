@@ -1,0 +1,39 @@
+open Vax_arch
+open Vax_asm
+
+let data_base = 0x8000
+
+module Sys = struct
+  let exit = 1
+  let putc = 2
+  let getpid = 3
+  let uptime = 4
+  let yield = 5
+  let sleep = 6
+  let read_block = 7
+  let write_block = 8
+  let puts = 9
+  let getchar = 10
+  let iplbench = 11
+  let access = 12
+end
+
+let record = 1
+let command = 1
+
+let chmk a code = Asm.ins a Opcode.Chmk [ Asm.Imm code ]
+let chme a code = Asm.ins a Opcode.Chme [ Asm.Imm code ]
+let chms a code = Asm.ins a Opcode.Chms [ Asm.Imm code ]
+
+let sys_exit a = chmk a Sys.exit
+
+let sys_putc_imm a ch =
+  Asm.ins a Opcode.Movl [ Asm.Imm (Char.code ch); Asm.R 1 ];
+  chmk a Sys.putc
+
+let sys_yield a = chmk a Sys.yield
+
+let sys_puts_label a label ~len =
+  Asm.ins a Opcode.Moval [ Asm.Abs_label label; Asm.R 1 ];
+  Asm.ins a Opcode.Movl [ Asm.Imm len; Asm.R 2 ];
+  chmk a Sys.puts

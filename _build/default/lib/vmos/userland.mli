@@ -1,0 +1,51 @@
+(** User-mode programming interface of the Mini operating systems.
+
+    User programs run in P0 space with code at virtual 0, a demand-zero
+    data region at {!data_base}, and a demand-zero stack in P1.  System
+    services are requested with CHMK (and, on the VMS-like profile, CHME
+    and CHMS for the executive record service and the supervisor command
+    service), with arguments in R1/R2 and results in R0. *)
+
+open Vax_asm
+
+val data_base : int
+(** P0 virtual address of the demand-zero data region (0x8000). *)
+
+(** CHMK system service codes. *)
+module Sys : sig
+  val exit : int (* 1: terminate the process *)
+  val putc : int (* 2: write char (R1) to the console *)
+  val getpid : int (* 3: process id -> R0 *)
+  val uptime : int (* 4: system uptime in ticks -> R0 *)
+  val yield : int (* 5: give up the processor *)
+  val sleep : int (* 6: sleep R1 ticks *)
+  val read_block : int (* 7: disk block R1 -> page buffer R2 *)
+  val write_block : int (* 8: page buffer R2 -> disk block R1 *)
+  val puts : int (* 9: write string R1, length R2 *)
+  val getchar : int (* 10: console char -> R0, -1 if none *)
+  val iplbench : int (* 11: run R1 iterations of the kernel's raise/lower
+                         IPL loop (the MTPR-to-IPL microbenchmark) *)
+  val access : int (* 12: PROBER the range (R1, length R2) on behalf of the
+                       caller; R0 = 1 if accessible (the PROBE workload) *)
+end
+
+val record : int
+(** CHME service 1: write a record (user buffer R1, length R2) through
+    the executive-mode record layer. *)
+
+val command : int
+(** CHMS service 1: echo a command line through supervisor -> executive
+    -> kernel (the full ring chain). *)
+
+(** Emission helpers (arguments are set up by the caller). *)
+
+val chmk : Asm.t -> int -> unit
+val chme : Asm.t -> int -> unit
+val chms : Asm.t -> int -> unit
+
+val sys_exit : Asm.t -> unit
+val sys_putc_imm : Asm.t -> char -> unit
+val sys_yield : Asm.t -> unit
+
+val sys_puts_label : Asm.t -> string -> len:int -> unit
+(** PUTS of an assembled string at a label (address taken at runtime). *)

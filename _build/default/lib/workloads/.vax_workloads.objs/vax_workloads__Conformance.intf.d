@@ -1,0 +1,1 @@
+lib/workloads/conformance.mli: Format Vax_arch Vax_asm

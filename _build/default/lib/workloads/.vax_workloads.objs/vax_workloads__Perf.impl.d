@@ -1,0 +1,1 @@
+lib/workloads/perf.ml: Array Conformance Float Format List Machine Minivms Opcode Printf Programs Protection Psl Pte Runner Variant Vax_arch Vax_asm Vax_cpu Vax_dev Vax_vmm Vax_vmos Vm Vmm

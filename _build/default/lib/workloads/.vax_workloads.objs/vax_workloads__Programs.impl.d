@@ -1,0 +1,1 @@
+lib/workloads/programs.ml: Asm Char Minivms Opcode Printf Userland Vax_arch Vax_asm Vax_vmos

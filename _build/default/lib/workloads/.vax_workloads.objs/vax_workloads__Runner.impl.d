@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Console Cycles List Machine Minivms State Variant Vax_arch Vax_cpu Vax_dev Vax_vmm Vax_vmos Vm Vmm

@@ -1,0 +1,1 @@
+lib/workloads/runner.mli: Machine Minivms Variant Vax_cpu Vax_dev Vax_vmm Vax_vmos Vm Vmm

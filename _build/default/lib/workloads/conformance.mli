@@ -1,0 +1,34 @@
+(** Behavioural reproduction of the paper's tables and figures.
+
+    Every row is *measured*: a directed scenario runs on the simulator
+    (standard VAX, modified VAX, or inside a VM) and the observed
+    behaviour is printed; a mismatch against the paper's claim raises
+    [Failure], so these double as conformance tests. *)
+
+val emit_spt_and_mapen : Vax_asm.Asm.t -> test_pte:Vax_arch.Word.t -> unit
+(** Guest boilerplate for directed VM scenarios: build a one-page system
+    page table at VM-physical 0x2000 whose entry 0 is [test_pte] and
+    whose remaining entries identity-map low memory, then enable memory
+    management (keeping the fetch stream alive via P0). *)
+
+val table1 : Format.formatter -> unit
+(** Table 1: sensitive data reachable by unprivileged instructions on the
+    standard VAX. *)
+
+val table2 : Format.formatter -> unit
+(** Table 2: PROBE versus PROBEVM. *)
+
+val table3 : Format.formatter -> unit
+(** Table 3: how each sensitive datum is handled in a VM. *)
+
+val table4 : Format.formatter -> unit
+(** Table 4: the full standard/modified/virtual conformance matrix. *)
+
+val figure1 : Format.formatter -> unit
+(** Figure 1: the VAX virtual address space, from [Vax_arch.Addr]. *)
+
+val figure2 : Format.formatter -> unit
+(** Figure 2: VM and VMM shared address space, from the VMM layout. *)
+
+val figure3 : Format.formatter -> unit
+(** Figure 3: ring compression, from [Vax_vmm.Ring]. *)

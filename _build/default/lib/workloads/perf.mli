@@ -1,0 +1,44 @@
+(** The quantitative experiments of the paper's evaluation (§4.3, §7.2,
+    §7.3), plus the ablations its design discussion calls for.  Each
+    experiment prints a table comparing the paper's reported number with
+    the value measured on the simulator. *)
+
+val e1_overall_performance : Format.formatter -> unit
+(** §7.3: editing + transaction mix; VM performance as a percentage of
+    the bare machine (paper: 47–48% with multi-process shadow tables). *)
+
+val e2_shadow_cache : Format.formatter -> unit
+(** §7.2: shadow-PTE fill faults with the multi-process shadow-table
+    cache versus the invalidate-on-switch baseline (paper: ~80% fewer). *)
+
+val e3_faults_per_switch : Format.formatter -> unit
+(** §4.3.1: average page faults (shadow fills) between VM context
+    switches (paper: ~17). *)
+
+val e4_mtpr_ipl : Format.formatter -> unit
+(** §7.3: MTPR-to-IPL cost in a VM relative to the bare machine (paper:
+    10–12x on the VAX 8800), including the 730-style microcode-assist
+    configuration (which made it nearly free). *)
+
+val e5_io_discipline : Format.formatter -> unit
+(** §4.4.3: KCALL start-I/O versus emulated memory-mapped CSRs: traps and
+    cycles per disk transfer (paper: start-I/O "significantly reduces the
+    number of traps"). *)
+
+val e6_modify_scheme : Format.formatter -> unit
+(** §4.4.2: the modify fault versus the rejected read-only-shadow
+    alternative: PROBEW must mis-report or trap more. *)
+
+val e7_prefill : Format.formatter -> unit
+(** §4.3.1: on-demand versus anticipatory shadow fill (paper: prefill
+    cost overshadowed the fault savings). *)
+
+val e8_efficiency : Format.formatter -> unit
+(** Popek–Goldberg efficiency: fraction of guest instructions executed
+    natively, per workload. *)
+
+val e9_separate_space : Format.formatter -> unit
+(** §7.1: cost of the rejected separate-VMM-address-space design. *)
+
+val e10_goal_check : Format.formatter -> unit
+(** §1/§5: per-workload VM/bare ratio against the 50% goal. *)

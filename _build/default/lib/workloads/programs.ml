@@ -1,0 +1,141 @@
+open Vax_arch
+open Vax_asm
+open Vax_vmos
+
+let ii = Asm.ins
+
+let assemble_user name ~data_pages f =
+  let a = Asm.create ~origin:0 in
+  f a;
+  { Minivms.prog_name = name; prog_image = Asm.assemble a; prog_data_pages = data_pages }
+
+let digit ident = Char.chr (Char.code '0' + (ident mod 10))
+
+let hello ~ident =
+  assemble_user "hello" ~data_pages:1 (fun a ->
+      Userland.sys_puts_label a "greeting" ~len:8;
+      ii a Opcode.Moval [ Asm.Abs_label "greeting"; Asm.R 1 ];
+      ii a Opcode.Movl [ Asm.Imm 7; Asm.R 2 ];
+      Userland.chms a Userland.command;
+      Userland.sys_exit a;
+      Asm.align a 4;
+      Asm.label a "greeting";
+      Asm.string_z a (Printf.sprintf "hello %c\n" (digit ident)))
+
+let compute ~ident ~iterations =
+  assemble_user "compute" ~data_pages:1 (fun a ->
+      ii a Opcode.Movl [ Asm.Imm iterations; Asm.R 6 ];
+      ii a Opcode.Movl [ Asm.Imm 0x1234; Asm.R 7 ];
+      ii a Opcode.Movl [ Asm.Imm 7; Asm.R 8 ];
+      Asm.label a "loop";
+      ii a Opcode.Mull2 [ Asm.Imm 13; Asm.R 7 ];
+      ii a Opcode.Addl2 [ Asm.R 6; Asm.R 7 ];
+      ii a Opcode.Xorl2 [ Asm.R 8; Asm.R 7 ];
+      ii a Opcode.Bicl2 [ Asm.Imm 0x7F00_0000; Asm.R 7 ];
+      ii a Opcode.Ashl [ Asm.Imm 1; Asm.R 8; Asm.R 8 ];
+      ii a Opcode.Bisl2 [ Asm.Imm 1; Asm.R 8 ];
+      ii a Opcode.Bicl2 [ Asm.Imm (lnot 0xFFFF land 0xFFFF_FFFF); Asm.R 8 ];
+      ii a Opcode.Sobgtr [ Asm.R 6; Asm.Branch "loop" ];
+      Userland.sys_putc_imm a (digit ident);
+      Userland.sys_exit a)
+
+let editing ~ident ~rounds =
+  assemble_user "editing" ~data_pages:16 (fun a ->
+      ii a Opcode.Movl [ Asm.Imm rounds; Asm.R 6 ];
+      Asm.label a "round";
+      (* keystroke burst: 24 byte writes at a rolling buffer position,
+         walking across the demand-zero data pages *)
+      ii a Opcode.Movl [ Asm.R 6; Asm.R 7 ];
+      ii a Opcode.Mull2 [ Asm.Imm 521; Asm.R 7 ];
+      ii a Opcode.Bicl2 [ Asm.Imm (lnot 0x1FE0 land 0xFFFF_FFFF); Asm.R 7 ];
+      ii a Opcode.Addl2 [ Asm.Imm Userland.data_base; Asm.R 7 ];
+      ii a Opcode.Movl [ Asm.Imm 24; Asm.R 8 ];
+      Asm.label a "keys";
+      ii a Opcode.Movb [ Asm.Imm (Char.code 'x'); Asm.Deref 7 ];
+      ii a Opcode.Incl [ Asm.R 7 ];
+      ii a Opcode.Sobgtr [ Asm.R 8; Asm.Branch "keys" ];
+      (* screen update through the supervisor command service *)
+      ii a Opcode.Moval [ Asm.Abs_label "update"; Asm.R 1 ];
+      ii a Opcode.Movl [ Asm.Imm 4; Asm.R 2 ];
+      Userland.chms a Userland.command;
+      (* think time every 8th round *)
+      ii a Opcode.Bicl3 [ Asm.Imm (lnot 7 land 0xFFFF_FFFF); Asm.R 6; Asm.R 9 ];
+      ii a Opcode.Bneq [ Asm.Branch "no_think" ];
+      ii a Opcode.Movl [ Asm.Imm 1; Asm.R 1 ];
+      Userland.chmk a Userland.Sys.sleep;
+      Asm.label a "no_think";
+      ii a Opcode.Sobgtr [ Asm.R 6; Asm.Branch "round_b" ];
+      Userland.sys_putc_imm a (digit ident);
+      Userland.sys_exit a;
+      Asm.label a "round_b";
+      ii a Opcode.Jmp [ Asm.Abs_label "round" ];
+      Asm.align a 4;
+      Asm.label a "update";
+      Asm.string_z a "ed:k")
+
+let transaction ~ident ~count =
+  assemble_user "transaction" ~data_pages:4 (fun a ->
+      ii a Opcode.Movl [ Asm.Imm count; Asm.R 6 ];
+      Asm.label a "txn";
+      (* record block = txn mod 8 *)
+      ii a Opcode.Bicl3 [ Asm.Imm (lnot 7 land 0xFFFF_FFFF); Asm.R 6; Asm.R 1 ];
+      ii a Opcode.Movl [ Asm.Imm Userland.data_base; Asm.R 2 ];
+      Userland.chmk a Userland.Sys.read_block;
+      (* update two fields *)
+      ii a Opcode.Addl2 [ Asm.Imm 1; Asm.Abs Userland.data_base ];
+      ii a Opcode.Movl [ Asm.R 6; Asm.Abs (Userland.data_base + 4) ];
+      ii a Opcode.Bicl3 [ Asm.Imm (lnot 7 land 0xFFFF_FFFF); Asm.R 6; Asm.R 1 ];
+      ii a Opcode.Movl [ Asm.Imm Userland.data_base; Asm.R 2 ];
+      Userland.chmk a Userland.Sys.write_block;
+      (* commit log line via the executive record service *)
+      ii a Opcode.Moval [ Asm.Abs_label "log"; Asm.R 1 ];
+      ii a Opcode.Movl [ Asm.Imm 4; Asm.R 2 ];
+      Userland.chme a Userland.record;
+      ii a Opcode.Sobgtr [ Asm.R 6; Asm.Branch "txn_b" ];
+      Userland.sys_putc_imm a (digit ident);
+      Userland.sys_exit a;
+      Asm.label a "txn_b";
+      ii a Opcode.Jmp [ Asm.Abs_label "txn" ];
+      Asm.align a 4;
+      Asm.label a "log";
+      Asm.string_z a "txn!")
+
+let ipl_storm ~iterations =
+  assemble_user "ipl_storm" ~data_pages:1 (fun a ->
+      ii a Opcode.Movl [ Asm.Imm iterations; Asm.R 1 ];
+      Userland.chmk a Userland.Sys.iplbench;
+      Userland.sys_exit a)
+
+let syscall_storm ~iterations =
+  assemble_user "syscall_storm" ~data_pages:1 (fun a ->
+      ii a Opcode.Movl [ Asm.Imm iterations; Asm.R 6 ];
+      Asm.label a "loop";
+      Userland.chmk a Userland.Sys.getpid;
+      ii a Opcode.Sobgtr [ Asm.R 6; Asm.Branch "loop" ];
+      Userland.sys_exit a)
+
+let probe_storm ~iterations =
+  assemble_user "probe_storm" ~data_pages:1 (fun a ->
+      (* touch the buffer once so its page is resident *)
+      ii a Opcode.Movb [ Asm.Imm 1; Asm.Abs Userland.data_base ];
+      ii a Opcode.Movl [ Asm.Imm iterations; Asm.R 6 ];
+      Asm.label a "loop";
+      ii a Opcode.Movl [ Asm.Imm Userland.data_base; Asm.R 1 ];
+      ii a Opcode.Movl [ Asm.Imm 256; Asm.R 2 ];
+      Userland.chmk a Userland.Sys.access;
+      ii a Opcode.Sobgtr [ Asm.R 6; Asm.Branch "loop" ];
+      Userland.sys_exit a)
+
+let io_storm ~ident ~count =
+  assemble_user "io_storm" ~data_pages:2 (fun a ->
+      ii a Opcode.Movl [ Asm.Imm count; Asm.R 6 ];
+      Asm.label a "loop";
+      ii a Opcode.Bicl3 [ Asm.Imm (lnot 15 land 0xFFFF_FFFF); Asm.R 6; Asm.R 1 ];
+      ii a Opcode.Movl [ Asm.Imm Userland.data_base; Asm.R 2 ];
+      Userland.chmk a Userland.Sys.write_block;
+      ii a Opcode.Bicl3 [ Asm.Imm (lnot 15 land 0xFFFF_FFFF); Asm.R 6; Asm.R 1 ];
+      ii a Opcode.Movl [ Asm.Imm Userland.data_base; Asm.R 2 ];
+      Userland.chmk a Userland.Sys.read_block;
+      ii a Opcode.Sobgtr [ Asm.R 6; Asm.Branch "loop" ];
+      Userland.sys_putc_imm a (digit ident);
+      Userland.sys_exit a)

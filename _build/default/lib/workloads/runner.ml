@@ -1,0 +1,86 @@
+open Vax_arch
+open Vax_cpu
+open Vax_dev
+open Vax_vmm
+open Vax_vmos
+
+type measurement = {
+  outcome : Machine.outcome;
+  total_cycles : int;
+  guest_cycles : int;
+  monitor_cycles : int;
+  instructions : int;
+  console : string;
+  machine : Machine.t;
+  vm : Vm.t option;
+}
+
+let default_max = 400_000_000
+
+let run_bare ?(variant = Variant.Standard) ?(max_cycles = default_max)
+    (built : Minivms.built) =
+  let m = Machine.create ~variant ~memory_pages:1024 ~disk_blocks:256 () in
+  List.iter
+    (fun (pa, data) -> Machine.load m pa data)
+    built.Minivms.images;
+  Machine.start m ~pc:built.Minivms.entry ~sp:0xC00;
+  let outcome = Machine.run m ~max_cycles () in
+  {
+    outcome;
+    total_cycles = Cycles.now m.Machine.clock;
+    guest_cycles = Cycles.guest_cycles m.Machine.clock;
+    monitor_cycles = Cycles.monitor_cycles m.Machine.clock;
+    instructions = m.Machine.cpu.State.instructions;
+    console = Console.output m.Machine.console;
+    machine = m;
+    vm = None;
+  }
+
+let measure_vm m vmm vm outcome =
+  ignore vmm;
+  {
+    outcome;
+    total_cycles = Cycles.now m.Machine.clock;
+    guest_cycles = Cycles.guest_cycles m.Machine.clock;
+    monitor_cycles = Cycles.monitor_cycles m.Machine.clock;
+    instructions = Vmm.guest_instructions vm;
+    console = Vmm.console_output vm;
+    machine = m;
+    vm = Some vm;
+  }
+
+let run_vm ?config ?io_mode ?(max_cycles = default_max)
+    (built : Minivms.built) =
+  let m =
+    Machine.create ~variant:Variant.Virtualizing ~memory_pages:8192
+      ~disk_blocks:256 ()
+  in
+  let vmm = Vmm.create ?config m in
+  let vm =
+    Vmm.add_vm vmm ~name:"guest" ~memory_pages:built.Minivms.memsize
+      ~disk_blocks:64 ?io_mode ~images:built.Minivms.images
+      ~start_pc:built.Minivms.entry ()
+  in
+  let outcome = Vmm.run vmm ~max_cycles () in
+  measure_vm m vmm vm outcome
+
+let run_two_vms ?config ?(max_cycles = default_max) (b1 : Minivms.built)
+    (b2 : Minivms.built) =
+  let m =
+    Machine.create ~variant:Variant.Virtualizing ~memory_pages:8192
+      ~disk_blocks:256 ()
+  in
+  let vmm = Vmm.create ?config m in
+  let vm1 =
+    Vmm.add_vm vmm ~name:"vm1" ~memory_pages:b1.Minivms.memsize
+      ~disk_blocks:64 ~images:b1.Minivms.images ~start_pc:b1.Minivms.entry ()
+  in
+  let vm2 =
+    Vmm.add_vm vmm ~name:"vm2" ~memory_pages:b2.Minivms.memsize
+      ~disk_blocks:64 ~images:b2.Minivms.images ~start_pc:b2.Minivms.entry ()
+  in
+  let outcome = Vmm.run vmm ~max_cycles () in
+  (measure_vm m vmm vm1 outcome, measure_vm m vmm vm2 outcome)
+
+let ratio ~vm ~bare =
+  float_of_int bare.total_cycles /. float_of_int vm.total_cycles

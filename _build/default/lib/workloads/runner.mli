@@ -1,0 +1,46 @@
+(** Experiment engine: boot a built Mini-OS system either on the bare
+    (simulated) machine or inside a virtual machine under the VMM, run it
+    to completion, and collect the measurements the paper's evaluation
+    needs. *)
+
+open Vax_cpu
+open Vax_dev
+open Vax_vmm
+open Vax_vmos
+
+type measurement = {
+  outcome : Machine.outcome;
+  total_cycles : int;
+  guest_cycles : int;  (** cycles attributed to machine-level execution *)
+  monitor_cycles : int;  (** cycles attributed to the VMM software *)
+  instructions : int;  (** guest instructions executed *)
+  console : string;
+  machine : Machine.t;
+  vm : Vm.t option;  (** present for VM runs: stats live here *)
+}
+
+val run_bare :
+  ?variant:Variant.t -> ?max_cycles:int -> Minivms.built -> measurement
+(** Boot the system directly on the hardware ([Standard] by default: the
+    unmodified VAX; pass [Virtualizing] to check the paper's claim that
+    standard operating systems run unchanged on the modified machine). *)
+
+val run_vm :
+  ?config:Vmm.config ->
+  ?io_mode:Vm.io_mode ->
+  ?max_cycles:int ->
+  Minivms.built ->
+  measurement
+(** Boot the same system in a virtual machine under the VMM. *)
+
+val run_two_vms :
+  ?config:Vmm.config ->
+  ?max_cycles:int ->
+  Minivms.built ->
+  Minivms.built ->
+  measurement * measurement
+(** Two guests sharing the machine under one VMM. *)
+
+val ratio : vm:measurement -> bare:measurement -> float
+(** VM performance as a fraction of bare performance for the same
+    (completed) workload: bare cycles / VM cycles. *)

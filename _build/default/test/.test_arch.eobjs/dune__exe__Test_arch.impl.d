@@ -1,0 +1,1 @@
+test/test_arch.ml: Addr Alcotest List Mode Opcode Protection Psl Pte QCheck QCheck_alcotest Scb Vax_arch Word

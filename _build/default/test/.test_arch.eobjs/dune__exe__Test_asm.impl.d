@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Bytes Char Cpu Decode List Opcode State Vax_arch Vax_asm Vax_cpu

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cpu Exec Ipr Microcode Mode Opcode Psl Scb State Variant Vax_arch Vax_asm Vax_cpu Vax_mem Word

@@ -1,0 +1,1 @@
+test/test_dev.ml: Alcotest Char Console Cycles Disk Ipr List Machine Opcode Scb Sched State Timer Variant Vax_arch Vax_asm Vax_cpu Vax_dev Vax_mem

@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Array Cpu Exec Format List Machine Opcode Printf QCheck QCheck_alcotest State Variant Vax_arch Vax_asm Vax_cpu Vax_dev Vax_mem Vax_vmm Vm Vmm

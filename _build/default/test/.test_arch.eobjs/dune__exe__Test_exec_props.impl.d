@@ -1,0 +1,1 @@
+test/test_exec_props.ml: Alcotest Cpu List Opcode Printf Psl QCheck QCheck_alcotest State Vax_arch Vax_asm Vax_cpu Word

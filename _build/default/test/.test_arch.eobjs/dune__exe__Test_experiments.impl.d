@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Buffer Conformance Format Perf Printf Str Vax_workloads

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Cycles List Mmu Mode Phys_mem Protection Pte QCheck QCheck_alcotest Vax_arch Vax_mem

@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest Array Bytes Char Ipr Machine Mode Opcode Protection Psl Pte Scb State String Variant Vax_arch Vax_asm Vax_cpu Vax_dev Vax_vmm Vax_workloads Vm Vmm Word

@@ -1,0 +1,1 @@
+test/test_vmos.ml: Alcotest Hashtbl Minivms Opcode Option Programs Runner String Userland Variant Vax_arch Vax_asm Vax_cpu Vax_dev Vax_mem Vax_vmm Vax_vmos Vax_workloads

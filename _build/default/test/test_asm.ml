@@ -1,0 +1,152 @@
+(* Tests for the assembler: encodings, fixups, and a decode/assemble
+   roundtrip property against the CPU's decoder. *)
+
+open Vax_arch
+open Vax_cpu
+module Asm = Vax_asm.Asm
+
+let decode_at image =
+  (* run the CPU decoder over an assembled image placed at its origin *)
+  let cpu = Cpu.create () in
+  Cpu.load cpu image.Asm.image_origin image.Asm.code;
+  State.set_pc cpu.Cpu.state image.Asm.image_origin;
+  Decode.decode cpu.Cpu.state
+
+let test_simple_encoding () =
+  let a = Asm.create ~origin:0x400 in
+  Asm.ins a Opcode.Movl [ Asm.Imm 0x1234; Asm.R 3 ];
+  let img = Asm.assemble a in
+  (* D0 8F 34 12 00 00 53 *)
+  Alcotest.(check int) "length" 7 (Bytes.length img.Asm.code);
+  Alcotest.(check int) "opcode" 0xD0 (Char.code (Bytes.get img.Asm.code 0));
+  Alcotest.(check int) "imm spec" 0x8F (Char.code (Bytes.get img.Asm.code 1));
+  Alcotest.(check int) "reg spec" 0x53 (Char.code (Bytes.get img.Asm.code 6))
+
+let test_literal_encoding () =
+  let a = Asm.create ~origin:0 in
+  Asm.ins a Opcode.Movl [ Asm.Lit 42; Asm.R 1 ];
+  let img = Asm.assemble a in
+  Alcotest.(check int) "literal byte" 42 (Char.code (Bytes.get img.Asm.code 1))
+
+let test_branch_fixup_backward () =
+  let a = Asm.create ~origin:0x100 in
+  Asm.label a "top";
+  Asm.ins a Opcode.Nop [];
+  Asm.ins a Opcode.Brb [ Asm.Branch "top" ];
+  let img = Asm.assemble a in
+  (* brb displacement: from address 0x103 back to 0x100 = -3 *)
+  Alcotest.(check int) "disp" 0xFD (Char.code (Bytes.get img.Asm.code 2))
+
+let test_branch_fixup_forward () =
+  let a = Asm.create ~origin:0 in
+  Asm.ins a Opcode.Brb [ Asm.Branch "fwd" ];
+  Asm.ins a Opcode.Nop [];
+  Asm.label a "fwd";
+  Asm.ins a Opcode.Halt [];
+  let img = Asm.assemble a in
+  Alcotest.(check int) "disp" 1 (Char.code (Bytes.get img.Asm.code 1))
+
+let test_undefined_label_fails () =
+  let a = Asm.create ~origin:0 in
+  Asm.ins a Opcode.Brb [ Asm.Branch "nowhere" ];
+  match Asm.assemble a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let test_out_of_range_branch_fails () =
+  let a = Asm.create ~origin:0 in
+  Asm.ins a Opcode.Brb [ Asm.Branch "far" ];
+  Asm.space a 300;
+  Asm.label a "far";
+  match Asm.assemble a with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected failure"
+
+let test_word_branch_long_range () =
+  let a = Asm.create ~origin:0 in
+  Asm.ins a Opcode.Brw [ Asm.Branch "far" ];
+  Asm.space a 300;
+  Asm.label a "far";
+  Asm.ins a Opcode.Halt [];
+  let img = Asm.assemble a in
+  let d = decode_at img in
+  match (List.hd d.Decode.operands).Decode.branch_target with
+  | Some t -> Alcotest.(check int) "target" 303 t
+  | None -> Alcotest.fail "no branch target"
+
+let test_decoder_agrees_with_assembler () =
+  (* every addressing form decodes back to the location we meant *)
+  let check_operand ?(setup = fun _ -> ()) op expected =
+    let a = Asm.create ~origin:0x800 in
+    Asm.ins a Opcode.Tstl [ op ];
+    let img = Asm.assemble a in
+    let cpu = Cpu.create () in
+    setup cpu;
+    Cpu.load cpu img.Asm.image_origin img.Asm.code;
+    State.set_pc cpu.Cpu.state 0x800;
+    let d = Decode.decode cpu.Cpu.state in
+    let operand = List.hd d.Decode.operands in
+    Alcotest.(check bool) "loc" true (expected cpu operand.Decode.loc)
+  in
+  check_operand (Asm.Lit 5) (fun _ loc -> loc = Decode.Imm 5);
+  check_operand (Asm.Imm 0x999) (fun _ loc -> loc = Decode.Imm 0x999);
+  check_operand (Asm.R 4) (fun _ loc -> loc = Decode.Reg 4);
+  check_operand (Asm.Abs 0x4444) (fun _ loc -> loc = Decode.Mem 0x4444);
+  check_operand
+    ~setup:(fun cpu -> State.set_reg cpu.Cpu.state 3 0x1200)
+    (Asm.Deref 3)
+    (fun _ loc -> loc = Decode.Mem 0x1200);
+  check_operand
+    ~setup:(fun cpu -> State.set_reg cpu.Cpu.state 3 0x1200)
+    (Asm.Disp (8, 3))
+    (fun _ loc -> loc = Decode.Mem 0x1208);
+  check_operand
+    ~setup:(fun cpu -> State.set_reg cpu.Cpu.state 3 0x1200)
+    (Asm.Predec 3)
+    (fun cpu loc ->
+      loc = Decode.Mem 0x11FC && State.reg cpu.Cpu.state 3 = 0x11FC);
+  check_operand
+    ~setup:(fun cpu -> State.set_reg cpu.Cpu.state 3 0x1200)
+    (Asm.Postinc 3)
+    (fun cpu loc ->
+      loc = Decode.Mem 0x1200 && State.reg cpu.Cpu.state 3 = 0x1204)
+
+let test_data_directives () =
+  let a = Asm.create ~origin:0x100 in
+  Asm.byte a 0xAB;
+  Asm.align a 4;
+  Asm.label a "l";
+  Asm.long a 0x01020304;
+  Asm.long_label a "l";
+  Asm.string_z a "hi";
+  let img = Asm.assemble a in
+  Alcotest.(check int) "align pads" 4 (Asm.lookup img "l" - 0x100);
+  Alcotest.(check int) "long_label lo byte" 0x04
+    (Char.code (Bytes.get img.Asm.code 8));
+  Alcotest.(check int) "long_label byte 1" 0x01
+    (Char.code (Bytes.get img.Asm.code 9));
+  Alcotest.(check int) "string" (Char.code 'h')
+    (Char.code (Bytes.get img.Asm.code 12))
+
+let () =
+  Alcotest.run "vax_asm"
+    [
+      ( "asm",
+        [
+          Alcotest.test_case "simple encoding" `Quick test_simple_encoding;
+          Alcotest.test_case "short literal" `Quick test_literal_encoding;
+          Alcotest.test_case "backward branch fixup" `Quick
+            test_branch_fixup_backward;
+          Alcotest.test_case "forward branch fixup" `Quick
+            test_branch_fixup_forward;
+          Alcotest.test_case "undefined label fails" `Quick
+            test_undefined_label_fails;
+          Alcotest.test_case "byte branch range check" `Quick
+            test_out_of_range_branch_fails;
+          Alcotest.test_case "word branch long range" `Quick
+            test_word_branch_long_range;
+          Alcotest.test_case "decoder agrees with assembler" `Quick
+            test_decoder_agrees_with_assembler;
+          Alcotest.test_case "data directives" `Quick test_data_directives;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Device tests: interval timer, console, disk, and the machine loop. *)
+
+open Vax_arch
+open Vax_cpu
+open Vax_dev
+module Asm = Vax_asm.Asm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let boot_machine ?(variant = Variant.Standard) f =
+  let m = Machine.create ~variant ~memory_pages:512 () in
+  let a = Asm.create ~origin:0x1000 in
+  f a;
+  let img = Asm.assemble a in
+  Machine.load m 0x1000 img.Asm.code;
+  Machine.start m ~pc:0x1000 ~sp:0x2000;
+  m
+
+let test_timer_interrupts () =
+  (* program the timer, take 3 interrupts, halt *)
+  let m =
+    boot_machine (fun a ->
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x8000; Asm.Imm (Ipr.to_int Ipr.SCBB) ];
+        Asm.ins a Opcode.Moval [ Asm.Abs_label "tick"; Asm.R 0 ];
+        Asm.ins a Opcode.Bisl2 [ Asm.Imm 1; Asm.R 0 ] (* interrupt stack *);
+        Asm.ins a Opcode.Movl [ Asm.R 0; Asm.Abs (0x8000 + Scb.interval_timer) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x2800; Asm.Imm (Ipr.to_int Ipr.ISP) ];
+        Asm.ins a Opcode.Clrl [ Asm.R 5 ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 1000; Asm.Imm (Ipr.to_int Ipr.NICR) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x41; Asm.Imm (Ipr.to_int Ipr.ICCS) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0; Asm.Imm (Ipr.to_int Ipr.IPL) ];
+        Asm.label a "wait_loop";
+        Asm.ins a Opcode.Cmpl [ Asm.R 5; Asm.Imm 3 ];
+        Asm.ins a Opcode.Blss [ Asm.Branch "wait_loop" ];
+        Asm.ins a Opcode.Halt [];
+        Asm.align a 4;
+        Asm.label a "tick";
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0xC1; Asm.Imm (Ipr.to_int Ipr.ICCS) ];
+        Asm.ins a Opcode.Incl [ Asm.R 5 ];
+        Asm.ins a Opcode.Rei [])
+  in
+  (match Machine.run m ~max_cycles:100_000 () with
+  | Machine.Halted -> ()
+  | o -> Alcotest.failf "outcome %a" Machine.pp_outcome o);
+  check_int "three ticks" 3 (State.reg m.Machine.cpu 5);
+  check_bool "device counted them" true (Timer.ticks m.Machine.timer >= 3)
+
+let test_console_output_and_input () =
+  let m =
+    boot_machine (fun a ->
+        (* write 'o','k'; then poll for an input char and echo it *)
+        Asm.ins a Opcode.Mtpr [ Asm.Imm (Char.code 'o'); Asm.Imm (Ipr.to_int Ipr.TXDB) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm (Char.code 'k'); Asm.Imm (Ipr.to_int Ipr.TXDB) ];
+        Asm.label a "poll";
+        Asm.ins a Opcode.Mfpr [ Asm.Imm (Ipr.to_int Ipr.RXCS); Asm.R 0 ];
+        Asm.ins a Opcode.Bicl2 [ Asm.Imm (lnot 0x80 land 0xFFFF_FFFF); Asm.R 0 ];
+        Asm.ins a Opcode.Beql [ Asm.Branch "poll" ];
+        Asm.ins a Opcode.Mfpr [ Asm.Imm (Ipr.to_int Ipr.RXDB); Asm.R 1 ];
+        Asm.ins a Opcode.Mtpr [ Asm.R 1; Asm.Imm (Ipr.to_int Ipr.TXDB) ];
+        Asm.ins a Opcode.Halt [])
+  in
+  Console.feed m.Machine.console "Z";
+  (match Machine.run m ~max_cycles:100_000 () with
+  | Machine.Halted -> ()
+  | o -> Alcotest.failf "outcome %a" Machine.pp_outcome o);
+  Alcotest.(check string) "echoed" "okZ" (Console.output m.Machine.console)
+
+let test_disk_mmio_transfer () =
+  (* write a pattern to memory, DMA it to block 5, clear memory, read it
+     back via the memory-mapped controller *)
+  let m =
+    boot_machine (fun a ->
+        let iob = Vax_mem.Phys_mem.io_space_base in
+        Asm.ins a Opcode.Movl [ Asm.Imm 0xFACE; Asm.Abs 0x3000 ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 5; Asm.Abs (iob + 4) ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 0x3000; Asm.Abs (iob + 8) ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 2; Asm.Abs iob ] (* write *);
+        Asm.label a "p1";
+        Asm.ins a Opcode.Movl [ Asm.Abs iob; Asm.R 0 ];
+        Asm.ins a Opcode.Bicl2 [ Asm.Imm (lnot 0x80 land 0xFFFF_FFFF); Asm.R 0 ];
+        Asm.ins a Opcode.Beql [ Asm.Branch "p1" ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 0x80; Asm.Abs iob ];
+        Asm.ins a Opcode.Clrl [ Asm.Abs 0x3000 ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 1; Asm.Abs iob ] (* read *);
+        Asm.label a "p2";
+        Asm.ins a Opcode.Movl [ Asm.Abs iob; Asm.R 0 ];
+        Asm.ins a Opcode.Bicl2 [ Asm.Imm (lnot 0x80 land 0xFFFF_FFFF); Asm.R 0 ];
+        Asm.ins a Opcode.Beql [ Asm.Branch "p2" ];
+        Asm.ins a Opcode.Movl [ Asm.Abs 0x3000; Asm.R 7 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  (match Machine.run m ~max_cycles:200_000 () with
+  | Machine.Halted -> ()
+  | o -> Alcotest.failf "outcome %a" Machine.pp_outcome o);
+  check_int "block roundtrip" 0xFACE (State.reg m.Machine.cpu 7);
+  check_int "two transfers" 2 (Disk.io_count m.Machine.disk)
+
+let test_console_commands () =
+  let m = boot_machine (fun a -> Asm.ins a Opcode.Halt []) in
+  ignore (Machine.run m ~max_cycles:1000 ());
+  ignore
+    (Console.execute_command m.Machine.console m.Machine.phys
+       (Console.Deposit (0x4000, 0x1234)));
+  (match
+     Console.execute_command m.Machine.console m.Machine.phys
+       (Console.Examine 0x4000)
+   with
+  | Some v -> check_int "deposit/examine" 0x1234 v
+  | None -> Alcotest.fail "examine returned nothing");
+  check_bool "halted" true m.Machine.cpu.State.halted
+
+let test_sched_event_order () =
+  let clock = Cycles.create () in
+  let s = Sched.create clock in
+  let log = ref [] in
+  Sched.at s ~cycle:100 (fun () -> log := 1 :: !log);
+  Sched.at s ~cycle:50 (fun () -> log := 2 :: !log);
+  Sched.at s ~cycle:100 (fun () -> log := 3 :: !log);
+  Cycles.advance_to clock 75;
+  Sched.run_due s;
+  check_int "only the due one" 1 (List.length !log);
+  Cycles.advance_to clock 100;
+  Sched.run_due s;
+  Alcotest.(check (list int)) "fifo within a cycle" [ 3; 1; 2 ] !log;
+  check_int "drained" 0 (Sched.pending s)
+
+let () =
+  Alcotest.run "vax_dev"
+    [
+      ( "devices",
+        [
+          Alcotest.test_case "interval timer interrupts" `Quick
+            test_timer_interrupts;
+          Alcotest.test_case "console tx/rx" `Quick
+            test_console_output_and_input;
+          Alcotest.test_case "disk MMIO DMA" `Quick test_disk_mmio_transfer;
+          Alcotest.test_case "console commands" `Quick test_console_commands;
+          Alcotest.test_case "scheduler ordering" `Quick test_sched_event_order;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Property-based tests of instruction semantics: each arithmetic/logic
+   instruction is checked against an independent OCaml reference over
+   random operands (values and condition codes), and the assembler and
+   disassembler are checked as inverses over random instruction
+   streams. *)
+
+open Vax_arch
+open Vax_cpu
+module Asm = Vax_asm.Asm
+module Disasm = Vax_asm.Disasm
+
+let w32 = QCheck.map (fun i -> i land 0xFFFF_FFFF) QCheck.int
+let qt name gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name gen f)
+
+(* Execute one two-operand instruction with both operands in registers
+   and return (result, n, z, v, c). *)
+let run_binop op a_val b_val =
+  let cpu = Cpu.create () in
+  let asm = Asm.create ~origin:0x1000 in
+  Asm.ins asm op [ Asm.R 1; Asm.R 2 ];
+  Asm.ins asm Opcode.Halt [];
+  let img = Asm.assemble asm in
+  Cpu.load cpu 0x1000 img.Asm.code;
+  State.set_pc cpu.Cpu.state 0x1000;
+  State.set_sp cpu.Cpu.state 0x2000;
+  State.set_reg cpu.Cpu.state 1 a_val;
+  State.set_reg cpu.Cpu.state 2 b_val;
+  ignore (Cpu.run cpu ~max_instructions:10 ());
+  let p = cpu.Cpu.state.State.psl in
+  (State.reg cpu.Cpu.state 2, Psl.n p, Psl.z p, Psl.v p, Psl.c p)
+
+let signed = Word.to_signed
+
+let exec_props =
+  [
+    qt "ADDL2 = 32-bit addition with correct N Z V C" (QCheck.pair w32 w32)
+      (fun (a, b) ->
+        let r, n, z, v, c = run_binop Opcode.Addl2 a b in
+        let expect = (a + b) land 0xFFFF_FFFF in
+        let sv = signed a >= 0 = (signed b >= 0) && signed expect >= 0 <> (signed a >= 0) in
+        r = expect && n = (signed expect < 0) && z = (expect = 0) && v = sv
+        && c = (a + b > 0xFFFF_FFFF));
+    qt "SUBL2 = dst - src with borrow" (QCheck.pair w32 w32) (fun (a, b) ->
+        (* run_binop computes b - a (src = R1, dst = R2) *)
+        let r, n, z, _, c = run_binop Opcode.Subl2 a b in
+        let expect = (b - a) land 0xFFFF_FFFF in
+        r = expect && n = (signed expect < 0) && z = (expect = 0) && c = (b < a));
+    qt "MULL2 = signed 32-bit product, V on overflow" (QCheck.pair w32 w32)
+      (fun (a, b) ->
+        let r, _, _, v, _ = run_binop Opcode.Mull2 a b in
+        let wide = signed a * signed b in
+        r = (wide land 0xFFFF_FFFF)
+        && v = (wide < -0x8000_0000 || wide > 0x7FFF_FFFF));
+    qt "BISL2 = bitwise or" (QCheck.pair w32 w32) (fun (a, b) ->
+        let r, _, z, v, _ = run_binop Opcode.Bisl2 a b in
+        r = a lor b && z = (a lor b = 0) && not v);
+    qt "BICL2 = dst and-not src" (QCheck.pair w32 w32) (fun (a, b) ->
+        let r, _, _, _, _ = run_binop Opcode.Bicl2 a b in
+        r = b land lnot a land 0xFFFF_FFFF);
+    qt "XORL2 = bitwise xor" (QCheck.pair w32 w32) (fun (a, b) ->
+        let r, _, _, _, _ = run_binop Opcode.Xorl2 a b in
+        r = a lxor b);
+    qt "CMPL orders like signed and unsigned comparison"
+      (QCheck.pair w32 w32)
+      (fun (a, b) ->
+        let _, n, z, _, c = run_binop Opcode.Cmpl a b in
+        n = (signed a < signed b) && z = (a = b) && c = (a < b));
+    qt "DIVL2 matches OCaml division (nonzero divisor)"
+      (QCheck.pair w32 w32)
+      (fun (a, b) ->
+        QCheck.assume (a land 0xFFFF_FFFF <> 0);
+        (* dst <- dst / src : b / a *)
+        let r, _, _, _, _ = run_binop Opcode.Divl2 a b in
+        r = (signed b / signed a) land 0xFFFF_FFFF);
+    qt "ASHL shifts per VAX rules"
+      (QCheck.pair (QCheck.int_range (-40) 40) w32)
+      (fun (cnt, v) ->
+        let cpu = Cpu.create () in
+        let asm = Asm.create ~origin:0x1000 in
+        Asm.ins asm Opcode.Ashl [ Asm.Imm cnt; Asm.R 1; Asm.R 2 ];
+        Asm.ins asm Opcode.Halt [];
+        let img = Asm.assemble asm in
+        Cpu.load cpu 0x1000 img.Asm.code;
+        State.set_pc cpu.Cpu.state 0x1000;
+        State.set_sp cpu.Cpu.state 0x2000;
+        State.set_reg cpu.Cpu.state 1 v;
+        ignore (Cpu.run cpu ~max_instructions:10 ());
+        let r = State.reg cpu.Cpu.state 2 in
+        (* cnt is encoded as a byte: the machine sees its low 8 bits *)
+        let cnt = Word.to_signed (Word.sext ~width:8 (cnt land 0xFF)) in
+        let expect =
+          if cnt >= 32 then 0
+          else if cnt >= 0 then (v lsl cnt) land 0xFFFF_FFFF
+          else if cnt <= -32 then if signed v < 0 then 0xFFFF_FFFF else 0
+          else (signed v asr -cnt) land 0xFFFF_FFFF
+        in
+        r = expect);
+    qt "MOVZBL zero-extends" w32 (fun v ->
+        let cpu = Cpu.create () in
+        let asm = Asm.create ~origin:0x1000 in
+        Asm.ins asm Opcode.Movzbl [ Asm.R 1; Asm.R 2 ];
+        Asm.ins asm Opcode.Halt [];
+        let img = Asm.assemble asm in
+        Cpu.load cpu 0x1000 img.Asm.code;
+        State.set_pc cpu.Cpu.state 0x1000;
+        State.set_sp cpu.Cpu.state 0x2000;
+        State.set_reg cpu.Cpu.state 1 v;
+        State.set_reg cpu.Cpu.state 2 0xFFFF_FFFF;
+        ignore (Cpu.run cpu ~max_instructions:10 ());
+        State.reg cpu.Cpu.state 2 = v land 0xFF);
+    qt "MNEGL negates" w32 (fun v ->
+        let r, _, z, _, _ = run_binop Opcode.Mnegl v 0 in
+        (* mnegl src,dst: dst <- -src; our run_binop uses (R1=src, R2=dst) *)
+        r = Word.neg v && z = (Word.neg v = 0));
+  ]
+
+(* push/pop round trip over random sequences *)
+let stack_prop =
+  qt "PUSHL/pop sequences preserve values"
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 8) w32)
+    (fun vs ->
+      let cpu = Cpu.create () in
+      let asm = Asm.create ~origin:0x1000 in
+      List.iteri
+        (fun i v ->
+          ignore v;
+          Asm.ins asm Opcode.Movl
+            [ Asm.Imm (List.nth vs i); Asm.R 1 ];
+          Asm.ins asm Opcode.Pushl [ Asm.R 1 ])
+        vs;
+      List.iteri
+        (fun i _ -> Asm.ins asm Opcode.Movl [ Asm.Postinc Asm.sp; Asm.R (2 + (i mod 8)) ])
+        vs;
+      Asm.ins asm Opcode.Halt [];
+      let img = Asm.assemble asm in
+      Cpu.load cpu 0x1000 img.Asm.code;
+      State.set_pc cpu.Cpu.state 0x1000;
+      State.set_sp cpu.Cpu.state 0x8000;
+      ignore (Cpu.run cpu ~max_instructions:200 ());
+      (* first value popped = last pushed *)
+      State.reg cpu.Cpu.state 2 = List.nth vs (List.length vs - 1)
+      && State.sp cpu.Cpu.state = 0x8000)
+
+(* assembler -> disassembler agreement on mnemonics and lengths *)
+let gen_safe_instr =
+  QCheck.Gen.(
+    let reg = int_bound 11 in
+    oneof
+      [
+        map2 (fun v r -> (Opcode.Movl, [ Asm.Imm (v land 0xFFFFFF); Asm.R r ])) int reg;
+        map2 (fun a b -> (Opcode.Addl2, [ Asm.R a; Asm.R b ])) reg reg;
+        map2 (fun a b -> (Opcode.Cmpl, [ Asm.R a; Asm.R b ])) reg reg;
+        map (fun r -> (Opcode.Incl, [ Asm.R r ])) reg;
+        map (fun r -> (Opcode.Pushl, [ Asm.R r ])) reg;
+        map2 (fun d r -> (Opcode.Movl, [ Asm.Disp ((d land 0xFF) - 128, r); Asm.R 0 ])) int reg;
+        map (fun r -> (Opcode.Tstl, [ Asm.Deref r ])) reg;
+        return (Opcode.Nop, []);
+      ])
+
+let roundtrip_prop =
+  qt "disassembler inverts the assembler"
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 20) gen_safe_instr)
+       ~print:(fun l -> Printf.sprintf "<%d instrs>" (List.length l)))
+    (fun instrs ->
+      let a = Asm.create ~origin:0x3000 in
+      List.iter (fun (op, ops) -> Asm.ins a op ops) instrs;
+      let img = Asm.assemble a in
+      let decoded = Disasm.decode_all img.Asm.code ~base:0x3000 in
+      List.length decoded = List.length instrs
+      && List.for_all2
+           (fun (op, _) (i : Disasm.insn) -> i.Disasm.mnemonic = Opcode.name op)
+           instrs decoded)
+
+let test_disasm_rendering () =
+  let a = Asm.create ~origin:0x1000 in
+  Asm.ins a Opcode.Movl [ Asm.Imm 5; Asm.R 0 ];
+  Asm.ins a Opcode.Brb [ Asm.Branch "l" ];
+  Asm.label a "l";
+  Asm.ins a Opcode.Halt [];
+  let img = Asm.assemble a in
+  let all = Disasm.decode_all img.Asm.code ~base:0x1000 in
+  match all with
+  | [ mov; brb; halt ] ->
+      Alcotest.(check string) "mov" "1000: MOVL #0x5, R0" (Disasm.to_string mov);
+      Alcotest.(check string) "brb target" "1007: BRB 0x1009"
+        (Disasm.to_string brb);
+      Alcotest.(check string) "halt" "1009: HALT" (Disasm.to_string halt)
+  | l -> Alcotest.failf "expected 3 instructions, got %d" (List.length l)
+
+let () =
+  Alcotest.run "exec_props"
+    [
+      ("semantics", exec_props);
+      ("stack", [ stack_prop ]);
+      ( "disasm",
+        [
+          roundtrip_prop;
+          Alcotest.test_case "rendering" `Quick test_disasm_rendering;
+        ] );
+    ]

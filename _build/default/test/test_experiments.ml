@@ -1,0 +1,51 @@
+(* The conformance tables are self-checking: every row is verified by a
+   directed scenario and a mismatch raises [Failure].  Running them here
+   makes the paper's Tables 1-4 part of the test suite.  (The E-series
+   performance experiments run in bench/main.exe; here we only smoke-test
+   the cheapest one to keep `dune runtest` fast.) *)
+
+open Vax_workloads
+
+let null_fmt =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let table name f () =
+  try f null_fmt with Failure m -> Alcotest.fail (name ^ ": " ^ m)
+
+let test_e4_band () =
+  (* MTPR-to-IPL ratio must stay in the calibrated band *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Perf.e4_mtpr_ipl ppf;
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  (* "measured: N.Nx emulated" *)
+  let re = Str.regexp "measured: \\([0-9.]+\\)x emulated" in
+  (try ignore (Str.search_forward re s 0)
+   with Not_found -> Alcotest.fail "no measured ratio in E4 output");
+  let ratio = float_of_string (Str.matched_group 1 s) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.1f in [6, 20]" ratio)
+    true
+    (ratio >= 6.0 && ratio <= 20.0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "conformance tables",
+        [
+          Alcotest.test_case "Table 1 checks hold" `Quick
+            (table "t1" Conformance.table1);
+          Alcotest.test_case "Table 2 checks hold" `Quick
+            (table "t2" Conformance.table2);
+          Alcotest.test_case "Table 3 checks hold" `Quick
+            (table "t3" Conformance.table3);
+          Alcotest.test_case "Table 4 checks hold" `Quick
+            (table "t4" Conformance.table4);
+          Alcotest.test_case "figures render" `Quick (fun () ->
+              Conformance.figure1 null_fmt;
+              Conformance.figure2 null_fmt;
+              Conformance.figure3 null_fmt);
+        ] );
+      ("bands", [ Alcotest.test_case "E4 in band" `Slow test_e4_band ]);
+    ]

@@ -1,0 +1,316 @@
+(* Tests for physical memory, the TLB, and the MMU translation algorithm,
+   including the two modify-bit policies. *)
+
+open Vax_arch
+open Vax_mem
+
+let qtest name gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name gen f)
+
+(* --- Phys_mem ------------------------------------------------------- *)
+
+let phys_tests =
+  [
+    qtest "byte write/read roundtrip"
+      (QCheck.pair (QCheck.int_bound (64 * 512 - 1)) (QCheck.int_bound 255))
+      (fun (pa, b) ->
+        let m = Phys_mem.create ~pages:64 in
+        Phys_mem.write_byte m pa b;
+        Phys_mem.read_byte m pa = b);
+    qtest "long write/read roundtrip (incl. unaligned)"
+      (QCheck.pair (QCheck.int_bound (64 * 512 - 5)) (QCheck.map (fun i -> i land 0xFFFF_FFFF) QCheck.int))
+      (fun (pa, v) ->
+        let m = Phys_mem.create ~pages:64 in
+        Phys_mem.write_long m pa v;
+        Phys_mem.read_long m pa = v);
+    Alcotest.test_case "little endian layout" `Quick (fun () ->
+        let m = Phys_mem.create ~pages:1 in
+        Phys_mem.write_long m 0 0x0403_0201;
+        Alcotest.(check int) "b0" 1 (Phys_mem.read_byte m 0);
+        Alcotest.(check int) "b3" 4 (Phys_mem.read_byte m 3));
+    Alcotest.test_case "nonexistent memory raises" `Quick (fun () ->
+        let m = Phys_mem.create ~pages:1 in
+        Alcotest.check_raises "nxm" (Phys_mem.Nonexistent_memory 0x1_0000)
+          (fun () -> ignore (Phys_mem.read_byte m 0x1_0000)));
+    Alcotest.test_case "io region dispatch" `Quick (fun () ->
+        let m = Phys_mem.create ~pages:1 in
+        let stored = ref 0 in
+        Phys_mem.register_io m
+          {
+            Phys_mem.io_base = Phys_mem.io_space_base;
+            io_size = 512;
+            io_read = (fun ~offset ~width:_ -> offset + 0x100);
+            io_write = (fun ~offset:_ ~width:_ v -> stored := v);
+          };
+        Alcotest.(check int) "read" 0x104
+          (Phys_mem.read_long m (Phys_mem.io_space_base + 4));
+        Phys_mem.write_long m Phys_mem.io_space_base 0x55;
+        Alcotest.(check int) "write" 0x55 !stored);
+  ]
+
+(* --- MMU setup helper ----------------------------------------------- *)
+
+(* Build a machine with an S-space page table at physical 0x1000 mapping
+   [n_pages] S pages with the given protections. *)
+let make_mmu ?(policy = Mmu.Hardware_sets_m) ~prots () =
+  let phys = Phys_mem.create ~pages:256 in
+  let clock = Cycles.create () in
+  let mmu = Mmu.create ~policy ~phys ~clock () in
+  let spt = 0x1000 in
+  List.iteri
+    (fun i (valid, prot, pfn) ->
+      Phys_mem.write_long phys
+        (spt + (4 * i))
+        (Pte.make ~valid ~prot ~pfn ()))
+    prots;
+  Mmu.set_sbr mmu spt;
+  Mmu.set_slr mmu (List.length prots);
+  Mmu.set_mapen mmu true;
+  mmu
+
+let s_va i = 0x8000_0000 + (i * 512)
+
+let ok = function Ok v -> v | Error _ -> Alcotest.fail "unexpected fault"
+
+let expect_fault name r =
+  match r with Ok _ -> Alcotest.fail name | Error f -> f
+
+let mmu_tests =
+  [
+    Alcotest.test_case "identity when MAPEN off" `Quick (fun () ->
+        let phys = Phys_mem.create ~pages:16 in
+        let clock = Cycles.create () in
+        let mmu = Mmu.create ~phys ~clock () in
+        Alcotest.(check int) "pa=va" 0x1234
+          (ok (Mmu.translate mmu ~mode:Mode.User ~write:true 0x1234)));
+    Alcotest.test_case "simple S translation" `Quick (fun () ->
+        let mmu = make_mmu ~prots:[ (true, Protection.UR, 7) ] () in
+        Alcotest.(check int) "pfn 7" ((7 * 512) + 5)
+          (ok (Mmu.translate mmu ~mode:Mode.User ~write:false (s_va 0 + 5))));
+    Alcotest.test_case "length violation" `Quick (fun () ->
+        let mmu = make_mmu ~prots:[ (true, Protection.UW, 7) ] () in
+        match
+          expect_fault "beyond SLR"
+            (Mmu.translate mmu ~mode:Mode.Kernel ~write:false (s_va 3))
+        with
+        | Mmu.Access_violation { length_violation = true; _ } -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+    Alcotest.test_case "protection checked even when invalid" `Quick (fun () ->
+        (* the rule the null shadow PTE relies on *)
+        let mmu = make_mmu ~prots:[ (false, Protection.KW, 7) ] () in
+        (match
+           expect_fault "user write to invalid KW page"
+             (Mmu.translate mmu ~mode:Mode.User ~write:true (s_va 0))
+         with
+        | Mmu.Access_violation { length_violation = false; _ } -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+        (* kernel write to same page: protection passes, TNV delivered *)
+        match
+          expect_fault "kernel write to invalid page"
+            (Mmu.translate mmu ~mode:Mode.Kernel ~write:true (s_va 0))
+        with
+        | Mmu.Translation_not_valid _ -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+    Alcotest.test_case "hardware sets modify bit silently" `Quick (fun () ->
+        let mmu = make_mmu ~prots:[ (true, Protection.UW, 7) ] () in
+        ignore (ok (Mmu.translate mmu ~mode:Mode.User ~write:true (s_va 0)));
+        let pte, _ = ok (Mmu.read_pte mmu (s_va 0)) in
+        Alcotest.(check bool) "m set" true (Pte.modify pte));
+    Alcotest.test_case "modify-fault policy faults instead" `Quick (fun () ->
+        let mmu =
+          make_mmu ~policy:Mmu.Modify_fault_policy
+            ~prots:[ (true, Protection.UW, 7) ]
+            ()
+        in
+        (match
+           expect_fault "write to unmodified page"
+             (Mmu.translate mmu ~mode:Mode.User ~write:true (s_va 0))
+         with
+        | Mmu.Modify_fault _ -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+        (* reads do not modify-fault *)
+        ignore (ok (Mmu.translate mmu ~mode:Mode.User ~write:false (s_va 0)));
+        (* software sets M, invalidates, write succeeds *)
+        let pte, pa = ok (Mmu.read_pte mmu (s_va 0)) in
+        Phys_mem.write_long (Mmu.phys mmu) pa (Pte.with_modify pte true);
+        Mmu.tbis mmu (s_va 0);
+        ignore (ok (Mmu.translate mmu ~mode:Mode.User ~write:true (s_va 0))));
+    Alcotest.test_case "process page table in S virtual memory" `Quick
+      (fun () ->
+        (* S page 0 maps the P0 page table page (pfn 2); P0 page 0 maps
+           pfn 9 *)
+        let mmu =
+          make_mmu ~prots:[ (true, Protection.KW, 2) ] ()
+        in
+        Phys_mem.write_long (Mmu.phys mmu) (2 * 512)
+          (Pte.make ~prot:Protection.UW ~pfn:9 ());
+        Mmu.set_p0br mmu 0x8000_0000;
+        Mmu.set_p0lr mmu 1;
+        Alcotest.(check int) "p0 va 0 -> pfn 9" (9 * 512)
+          (ok (Mmu.translate mmu ~mode:Mode.User ~write:false 0));
+        (* beyond P0LR *)
+        match
+          expect_fault "P0 length"
+            (Mmu.translate mmu ~mode:Mode.User ~write:false 512)
+        with
+        | Mmu.Access_violation { length_violation = true; _ } -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+    Alcotest.test_case "PROBE outcome semantics" `Quick (fun () ->
+        let mmu =
+          make_mmu
+            ~prots:
+              [
+                (true, Protection.KW, 3);
+                (false, Protection.UW, 0) (* a null-style PTE *);
+              ]
+            ()
+        in
+        let p1 = ok (Mmu.probe mmu ~mode:Mode.User ~write:false (s_va 0)) in
+        Alcotest.(check bool) "user denied" false p1.Mmu.accessible;
+        Alcotest.(check bool) "valid" true p1.Mmu.pte_valid;
+        let p2 = ok (Mmu.probe mmu ~mode:Mode.Kernel ~write:true (s_va 0)) in
+        Alcotest.(check bool) "kernel ok" true p2.Mmu.accessible;
+        let p3 = ok (Mmu.probe mmu ~mode:Mode.User ~write:true (s_va 1)) in
+        Alcotest.(check bool) "null pte passes protection" true p3.Mmu.accessible;
+        Alcotest.(check bool) "but reports invalid" false p3.Mmu.pte_valid;
+        (* length violation: inaccessible, no fault *)
+        let p4 = ok (Mmu.probe mmu ~mode:Mode.Kernel ~write:false (s_va 9)) in
+        Alcotest.(check bool) "beyond length" false p4.Mmu.accessible);
+    Alcotest.test_case "TLB caches and invalidates" `Quick (fun () ->
+        let mmu = make_mmu ~prots:[ (true, Protection.UW, 7) ] () in
+        ignore (ok (Mmu.translate mmu ~mode:Mode.User ~write:false (s_va 0)));
+        let w0 = Mmu.walks mmu in
+        ignore (ok (Mmu.translate mmu ~mode:Mode.User ~write:false (s_va 0)));
+        Alcotest.(check int) "no extra walk on hit" w0 (Mmu.walks mmu);
+        Mmu.tbia mmu;
+        ignore (ok (Mmu.translate mmu ~mode:Mode.User ~write:false (s_va 0)));
+        Alcotest.(check int) "walk after tbia" (w0 + 1) (Mmu.walks mmu));
+  ]
+
+(* property: with random small page tables, translation through the TLB
+   equals translation with the TLB freshly invalidated. *)
+let tlb_consistency =
+  qtest "TLB transparent under random access patterns"
+    (QCheck.list_of_size (QCheck.Gen.return 40)
+       (QCheck.triple (QCheck.int_bound 3) (QCheck.int_bound 5) QCheck.bool))
+    (fun ops ->
+      let mk () =
+        make_mmu
+          ~prots:
+            [
+              (true, Protection.UW, 8);
+              (true, Protection.UR, 9);
+              (true, Protection.KW, 10);
+              (false, Protection.UW, 11);
+              (true, Protection.SW, 12);
+              (true, Protection.ER, 13);
+            ]
+          ()
+      in
+      let a = mk () and b = mk () in
+      List.for_all
+        (fun (mode, page, write) ->
+          let mode = Mode.of_int mode in
+          let va = s_va page in
+          let ra = Mmu.translate a ~mode ~write va in
+          Mmu.tbia b;
+          let rb = Mmu.translate b ~mode ~write va in
+          ra = rb)
+        ops)
+
+
+let extra_mmu_tests =
+  [
+    Alcotest.test_case "P1 translation through its own table" `Quick (fun () ->
+        (* S page 0 maps the P1 table page (pfn 2); entry for the last P1
+           page lives at its top *)
+        let mmu = make_mmu ~prots:[ (true, Protection.KW, 2) ] () in
+        let last_vpn = (1 lsl 21) - 1 in
+        Phys_mem.write_long (Mmu.phys mmu)
+          ((2 * 512) + 508)
+          (Pte.make ~prot:Protection.UW ~pfn:9 ());
+        (* P1BR such that PTE addr of last_vpn = s_va 0 + 508 *)
+        Mmu.set_p1br mmu (Vax_arch.Word.sub (s_va 0 + 508) (4 * last_vpn));
+        Mmu.set_p1lr mmu last_vpn;
+        let va = 0x4000_0000 lor (last_vpn lsl 9) in
+        Alcotest.(check int) "maps pfn 9" (9 * 512)
+          (ok (Mmu.translate mmu ~mode:Mode.User ~write:false va));
+        (* one page below P1LR: length violation *)
+        match
+          expect_fault "below P1LR"
+            (Mmu.translate mmu ~mode:Mode.User ~write:false
+               (0x4000_0000 lor ((last_vpn - 1) lsl 9)))
+        with
+        | Mmu.Access_violation { length_violation = true; _ } -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+    Alcotest.test_case "page-table fault carries the PT flag" `Quick (fun () ->
+        (* P0 table page's own S PTE is invalid *)
+        let mmu = make_mmu ~prots:[ (false, Protection.KW, 2) ] () in
+        Mmu.set_p0br mmu 0x8000_0000;
+        Mmu.set_p0lr mmu 4;
+        match
+          expect_fault "walk faults"
+            (Mmu.translate mmu ~mode:Mode.Kernel ~write:false 0)
+        with
+        | Mmu.Translation_not_valid { ptbl_ref = true; _ } -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+    Alcotest.test_case "probe can itself take a page-table fault" `Quick
+      (fun () ->
+        let mmu = make_mmu ~prots:[ (false, Protection.KW, 2) ] () in
+        Mmu.set_p0br mmu 0x8000_0000;
+        Mmu.set_p0lr mmu 4;
+        match expect_fault "probe" (Mmu.probe mmu ~mode:Mode.Kernel ~write:false 0) with
+        | Mmu.Translation_not_valid { ptbl_ref = true; _ } -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+    Alcotest.test_case "unaligned longword across a page boundary" `Quick
+      (fun () ->
+        let mmu =
+          make_mmu
+            ~prots:[ (true, Protection.UW, 8); (true, Protection.UW, 9) ]
+            ()
+        in
+        let va = s_va 0 + 510 in
+        ignore (ok (Mmu.v_write_long mmu ~mode:Mode.User va 0xAABBCCDD));
+        Alcotest.(check int) "readback" 0xAABBCCDD
+          (ok (Mmu.v_read_long mmu ~mode:Mode.User va));
+        (* bytes really landed in the two frames *)
+        Alcotest.(check int) "low frame" 0xDD
+          (Phys_mem.read_byte (Mmu.phys mmu) ((8 * 512) + 510));
+        Alcotest.(check int) "high frame" 0xAA
+          (Phys_mem.read_byte (Mmu.phys mmu) ((9 * 512) + 1)));
+    Alcotest.test_case "unaligned write crossing into a protected page \
+                        faults without partial effects visible to retry"
+      `Quick (fun () ->
+        let mmu =
+          make_mmu
+            ~prots:[ (true, Protection.UW, 8); (true, Protection.KW, 9) ]
+            ()
+        in
+        let va = s_va 0 + 510 in
+        match expect_fault "cross write" (Mmu.v_write_long mmu ~mode:Mode.User va 1) with
+        | Mmu.Access_violation _ -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+    Alcotest.test_case "modify fault counted once per page until set" `Quick
+      (fun () ->
+        let mmu =
+          make_mmu ~policy:Mmu.Modify_fault_policy
+            ~prots:[ (true, Protection.UW, 8) ]
+            ()
+        in
+        ignore (expect_fault "w1" (Mmu.translate mmu ~mode:Mode.User ~write:true (s_va 0)));
+        let pte, pa = ok (Mmu.read_pte mmu (s_va 0)) in
+        Phys_mem.write_long (Mmu.phys mmu) pa (Pte.with_modify pte true);
+        Mmu.tbis mmu (s_va 0);
+        ignore (ok (Mmu.translate mmu ~mode:Mode.User ~write:true (s_va 0)));
+        ignore (ok (Mmu.translate mmu ~mode:Mode.User ~write:true (s_va 0)));
+        Alcotest.(check int) "exactly one modify fault" 1
+          (Mmu.modify_faults_delivered mmu));
+  ]
+
+let () =
+  Alcotest.run "vax_mem"
+    [
+      ("phys", phys_tests);
+      ("mmu", mmu_tests);
+      ("mmu-edge", extra_mmu_tests);
+      ("tlb", [ tlb_consistency ]);
+    ]

@@ -1,0 +1,411 @@
+(* Integration tests for the VMM: simple guests running in virtual
+   machines, ring compression behaviour, shadow page tables, virtual
+   devices, and VM isolation. *)
+
+open Vax_arch
+open Vax_cpu
+open Vax_dev
+open Vax_vmm
+module Asm = Vax_asm.Asm
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let build f origin =
+  let a = Asm.create ~origin in
+  f a;
+  Asm.assemble a
+
+let make_vmm ?config () =
+  let m = Machine.create ~variant:Variant.Virtualizing ~memory_pages:4096 () in
+  (m, Vmm.create ?config m)
+
+let boot_guest ?config ?io_mode ?(memory_pages = 256) f =
+  let m, vmm = make_vmm ?config () in
+  let img = build f 0x200 in
+  let vm =
+    Vmm.add_vm vmm ~name:"guest" ~memory_pages ~disk_blocks:16 ?io_mode
+      ~images:[ (0x200, img.Asm.code) ]
+      ~start_pc:0x200 ()
+  in
+  (m, vmm, vm, img)
+
+let run_vmm vmm = Vmm.run vmm ~max_cycles:50_000_000 ()
+
+let halted_ok (vm : Vm.t) =
+  match vm.Vm.run_state with
+  | Vm.Halted_vm "guest HALT" -> ()
+  | Vm.Halted_vm r -> Alcotest.failf "VM halted abnormally: %s" r
+  | _ -> Alcotest.fail "VM did not halt"
+
+(* emit: MTPR #char, #TXDB *)
+let emit_putc a ch =
+  Asm.ins a Opcode.Mtpr
+    [ Asm.Imm (Char.code ch); Asm.Imm (Ipr.to_int Ipr.TXDB) ]
+
+let test_trivial_guest () =
+  (* arithmetic + console output + HALT, all in VM kernel mode with
+     memory management off (identity space) *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        Asm.ins a Opcode.Movl [ Asm.Imm 6; Asm.R 0 ];
+        Asm.ins a Opcode.Mull2 [ Asm.Imm 7; Asm.R 0 ];
+        emit_putc a 'o';
+        emit_putc a 'k';
+        Asm.ins a Opcode.Halt [])
+  in
+  (match run_vmm vmm with
+  | Machine.Stopped -> ()
+  | o -> Alcotest.failf "unexpected outcome %a" Machine.pp_outcome o);
+  halted_ok vm;
+  check_int "r0" 42 vm.Vm.saved_regs.(0);
+  check_str "console" "ok" (Vmm.console_output vm)
+
+let test_movpsl_shows_virtual_kernel () =
+  (* MOVPSL inside the VM must report virtual kernel mode even though the
+     real hardware is running the VM in executive mode. *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        Asm.ins a Opcode.Movpsl [ Asm.R 0 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  halted_ok vm;
+  let psl = vm.Vm.saved_regs.(0) in
+  check_str "cur" "kernel" (Mode.name (Psl.cur psl));
+  check_int "vm bit hidden" 0 (Word.logand psl Psl.vm_bit_mask)
+
+let test_virtual_sid_and_memsize () =
+  let _, vmm, vm, _ =
+    boot_guest ~memory_pages:128 (fun a ->
+        Asm.ins a Opcode.Mfpr [ Asm.Imm (Ipr.to_int Ipr.SID); Asm.R 0 ];
+        Asm.ins a Opcode.Mfpr [ Asm.Imm (Ipr.to_int Ipr.MEMSIZE); Asm.R 1 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  halted_ok vm;
+  check_int "sid is virtual-vax" State.sid_virtual_vax vm.Vm.saved_regs.(0);
+  check_int "memsize" 128 vm.Vm.saved_regs.(1)
+
+let test_wait_idles_and_resumes () =
+  (* WAIT gives up the processor; the VM resumes after the timeout *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        Asm.ins a Opcode.Movl [ Asm.Imm 1; Asm.R 0 ];
+        Asm.ins a Opcode.Wait [];
+        Asm.ins a Opcode.Movl [ Asm.Imm 2; Asm.R 0 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  halted_ok vm;
+  check_int "resumed after wait" 2 vm.Vm.saved_regs.(0)
+
+let test_two_vms_isolated () =
+  (* each VM writes a distinctive pattern over its own memory; both
+     patterns must survive, and consoles must not interleave *)
+  let m, vmm = make_vmm () in
+  let mk tag =
+    build
+      (fun a ->
+        (* fill VM-physical page 16 with the tag *)
+        Asm.ins a Opcode.Movl [ Asm.Imm (16 * 512); Asm.R 2 ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 128; Asm.R 3 ];
+        Asm.label a "fill";
+        Asm.ins a Opcode.Movl [ Asm.Imm tag; Asm.Deref 2 ];
+        Asm.ins a Opcode.Addl2 [ Asm.Imm 4; Asm.R 2 ];
+        Asm.ins a Opcode.Sobgtr [ Asm.R 3; Asm.Branch "fill" ];
+        emit_putc a (Char.chr (tag land 0x7F));
+        Asm.ins a Opcode.Halt [])
+      0x200
+  in
+  let img_a = mk (Char.code 'A') and img_b = mk (Char.code 'B') in
+  let vm_a =
+    Vmm.add_vm vmm ~name:"a" ~memory_pages:64 ~disk_blocks:8
+      ~images:[ (0x200, img_a.Asm.code) ] ~start_pc:0x200 ()
+  in
+  let vm_b =
+    Vmm.add_vm vmm ~name:"b" ~memory_pages:64 ~disk_blocks:8
+      ~images:[ (0x200, img_b.Asm.code) ] ~start_pc:0x200 ()
+  in
+  ignore m;
+  ignore (run_vmm vmm);
+  halted_ok vm_a;
+  halted_ok vm_b;
+  check_int "vm a pattern" (Char.code 'A')
+    (Vmm.vm_phys_read_long vmm vm_a (16 * 512));
+  check_int "vm b pattern" (Char.code 'B')
+    (Vmm.vm_phys_read_long vmm vm_b (16 * 512));
+  check_str "console a" "A" (Vmm.console_output vm_a);
+  check_str "console b" "B" (Vmm.console_output vm_b)
+
+let test_kcall_disk_io () =
+  (* guest writes a block via KCALL, reads it back into other memory *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        let packet = 0x4000 and buf = 0x4800 and buf2 = 0x5000 in
+        (* fill source buffer *)
+        Asm.ins a Opcode.Movl [ Asm.Imm (0x1BADCAFE land 0xFFFFFF); Asm.Abs buf ];
+        (* write packet: fn=2 (write), block=3, buf *)
+        Asm.ins a Opcode.Movl [ Asm.Imm 2; Asm.Abs packet ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 3; Asm.Abs (packet + 4) ];
+        Asm.ins a Opcode.Movl [ Asm.Imm buf; Asm.Abs (packet + 8) ];
+        Asm.ins a Opcode.Clrl [ Asm.Abs (packet + 12) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm packet; Asm.Imm (Ipr.to_int Ipr.KCALL) ];
+        (* poll status *)
+        Asm.label a "wait1";
+        Asm.ins a Opcode.Tstl [ Asm.Abs (packet + 12) ];
+        Asm.ins a Opcode.Beql [ Asm.Branch "wait1" ];
+        (* read it back into buf2: fn=1 *)
+        Asm.ins a Opcode.Movl [ Asm.Imm 1; Asm.Abs packet ];
+        Asm.ins a Opcode.Movl [ Asm.Imm buf2; Asm.Abs (packet + 8) ];
+        Asm.ins a Opcode.Clrl [ Asm.Abs (packet + 12) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm packet; Asm.Imm (Ipr.to_int Ipr.KCALL) ];
+        Asm.label a "wait2";
+        Asm.ins a Opcode.Tstl [ Asm.Abs (packet + 12) ];
+        Asm.ins a Opcode.Beql [ Asm.Branch "wait2" ];
+        Asm.ins a Opcode.Movl [ Asm.Abs buf2; Asm.R 0 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  halted_ok vm;
+  check_int "block roundtrip" (0x1BADCAFE land 0xFFFFFF) vm.Vm.saved_regs.(0);
+  check_int "io requests" 2 vm.Vm.stats.Vm.io_requests;
+  (* disk content verifiable from the host too *)
+  let blk = Vmm.read_vm_disk vmm vm 3 in
+  check_int "host view of block" (0x1BADCAFE land 0xFFFFFF)
+    (Char.code (Bytes.get blk 0)
+    lor (Char.code (Bytes.get blk 1) lsl 8)
+    lor (Char.code (Bytes.get blk 2) lsl 16))
+
+
+(* ------------------------------------------------------------------ *)
+(* Ring compression and mode behaviour inside a VM                     *)
+
+(* Build a guest that installs a minimal SCB and drops to a less
+   privileged virtual mode, runs [inner] there, and lets CHMK come back. *)
+let mode_probe_guest ~target_psl ~inner a =
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x2000; Asm.Imm (Ipr.to_int Ipr.SCBB) ];
+  Asm.ins a Opcode.Moval [ Asm.Abs_label "kh"; Asm.R 0 ];
+  Asm.ins a Opcode.Movl [ Asm.R 0; Asm.Abs (0x2000 + Scb.chmk) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x5000; Asm.Imm (Ipr.to_int Ipr.KSP) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x5800; Asm.Imm (Ipr.to_int Ipr.ESP) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x6000; Asm.Imm (Ipr.to_int Ipr.SSP) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x6800; Asm.Imm (Ipr.to_int Ipr.USP) ];
+  Asm.ins a Opcode.Pushl [ Asm.Imm target_psl ];
+  Asm.ins a Opcode.Moval [ Asm.Abs_label "inner"; Asm.Predec Asm.sp ];
+  Asm.ins a Opcode.Rei [];
+  Asm.label a "inner";
+  inner a;
+  Asm.ins a Opcode.Chmk [ Asm.Imm 1 ];
+  Asm.label a "spin";
+  Asm.ins a Opcode.Brb [ Asm.Branch "spin" ];
+  Asm.align a 4;
+  Asm.label a "kh";
+  Asm.ins a Opcode.Halt []
+
+let psl_user = 0x03C0_0000
+let psl_exec = 0x0140_0000 (* cur=exec prv=exec *)
+
+let test_vm_rei_to_user_and_back () =
+  (* full mode round trip inside the VM: kernel -> REI -> user -> CHMK ->
+     kernel; MOVPSL in user mode must show virtual user *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        mode_probe_guest ~target_psl:psl_user
+          ~inner:(fun a -> Asm.ins a Opcode.Movpsl [ Asm.R 6 ])
+          a)
+  in
+  ignore (run_vmm vmm);
+  halted_ok vm;
+  check_str "user mode seen" "user" (Mode.name (Psl.cur vm.Vm.saved_regs.(6)));
+  check_int "rei emulated" 1 vm.Vm.stats.Vm.rei_emulated;
+  check_int "chm forwarded" 1 vm.Vm.stats.Vm.chm_forwarded
+
+let test_vm_privileged_from_virtual_user_faults () =
+  (* MTPR from virtual user mode: privileged-instruction fault reflected
+     into the VM (its handler halts); NOT silently executed *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        (* point the priv-instr vector at a guest handler *)
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x2000; Asm.Imm (Ipr.to_int Ipr.SCBB) ];
+        Asm.ins a Opcode.Moval [ Asm.Abs_label "ph"; Asm.R 0 ];
+        Asm.ins a Opcode.Movl
+          [ Asm.R 0; Asm.Abs (0x2000 + Scb.privileged_instruction) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x5000; Asm.Imm (Ipr.to_int Ipr.KSP) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x6800; Asm.Imm (Ipr.to_int Ipr.USP) ];
+        Asm.ins a Opcode.Pushl [ Asm.Imm psl_user ];
+        Asm.ins a Opcode.Moval [ Asm.Abs_label "u"; Asm.Predec Asm.sp ];
+        Asm.ins a Opcode.Rei [];
+        Asm.label a "u";
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0; Asm.Imm (Ipr.to_int Ipr.IPL) ];
+        Asm.label a "spin";
+        Asm.ins a Opcode.Brb [ Asm.Branch "spin" ];
+        Asm.align a 4;
+        Asm.label a "ph";
+        Asm.ins a Opcode.Movl [ Asm.Imm 0xDEAD; Asm.R 7 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  halted_ok vm;
+  check_int "guest handler saw the fault" 0xDEAD vm.Vm.saved_regs.(7);
+  check_int "one fault reflected" 1 vm.Vm.stats.Vm.reflected_faults
+
+let test_vm_exec_mode_mtpr_reflected () =
+  (* virtual executive mode is NOT virtual kernel: privileged
+     instructions must fault (the execution side of ring compression) *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x2000; Asm.Imm (Ipr.to_int Ipr.SCBB) ];
+        Asm.ins a Opcode.Moval [ Asm.Abs_label "ph"; Asm.R 0 ];
+        Asm.ins a Opcode.Movl
+          [ Asm.R 0; Asm.Abs (0x2000 + Scb.privileged_instruction) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x5000; Asm.Imm (Ipr.to_int Ipr.KSP) ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x5800; Asm.Imm (Ipr.to_int Ipr.ESP) ];
+        Asm.ins a Opcode.Pushl [ Asm.Imm psl_exec ];
+        Asm.ins a Opcode.Moval [ Asm.Abs_label "e"; Asm.Predec Asm.sp ];
+        Asm.ins a Opcode.Rei [];
+        Asm.label a "e";
+        (* executive mode: this must trap even though the real hardware
+           runs both virtual kernel and executive in real executive *)
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0; Asm.Imm (Ipr.to_int Ipr.IPL) ];
+        Asm.label a "spin";
+        Asm.ins a Opcode.Brb [ Asm.Branch "spin" ];
+        Asm.align a 4;
+        Asm.label a "ph";
+        Asm.ins a Opcode.Movpsl [ Asm.R 7 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  halted_ok vm;
+  (* handler runs in virtual kernel, previous mode = executive *)
+  check_str "prv is executive" "executive"
+    (Mode.name (Psl.prv vm.Vm.saved_regs.(7)))
+
+let test_vm_cannot_touch_vmm_memory () =
+  (* resource control: S addresses above the VM's limit are length
+     violations reflected to the VM, and the VMM region is never
+     writable by any VM mode *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        Vax_workloads.Conformance.emit_spt_and_mapen a
+          ~test_pte:(Pte.make ~modify:true ~prot:Protection.UW ~pfn:16 ());
+        (* write far above the VM's S limit: into VMM territory *)
+        Asm.ins a Opcode.Movl
+          [
+            Asm.Imm 0xBAD;
+            Asm.Abs (0x8000_0000 + (Vax_vmm.Layout.vmm_s_base_vpn * 512));
+          ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  (* no SCB handler for the reflected ACV: the VM dies, the VMM lives *)
+  (match vm.Vm.run_state with
+  | Vm.Halted_vm _ -> ()
+  | _ -> Alcotest.fail "VM not halted");
+  check_bool "fault was reflected, not executed" true
+    (vm.Vm.stats.Vm.reflected_faults >= 1)
+
+let test_vm_nxm_halts_vm () =
+  (* paper §5: touching nonexistent memory halts the VM (possible attack) *)
+  let _, vmm, vm, _ =
+    boot_guest ~memory_pages:64 (fun a ->
+        Vax_workloads.Conformance.emit_spt_and_mapen a
+          ~test_pte:
+            (Pte.make ~modify:true ~prot:Protection.UW ~pfn:5000 ())
+          (* frame 5000 is way outside a 64-page VM *);
+        Asm.ins a Opcode.Tstl [ Asm.Abs 0x8000_0000 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  match vm.Vm.run_state with
+  | Vm.Halted_vm reason ->
+      check_bool "halted for nonexistent memory" true
+        (String.length reason > 0 && reason <> "guest HALT")
+  | _ -> Alcotest.fail "VM not halted"
+
+let test_tbis_discipline () =
+  (* changing a valid VM PTE and issuing TBIS must invalidate the shadow:
+     the next access sees the NEW mapping *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        (* frame 16 holds the SPT itself; use frames 20/21 as targets *)
+        Vax_workloads.Conformance.emit_spt_and_mapen a
+          ~test_pte:(Pte.make ~modify:true ~prot:Protection.UW ~pfn:20 ());
+        (* write marker through S page 0 (frame 20) *)
+        Asm.ins a Opcode.Movl [ Asm.Imm 0x1111; Asm.Abs 0x8000_0000 ];
+        (* remap S page 0 to frame 21, TBIS, write again *)
+        Asm.ins a Opcode.Movl
+          [
+            Asm.Imm (Pte.make ~modify:true ~prot:Protection.UW ~pfn:21 ());
+            Asm.Abs 0x8000_2000;
+          ];
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x8000_0000; Asm.Imm (Ipr.to_int Ipr.TBIS) ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 0x2222; Asm.Abs 0x8000_0000 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  halted_ok vm;
+  check_int "first write hit frame 20" 0x1111
+    (Vmm.vm_phys_read_long vmm vm (20 * 512));
+  check_int "post-TBIS write hit frame 21" 0x2222
+    (Vmm.vm_phys_read_long vmm vm (21 * 512))
+
+let test_probe_invalid_pte_emulated () =
+  (* PROBE of a page whose VM PTE is invalid: the VMM must emulate using
+     the VM's protection code (standard-VAX semantics: protection is
+     checked even when invalid) *)
+  let _, vmm, vm, _ =
+    boot_guest (fun a ->
+        Vax_workloads.Conformance.emit_spt_and_mapen a
+          ~test_pte:
+            (Pte.make ~valid:false ~modify:false ~prot:Protection.UW ~pfn:16 ());
+        Asm.ins a Opcode.Prober [ Asm.Lit 3; Asm.Lit 4; Asm.Abs 0x8000_0000 ];
+        Asm.ins a Opcode.Movpsl [ Asm.R 6 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  ignore (run_vmm vmm);
+  halted_ok vm;
+  check_bool "probe emulated at least once" true
+    (vm.Vm.stats.Vm.probe_emulated >= 1);
+  check_bool "UW page reported accessible despite invalid PTE" true
+    (not (Psl.z vm.Vm.saved_regs.(6)))
+
+let () =
+  Alcotest.run "vax_vmm"
+    [
+      ( "vmm",
+        [
+          Alcotest.test_case "trivial guest" `Quick test_trivial_guest;
+          Alcotest.test_case "MOVPSL shows virtual kernel" `Quick
+            test_movpsl_shows_virtual_kernel;
+          Alcotest.test_case "virtual SID and MEMSIZE" `Quick
+            test_virtual_sid_and_memsize;
+          Alcotest.test_case "WAIT idles and resumes" `Quick
+            test_wait_idles_and_resumes;
+          Alcotest.test_case "two VMs are isolated" `Quick test_two_vms_isolated;
+          Alcotest.test_case "KCALL disk I/O" `Quick test_kcall_disk_io;
+        ] );
+      ( "ring compression",
+        [
+          Alcotest.test_case "REI to user and CHMK back" `Quick
+            test_vm_rei_to_user_and_back;
+          Alcotest.test_case "privileged instr from virtual user" `Quick
+            test_vm_privileged_from_virtual_user_faults;
+          Alcotest.test_case "virtual executive is not kernel" `Quick
+            test_vm_exec_mode_mtpr_reflected;
+        ] );
+      ( "security",
+        [
+          Alcotest.test_case "VM cannot touch VMM memory" `Quick
+            test_vm_cannot_touch_vmm_memory;
+          Alcotest.test_case "nonexistent memory halts the VM" `Quick
+            test_vm_nxm_halts_vm;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "TBIS discipline" `Quick test_tbis_discipline;
+          Alcotest.test_case "PROBE with invalid VM PTE emulated" `Quick
+            test_probe_invalid_pte_emulated;
+        ] );
+    ]

@@ -1,0 +1,1 @@
+tools/debug_chmk.ml: Cpu Format Ipr List Opcode Psl Scb State Vax_arch Vax_asm Vax_cpu Word

@@ -1,0 +1,1 @@
+tools/debug_chms.ml: Array Cpu Format Ipr Opcode Psl Scb State Vax_arch Vax_asm Vax_cpu

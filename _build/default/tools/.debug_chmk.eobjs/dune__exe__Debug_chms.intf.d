@@ -1,0 +1,1 @@
+tools/debug_chms.mli:

@@ -1,0 +1,1 @@
+tools/debug_conf.ml: Format Vax_workloads

@@ -1,0 +1,1 @@
+tools/debug_e6.ml: Array Format Ipr Machine Opcode Printf Protection Psl Pte Variant Vax_arch Vax_asm Vax_cpu Vax_dev Vax_mem Vax_vmm Vm Vmm

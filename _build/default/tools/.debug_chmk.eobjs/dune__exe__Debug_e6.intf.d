@@ -1,0 +1,1 @@
+tools/debug_e6.mli:

@@ -1,0 +1,1 @@
+tools/debug_edit.ml: Array Format Hashtbl List Machine Minivms Programs State String Vax_arch Vax_asm Vax_cpu Vax_dev Vax_vmos Vax_workloads

@@ -1,0 +1,1 @@
+tools/debug_edit2.ml: Format Hashtbl Minivms Programs Runner State String Vax_arch Vax_cpu Vax_dev Vax_vmos Vax_workloads

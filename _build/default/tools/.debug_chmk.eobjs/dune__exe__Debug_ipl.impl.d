@@ -1,0 +1,1 @@
+tools/debug_ipl.ml: Minivms Printf Programs Runner Vax_vmm Vax_vmos Vax_workloads

@@ -1,0 +1,1 @@
+tools/debug_minivms.ml: Bytes Format Minivms Printf Programs Runner Vax_asm Vax_dev Vax_vmm Vax_vmos Vax_workloads

@@ -1,0 +1,1 @@
+tools/debug_mix.ml: Format Minivms Programs Runner Unix Vax_dev Vax_vmm Vax_vmos Vax_workloads

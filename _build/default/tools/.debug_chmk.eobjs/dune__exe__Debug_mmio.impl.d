@@ -1,0 +1,1 @@
+tools/debug_mmio.ml: Format Minivms Programs Runner Vax_dev Vax_vmm Vax_vmos Vax_workloads

@@ -1,0 +1,1 @@
+tools/debug_sched.ml: Format Minivms Programs Runner Userland Vax_arch Vax_asm Vax_dev Vax_vmos Vax_workloads

@@ -1,0 +1,1 @@
+tools/debug_sleep.ml: Machine Minivms Printf Runner Userland Vax_arch Vax_asm Vax_cpu Vax_dev Vax_mem Vax_vmos Vax_workloads

@@ -1,0 +1,1 @@
+tools/debug_two.ml: Format Machine Mode Opcode Pte Variant Vax_arch Vax_asm Vax_cpu Vax_dev Vax_mem Vax_vmm Vmm

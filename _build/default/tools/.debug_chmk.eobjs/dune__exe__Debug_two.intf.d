@@ -1,0 +1,1 @@
+tools/debug_two.mli:

@@ -1,0 +1,1 @@
+tools/syms.ml: List Printf Vax_asm Vax_vmos Vax_workloads

@@ -1,0 +1,37 @@
+open Vax_arch
+open Vax_cpu
+module Asm = Vax_asm.Asm
+
+let () =
+  let cpu = Cpu.create () in
+  let a = Asm.create ~origin:0x1000 in
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x8000; Asm.Imm (Ipr.to_int Ipr.SCBB) ];
+  Asm.ins a Opcode.Moval [ Asm.Abs_label "chmk_handler"; Asm.R 0 ];
+  Asm.ins a Opcode.Movl [ Asm.R 0; Asm.Abs (0x8000 + Scb.chmk) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x3000; Asm.Imm (Ipr.to_int Ipr.USP) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x2800; Asm.Imm (Ipr.to_int Ipr.KSP) ];
+  Asm.ins a Opcode.Pushl [ Asm.Imm 0x03C0_0000 ];
+  Asm.ins a Opcode.Moval [ Asm.Abs_label "user_code"; Asm.Predec Asm.sp ];
+  Asm.ins a Opcode.Rei [];
+  Asm.label a "user_code";
+  Asm.ins a Opcode.Movl [ Asm.Imm 0x111; Asm.R 1 ];
+  Asm.ins a Opcode.Chmk [ Asm.Imm 9 ];
+  Asm.ins a Opcode.Movl [ Asm.Imm 0x222; Asm.R 2 ];
+  Asm.label a "user_spin";
+  Asm.ins a Opcode.Brb [ Asm.Branch "user_spin" ];
+  Asm.label a "chmk_handler";
+  Asm.ins a Opcode.Movl [ Asm.Deref Asm.sp; Asm.R 3 ];
+  Asm.ins a Opcode.Addl2 [ Asm.Imm 4; Asm.R Asm.sp ];
+  Asm.ins a Opcode.Rei [];
+  let img = Asm.assemble a in
+  Cpu.load cpu img.Asm.image_origin img.Asm.code;
+  State.set_pc cpu.Cpu.state 0x1000;
+  State.set_sp cpu.Cpu.state 0x2000;
+  let st = cpu.Cpu.state in
+  for i = 1 to 25 do
+    let pc = State.pc st in
+    ignore (Cpu.step cpu);
+    Format.printf "%2d pc=%a -> pc=%a sp=%a %a@." i Word.pp pc Word.pp
+      (State.pc st) Word.pp (State.sp st) Psl.pp st.State.psl
+  done;
+  List.iter (fun (n, v) -> Format.printf "%s = %x@." n v) img.Asm.symbols

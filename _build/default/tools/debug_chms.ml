@@ -1,0 +1,38 @@
+open Vax_arch
+open Vax_cpu
+module Asm = Vax_asm.Asm
+let () =
+  let cpu = Cpu.create () in
+  let a = Asm.create ~origin:0x1000 in
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x8000; Asm.Imm (Ipr.to_int Ipr.SCBB) ];
+  Asm.ins a Opcode.Moval [ Asm.Abs_label "sh"; Asm.R 0 ];
+  Asm.ins a Opcode.Movl [ Asm.R 0; Asm.Abs (0x8000 + Scb.chms) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x3000; Asm.Imm (Ipr.to_int Ipr.USP) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x2C00; Asm.Imm (Ipr.to_int Ipr.SSP) ];
+  Asm.ins a Opcode.Pushl [ Asm.Imm 0x03C0_0000 ];
+  Asm.ins a Opcode.Moval [ Asm.Abs_label "u"; Asm.Predec Asm.sp ];
+  Asm.ins a Opcode.Rei [];
+  Asm.label a "u";
+  Asm.ins a Opcode.Chms [ Asm.Imm 0 ];
+  Asm.label a "uspin";
+  Asm.ins a Opcode.Brb [ Asm.Branch "uspin" ];
+  Asm.align a 4;
+  Asm.label a "sh";
+  Asm.ins a Opcode.Movpsl [ Asm.R 5 ];
+  Asm.ins a Opcode.Halt [];
+  let img = Asm.assemble a in
+  Cpu.load cpu 0x1000 img.Asm.code;
+  State.set_pc cpu.Cpu.state 0x1000;
+  State.set_sp cpu.Cpu.state 0x2000;
+  let st = cpu.Cpu.state in
+  (try
+    for i = 1 to 15 do
+      let pc = State.pc st in
+      ignore (Cpu.step cpu);
+      Format.printf "%2d pc=%x -> %x sp=%x %a@." i pc (State.pc st)
+        (State.sp st) Psl.pp st.State.psl
+    done
+  with State.Fault f -> Format.printf "FAULT %a sp=%x banks=%x %x %x %x %x@."
+    State.pp_fault f (State.sp st)
+    st.State.sp_bank.(0) st.State.sp_bank.(1) st.State.sp_bank.(2)
+    st.State.sp_bank.(3) st.State.sp_bank.(4))

@@ -1,0 +1,9 @@
+let () =
+  let fmt = Format.std_formatter in
+  Vax_workloads.Conformance.table1 fmt; Format.pp_print_newline fmt ();
+  Vax_workloads.Conformance.table2 fmt; Format.pp_print_newline fmt ();
+  Vax_workloads.Conformance.table3 fmt; Format.pp_print_newline fmt ();
+  Vax_workloads.Conformance.table4 fmt; Format.pp_print_newline fmt ();
+  Vax_workloads.Conformance.figure1 fmt;
+  Vax_workloads.Conformance.figure2 fmt;
+  Vax_workloads.Conformance.figure3 fmt

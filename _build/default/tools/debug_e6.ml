@@ -1,0 +1,35 @@
+open Vax_arch
+open Vax_cpu
+open Vax_dev
+open Vax_vmm
+module Asm = Vax_asm.Asm
+
+let () =
+  let m = Machine.create ~variant:Variant.Virtualizing ~memory_pages:4096 () in
+  let config = { Vmm.default_config with ro_shadow_scheme = true } in
+  let vmm = Vmm.create ~config m in
+  let a = Asm.create ~origin:0x200 in
+  Asm.ins a Opcode.Movl
+    [ Asm.Imm (Pte.make ~modify:false ~prot:Protection.UW ~pfn:16 ()); Asm.Abs 0x2000 ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x2000; Asm.Imm (Ipr.to_int Ipr.SBR) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 1; Asm.Imm (Ipr.to_int Ipr.SLR) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 1; Asm.Imm (Ipr.to_int Ipr.MAPEN) ];
+  Asm.ins a Opcode.Tstl [ Asm.Abs 0x8000_0000 ];
+  Asm.ins a Opcode.Probew [ Asm.Lit 0; Asm.Lit 4; Asm.Abs 0x8000_0000 ];
+  Asm.ins a Opcode.Movpsl [ Asm.R 4 ];
+  Asm.ins a Opcode.Halt [];
+  let img = Asm.assemble a in
+  let vm = Vmm.add_vm vmm ~name:"p" ~memory_pages:64 ~disk_blocks:8
+      ~images:[ (0x200, img.Asm.code) ] ~start_pc:0x200 () in
+  ignore (Vmm.run vmm ~max_cycles:2_000_000 ());
+  (match vm.Vm.run_state with
+   | Vm.Halted_vm r -> Printf.printf "halted: %s\n" r
+   | _ -> Printf.printf "not halted\n");
+  let psl = vm.Vm.saved_regs.(4) in
+  Format.printf "psl=%a Z=%b@." Psl.pp psl (Psl.z psl);
+  (* inspect the shadow PTE for S va 0 *)
+  (match Vax_vmm.Shadow.shadow_pte_addr vm 0x8000_0000 with
+   | Some pa -> Format.printf "shadow pte: %a@." Pte.pp
+       (Vax_mem.Phys_mem.read_long m.Machine.phys pa)
+   | None -> print_endline "no shadow addr");
+  Format.printf "%a@." Vmm.pp_vm_stats vm

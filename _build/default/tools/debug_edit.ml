@@ -1,0 +1,28 @@
+open Vax_vmos
+open Vax_workloads
+open Vax_cpu
+open Vax_dev
+let () =
+  let b = Minivms.build ~programs:[ Programs.editing ~ident:1 ~rounds:100 ] () in
+  let m = Machine.create ~memory_pages:1024 ~disk_blocks:64 () in
+  List.iter (fun (pa, d) -> Machine.load m pa d) b.Minivms.images;
+  Machine.start m ~pc:b.Minivms.entry ~sp:0xC00;
+  let st = m.Machine.cpu in
+  let resop () = Hashtbl.mem st.State.exceptions_by_vector Vax_arch.Scb.reserved_operand in
+  let last_pcs = Array.make 16 0 in
+  let i = ref 0 in
+  (try
+    while not (resop ()) do
+      last_pcs.(!i land 15) <- State.pc st;
+      incr i;
+      Machine.(match Vax_cpu.Exec.step st with
+        | Vax_cpu.Exec.Stepped -> Vax_dev.Sched.run_due m.sched
+        | _ -> raise Exit)
+    done
+  with Exit -> ());
+  Format.printf "resop after %d steps, pc=%x@." !i (State.pc st);
+  for k = 0 to 15 do
+    Format.printf "pc[-%d]=%x@." (15-k) last_pcs.((!i + k) land 15)
+  done;
+  List.iter (fun (n,v) -> if String.length n < 14 then Format.printf "%s=%x@." n v)
+    b.Minivms.kernel.Vax_asm.Asm.symbols

@@ -1,0 +1,11 @@
+open Vax_vmos
+open Vax_workloads
+open Vax_cpu
+let () =
+  let b = Minivms.build ~programs:[ Programs.editing ~ident:1 ~rounds:100 ] () in
+  let m = Runner.run_bare b in
+  Format.printf "cycles=%d has1=%b outcome=%a@." m.Runner.total_cycles
+    (String.contains m.Runner.console '1')
+    Vax_dev.Machine.pp_outcome m.Runner.outcome;
+  Hashtbl.iter (fun v n -> Format.printf "vector %s: %d@." (Vax_arch.Scb.name v) n)
+    m.Runner.machine.Vax_dev.Machine.cpu.State.exceptions_by_vector

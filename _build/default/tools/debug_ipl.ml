@@ -1,0 +1,29 @@
+open Vax_vmos
+open Vax_workloads
+
+let run ?config label built =
+  let base = Runner.run_bare built in
+  let vm = Runner.run_vm ?config built in
+  Printf.printf "%s: bare=%d vm=%d ratio=%.1fx\n" label
+    base.Runner.total_cycles vm.Runner.total_cycles
+    (float vm.Runner.total_cycles /. float base.Runner.total_cycles)
+
+let () =
+  (* difference of two sizes isolates the per-iteration cost *)
+  let b1 = Minivms.build ~programs:[ Programs.ipl_storm ~iterations:200 ] () in
+  let b2 = Minivms.build ~programs:[ Programs.ipl_storm ~iterations:2200 ] () in
+  let m f b = (f b).Runner.total_cycles in
+  let bare1 = m Runner.run_bare b1 and bare2 = m Runner.run_bare b2 in
+  let vm1 = m (Runner.run_vm ?config:None) b1
+  and vm2 = m (Runner.run_vm ?config:None) b2 in
+  let assist = { Vax_vmm.Vmm.default_config with ipl_assist = true } in
+  let av1 = m (Runner.run_vm ~config:assist) b1
+  and av2 = m (Runner.run_vm ~config:assist) b2 in
+  let per x1 x2 = float (x2 - x1) /. 2000.0 /. 2.0 (* two MTPRs per iter *) in
+  Printf.printf "per-MTPR-to-IPL: bare=%.1f vm=%.1f (%.1fx) vm+assist=%.1f (%.1fx)\n"
+    (per bare1 bare2) (per vm1 vm2)
+    (per vm1 vm2 /. per bare1 bare2)
+    (per av1 av2)
+    (per av1 av2 /. per bare1 bare2);
+  run "syscall_storm"
+    (Minivms.build ~programs:[ Programs.syscall_storm ~iterations:500 ] ())

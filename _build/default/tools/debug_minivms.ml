@@ -1,0 +1,22 @@
+open Vax_vmos
+open Vax_workloads
+
+let () =
+  let built =
+    Minivms.build
+      ~programs:[ Programs.hello ~ident:1 ]
+      ()
+  in
+  Printf.printf "kernel size: %d bytes\n"
+    (Bytes.length built.Minivms.kernel.Vax_asm.Asm.code);
+  let m = Runner.run_bare ~max_cycles:3_000_000 built in
+  Format.printf "bare: %a cycles=%d instr=%d@.console: %S@."
+    Vax_dev.Machine.pp_outcome m.Runner.outcome m.Runner.total_cycles
+    m.Runner.instructions m.Runner.console;
+  let mv = Runner.run_vm ~max_cycles:20_000_000 built in
+  Format.printf "vm:   %a cycles=%d instr=%d@.console: %S@."
+    Vax_dev.Machine.pp_outcome mv.Runner.outcome mv.Runner.total_cycles
+    mv.Runner.instructions mv.Runner.console;
+  (match mv.Runner.vm with
+   | Some vm -> Format.printf "%a@." Vax_vmm.Vmm.pp_vm_stats vm
+   | None -> ())

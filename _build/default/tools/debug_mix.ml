@@ -1,0 +1,32 @@
+open Vax_vmos
+open Vax_workloads
+
+let () =
+  let built =
+    Minivms.build
+      ~programs:
+        [
+          Programs.editing ~ident:1 ~rounds:40;
+          Programs.transaction ~ident:2 ~count:30;
+          Programs.compute ~ident:3 ~iterations:3000;
+        ]
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let mb = Runner.run_bare built in
+  let t1 = Unix.gettimeofday () in
+  Format.printf "bare: %a cycles=%d instr=%d wall=%.2fs@."
+    Vax_dev.Machine.pp_outcome mb.Runner.outcome mb.Runner.total_cycles
+    mb.Runner.instructions (t1 -. t0);
+  Format.printf "bare console: %S@." mb.Runner.console;
+  let mv = Runner.run_vm built in
+  let t2 = Unix.gettimeofday () in
+  Format.printf "vm: %a cycles=%d (guest %d, monitor %d) instr=%d wall=%.2fs@."
+    Vax_dev.Machine.pp_outcome mv.Runner.outcome mv.Runner.total_cycles
+    mv.Runner.guest_cycles mv.Runner.monitor_cycles mv.Runner.instructions
+    (t2 -. t1);
+  Format.printf "vm console: %S@." mv.Runner.console;
+  (match mv.Runner.vm with
+   | Some vm -> Format.printf "%a@." Vax_vmm.Vmm.pp_vm_stats vm
+   | None -> ());
+  Format.printf "ratio: %.2f@." (Runner.ratio ~vm:mv ~bare:mb)

@@ -1,0 +1,12 @@
+open Vax_vmos
+open Vax_workloads
+let () =
+  let built = Minivms.build ~force_mmio:true
+      ~programs:[ Programs.io_storm ~ident:2 ~count:4 ] () in
+  let m = Runner.run_vm ~config:{ Vax_vmm.Vmm.default_config with
+                                  default_io_mode = Vax_vmm.Vm.Mmio_io } built in
+  Format.printf "outcome=%a console=%S@." Vax_dev.Machine.pp_outcome
+    m.Runner.outcome m.Runner.console;
+  match m.Runner.vm with
+  | Some vm -> Format.printf "%a@." Vax_vmm.Vmm.pp_vm_stats vm
+  | None -> ()

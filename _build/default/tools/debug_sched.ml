@@ -1,0 +1,21 @@
+open Vax_vmos
+open Vax_workloads
+let () =
+  let b = Minivms.build ~quantum:2
+      ~programs:[ Programs.editing ~ident:1 ~rounds:25;
+                  Programs.editing ~ident:2 ~rounds:25 ] () in
+  let m = Runner.run_bare b in
+  Format.printf "outcome=%a cycles=%d@.console=%S@."
+    Vax_dev.Machine.pp_outcome m.Runner.outcome m.Runner.total_cycles
+    m.Runner.console;
+  (* sleep test *)
+  let prog =
+    let a = Vax_asm.Asm.create ~origin:0 in
+    Vax_asm.Asm.ins a Vax_arch.Opcode.Movl [ Vax_asm.Asm.Imm 3; Vax_asm.Asm.R 1 ];
+    Userland.chmk a Userland.Sys.sleep;
+    Userland.sys_putc_imm a 'w';
+    Userland.sys_exit a;
+    { Minivms.prog_name = "s"; prog_image = Vax_asm.Asm.assemble a; prog_data_pages = 1 } in
+  let m2 = Runner.run_bare (Minivms.build ~programs:[ prog ] ()) in
+  Format.printf "sleep bare: outcome=%a console=%S cycles=%d@."
+    Vax_dev.Machine.pp_outcome m2.Runner.outcome m2.Runner.console m2.Runner.total_cycles

@@ -1,0 +1,20 @@
+open Vax_vmos
+open Vax_workloads
+open Vax_dev
+
+let () =
+  let prog =
+    let a = Vax_asm.Asm.create ~origin:0 in
+    Vax_asm.Asm.ins a Vax_arch.Opcode.Movl [ Vax_asm.Asm.Imm 3; Vax_asm.Asm.R 1 ];
+    Userland.chmk a Userland.Sys.sleep;
+    Userland.sys_putc_imm a 'w';
+    Userland.sys_exit a;
+    { Minivms.prog_name = "s"; prog_image = Vax_asm.Asm.assemble a; prog_data_pages = 1 } in
+  let m = Runner.run_bare (Minivms.build ~programs:[ prog ] ()) in
+  let phys = m.Runner.machine.Machine.phys in
+  let rd off = Vax_mem.Phys_mem.read_long phys (0x600 + off) in
+  Printf.printf "uptime=%d current=%d nproc=%d quantum=%d\n" (rd 0) (rd 4) (rd 8) (rd 12);
+  Printf.printf "state0=%d wake0=%d is_virtual=%d\n" (rd 48) (rd 80) (rd 24);
+  Printf.printf "final pc=%x psl cur=%s\n"
+    (Vax_cpu.State.pc m.Runner.machine.Machine.cpu)
+    (Vax_arch.Mode.name (Vax_arch.Psl.cur m.Runner.machine.Machine.cpu.Vax_cpu.State.psl))

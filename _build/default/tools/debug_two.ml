@@ -1,0 +1,32 @@
+open Vax_arch
+open Vax_cpu
+open Vax_dev
+open Vax_vmm
+module Asm = Vax_asm.Asm
+
+let () =
+  let m = Machine.create ~variant:Variant.Virtualizing ~memory_pages:4096 () in
+  let vmm = Vmm.create m in
+  let mk tag =
+    let a = Asm.create ~origin:0x200 in
+    Asm.ins a Opcode.Movl [ Asm.Imm tag; Asm.R 0 ];
+    Asm.ins a Opcode.Halt [];
+    Asm.assemble a
+  in
+  let img_a = mk 1 and img_b = mk 2 in
+  let vm_a = Vmm.add_vm vmm ~name:"a" ~memory_pages:64 ~disk_blocks:8
+      ~images:[ (0x200, img_a.Asm.code) ] ~start_pc:0x200 () in
+  let _vm_b = Vmm.add_vm vmm ~name:"b" ~memory_pages:64 ~disk_blocks:8
+      ~images:[ (0x200, img_b.Asm.code) ] ~start_pc:0x200 () in
+  (* manually install A's tables and translate 0x200 *)
+  let mmu = m.Machine.mmu in
+  Vax_vmm.Shadow.install_mm_registers mmu vm_a;
+  Format.printf "p0br=%x p0lr=%d sbr=%x slr=%d mapen=%b@."
+    (Vax_mem.Mmu.p0br mmu) (Vax_mem.Mmu.p0lr mmu) (Vax_mem.Mmu.sbr mmu)
+    (Vax_mem.Mmu.slr mmu) (Vax_mem.Mmu.mapen mmu);
+  (match Vax_mem.Mmu.read_pte mmu 0x200 with
+   | Ok (pte, pa) -> Format.printf "pte for 200: %a at %x@." Pte.pp pte pa
+   | Error f -> Format.printf "pte fault: %a@." Vax_mem.Mmu.pp_fault f);
+  (match Vax_mem.Mmu.translate mmu ~mode:Mode.Executive ~write:false 0x200 with
+   | Ok pa -> Format.printf "translate ok -> %x@." pa
+   | Error f -> Format.printf "translate fault: %a@." Vax_mem.Mmu.pp_fault f)

@@ -1,0 +1,4 @@
+let () =
+  let b = Vax_vmos.Minivms.build ~programs:[ Vax_workloads.Programs.editing ~ident:1 ~rounds:100 ] () in
+  let syms = List.sort (fun (_,a) (_,b) -> compare a b) b.Vax_vmos.Minivms.kernel.Vax_asm.Asm.symbols in
+  List.iter (fun (n,v) -> if v >= 0x80001550 && v <= 0x80001680 then Printf.printf "%08x %s\n" v n) syms
