@@ -3,14 +3,27 @@
    experiments of its evaluation sections.
 
    Usage:
-     main.exe                 run everything
-     main.exe --experiment t4 run one item (t1-t4, f1-f3, e1-e10)
-     main.exe --microbench    wall-clock microbenchmarks of the simulator
-                              itself (one Bechamel test per experiment
-                              family)
-     main.exe --list          list experiment ids *)
+     main.exe                       run everything
+     main.exe --experiment t4       run one item (t1-t4, f1-f3, e1-e10)
+     main.exe --list                list experiment ids
+     main.exe --microbench          wall-clock microbenchmarks of the
+                                    simulator's hot paths
+     main.exe --microbench --json out.json
+                                    also write machine-readable results
+     main.exe --microbench --compare old.json
+                                    rerun and print speedups vs a saved run
+     main.exe --bench-smoke         one fast iteration validating the JSON
+                                    schema (wired into the test suite)
 
+   The microbenchmarks measure the simulator substrate (host wall-clock),
+   not simulated cycles: the cycle accounting of the experiments is
+   untouched by anything here. *)
+
+open Vax_arch
+open Vax_mem
+open Vax_vmm
 open Vax_workloads
+module Asm = Vax_asm.Asm
 
 let experiments =
   [
@@ -41,59 +54,449 @@ let run_one ppf (id, title, f) =
     (Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
+(* Minimal JSON: just enough to emit and re-read benchmark results
+   without an external dependency.                                     *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.0f" f)
+        else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        String.iter
+          (function
+            | '"' -> Buffer.add_string buf "\\\""
+            | '\\' -> Buffer.add_string buf "\\\\"
+            | '\n' -> Buffer.add_string buf "\\n"
+            | '\t' -> Buffer.add_string buf "\\t"
+            | c when Char.code c < 0x20 ->
+                Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+            | c -> Buffer.add_char buf c)
+          s;
+        Buffer.add_char buf '"'
+    | Arr items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ", ";
+            emit buf item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ", ";
+            emit buf (Str k);
+            Buffer.add_string buf ": ";
+            emit buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    emit buf t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      skip_ws ();
+      if peek () = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let keyword kw v =
+      if !pos + String.length kw <= n && String.sub s !pos (String.length kw) = kw
+      then begin
+        pos := !pos + String.length kw;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" kw)
+    in
+    let string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              (if !pos >= n then fail "unterminated escape"
+               else
+                 match s.[!pos] with
+                 | '"' -> Buffer.add_char buf '"'
+                 | '\\' -> Buffer.add_char buf '\\'
+                 | '/' -> Buffer.add_char buf '/'
+                 | 'n' -> Buffer.add_char buf '\n'
+                 | 't' -> Buffer.add_char buf '\t'
+                 | 'r' -> Buffer.add_char buf '\r'
+                 | 'b' -> Buffer.add_char buf '\b'
+                 | 'f' -> Buffer.add_char buf '\012'
+                 | 'u' ->
+                     if !pos + 4 >= n then fail "bad \\u escape";
+                     let code =
+                       int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                     in
+                     (* sufficient for ASCII, which is all we emit *)
+                     Buffer.add_char buf (Char.chr (code land 0x7F));
+                     pos := !pos + 4
+                 | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+              incr pos;
+              loop ()
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              loop ()
+      in
+      loop ();
+      Buffer.contents buf
+    in
+    let number () =
+      let start = !pos in
+      let numchar c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && numchar s.[!pos] do incr pos done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = '}' then begin incr pos; Obj [] end
+          else
+            let rec members acc =
+              let k = (skip_ws (); string_lit ()) in
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> incr pos; members ((k, v) :: acc)
+              | '}' -> incr pos; Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+      | '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = ']' then begin incr pos; Arr [] end
+          else
+            let rec items acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | ',' -> incr pos; items (v :: acc)
+              | ']' -> incr pos; Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            items []
+      | '"' -> Str (string_lit ())
+      | 't' -> keyword "true" (Bool true)
+      | 'f' -> keyword "false" (Bool false)
+      | 'n' -> keyword "null" Null
+      | c when c = '-' || (c >= '0' && c <= '9') -> number ()
+      | _ -> fail "unexpected character"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks of the simulator substrate      *)
 
-let microbench () =
-  let open Bechamel in
-  let open Bechamel.Toolkit in
+let schema_version = "vax-bench/1"
+
+let required_benches =
+  [ "bare-run"; "vm-run"; "translate"; "decode"; "shadow-fill" ]
+
+(* A system-space identity mapping (UW protection) over [pages] pages,
+   with the page table itself placed beyond them. *)
+let make_mapped_mmu ~pages () =
+  let phys = Phys_mem.create ~pages:(2 * pages) in
+  let clock = Cycles.create () in
+  let mmu = Mmu.create ~phys ~clock () in
+  let sbr = pages * Addr.page_size in
+  for vpn = 0 to pages - 1 do
+    Phys_mem.write_long phys (sbr + (4 * vpn))
+      (Pte.make ~valid:true ~prot:Protection.UW ~pfn:vpn ())
+  done;
+  Mmu.set_sbr mmu sbr;
+  Mmu.set_slr mmu pages;
+  Mmu.set_mapen mmu true;
+  mmu
+
+(* The decode benchmark: a mapped, decode-heavy loop (displacement and
+   immediate specifiers) whose data page is distinct from its code pages,
+   stepped to completion.  Exercises the decoded-instruction cache plus
+   the TB fast path on every instruction byte the cache saves. *)
+let make_decode_bench () =
+  let a = Asm.create ~origin:0x8000_0200 in
+  Asm.ins a Opcode.Movl [ Asm.Imm 300; Asm.R 0 ];
+  Asm.label a "loop";
+  Asm.ins a Opcode.Movl [ Asm.Disp (4, 1); Asm.R 2 ];
+  Asm.ins a Opcode.Addl2 [ Asm.Imm 4; Asm.R 2 ];
+  Asm.ins a Opcode.Movl [ Asm.R 2; Asm.Disp (8, 1) ];
+  Asm.ins a Opcode.Movl [ Asm.Disp (12, 1); Asm.R 3 ];
+  Asm.ins a Opcode.Addl3 [ Asm.Imm 100; Asm.R 3; Asm.R 4 ];
+  Asm.ins a Opcode.Movl [ Asm.R 4; Asm.Disp (16, 1) ];
+  Asm.ins a Opcode.Sobgtr [ Asm.R 0; Asm.Branch "loop" ];
+  Asm.ins a Opcode.Halt [];
+  let img = Asm.assemble a in
+  let cpu = Vax_cpu.Cpu.create ~memory_pages:64 () in
+  let st = cpu.Vax_cpu.Cpu.state in
+  let mmu = st.Vax_cpu.State.mmu in
+  let phys = Mmu.phys mmu in
+  let sbr = 32 * Addr.page_size in
+  for vpn = 0 to 31 do
+    Phys_mem.write_long phys (sbr + (4 * vpn))
+      (Pte.make ~valid:true ~prot:Protection.UW ~pfn:vpn ())
+  done;
+  Mmu.set_sbr mmu sbr;
+  Mmu.set_slr mmu 32;
+  Mmu.set_mapen mmu true;
+  Vax_cpu.Cpu.load cpu 0x200 img.Asm.code;
+  Vax_cpu.State.set_reg st 1 0x8000_1000;
+  fun () ->
+    st.Vax_cpu.State.halted <- false;
+    Vax_cpu.State.set_pc st 0x8000_0200;
+    ignore (Vax_cpu.Cpu.run cpu ~max_instructions:4000 ())
+
+(* The shadow-fill benchmark: boot MiniVMS in a VM once, then repeatedly
+   invalidate and demand-fill the shadow PTE of a guest-mapped address —
+   the VMM's hottest memory-management primitive. *)
+let make_shadow_fill_bench built =
+  let m = Runner.run_vm built in
+  let mmu = m.Runner.machine.Vax_dev.Machine.mmu in
+  let vm =
+    match m.Runner.vm with
+    | Some vm -> vm
+    | None -> failwith "run_vm returned no VM"
+  in
+  (* find a guest S-space page whose shadow PTE demand-fills cleanly *)
+  let rec find_va vpn =
+    if vpn >= 512 then failwith "shadow-fill bench: no fillable guest page"
+    else
+      let va = Word.logor 0x8000_0000 (vpn * Addr.page_size) in
+      Shadow.invalidate_single mmu vm va;
+      match Shadow.fill mmu vm va with
+      | Shadow.Filled -> va
+      | _ -> find_va (vpn + 1)
+  in
+  let va = find_va 0 in
+  fun () ->
+    for _ = 1 to 8 do
+      Shadow.invalidate_single mmu vm va;
+      ignore (Shadow.fill mmu vm va)
+    done
+
+let make_benches () =
   let open Vax_vmos in
   let built =
     Minivms.build ~programs:[ Programs.syscall_storm ~iterations:20 ] ()
   in
-  let bench_bare () = ignore (Runner.run_bare built) in
-  let bench_vm () = ignore (Runner.run_vm built) in
   let bench_translate =
-    let cpu = Vax_cpu.Cpu.create () in
-    let mmu = cpu.Vax_cpu.Cpu.mmu in
-    Vax_mem.Mmu.set_mapen mmu false;
+    let mmu = make_mapped_mmu ~pages:64 () in
+    (* warm the TB so steady-state translations are measured *)
+    for i = 0 to 63 do
+      ignore
+        (Mmu.translate mmu ~mode:Mode.Kernel ~write:false
+           (Word.add 0x8000_0000 (i * Addr.page_size)))
+    done;
     fun () ->
       for i = 0 to 63 do
         ignore
-          (Vax_mem.Mmu.translate mmu ~mode:Vax_arch.Mode.Kernel ~write:false
-             (i * 512))
+          (Mmu.translate mmu ~mode:Mode.Kernel ~write:false
+             (Word.add 0x8000_0000 (i * Addr.page_size)))
       done
   in
-  let bench_assemble () = ignore (Programs.compute ~ident:0 ~iterations:1) in
-  let tests =
-    [
-      Test.make ~name:"boot+run bare MiniVMS (20 syscalls)"
-        (Staged.stage bench_bare);
-      Test.make ~name:"boot+run MiniVMS in a VM (20 syscalls)"
-        (Staged.stage bench_vm);
-      Test.make ~name:"64 MMU translations" (Staged.stage bench_translate);
-      Test.make ~name:"assemble a user program" (Staged.stage bench_assemble);
-    ]
-  in
+  [
+    ("bare-run", fun () -> ignore (Runner.run_bare built));
+    ("vm-run", fun () -> ignore (Runner.run_vm built));
+    ("translate", bench_translate);
+    ("decode", make_decode_bench ());
+    ("shadow-fill", make_shadow_fill_bench built);
+    ("assemble", fun () -> ignore (Programs.compute ~ident:0 ~iterations:1));
+  ]
+
+(* Run the suite under Bechamel's OLS estimator; returns ns/run per
+   bench, in suite order. *)
+let run_microbench ~quota_s ~limit () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
-  List.iter
-    (fun test ->
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota_s) () in
+  List.map
+    (fun (name, f) ->
+      let test = Test.make ~name (Staged.stage f) in
       let raw = Benchmark.all cfg instances test in
-      let res = Analyze.all ols (Instance.monotonic_clock) raw in
+      let res = Analyze.all ols Instance.monotonic_clock raw in
+      let est = ref nan in
       Hashtbl.iter
-        (fun name ols_result ->
+        (fun _ ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Format.printf "  %-45s %12.0f ns/run@." name est
-          | _ -> Format.printf "  %-45s (no estimate)@." name)
-        res)
-    tests
+          | Some [ e ] -> est := e
+          | _ -> ())
+        res;
+      (name, !est))
+    (make_benches ())
+
+let results_to_json results =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_version);
+      ( "results",
+        Json.Arr
+          (List.map
+             (fun (name, ns) ->
+               Json.Obj
+                 [ ("name", Json.Str name); ("ns_per_run", Json.Num ns) ])
+             results) );
+    ]
+
+let results_of_json j =
+  (match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema_version -> ()
+  | Some (Json.Str s) ->
+      failwith (Printf.sprintf "unsupported schema %S (want %S)" s schema_version)
+  | _ -> failwith "missing \"schema\" field");
+  match Json.member "results" j with
+  | Some (Json.Arr items) ->
+      List.map
+        (fun item ->
+          match (Json.member "name" item, Json.member "ns_per_run" item) with
+          | Some (Json.Str name), Some (Json.Num ns) -> (name, ns)
+          | _ -> failwith "result entry missing \"name\"/\"ns_per_run\"")
+        items
+  | _ -> failwith "missing \"results\" array"
+
+let load_results path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  results_of_json (Json.parse s)
+
+let write_results path results =
+  let oc = open_out_bin path in
+  output_string oc (Json.to_string (results_to_json results));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote %s@." path
+
+let print_results results =
+  List.iter
+    (fun (name, ns) -> Format.printf "  %-14s %14.1f ns/run@." name ns)
+    results
+
+let print_comparison ~old_results results =
+  Format.printf "  %-14s %14s %14s %9s@." "benchmark" "old ns/run"
+    "new ns/run" "speedup";
+  List.iter
+    (fun (name, ns) ->
+      match List.assoc_opt name old_results with
+      | Some old_ns when ns > 0.0 ->
+          Format.printf "  %-14s %14.1f %14.1f %8.2fx@." name old_ns ns
+            (old_ns /. ns)
+      | _ -> Format.printf "  %-14s %14s %14.1f@." name "-" ns)
+    results
+
+let microbench ~json_out ~compare_with () =
+  (* load the baseline up front so a missing or malformed file fails
+     before the benchmarks run, not after *)
+  let old_results =
+    match compare_with with
+    | None -> None
+    | Some path -> (
+        try Some (load_results path)
+        with
+        | Sys_error msg ->
+            Format.eprintf "error: cannot read %s: %s@." path msg;
+            exit 1
+        | Json.Parse_error msg | Failure msg ->
+            Format.eprintf "error: %s is not a %s results file: %s@." path
+              schema_version msg;
+            exit 1)
+  in
+  let results = run_microbench ~quota_s:0.5 ~limit:200 () in
+  (match old_results with
+  | Some old_results -> print_comparison ~old_results results
+  | None -> print_results results);
+  match json_out with
+  | Some path -> write_results path results
+  | None -> ()
+
+(* One fast iteration of the full suite, validating the JSON round-trip
+   and schema.  Exits nonzero on any missing benchmark or malformed
+   output; wired into the test suite as a smoke test. *)
+let bench_smoke () =
+  let results = run_microbench ~quota_s:0.02 ~limit:10 () in
+  let js = Json.to_string (results_to_json results) in
+  let reparsed = results_of_json (Json.parse js) in
+  let problems =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name reparsed with
+        | None -> Some (name ^ ": missing from results")
+        | Some ns when Float.is_nan ns || ns <= 0.0 ->
+            Some (Printf.sprintf "%s: bad estimate %f" name ns)
+        | Some _ -> None)
+      required_benches
+  in
+  match problems with
+  | [] ->
+      Format.printf "bench smoke OK: %d benchmarks, schema %s@."
+        (List.length reparsed) schema_version
+  | ps ->
+      List.iter (fun p -> Format.eprintf "bench smoke FAIL: %s@." p) ps;
+      exit 1
 
 let () =
   let ppf = Format.std_formatter in
-  match Array.to_list Sys.argv with
+  let args = Array.to_list Sys.argv in
+  let rec flag_value name = function
+    | [] -> None
+    | f :: v :: _ when f = name -> Some v
+    | _ :: rest -> flag_value name rest
+  in
+  match args with
   | _ :: "--list" :: _ ->
       List.iter (fun (id, title, _) -> Format.printf "%-5s %s@." id title)
         experiments
@@ -103,7 +506,10 @@ let () =
       | None ->
           Format.eprintf "unknown experiment %s (try --list)@." id;
           exit 1)
-  | _ :: "--microbench" :: _ -> microbench ()
+  | _ :: "--microbench" :: rest ->
+      microbench ~json_out:(flag_value "--json" rest)
+        ~compare_with:(flag_value "--compare" rest) ()
+  | _ :: "--bench-smoke" :: _ -> bench_smoke ()
   | _ ->
       Format.printf
         "Reproduction of \"Virtualizing the VAX Architecture\" (ISCA 1991)@.@.";

@@ -14,11 +14,18 @@ val memory_access : int
 (** Each memory read/write of an aligned datum once translated. *)
 
 val tlb_hit : int
-(** Translation buffer hit (added to every mapped access). *)
+(** Cost of consulting the translation buffer, charged on {e every}
+    mapped reference — hit or miss.  The TB cost model is {b additive}: a
+    reference pays [tlb_hit] for the consult, and a miss {e additionally}
+    pays {!tlb_miss_walk} per PTE fetch, so a miss costs
+    [tlb_hit + tlb_miss_walk] (not one or the other exclusively).  The
+    experiments' cycle counts are pinned to this model by
+    [test_tlb.ml]. *)
 
 val tlb_miss_walk : int
-(** Extra cost of one page-table-entry fetch on a TB miss; a P0/P1 miss
-    whose page-table page also misses pays it twice (double walk). *)
+(** Extra cost of one page-table-entry fetch on a TB miss, added on top
+    of {!tlb_hit}; a P0/P1 miss whose page-table page also misses pays it
+    twice (double walk) plus the inner reference's own [tlb_hit]. *)
 
 val exception_initiate : int
 (** Microcode exception/interrupt initiation: PSL save, stack switch, SCB

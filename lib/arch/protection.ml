@@ -83,6 +83,16 @@ let allows limit mode =
 let can_read p mode = allows (read_mode p) mode
 let can_write p mode = allows (write_mode p) mode
 
+let access_mask p =
+  let bit f m b = if f p m then 1 lsl b else 0 in
+  let fold f base =
+    bit f Mode.Kernel base
+    lor bit f Mode.Executive (base + 1)
+    lor bit f Mode.Supervisor (base + 2)
+    lor bit f Mode.User (base + 3)
+  in
+  fold can_read 0 lor fold can_write 4
+
 let of_modes ~read ~write =
   let matches p = read_mode p = read && write_mode p = write in
   List.find_opt matches all

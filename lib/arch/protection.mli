@@ -44,6 +44,12 @@ val write_mode : t -> Mode.t option
 val can_read : t -> Mode.t -> bool
 val can_write : t -> Mode.t -> bool
 
+val access_mask : t -> int
+(** The same information as {!can_read}/{!can_write} packed into one
+    int for hot-path checks: bit [Mode.to_int m] = readable in mode
+    [m], bit [4 + Mode.to_int m] = writable.  Precomputed once per TLB
+    fill so per-reference protection checks are a shift and mask. *)
+
 val of_modes : read:Mode.t option -> write:Mode.t option -> t option
 (** The code granting exactly the given access, if one exists.  Write
     access implies read access, so [read] must be no more restrictive than

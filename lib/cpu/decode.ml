@@ -16,12 +16,14 @@ type decoded = {
   operands : operand list;
   length : int;
   next_pc : Word.t;
+  tmpl : Decode_cache.template;
 }
 
 let width_bytes = function Opcode.Byte -> 1 | Opcode.Word -> 2 | Opcode.Long -> 4
 
 (* A decode in progress: a byte cursor and the undo log of register side
-   effects. *)
+   effects.  Replays of a cached template reuse the same cursor record;
+   only [start] and the undo log matter then. *)
 type cursor = {
   st : State.t;
   start : Word.t;
@@ -63,16 +65,23 @@ let read_mem c width va =
   | Opcode.Word -> State.read_word16 c.st (State.cur_mode c.st) va
   | Opcode.Long -> State.read_long c.st (State.cur_mode c.st) va
 
-(* Reading a register as an operand: R15 reads as the current decode
-   cursor (the address of the byte after the specifier), per the VAX rule
-   that PC-relative computations see the updated PC. *)
-let reg_value c rn =
-  if rn = 15 then c.pos else State.reg c.st rn
-
 let reserved_addressing () = raise (State.Fault State.Reserved_addressing)
 
-(* Decode one general operand specifier. *)
-let rec specifier c (access, width) =
+(* ------------------------------------------------------------------ *)
+(* Static half: parse one specifier's bytes into its shape.  All the
+   addressing-legality checks are static (they depend only on the mode
+   byte and the access type), so a shape that parsed once never needs
+   rechecking on replay. *)
+
+let mk_tspec c access width shape =
+  {
+    Decode_cache.t_access = access;
+    t_width = width;
+    t_shape = shape;
+    t_after = Word.sub c.pos c.start;
+  }
+
+let parse_specifier c (access, width) =
   let b = fetch_byte c in
   let m = b lsr 4 and rn = b land 0xF in
   let writable = match access with
@@ -80,72 +89,74 @@ let rec specifier c (access, width) =
     | Opcode.Read | Opcode.Address | Opcode.Branch_byte | Opcode.Branch_word ->
         false
   in
-  match m with
-  | 0 | 1 | 2 | 3 ->
-      (* short literal *)
-      if writable || access = Opcode.Address then reserved_addressing ();
-      mk c access width (Imm (b land 0x3F)) None
-  | 4 -> reserved_addressing () (* indexed: outside the subset *)
-  | 5 ->
-      if access = Opcode.Address then reserved_addressing ();
-      if rn = 15 then reserved_addressing ();
-      mk c access width (Reg rn) None
-  | 6 -> mk c access width (Mem (reg_value c rn)) None
-  | 7 ->
-      if rn = 15 then reserved_addressing ();
-      let delta = -width_bytes width in
-      apply_side_effect c rn delta;
-      mk c access width (Mem (State.reg c.st rn)) (Some (rn, delta))
-  | 8 ->
-      if rn = 15 then begin
-        (* immediate *)
+  let shape =
+    match m with
+    | 0 | 1 | 2 | 3 ->
+        (* short literal *)
         if writable || access = Opcode.Address then reserved_addressing ();
-        let v = fetch_width c width in
-        mk c access width (Imm v) None
-      end
-      else begin
-        let va = State.reg c.st rn in
-        let delta = width_bytes width in
-        apply_side_effect c rn delta;
-        mk c access width (Mem va) (Some (rn, delta))
-      end
-  | 9 ->
-      if rn = 15 then begin
-        (* absolute *)
-        let va = fetch_width c Opcode.Long in
-        mk c access width (Mem va) None
-      end
-      else begin
-        let ptr = State.reg c.st rn in
-        let va = State.read_long c.st (State.cur_mode c.st) ptr in
-        apply_side_effect c rn 4;
-        mk c access width (Mem va) (Some (rn, 4))
-      end
-  | 0xA | 0xB ->
-      let d = Word.sext ~width:8 (fetch_byte c) in
-      displacement c access width m rn d 0xB
-  | 0xC | 0xD ->
-      let d = Word.sext ~width:16 (fetch_width c Opcode.Word) in
-      displacement c access width m rn d 0xD
-  | 0xE | 0xF ->
-      let d = fetch_width c Opcode.Long in
-      displacement c access width m rn d 0xF
-  | _ -> assert false
+        Decode_cache.Sh_literal (b land 0x3F)
+    | 4 -> reserved_addressing () (* indexed: outside the subset *)
+    | 5 ->
+        if access = Opcode.Address then reserved_addressing ();
+        if rn = 15 then reserved_addressing ();
+        Decode_cache.Sh_register rn
+    | 6 -> Decode_cache.Sh_reg_deferred rn
+    | 7 ->
+        if rn = 15 then reserved_addressing ();
+        Decode_cache.Sh_autodec rn
+    | 8 ->
+        if rn = 15 then begin
+          (* immediate *)
+          if writable || access = Opcode.Address then reserved_addressing ();
+          Decode_cache.Sh_literal (fetch_width c width)
+        end
+        else Decode_cache.Sh_autoinc rn
+    | 9 ->
+        if rn = 15 then
+          (* absolute *)
+          Decode_cache.Sh_absolute (fetch_width c Opcode.Long)
+        else Decode_cache.Sh_autoinc_deferred rn
+    | 0xA | 0xB ->
+        Decode_cache.Sh_disp
+          { rn; disp = Word.sext ~width:8 (fetch_byte c); deferred = m = 0xB }
+    | 0xC | 0xD ->
+        Decode_cache.Sh_disp
+          {
+            rn;
+            disp = Word.sext ~width:16 (fetch_width c Opcode.Word);
+            deferred = m = 0xD;
+          }
+    | 0xE | 0xF ->
+        Decode_cache.Sh_disp
+          { rn; disp = fetch_width c Opcode.Long; deferred = m = 0xF }
+    | _ -> assert false
+  in
+  mk_tspec c access width shape
 
-and displacement c access width m rn d deferred_mode =
-  let base = reg_value c rn in
-  let va = Word.add base d in
-  let va = if m = deferred_mode then State.read_long c.st (State.cur_mode c.st) va else va in
-  mk c access width (Mem va) None
+let parse_branch c access =
+  let disp, width =
+    match access with
+    | Opcode.Branch_byte -> (Word.sext ~width:8 (fetch_byte c), Opcode.Byte)
+    | Opcode.Branch_word ->
+        (Word.sext ~width:16 (fetch_width c Opcode.Word), Opcode.Word)
+    | _ -> assert false
+  in
+  mk_tspec c access width (Decode_cache.Sh_branch disp)
 
-and mk c access width loc side_effect =
+(* ------------------------------------------------------------------ *)
+(* Dynamic half: evaluate a shape against current machine state.  Both a
+   fresh decode and a cached replay come through here, so evaluation
+   order, side effects, and cycle charges are identical in the two
+   paths. *)
+
+let mk c access width loc side_effect =
   let value =
     match access with
     | Opcode.Read | Opcode.Modify -> (
         match loc with
         | Imm v -> Some v
         | Reg rn -> (
-            let v = reg_value c rn in
+            let v = State.reg c.st rn in
             match width with
             | Opcode.Byte -> Some (v land 0xFF)
             | Opcode.Word -> Some (v land 0xFFFF)
@@ -157,22 +168,51 @@ and mk c access width loc side_effect =
   in
   { loc; value; width; access; side_effect; branch_target = None }
 
-let branch_operand c access =
-  let disp, width =
-    match access with
-    | Opcode.Branch_byte -> (Word.sext ~width:8 (fetch_byte c), Opcode.Byte)
-    | Opcode.Branch_word ->
-        (Word.sext ~width:16 (fetch_width c Opcode.Word), Opcode.Word)
-    | _ -> assert false
-  in
-  {
-    loc = Imm disp;
-    value = None;
-    width;
-    access;
-    side_effect = None;
-    branch_target = Some (Word.add c.pos disp);
-  }
+let eval_spec c
+    { Decode_cache.t_access = access; t_width = width; t_shape; t_after } =
+  (* the decode-cursor position just past this specifier: what reads of
+     the PC observe, per the VAX rule that PC-relative computations see
+     the updated PC *)
+  let after_va = Word.add c.start t_after in
+  match t_shape with
+  | Decode_cache.Sh_literal v -> mk c access width (Imm v) None
+  | Decode_cache.Sh_register rn -> mk c access width (Reg rn) None
+  | Decode_cache.Sh_reg_deferred rn ->
+      let base = if rn = 15 then after_va else State.reg c.st rn in
+      mk c access width (Mem base) None
+  | Decode_cache.Sh_autodec rn ->
+      let delta = -width_bytes width in
+      apply_side_effect c rn delta;
+      mk c access width (Mem (State.reg c.st rn)) (Some (rn, delta))
+  | Decode_cache.Sh_autoinc rn ->
+      let va = State.reg c.st rn in
+      let delta = width_bytes width in
+      apply_side_effect c rn delta;
+      mk c access width (Mem va) (Some (rn, delta))
+  | Decode_cache.Sh_autoinc_deferred rn ->
+      let ptr = State.reg c.st rn in
+      let va = State.read_long c.st (State.cur_mode c.st) ptr in
+      apply_side_effect c rn 4;
+      mk c access width (Mem va) (Some (rn, 4))
+  | Decode_cache.Sh_absolute va -> mk c access width (Mem va) None
+  | Decode_cache.Sh_disp { rn; disp; deferred } ->
+      let base = if rn = 15 then after_va else State.reg c.st rn in
+      let va = Word.add base disp in
+      let va =
+        if deferred then State.read_long c.st (State.cur_mode c.st) va else va
+      in
+      mk c access width (Mem va) None
+  | Decode_cache.Sh_branch disp ->
+      {
+        loc = Imm disp;
+        value = None;
+        width;
+        access;
+        side_effect = None;
+        branch_target = Some (Word.add after_va disp);
+      }
+
+(* ------------------------------------------------------------------ *)
 
 let decode st =
   let c = { st; start = State.pc st; pos = State.pc st; applied = [] } in
@@ -191,22 +231,55 @@ let decode st =
     match opcode with
     | None -> raise (State.Fault State.Reserved_instruction)
     | Some opcode ->
+        let rev_specs = ref [] in
         let operands =
           List.map
             (fun (access, width) ->
               Cycles.charge st.State.clock Cost.operand_specifier;
-              match access with
-              | Opcode.Branch_byte | Opcode.Branch_word ->
-                  branch_operand c access
-              | _ -> specifier c (access, width))
+              let ts =
+                match access with
+                | Opcode.Branch_byte | Opcode.Branch_word ->
+                    parse_branch c access
+                | _ -> parse_specifier c (access, width)
+              in
+              rev_specs := ts :: !rev_specs;
+              eval_spec c ts)
             (Opcode.operands opcode)
         in
+        let length = Word.sub c.pos c.start in
         {
           opcode;
           operands;
-          length = Word.sub c.pos c.start;
+          length;
           next_pc = c.pos;
+          tmpl =
+            {
+              Decode_cache.t_opcode = opcode;
+              t_specs = List.rev !rev_specs;
+              t_len = length;
+            };
         }
+  with e ->
+    undo_all c;
+    raise e
+
+let operandize st (tmpl : Decode_cache.template) ~start_pc =
+  let c = { st; start = start_pc; pos = start_pc; applied = [] } in
+  try
+    let operands =
+      List.map
+        (fun ts ->
+          Cycles.charge st.State.clock Cost.operand_specifier;
+          eval_spec c ts)
+        tmpl.Decode_cache.t_specs
+    in
+    {
+      opcode = tmpl.Decode_cache.t_opcode;
+      operands;
+      length = tmpl.Decode_cache.t_len;
+      next_pc = Word.add start_pc tmpl.Decode_cache.t_len;
+      tmpl;
+    }
   with e ->
     undo_all c;
     raise e

@@ -10,7 +10,14 @@
     Register side effects (autoincrement/-decrement) are applied to the
     CPU state as they are decoded, and recorded so the microcode can undo
     them when an instruction must back out (fault-style exceptions,
-    including the VM-emulation trap). *)
+    including the VM-emulation trap).
+
+    Decoding is split in two: a static parse of the instruction bytes into
+    a {!Decode_cache.template}, and a dynamic evaluation of the template
+    against current machine state.  {!decode} does both, interleaved
+    per-operand exactly as a one-pass decoder would (so faults and side
+    effects occur in the same order); {!operandize} replays a cached
+    template, skipping the byte fetches. *)
 
 open Vax_arch
 
@@ -33,6 +40,7 @@ type decoded = {
   operands : operand list;
   length : int;  (** total instruction bytes *)
   next_pc : Word.t;
+  tmpl : Decode_cache.template;  (** static half, for the decode cache *)
 }
 
 val decode : State.t -> decoded
@@ -40,6 +48,13 @@ val decode : State.t -> decoded
     effects.  On any fault (memory, reserved opcode/addressing), side
     effects already applied are undone and the fault re-raised; the PC is
     not moved. *)
+
+val operandize : State.t -> Decode_cache.template -> start_pc:Word.t -> decoded
+(** Evaluate a cached template as if the instruction at [start_pc] had
+    just been decoded: charges the same per-specifier cycles, applies the
+    same side effects (undone on fault), fetches Read/Modify operand
+    values — everything {!decode} does except re-reading the instruction
+    bytes. *)
 
 val undo_side_effects : State.t -> decoded -> unit
 (** Back out all autoincrement/-decrement effects of a decoded

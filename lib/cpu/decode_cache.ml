@@ -1,0 +1,99 @@
+open Vax_arch
+open Vax_mem
+
+type shape =
+  | Sh_literal of Word.t
+  | Sh_register of int
+  | Sh_reg_deferred of int
+  | Sh_autodec of int
+  | Sh_autoinc of int
+  | Sh_autoinc_deferred of int
+  | Sh_absolute of Word.t
+  | Sh_disp of { rn : int; disp : Word.t; deferred : bool }
+  | Sh_branch of Word.t
+
+type tspec = {
+  t_access : Opcode.access;
+  t_width : Opcode.width;
+  t_shape : shape;
+  t_after : int;
+}
+
+type template = { t_opcode : Opcode.t; t_specs : tspec list; t_len : int }
+
+let empty_template = { t_opcode = Opcode.Nop; t_specs = []; t_len = 0 }
+
+(* One direct-mapped slot per low bits of the instruction's physical
+   address, stored as parallel arrays so creating a cache is four cheap
+   [Array.make] calls rather than thousands of record allocations.  A
+   slot is live only while both generations still match: the MMU's
+   translation generation (TBIA/TBIS/LDPCTX/MAPEN changes) and the write
+   generation of the physical page holding the instruction bytes
+   (self-modifying code, DMA). *)
+type t = {
+  pas : int array;  (* -1 = empty *)
+  page_gens : int array;
+  tb_gens : int array;
+  tmpls : template array;
+  mask : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ?(size = 8192) () =
+  let size = max 64 (next_pow2 size 1) in
+  {
+    pas = Array.make size (-1);
+    page_gens = Array.make size 0;
+    tb_gens = Array.make size 0;
+    tmpls = Array.make size empty_template;
+    mask = size - 1;
+    hits = 0;
+    misses = 0;
+  }
+
+let find t ~mmu pa =
+  let i = pa land t.mask in
+  if
+    Array.unsafe_get t.pas i = pa
+    && Array.unsafe_get t.tb_gens i = Mmu.tb_generation mmu
+    && Array.unsafe_get t.page_gens i
+       = Phys_mem.page_gen (Mmu.phys mmu) (pa lsr Addr.page_shift)
+  then begin
+    t.hits <- t.hits + 1;
+    Array.unsafe_get t.tmpls i
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    raise Not_found
+  end
+
+let store t ~mmu pa tmpl =
+  let phys = Mmu.phys mmu in
+  (* cache only instructions whose bytes lie in RAM and within a single
+     page: the one lookup translation then covers every byte, and one page
+     generation covers every byte's staleness *)
+  if
+    tmpl.t_len > 0
+    && Addr.offset pa + tmpl.t_len <= Addr.page_size
+    && Phys_mem.in_ram phys pa
+  then begin
+    let i = pa land t.mask in
+    t.pas.(i) <- pa;
+    t.page_gens.(i) <- Phys_mem.page_gen phys (pa lsr Addr.page_shift);
+    t.tb_gens.(i) <- Mmu.tb_generation mmu;
+    t.tmpls.(i) <- tmpl
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let clear t =
+  Array.fill t.pas 0 (Array.length t.pas) (-1);
+  Array.fill t.tmpls 0 (Array.length t.tmpls) empty_template

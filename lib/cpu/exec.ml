@@ -589,7 +589,19 @@ let step st =
         let start_pc = State.pc st in
         let decoded = ref None in
         try
-          let d = Decode.decode st in
+          let d =
+            (* consult the decode cache by physical PC; the lookup
+               translation reproduces the fault/cycle behaviour of an
+               uncached first-byte fetch *)
+            let pa = State.code_pa st start_pc in
+            match Decode_cache.find st.State.dcache ~mmu:st.State.mmu pa with
+            | tmpl -> Decode.operandize st tmpl ~start_pc
+            | exception Not_found ->
+                let d = Decode.decode st in
+                Decode_cache.store st.State.dcache ~mmu:st.State.mmu pa
+                  d.Decode.tmpl;
+                d
+          in
           decoded := Some d;
           st.State.instructions <- st.State.instructions + 1;
           if Psl.vm st.State.psl then

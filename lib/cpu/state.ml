@@ -58,6 +58,7 @@ type t = {
   variant : Variant.t;
   mmu : Mmu.t;
   clock : Cycles.t;
+  dcache : Decode_cache.t;
   regs : Word.t array;
   mutable psl : Psl.t;
   sp_bank : Word.t array;
@@ -98,6 +99,7 @@ let create ?(variant = Variant.Standard) ?sid ~mmu ~clock () =
     variant;
     mmu;
     clock;
+    dcache = Decode_cache.create ();
     regs = Array.make 16 0;
     psl = Psl.initial;
     sp_bank = Array.make 5 0;
@@ -153,9 +155,19 @@ let wrap_nxm f =
 let read_byte t mode va = wrap_nxm (fun () -> lift (Mmu.v_read_byte t.mmu ~mode va))
 
 let fetch_byte t va =
-  wrap_nxm (fun () ->
-      let pa = lift (Mmu.translate t.mmu ~mode:(cur_mode t) ~write:false va) in
-      Phys_mem.read_byte (Mmu.phys t.mmu) pa)
+  let pa = Mmu.try_translate t.mmu ~mode:(cur_mode t) ~write:false va in
+  if pa >= 0 then wrap_nxm (fun () -> Phys_mem.read_byte (Mmu.phys t.mmu) pa)
+  else
+    wrap_nxm (fun () ->
+        let pa = lift (Mmu.translate t.mmu ~mode:(cur_mode t) ~write:false va) in
+        Phys_mem.read_byte (Mmu.phys t.mmu) pa)
+
+let code_pa t va =
+  let pa = Mmu.try_translate t.mmu ~mode:(cur_mode t) ~write:false va in
+  if pa >= 0 then pa
+  else
+    wrap_nxm (fun () ->
+        lift (Mmu.translate t.mmu ~mode:(cur_mode t) ~write:false va))
 let write_byte t mode va b =
   wrap_nxm (fun () -> lift (Mmu.v_write_byte t.mmu ~mode va b))
 let read_word16 t mode va =
@@ -187,12 +199,16 @@ let retract_interrupt t ~vector =
 
 let highest_software t =
   (* highest set bit of SISR, levels 1-15 *)
-  let rec scan l = if l = 0 then None else
-    if t.sisr land (1 lsl l) <> 0 then Some l else scan (l - 1)
-  in
-  scan 15
+  if t.sisr = 0 then None
+  else
+    let rec scan l = if l = 0 then None else
+      if t.sisr land (1 lsl l) <> 0 then Some l else scan (l - 1)
+    in
+    scan 15
 
 let highest_pending t =
+  if t.pending_interrupts == [] && t.sisr = 0 then None
+  else
   let cur_ipl = Psl.ipl t.psl in
   let best =
     List.fold_left

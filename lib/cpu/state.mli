@@ -65,6 +65,7 @@ type t = {
   variant : Variant.t;
   mmu : Mmu.t;
   clock : Cycles.t;
+  dcache : Decode_cache.t;  (** decoded-instruction cache (see {!Decode_cache}) *)
   regs : Word.t array;  (** R0–R15; R14 = SP of current mode, R15 = PC *)
   mutable psl : Psl.t;
   sp_bank : Word.t array;  (** kernel, executive, supervisor, user, interrupt *)
@@ -133,6 +134,11 @@ val read_byte : t -> Mode.t -> Word.t -> int
     memory charge — the prefetch stream is covered by each instruction's
     base cycles. *)
 val fetch_byte : t -> Word.t -> int
+
+val code_pa : t -> Word.t -> int
+(** Translate an instruction address in the current mode, with exactly
+    the fault and cycle behaviour of {!fetch_byte}'s translation.  Used
+    by the step loop to key the decode cache by physical PC. *)
 
 val write_byte : t -> Mode.t -> Word.t -> int -> unit
 val read_word16 : t -> Mode.t -> Word.t -> int

@@ -38,6 +38,11 @@ type t = {
   mutable slr : int;
   mutable walks : int;
   mutable modify_faults : int;
+  mutable tb_gen : int;
+      (* bumped whenever cached translations may have become stale:
+         TBIA/TBIS, LDPCTX process invalidation, MAPEN changes.  Consumers
+         caching translation-derived state (the decoded instruction cache)
+         compare against it. *)
 }
 
 let create ?tlb_capacity ?(policy = Hardware_sets_m) ~phys ~clock () =
@@ -55,6 +60,7 @@ let create ?tlb_capacity ?(policy = Hardware_sets_m) ~phys ~clock () =
     slr = 0;
     walks = 0;
     modify_faults = 0;
+    tb_gen = 0;
   }
 
 let phys t = t.phys
@@ -63,7 +69,11 @@ let clock t = t.clock
 let policy t = t.policy
 let set_policy t p = t.policy <- p
 let mapen t = t.mapen
-let set_mapen t b = t.mapen <- b
+
+let set_mapen t b =
+  if t.mapen <> b then t.tb_gen <- t.tb_gen + 1;
+  t.mapen <- b
+
 let p0br t = t.p0br
 let p0lr t = t.p0lr
 let p1br t = t.p1br
@@ -76,22 +86,34 @@ let set_p1br t v = t.p1br <- v
 let set_p1lr t v = t.p1lr <- v
 let set_sbr t v = t.sbr <- v
 let set_slr t v = t.slr <- v
-let tbia t = Tlb.invalidate_all t.tlb
-let tbis t va = Tlb.invalidate_single t.tlb va
-let tb_invalidate_process t = Tlb.invalidate_process t.tlb
+
+let tbia t =
+  t.tb_gen <- t.tb_gen + 1;
+  Tlb.invalidate_all t.tlb
+
+let tbis t va =
+  t.tb_gen <- t.tb_gen + 1;
+  Tlb.invalidate_single t.tlb va
+
+let tb_invalidate_process t =
+  t.tb_gen <- t.tb_gen + 1;
+  Tlb.invalidate_process t.tlb
+
+let tb_generation t = t.tb_gen
 let walks t = t.walks
 let modify_faults_delivered t = t.modify_faults
 
 (* Fetch the PTE for [va], together with its physical address, respecting
-   the region geometry.  [ptbl_ref] faults are reported as such.  Does not
-   consult or fill the TLB for [va] itself, but the inner S translation of
-   a process PTE address naturally goes through the full path. *)
-let rec fetch_pte t ~write va =
+   the region geometry.  [ptbl_ref] is the flag of the enclosing
+   translation: true when [va] is itself a page-table address, so faults
+   are constructed correctly at the source.  Does not consult or fill the
+   TLB for [va] itself, but the inner S translation of a process PTE
+   address naturally goes through the full path. *)
+let rec fetch_pte t ~write ~ptbl_ref va =
   let region = Addr.region_of va in
   let vpn = Addr.vpn va in
   let fail_len () =
-    Error
-      (Access_violation { va; length_violation = true; ptbl_ref = false; write })
+    Error (Access_violation { va; length_violation = true; ptbl_ref; write })
   in
   match region with
   | Addr.Reserved_region -> fail_len ()
@@ -114,38 +136,38 @@ let rec fetch_pte t ~write va =
         Cycles.charge t.clock Cost.tlb_miss_walk;
         let pte_va = Word.add br (4 * vpn) in
         (* The process page tables live in S space; translate the PTE's
-           own address through the system path. *)
+           own address through the system path, tagging its faults as
+           page-table references. *)
         match translate_inner t ~mode:Mode.Kernel ~write:false ~ptbl_ref:true
                 pte_va
         with
-        | Error e -> Error (retag_ptbl e)
+        | Error e -> Error e
         | Ok pte_pa -> Ok (Phys_mem.read_long t.phys pte_pa, pte_pa)
       end
-
-and retag_ptbl = function
-  | Access_violation a -> Access_violation { a with ptbl_ref = true }
-  | Translation_not_valid a -> Translation_not_valid { a with ptbl_ref = true }
-  | Modify_fault _ as f -> f
 
 (* The full translation algorithm for one byte.  [ptbl_ref] marks inner
    page-table-page translations so their faults carry the PT flag. *)
 and translate_inner t ~mode ~write ~ptbl_ref va =
-  ignore ptbl_ref;
   if not t.mapen then Ok (Word.mask va)
   else begin
-    Cycles.charge t.clock Cost.tlb_hit;
-    match Tlb.lookup t.tlb va with
-    | Some e ->
-        if not ((if write then Protection.can_write else Protection.can_read)
-                  e.Tlb.prot mode)
-        then
-          Error
-            (Access_violation
-               { va; length_violation = false; ptbl_ref = false; write })
-        else if write && not e.Tlb.m then apply_modify_policy t va e
-        else Ok (Word.logor (Addr.phys_of_pfn e.Tlb.pfn) (Addr.offset va))
-    | None -> (
-        match fetch_pte t ~write va with
+    (* additive cost model: every mapped reference pays the TB consult,
+       and a miss adds the walk cost per PTE fetch (see cost.mli); the
+       zero-cost guard just skips a no-op charge *)
+    if Cost.tlb_hit <> 0 then Cycles.charge t.clock Cost.tlb_hit;
+    let e = Tlb.find_or_null t.tlb va in
+    if e != Tlb.null_entry then begin
+      Tlb.count_hit t.tlb;
+      if
+        e.Tlb.acc lsr ((if write then 4 else 0) + Mode.to_int mode) land 1 = 0
+      then
+        Error
+          (Access_violation { va; length_violation = false; ptbl_ref; write })
+      else if write && not e.Tlb.m then apply_modify_policy t ~ptbl_ref va e
+      else Ok (Word.logor (Addr.phys_of_pfn e.Tlb.pfn) (Addr.offset va))
+    end
+    else begin
+        Tlb.count_miss t.tlb;
+        match fetch_pte t ~write ~ptbl_ref va with
         | Error e -> Error e
         | Ok (pte, pte_pa) ->
             let prot = Pte.prot pte in
@@ -154,14 +176,15 @@ and translate_inner t ~mode ~write ~ptbl_ref va =
             then
               Error
                 (Access_violation
-                   { va; length_violation = false; ptbl_ref = false; write })
+                   { va; length_violation = false; ptbl_ref; write })
             else if not (Pte.valid pte) then
-              Error (Translation_not_valid { va; ptbl_ref = false; write })
+              Error (Translation_not_valid { va; ptbl_ref; write })
             else begin
               let entry =
                 {
                   Tlb.pfn = Pte.pfn pte;
                   prot;
+                  acc = Protection.access_mask prot;
                   m = Pte.modify pte;
                   system = Addr.region_of va = Addr.S;
                 }
@@ -180,15 +203,17 @@ and translate_inner t ~mode ~write ~ptbl_ref va =
                     Error (Modify_fault { va })
               end
               else
-                Ok (Word.logor (Addr.phys_of_pfn entry.Tlb.pfn) (Addr.offset va))
-            end)
+                Ok (Word.logor (Addr.phys_of_pfn entry.Tlb.pfn)
+                      (Addr.offset va))
+            end
+    end
   end
 
-and apply_modify_policy t va e =
+and apply_modify_policy t ~ptbl_ref va e =
   match t.policy with
   | Hardware_sets_m -> (
       (* must update the in-memory PTE as well as the cached copy *)
-      match fetch_pte t ~write:true va with
+      match fetch_pte t ~write:true ~ptbl_ref va with
       | Error err -> Error err
       | Ok (pte, pte_pa) ->
           Phys_mem.write_long t.phys pte_pa (Pte.with_modify pte true);
@@ -200,6 +225,30 @@ and apply_modify_policy t va e =
 
 let translate t ~mode ~write va =
   translate_inner t ~mode ~write ~ptbl_ref:false va
+
+let no_translation = -1
+
+(* Allocation-free fast path for the two hot outcomes: mapping disabled,
+   and a TLB hit that needs no walk and no modify-policy action.  Charges
+   and counts exactly what [translate] would for the same outcome; when it
+   returns [no_translation] nothing has been charged or counted, and the
+   caller must take [translate]. *)
+let try_translate t ~mode ~write va =
+  if not t.mapen then Word.mask va
+  else begin
+    let e = Tlb.find_or_null t.tlb va in
+    if
+      e != Tlb.null_entry
+      && e.Tlb.acc lsr ((if write then 4 else 0) + Mode.to_int mode) land 1
+         <> 0
+      && ((not write) || e.Tlb.m)
+    then begin
+      Tlb.count_hit t.tlb;
+      if Cost.tlb_hit <> 0 then Cycles.charge t.clock Cost.tlb_hit;
+      Word.logor (Addr.phys_of_pfn e.Tlb.pfn) (Addr.offset va)
+    end
+    else no_translation
+  end
 
 type probe_outcome = { accessible : bool; pte_valid : bool }
 
@@ -215,7 +264,7 @@ let probe t ~mode ~write va =
     match Tlb.lookup t.tlb va with
     | Some e -> check e.Tlb.prot true
     | None -> (
-        match fetch_pte t ~write va with
+        match fetch_pte t ~write ~ptbl_ref:false va with
         | Error (Access_violation { length_violation = true; ptbl_ref = false; _ })
           ->
             (* beyond the region length: simply not accessible *)
@@ -224,30 +273,44 @@ let probe t ~mode ~write va =
         | Ok (pte, _) -> check (Pte.prot pte) (Pte.valid pte))
 
 let read_pte t va =
-  match fetch_pte t ~write:false va with
+  match fetch_pte t ~write:false ~ptbl_ref:false va with
   | Error e -> Error e
   | Ok (pte, pa) -> Ok (pte, pa)
 
 (* Virtual accessors.  A multi-byte access contained in one page uses one
-   translation; one that crosses a page boundary is done bytewise. *)
+   translation; one that crosses a page boundary is done bytewise.  Each
+   takes the allocation-free translation fast path first and falls back to
+   the full algorithm on a miss, fault, or modify-policy action. *)
 
 let charge_mem t = Cycles.charge t.clock Cost.memory_access
 
 let same_page va len = Addr.offset va + len <= Addr.page_size
 
 let v_read_byte t ~mode va =
-  match translate t ~mode ~write:false va with
-  | Error e -> Error e
-  | Ok pa ->
-      charge_mem t;
-      Ok (Phys_mem.read_byte t.phys pa)
+  let pa = try_translate t ~mode ~write:false va in
+  if pa >= 0 then begin
+    charge_mem t;
+    Ok (Phys_mem.read_byte t.phys pa)
+  end
+  else
+    match translate t ~mode ~write:false va with
+    | Error e -> Error e
+    | Ok pa ->
+        charge_mem t;
+        Ok (Phys_mem.read_byte t.phys pa)
 
 let v_write_byte t ~mode va b =
-  match translate t ~mode ~write:true va with
-  | Error e -> Error e
-  | Ok pa ->
-      charge_mem t;
-      Ok (Phys_mem.write_byte t.phys pa b)
+  let pa = try_translate t ~mode ~write:true va in
+  if pa >= 0 then begin
+    charge_mem t;
+    Ok (Phys_mem.write_byte t.phys pa b)
+  end
+  else
+    match translate t ~mode ~write:true va with
+    | Error e -> Error e
+    | Ok pa ->
+        charge_mem t;
+        Ok (Phys_mem.write_byte t.phys pa b)
 
 let rec bytes_read t ~mode va n acc shift =
   if n = 0 then Ok acc
@@ -267,37 +330,65 @@ let rec bytes_write t ~mode va n v =
     | Ok () -> bytes_write t ~mode (Word.add va 1) (n - 1) (v lsr 8)
 
 let v_read_long t ~mode va =
-  if same_page va 4 then
-    match translate t ~mode ~write:false va with
-    | Error e -> Error e
-    | Ok pa ->
-        charge_mem t;
-        Ok (Phys_mem.read_long t.phys pa)
+  if same_page va 4 then begin
+    let pa = try_translate t ~mode ~write:false va in
+    if pa >= 0 then begin
+      charge_mem t;
+      Ok (Phys_mem.read_long t.phys pa)
+    end
+    else
+      match translate t ~mode ~write:false va with
+      | Error e -> Error e
+      | Ok pa ->
+          charge_mem t;
+          Ok (Phys_mem.read_long t.phys pa)
+  end
   else bytes_read t ~mode va 4 0 0
 
 let v_write_long t ~mode va w =
-  if same_page va 4 then
-    match translate t ~mode ~write:true va with
-    | Error e -> Error e
-    | Ok pa ->
-        charge_mem t;
-        Ok (Phys_mem.write_long t.phys pa w)
+  if same_page va 4 then begin
+    let pa = try_translate t ~mode ~write:true va in
+    if pa >= 0 then begin
+      charge_mem t;
+      Ok (Phys_mem.write_long t.phys pa w)
+    end
+    else
+      match translate t ~mode ~write:true va with
+      | Error e -> Error e
+      | Ok pa ->
+          charge_mem t;
+          Ok (Phys_mem.write_long t.phys pa w)
+  end
   else bytes_write t ~mode va 4 w
 
 let v_read_word t ~mode va =
-  if same_page va 2 then
-    match translate t ~mode ~write:false va with
-    | Error e -> Error e
-    | Ok pa ->
-        charge_mem t;
-        Ok (Phys_mem.read_word t.phys pa)
+  if same_page va 2 then begin
+    let pa = try_translate t ~mode ~write:false va in
+    if pa >= 0 then begin
+      charge_mem t;
+      Ok (Phys_mem.read_word t.phys pa)
+    end
+    else
+      match translate t ~mode ~write:false va with
+      | Error e -> Error e
+      | Ok pa ->
+          charge_mem t;
+          Ok (Phys_mem.read_word t.phys pa)
+  end
   else bytes_read t ~mode va 2 0 0
 
 let v_write_word t ~mode va w =
-  if same_page va 2 then
-    match translate t ~mode ~write:true va with
-    | Error e -> Error e
-    | Ok pa ->
-        charge_mem t;
-        Ok (Phys_mem.write_word t.phys pa w)
+  if same_page va 2 then begin
+    let pa = try_translate t ~mode ~write:true va in
+    if pa >= 0 then begin
+      charge_mem t;
+      Ok (Phys_mem.write_word t.phys pa w)
+    end
+    else
+      match translate t ~mode ~write:true va with
+      | Error e -> Error e
+      | Ok pa ->
+          charge_mem t;
+          Ok (Phys_mem.write_word t.phys pa w)
+  end
   else bytes_write t ~mode va 2 w

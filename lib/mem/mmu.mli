@@ -76,6 +76,18 @@ val translate :
 (** Translate one virtual byte address for an access of the given intent.
     Returns the physical address.  Applies the modify policy on writes. *)
 
+val no_translation : int
+(** The negative sentinel returned by {!try_translate}. *)
+
+val try_translate : t -> mode:Mode.t -> write:bool -> Word.t -> int
+(** Allocation-free fast path of {!translate} for the two hot outcomes:
+    mapping disabled, and a TLB hit needing no walk and no modify-policy
+    action.  Returns the physical address, or {!no_translation} when the
+    caller must take {!translate} (miss, protection failure, or a write to
+    an unmodified page).  Charges cycles and counts TLB statistics exactly
+    as {!translate} would for the same outcome, and charges/counts nothing
+    when it returns {!no_translation}. *)
+
 type probe_outcome = { accessible : bool; pte_valid : bool }
 
 val probe :
@@ -109,6 +121,13 @@ val v_write_long : t -> mode:Mode.t -> Word.t -> Word.t -> (unit, fault) result
 val tbia : t -> unit
 val tbis : t -> Word.t -> unit
 val tb_invalidate_process : t -> unit
+
+val tb_generation : t -> int
+(** Monotonic counter bumped whenever cached translations may have become
+    stale: TBIA, TBIS, process invalidation (LDPCTX), and MAPEN changes.
+    Consumers that cache translation-derived state (e.g. the decoded
+    instruction cache) record it at fill time and treat any change as
+    invalidation. *)
 
 (** {1 Statistics} *)
 

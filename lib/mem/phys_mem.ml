@@ -9,17 +9,37 @@ type io_region = {
   io_write : offset:int -> width:int -> Word.t -> unit;
 }
 
-type t = { ram : Bytes.t; npages : int; mutable io : io_region list }
+type t = {
+  ram : Bytes.t;
+  size : int;
+  npages : int;
+  page_gens : int array;  (* bumped on every write into the page *)
+  mutable io : io_region list;
+}
 
 let io_space_base = 0x2000_0000
 
 let create ~pages =
-  { ram = Bytes.make (pages * Addr.page_size) '\000'; npages = pages; io = [] }
+  if pages * Addr.page_size > io_space_base then
+    invalid_arg "Phys_mem.create: RAM would overlap I/O space";
+  {
+    ram = Bytes.make (pages * Addr.page_size) '\000';
+    size = pages * Addr.page_size;
+    npages = pages;
+    page_gens = Array.make pages 0;
+    io = [];
+  }
 
 let pages t = t.npages
-let size_bytes t = Bytes.length t.ram
+let size_bytes t = t.size
 let is_io pa = Word.mask pa >= io_space_base
-let in_ram t pa = pa >= 0 && pa < size_bytes t
+let in_ram t pa = pa >= 0 && pa < t.size
+
+let page_gen t page = Array.unsafe_get t.page_gens page
+
+let touch t pa =
+  let page = pa lsr Addr.page_shift in
+  Array.unsafe_set t.page_gens page (Array.unsafe_get t.page_gens page + 1)
 
 let find_io t pa =
   let inside r = pa >= r.io_base && pa < r.io_base + r.io_size in
@@ -35,58 +55,85 @@ let register_io t r =
   if List.exists overlaps t.io then invalid_arg "register_io: overlap";
   t.io <- r :: t.io
 
+(* All RAM fast paths do one bounds check and then use unchecked byte
+   access; RAM never overlaps I/O space (enforced in [create]), so
+   [pa < size] alone decides the RAM case. *)
+
 let read_byte t pa =
   let pa = Word.mask pa in
-  if is_io pa then
+  if pa < t.size then Char.code (Bytes.unsafe_get t.ram pa)
+  else if is_io pa then
     let r = find_io t pa in
     Word.mask (r.io_read ~offset:(pa - r.io_base) ~width:1) land 0xFF
-  else if in_ram t pa then Char.code (Bytes.get t.ram pa)
   else raise (Nonexistent_memory pa)
 
 let write_byte t pa b =
   let pa = Word.mask pa in
-  if is_io pa then
+  if pa < t.size then begin
+    Bytes.unsafe_set t.ram pa (Char.unsafe_chr (b land 0xFF));
+    touch t pa
+  end
+  else if is_io pa then
     let r = find_io t pa in
     r.io_write ~offset:(pa - r.io_base) ~width:1 (b land 0xFF)
-  else if in_ram t pa then Bytes.set t.ram pa (Char.chr (b land 0xFF))
   else raise (Nonexistent_memory pa)
 
 let read_long t pa =
   let pa = Word.mask pa in
-  if is_io pa then
+  if pa + 3 < t.size then
+    Word.of_bytes
+      (Char.code (Bytes.unsafe_get t.ram pa))
+      (Char.code (Bytes.unsafe_get t.ram (pa + 1)))
+      (Char.code (Bytes.unsafe_get t.ram (pa + 2)))
+      (Char.code (Bytes.unsafe_get t.ram (pa + 3)))
+  else if is_io pa then
     let r = find_io t pa in
     Word.mask (r.io_read ~offset:(pa - r.io_base) ~width:4)
-  else if in_ram t pa && in_ram t (pa + 3) then
-    (* fast path for aligned-in-RAM longwords *)
-    Word.of_bytes
-      (Char.code (Bytes.get t.ram pa))
-      (Char.code (Bytes.get t.ram (pa + 1)))
-      (Char.code (Bytes.get t.ram (pa + 2)))
-      (Char.code (Bytes.get t.ram (pa + 3)))
   else raise (Nonexistent_memory pa)
 
 let write_long t pa w =
   let pa = Word.mask pa in
-  if is_io pa then
+  if pa + 3 < t.size then begin
+    Bytes.unsafe_set t.ram pa (Char.unsafe_chr (w land 0xFF));
+    Bytes.unsafe_set t.ram (pa + 1) (Char.unsafe_chr ((w lsr 8) land 0xFF));
+    Bytes.unsafe_set t.ram (pa + 2) (Char.unsafe_chr ((w lsr 16) land 0xFF));
+    Bytes.unsafe_set t.ram (pa + 3) (Char.unsafe_chr ((w lsr 24) land 0xFF));
+    touch t pa;
+    touch t (pa + 3)
+  end
+  else if is_io pa then
     let r = find_io t pa in
     r.io_write ~offset:(pa - r.io_base) ~width:4 (Word.mask w)
-  else if in_ram t pa && in_ram t (pa + 3) then
-    for i = 0 to 3 do
-      Bytes.set t.ram (pa + i) (Char.chr (Word.byte w i))
-    done
   else raise (Nonexistent_memory pa)
 
 let read_word t pa =
-  read_byte t pa lor (read_byte t (Word.add pa 1) lsl 8)
+  let pa = Word.mask pa in
+  if pa + 1 < t.size then
+    Char.code (Bytes.unsafe_get t.ram pa)
+    lor (Char.code (Bytes.unsafe_get t.ram (pa + 1)) lsl 8)
+  else read_byte t pa lor (read_byte t (Word.add pa 1) lsl 8)
 
 let write_word t pa w =
-  write_byte t pa (w land 0xFF);
-  write_byte t (Word.add pa 1) ((w lsr 8) land 0xFF)
+  let pa = Word.mask pa in
+  if pa + 1 < t.size then begin
+    Bytes.unsafe_set t.ram pa (Char.unsafe_chr (w land 0xFF));
+    Bytes.unsafe_set t.ram (pa + 1) (Char.unsafe_chr ((w lsr 8) land 0xFF));
+    touch t pa;
+    touch t (pa + 1)
+  end
+  else begin
+    write_byte t pa (w land 0xFF);
+    write_byte t (Word.add pa 1) ((w lsr 8) land 0xFF)
+  end
 
 let blit_in t pa data =
   if not (in_ram t pa && in_ram t (pa + Bytes.length data - 1)) then
     raise (Nonexistent_memory pa);
-  Bytes.blit data 0 t.ram pa (Bytes.length data)
+  Bytes.blit data 0 t.ram pa (Bytes.length data);
+  for page = pa lsr Addr.page_shift
+      to (pa + Bytes.length data - 1) lsr Addr.page_shift do
+    t.page_gens.(page) <- t.page_gens.(page) + 1
+  done
 
 let blit_out t pa len =
   if not (in_ram t pa && in_ram t (pa + len - 1)) then

@@ -25,6 +25,14 @@ val size_bytes : t -> int
 val in_ram : t -> Word.t -> bool
 val is_io : Word.t -> bool
 
+val page_gen : t -> int -> int
+(** Write generation of a RAM page frame: incremented by every store into
+    the page (CPU store, word/long spanning into it, or DMA [blit_in]).
+    Consumers that cache derived views of RAM contents — e.g. the decoded
+    instruction cache — record the generation at fill time and treat a
+    mismatch as invalidation.  The index must be a valid page frame
+    number. *)
+
 (** Byte / longword access, little-endian.  Longwords need not be
     aligned (the VAX permits unaligned references). *)
 

@@ -1,0 +1,282 @@
+(* Tests for the direct-mapped split-bank TLB, the additive TB cost
+   model the experiments are calibrated to, and the decoded-instruction
+   cache's invalidation under self-modifying code. *)
+
+open Vax_arch
+open Vax_mem
+
+let s_va i = 0x8000_0000 + (i * Addr.page_size)
+let p0_va i = i * Addr.page_size
+
+let entry ?(prot = Protection.UW) ?(m = false) ~system pfn =
+  { Tlb.pfn; prot; acc = Protection.access_mask prot; m; system }
+
+(* --- the TLB proper ------------------------------------------------- *)
+
+let tlb_tests =
+  [
+    Alcotest.test_case "split banks: S and P0 page 0 coexist" `Quick (fun () ->
+        let t = Tlb.create ~capacity:64 () in
+        Tlb.insert t (s_va 0) (entry ~system:true 7);
+        Tlb.insert t (p0_va 0) (entry ~system:false 9);
+        Alcotest.(check int) "S pfn" 7 (Tlb.find t (s_va 0)).Tlb.pfn;
+        Alcotest.(check int) "P0 pfn" 9 (Tlb.find t (p0_va 0)).Tlb.pfn;
+        Alcotest.(check int) "no evictions" 0 (Tlb.evictions t));
+    Alcotest.test_case "set aliasing evicts past two ways" `Quick (fun () ->
+        let t = Tlb.create ~capacity:64 () in
+        let sets = Tlb.capacity t / 4 in
+        (* three VPNs congruent modulo the per-bank set count: the first
+           two share the set's two ways, the third must evict *)
+        Tlb.insert t (s_va 0) (entry ~system:true 1);
+        Tlb.insert t (s_va sets) (entry ~system:true 2);
+        Alcotest.(check int) "two ways hold both" 0 (Tlb.evictions t);
+        Alcotest.(check int) "way 0 resident" 1 (Tlb.find t (s_va 0)).Tlb.pfn;
+        Alcotest.(check int) "way 1 resident" 2
+          (Tlb.find t (s_va sets)).Tlb.pfn;
+        Tlb.insert t (s_va (2 * sets)) (entry ~system:true 3);
+        Alcotest.(check int) "one eviction" 1 (Tlb.evictions t);
+        Alcotest.(check int) "new entry resident" 3
+          (Tlb.find t (s_va (2 * sets))).Tlb.pfn;
+        Alcotest.check_raises "victim gone" Not_found (fun () ->
+            ignore (Tlb.find t (s_va 0))));
+    Alcotest.test_case "refill of the same page is not an eviction" `Quick
+      (fun () ->
+        let t = Tlb.create ~capacity:64 () in
+        Tlb.insert t (s_va 3) (entry ~system:true 1);
+        Tlb.insert t (s_va 3) (entry ~system:true 5);
+        Alcotest.(check int) "no eviction" 0 (Tlb.evictions t);
+        Alcotest.(check int) "refilled" 5 (Tlb.find t (s_va 3)).Tlb.pfn);
+    Alcotest.test_case "invalidate_all is generation-based" `Quick (fun () ->
+        let t = Tlb.create ~capacity:64 () in
+        Tlb.insert t (s_va 0) (entry ~system:true 1);
+        Tlb.insert t (p0_va 1) (entry ~system:false 2);
+        Alcotest.(check int) "two live" 2 (Tlb.entry_count t);
+        Tlb.invalidate_all t;
+        Alcotest.(check int) "none live" 0 (Tlb.entry_count t);
+        Alcotest.check_raises "S gone" Not_found (fun () ->
+            ignore (Tlb.find t (s_va 0)));
+        (* the buffer is usable again after the generation bump *)
+        Tlb.insert t (s_va 0) (entry ~system:true 4);
+        Alcotest.(check int) "refill works" 4 (Tlb.find t (s_va 0)).Tlb.pfn);
+    Alcotest.test_case "invalidate_process spares system entries" `Quick
+      (fun () ->
+        let t = Tlb.create ~capacity:64 () in
+        Tlb.insert t (s_va 0) (entry ~system:true 1);
+        Tlb.insert t (p0_va 0) (entry ~system:false 2);
+        Tlb.invalidate_process t;
+        Alcotest.(check int) "S survives" 1 (Tlb.find t (s_va 0)).Tlb.pfn;
+        Alcotest.check_raises "P0 gone" Not_found (fun () ->
+            ignore (Tlb.find t (p0_va 0)));
+        Alcotest.(check int) "one live" 1 (Tlb.entry_count t));
+    Alcotest.test_case "invalidate_single" `Quick (fun () ->
+        let t = Tlb.create ~capacity:64 () in
+        Tlb.insert t (s_va 0) (entry ~system:true 1);
+        Tlb.insert t (s_va 1) (entry ~system:true 2);
+        Tlb.invalidate_single t (s_va 0);
+        Alcotest.check_raises "gone" Not_found (fun () ->
+            ignore (Tlb.find t (s_va 0)));
+        Alcotest.(check int) "neighbour lives" 2 (Tlb.find t (s_va 1)).Tlb.pfn);
+    Alcotest.test_case "lookup counts; find does not" `Quick (fun () ->
+        let t = Tlb.create ~capacity:64 () in
+        Tlb.insert t (s_va 0) (entry ~system:true 1);
+        ignore (Tlb.find t (s_va 0));
+        (try ignore (Tlb.find t (s_va 9)) with Not_found -> ());
+        Alcotest.(check int) "find counts no hit" 0 (Tlb.hits t);
+        Alcotest.(check int) "find counts no miss" 0 (Tlb.misses t);
+        ignore (Tlb.lookup t (s_va 0));
+        ignore (Tlb.lookup t (s_va 9));
+        Alcotest.(check int) "lookup hit" 1 (Tlb.hits t);
+        Alcotest.(check int) "lookup miss" 1 (Tlb.misses t));
+  ]
+
+(* --- the additive TB cost model (pins E4/E8 cycle accounting) ------- *)
+
+(* An MMU with an S identity map over [spages] pages (page table beyond
+   them) and a P0 table living in S space at S page 0. *)
+let make_cost_mmu () =
+  let phys = Phys_mem.create ~pages:256 in
+  let clock = Cycles.create () in
+  let mmu = Mmu.create ~phys ~clock () in
+  let spages = 64 in
+  let sbr = 128 * Addr.page_size in
+  for vpn = 0 to spages - 1 do
+    Phys_mem.write_long phys (sbr + (4 * vpn))
+      (Pte.make ~valid:true ~prot:Protection.UW ~pfn:vpn ())
+  done;
+  Mmu.set_sbr mmu sbr;
+  Mmu.set_slr mmu spages;
+  (* P0 page table at S va of S page 0 => physical page 0 *)
+  let p0_table_pa = 0 in
+  for vpn = 0 to 7 do
+    Phys_mem.write_long phys (p0_table_pa + (4 * vpn))
+      (Pte.make ~valid:true ~prot:Protection.UW ~modify:true ~pfn:(16 + vpn) ())
+  done;
+  Mmu.set_p0br mmu 0x8000_0000;
+  Mmu.set_p0lr mmu 8;
+  Mmu.set_mapen mmu true;
+  (mmu, clock)
+
+let cycles_of clock f =
+  let c0 = Cycles.now clock in
+  f ();
+  Cycles.now clock - c0
+
+let ok = function Ok v -> v | Error _ -> Alcotest.fail "unexpected fault"
+
+let cost_tests =
+  [
+    Alcotest.test_case "S miss costs tlb_hit + one walk" `Quick (fun () ->
+        let mmu, clock = make_cost_mmu () in
+        let d =
+          cycles_of clock (fun () ->
+              ignore (ok (Mmu.translate mmu ~mode:Mode.Kernel ~write:false (s_va 2))))
+        in
+        Alcotest.(check int) "miss cycles" (Cost.tlb_hit + Cost.tlb_miss_walk) d);
+    Alcotest.test_case "warm hit costs tlb_hit only" `Quick (fun () ->
+        let mmu, clock = make_cost_mmu () in
+        ignore (ok (Mmu.translate mmu ~mode:Mode.Kernel ~write:false (s_va 2)));
+        let d =
+          cycles_of clock (fun () ->
+              ignore (ok (Mmu.translate mmu ~mode:Mode.Kernel ~write:false (s_va 2))))
+        in
+        Alcotest.(check int) "hit cycles" Cost.tlb_hit d);
+    Alcotest.test_case "cold P0 reference is a double walk" `Quick (fun () ->
+        let mmu, clock = make_cost_mmu () in
+        (* outer consult + P0 PTE walk + inner S consult + S walk *)
+        let d =
+          cycles_of clock (fun () ->
+              ignore (ok (Mmu.translate mmu ~mode:Mode.Kernel ~write:false (p0_va 0))))
+        in
+        Alcotest.(check int) "double-walk cycles"
+          ((2 * Cost.tlb_hit) + (2 * Cost.tlb_miss_walk))
+          d;
+        (* second P0 page in the same table: the S page holding the table
+           is now cached, so only one walk remains *)
+        let d2 =
+          cycles_of clock (fun () ->
+              ignore (ok (Mmu.translate mmu ~mode:Mode.Kernel ~write:false (p0_va 1))))
+        in
+        Alcotest.(check int) "single-walk cycles"
+          ((2 * Cost.tlb_hit) + Cost.tlb_miss_walk)
+          d2);
+    Alcotest.test_case "fast path charges and counts like the full path"
+      `Quick (fun () ->
+        let mmu, clock = make_cost_mmu () in
+        ignore (ok (Mmu.translate mmu ~mode:Mode.Kernel ~write:false (s_va 2)));
+        let tlb = Mmu.tlb mmu in
+        Tlb.reset_stats tlb;
+        let pa_full = ok (Mmu.translate mmu ~mode:Mode.Kernel ~write:false (s_va 2)) in
+        let h_full = Tlb.hits tlb in
+        let d =
+          cycles_of clock (fun () ->
+              let pa = Mmu.try_translate mmu ~mode:Mode.Kernel ~write:false (s_va 2) in
+              Alcotest.(check int) "same pa" pa_full pa)
+        in
+        Alcotest.(check int) "hit cycles" Cost.tlb_hit d;
+        Alcotest.(check int) "one hit counted per path" (2 * h_full)
+          (Tlb.hits tlb));
+    Alcotest.test_case "virtual access = translation + memory_access" `Quick
+      (fun () ->
+        let mmu, clock = make_cost_mmu () in
+        ignore (ok (Mmu.v_read_long mmu ~mode:Mode.Kernel (s_va 2)));
+        let d =
+          cycles_of clock (fun () ->
+              ignore (ok (Mmu.v_read_long mmu ~mode:Mode.Kernel (s_va 2))))
+        in
+        Alcotest.(check int) "warm read cycles"
+          (Cost.tlb_hit + Cost.memory_access)
+          d);
+    Alcotest.test_case "each reference counted exactly once" `Quick (fun () ->
+        let mmu, _ = make_cost_mmu () in
+        let tlb = Mmu.tlb mmu in
+        Tlb.reset_stats tlb;
+        (* cold: fast path finds nothing (uncounted), full path counts one
+           miss; warm: fast path counts one hit *)
+        ignore (ok (Mmu.v_read_long mmu ~mode:Mode.Kernel (s_va 5)));
+        Alcotest.(check int) "one miss" 1 (Tlb.misses tlb);
+        Alcotest.(check int) "no hit" 0 (Tlb.hits tlb);
+        ignore (ok (Mmu.v_read_long mmu ~mode:Mode.Kernel (s_va 5)));
+        Alcotest.(check int) "one hit" 1 (Tlb.hits tlb);
+        Alcotest.(check int) "still one miss" 1 (Tlb.misses tlb));
+  ]
+
+(* --- decode cache under self-modifying code ------------------------- *)
+
+module Asm = Vax_asm.Asm
+module Cpu = Vax_cpu.Cpu
+module State = Vax_cpu.State
+module Decode_cache = Vax_cpu.Decode_cache
+
+(* movl short-literal, r0; halt — the literal byte sits at origin+1 *)
+let smc_image origin =
+  let a = Asm.create ~origin in
+  Asm.ins a Opcode.Movl [ Asm.Lit 60; Asm.R 0 ];
+  Asm.ins a Opcode.Halt [];
+  (Asm.assemble a).Asm.code
+
+let run_to_halt cpu pc =
+  let st = cpu.Cpu.state in
+  st.State.halted <- false;
+  State.set_pc st pc;
+  (match Cpu.run cpu ~max_instructions:100 () with
+  | Vax_cpu.Exec.Machine_halted -> ()
+  | _ -> Alcotest.fail "program did not halt");
+  State.reg st 0
+
+let smc_tests =
+  [
+    Alcotest.test_case "store invalidates cached decode (MAPEN off)" `Quick
+      (fun () ->
+        let cpu = Cpu.create ~memory_pages:64 () in
+        Cpu.load cpu 0x200 (smc_image 0x200);
+        Alcotest.(check int) "first run" 60 (run_to_halt cpu 0x200);
+        let st = cpu.Cpu.state in
+        let hits0 = Decode_cache.hits st.State.dcache in
+        Alcotest.(check int) "second run (cached)" 60 (run_to_halt cpu 0x200);
+        Alcotest.(check bool) "decode cache was used" true
+          (Decode_cache.hits st.State.dcache > hits0);
+        (* patch the literal byte in place: 60 -> 61 *)
+        Phys_mem.write_byte cpu.Cpu.phys 0x201 61;
+        Alcotest.(check int) "patched run sees new bytes" 61
+          (run_to_halt cpu 0x200));
+    Alcotest.test_case "store invalidates cached decode (MAPEN on)" `Quick
+      (fun () ->
+        let cpu = Cpu.create ~memory_pages:64 () in
+        let mmu = cpu.Cpu.mmu in
+        let sbr = 32 * Addr.page_size in
+        for vpn = 0 to 31 do
+          Phys_mem.write_long cpu.Cpu.phys (sbr + (4 * vpn))
+            (Pte.make ~valid:true ~prot:Protection.UW ~pfn:vpn ())
+        done;
+        Mmu.set_sbr mmu sbr;
+        Mmu.set_slr mmu 32;
+        Mmu.set_mapen mmu true;
+        Cpu.load cpu 0x200 (smc_image 0x8000_0200);
+        let va = 0x8000_0200 in
+        Alcotest.(check int) "first run" 60 (run_to_halt cpu va);
+        let st = cpu.Cpu.state in
+        let hits0 = Decode_cache.hits st.State.dcache in
+        Alcotest.(check int) "second run (cached)" 60 (run_to_halt cpu va);
+        Alcotest.(check bool) "decode cache was used" true
+          (Decode_cache.hits st.State.dcache > hits0);
+        (* patch through the mapping: the store must invalidate the
+           cached decode of the instruction it hits *)
+        State.write_byte st Mode.Kernel 0x8000_0201 61;
+        Alcotest.(check int) "patched run sees new bytes" 61
+          (run_to_halt cpu va));
+    Alcotest.test_case "TB invalidation drops cached decodes" `Quick (fun () ->
+        let cpu = Cpu.create ~memory_pages:64 () in
+        Cpu.load cpu 0x200 (smc_image 0x200);
+        ignore (run_to_halt cpu 0x200);
+        ignore (run_to_halt cpu 0x200);
+        let st = cpu.Cpu.state in
+        let misses0 = Decode_cache.misses st.State.dcache in
+        Mmu.tbia cpu.Cpu.mmu;
+        ignore (run_to_halt cpu 0x200);
+        Alcotest.(check bool) "tbia forced a fresh decode" true
+          (Decode_cache.misses st.State.dcache > misses0));
+  ]
+
+let () =
+  Alcotest.run "vax_tlb"
+    [ ("tlb", tlb_tests); ("cost-model", cost_tests); ("smc", smc_tests) ]

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Run one fast iteration of every microbenchmark and validate the JSON
+# output against the vax-bench/1 schema.  Equivalent to
+# `dune build @bench-smoke`; wired into `dune runtest` as well.
+set -e
+cd "$(dirname "$0")/.."
+exec dune exec bench/main.exe -- --bench-smoke
