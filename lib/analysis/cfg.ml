@@ -1,0 +1,193 @@
+(* Control-flow recovery over a guest image: recursive descent from the
+   image's entry points (origin plus every assembler label), with a
+   resynchronizing linear sweep as the fallback covering the bytes the
+   descent cannot reach.  Works on raw bytes through Disasm — no CPU
+   state needed. *)
+
+open Vax_arch
+module Asm = Vax_asm.Asm
+module Disasm = Vax_asm.Disasm
+
+type image = {
+  name : string;
+  base : int;  (* execution virtual address of byte 0 *)
+  code : bytes;
+  entries : int list;  (* absolute addresses of recursive-descent roots *)
+}
+
+let of_asm name (img : Asm.image) =
+  {
+    name;
+    base = img.Asm.image_origin;
+    code = img.Asm.code;
+    entries =
+      List.sort_uniq compare
+        (img.Asm.image_origin :: List.map snd img.Asm.symbols);
+  }
+
+(* instructions that never fall through to the next byte *)
+let is_terminator = function
+  | Opcode.Brb | Opcode.Brw | Opcode.Jmp | Opcode.Rsb | Opcode.Ret
+  | Opcode.Rei | Opcode.Halt | Opcode.Bpt ->
+      true
+  | _ -> false
+
+(* statically-resolvable control-flow targets: branch displacements, and
+   absolute-mode destinations of JMP/JSB/CALLS *)
+let static_targets (i : Disasm.insn) =
+  match i.Disasm.opcode with
+  | None -> []
+  | Some op ->
+      let branches =
+        List.filter_map
+          (function Disasm.Branch_dest t -> Some t | _ -> None)
+          i.Disasm.specs
+      in
+      let abs =
+        match (op, i.Disasm.specs) with
+        | (Opcode.Jmp | Opcode.Jsb), [ Disasm.Absolute a ] -> [ a ]
+        | Opcode.Calls, [ _; Disasm.Absolute a ] -> [ a ]
+        | _ -> []
+      in
+      branches @ abs
+
+type block = {
+  b_start : int;
+  b_insns : Disasm.insn list;  (* in address order *)
+  b_succs : int list;  (* static successor addresses *)
+}
+
+type diag =
+  | Unreachable of { at : int; count : int }
+      (** a run of bytes no reachable instruction covers (data, padding,
+          or code only reachable through computed addresses) *)
+  | Overlap of { at : int; prev : int }
+      (** a reachable instruction starting inside the previous one *)
+
+type t = {
+  image : image;
+  reachable : (int, Disasm.insn) Hashtbl.t;  (* keyed by absolute address *)
+  swept : Disasm.insn list;  (* resynchronizing linear sweep, whole image *)
+  blocks : block list;
+  diags : diag list;
+}
+
+let analyze image =
+  let lo = image.base and hi = image.base + Bytes.length image.code in
+  let reachable = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  List.iter (fun e -> if e >= lo && e < hi then Queue.add e queue) image.entries;
+  while not (Queue.is_empty queue) do
+    let addr = Queue.pop queue in
+    if addr >= lo && addr < hi && not (Hashtbl.mem reachable addr) then
+      match Disasm.decode_one image.code ~pos:(addr - lo) ~address:addr with
+      | None -> ()  (* descended into data; the sweep still covers it *)
+      | Some i ->
+          Hashtbl.replace reachable addr i;
+          List.iter (fun s -> Queue.add s queue) (static_targets i);
+          (match i.Disasm.opcode with
+          | Some op when is_terminator op -> ()
+          | _ -> Queue.add (addr + i.Disasm.length) queue)
+  done;
+  let sorted =
+    Hashtbl.fold (fun _ i acc -> i :: acc) reachable []
+    |> List.sort (fun a b -> compare a.Disasm.address b.Disasm.address)
+  in
+  (* diagnostics: byte coverage and overlapping decodes *)
+  let covered = Bytes.make (hi - lo) '\000' in
+  List.iter
+    (fun i ->
+      for k = i.Disasm.address - lo to i.Disasm.address - lo + i.Disasm.length - 1
+      do
+        if k < hi - lo then Bytes.set covered k '\001'
+      done)
+    sorted;
+  let diags = ref [] in
+  let run_start = ref (-1) in
+  for k = 0 to hi - lo do
+    let unreach = k < hi - lo && Bytes.get covered k = '\000' in
+    if unreach && !run_start < 0 then run_start := k
+    else if (not unreach) && !run_start >= 0 then begin
+      diags := Unreachable { at = lo + !run_start; count = k - !run_start } :: !diags;
+      run_start := -1
+    end
+  done;
+  let rec overlaps = function
+    | a :: (b :: _ as rest) ->
+        if b.Disasm.address < a.Disasm.address + a.Disasm.length then
+          diags :=
+            Overlap { at = b.Disasm.address; prev = a.Disasm.address } :: !diags;
+        overlaps rest
+    | _ -> ()
+  in
+  overlaps sorted;
+  (* basic blocks over the reachable set *)
+  let leaders = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace leaders e ()) image.entries;
+  List.iter
+    (fun i ->
+      let targets = static_targets i in
+      List.iter (fun t -> Hashtbl.replace leaders t ()) targets;
+      let ends_block =
+        targets <> []
+        || match i.Disasm.opcode with Some op -> is_terminator op | None -> true
+      in
+      if ends_block then
+        Hashtbl.replace leaders (i.Disasm.address + i.Disasm.length) ())
+    sorted;
+  let blocks = ref [] in
+  let cur = ref [] in
+  let flush () =
+    match List.rev !cur with
+    | [] -> ()
+    | first :: _ as insns ->
+        let last = List.nth insns (List.length insns - 1) in
+        let succs =
+          static_targets last
+          @
+          match last.Disasm.opcode with
+          | Some op when is_terminator op -> []
+          | _ -> [ last.Disasm.address + last.Disasm.length ]
+        in
+        blocks := { b_start = first.Disasm.address; b_insns = insns; b_succs = succs } :: !blocks;
+        cur := []
+  in
+  let prev_end = ref min_int in
+  List.iter
+    (fun i ->
+      if Hashtbl.mem leaders i.Disasm.address || i.Disasm.address <> !prev_end
+      then flush ();
+      cur := i :: !cur;
+      prev_end := i.Disasm.address + i.Disasm.length;
+      let ends_block =
+        static_targets i <> []
+        || match i.Disasm.opcode with Some op -> is_terminator op | None -> true
+      in
+      if ends_block then flush ())
+    sorted;
+  flush ();
+  let swept = Disasm.decode_all ~resync:true image.code ~base:image.base in
+  {
+    image;
+    reachable;
+    swept;
+    blocks = List.rev !blocks;
+    diags = List.rev !diags;
+  }
+
+(* every candidate instruction site: recursive-descent reachable sites
+   unioned with the resynchronizing linear sweep (real instructions only,
+   not [.byte] padding).  The union is deliberately a superset: for the
+   differential oracle a spurious extra site only shows up as
+   predicted-but-never-hit coverage, while a missed site would be a false
+   alarm. *)
+let all_sites t =
+  let seen = Hashtbl.create 256 in
+  Hashtbl.iter (fun a i -> Hashtbl.replace seen a i) t.reachable;
+  List.iter
+    (fun i ->
+      if i.Disasm.opcode <> None && not (Hashtbl.mem seen i.Disasm.address)
+      then Hashtbl.replace seen i.Disasm.address i)
+    t.swept;
+  Hashtbl.fold (fun _ i acc -> i :: acc) seen []
+  |> List.sort (fun a b -> compare a.Disasm.address b.Disasm.address)

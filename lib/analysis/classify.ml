@@ -1,0 +1,104 @@
+(* The paper's Popek–Goldberg taxonomy over the simulated subset, and the
+   per-site trap prediction the differential oracle checks against.
+
+   Classification (paper §3–§4):
+   - privileged: trap when executed outside kernel mode (HALT, LDPCTX,
+     SVPCTX, MTPR, MFPR, WAIT, PROBEVMx);
+   - sensitive but unprivileged: read or depend on privileged state
+     without trapping on a standard VAX (MOVPSL, CHMx, REI, PROBEx) —
+     the instructions that break the VAX for classical virtualization;
+   - innocuous: everything else.
+
+   Trap prediction is a superset relation: a predicted (site, kind) pair
+   may never fire (conditional traps such as the IPL assist or PROBE on a
+   valid shadow PTE), but every runtime VM-emulation trap, privileged
+   fault, or modify fault must land on a predicted pair. *)
+
+open Vax_arch
+open Vax_cpu
+module Disasm = Vax_asm.Disasm
+
+type cls = Innocuous | Privileged | Sensitive_unprivileged
+
+let classify op =
+  if Opcode.privileged op then Privileged
+  else
+    match op with
+    | Opcode.Movpsl | Opcode.Chmk | Opcode.Chme | Opcode.Chms | Opcode.Chmu
+    | Opcode.Rei | Opcode.Prober | Opcode.Probew ->
+        Sensitive_unprivileged
+    | _ -> Innocuous
+
+let cls_name = function
+  | Innocuous -> "innocuous"
+  | Privileged -> "privileged"
+  | Sensitive_unprivileged -> "sensitive-unprivileged"
+
+(* Which of the sensitive-unprivileged instructions actually take the
+   VM-emulation trap when PSL<VM> is set.  MOVPSL is the deliberate
+   exception: the modified microcode composes the virtual PSL in place,
+   which is the paper's showcase of a sensitive instruction virtualized
+   without trapping (§4.4.1). *)
+let vm_trapping op =
+  Opcode.privileged op
+  ||
+  match op with
+  | Opcode.Chmk | Opcode.Chme | Opcode.Chms | Opcode.Chmu | Opcode.Rei
+  | Opcode.Prober | Opcode.Probew ->
+      true
+  | _ -> false
+
+(* Assumed execution context of an image: on the bare machine or inside a
+   virtual machine (PSL<VM> set while its code runs). *)
+type mode_assumption = Bare | Vm
+
+let mode_name = function Bare -> "bare" | Vm -> "vm"
+
+let mem_capable_spec = function
+  | Disasm.Register _ | Disasm.Literal _ | Disasm.Immediate _
+  | Disasm.Branch_dest _ ->
+      false
+  | _ -> true
+
+(* Can this instruction write memory — explicitly through a write/modify
+   operand with a memory-capable specifier, or implicitly through the
+   microcode's stack pushes?  Any such site can raise a modify fault when
+   the M bit of the target page is clear (demand-zero pages under the
+   Vms_like profile; shadow page tables under the VMM). *)
+let writes_memory (i : Disasm.insn) =
+  match i.Disasm.opcode with
+  | None -> false
+  | Some op ->
+      let implicit =
+        match op with
+        | Opcode.Pushl | Opcode.Bsbb | Opcode.Jsb | Opcode.Calls
+        | Opcode.Chmk | Opcode.Chme | Opcode.Chms | Opcode.Chmu
+        | Opcode.Ldpctx | Opcode.Svpctx ->
+            true
+        | _ -> false
+      in
+      implicit
+      || List.exists2
+           (fun (access, _) spec ->
+             (access = Opcode.Write || access = Opcode.Modify)
+             && mem_capable_spec spec)
+           (Opcode.operands op) i.Disasm.specs
+
+let predict ~mode (i : Disasm.insn) : State.trap_kind list =
+  match i.Disasm.opcode with
+  | None -> []
+  | Some op -> (
+      let writes = if writes_memory i then [ State.Trap_modify ] else [] in
+      match mode with
+      | Bare ->
+          (if Opcode.privileged op then [ State.Trap_privileged ] else [])
+          @ writes
+      | Vm ->
+          (* a privileged opcode takes the VM-emulation trap from VM-kernel
+             mode but the ordinary privileged fault from VM-user mode, so
+             both are predicted at the site *)
+          (if Opcode.privileged op then
+             [ State.Trap_vm_emulation; State.Trap_privileged ]
+           else if vm_trapping op then [ State.Trap_vm_emulation ]
+           else [])
+          @ writes)

@@ -1,0 +1,89 @@
+(* The differential trap-prediction oracle.
+
+   Static side: every code image of a workload is analyzed (Cfg) and each
+   candidate instruction site gets its predicted trap kinds (Classify).
+   Runtime side: the microcode's trap observer reports every VM-emulation
+   trap, privileged-instruction fault, and modify fault with the faulting
+   instruction's PC.  An observed event at a (pc, kind) pair the static
+   pass did not predict raises [Unpredicted] immediately — there are no
+   catch-all handlers between the microcode and the harness, so a wrong
+   prediction fails the run loudly.  Predicted-but-never-hit pairs are
+   reported as coverage. *)
+
+open Vax_cpu
+module Disasm = Vax_asm.Disasm
+
+type t = {
+  name : string;
+  predicted : (int, int) Hashtbl.t;  (* pc -> kind bitmask *)
+  hits : (int, int) Hashtbl.t;  (* pc -> bitmask of kinds observed *)
+  mutable observed : int;  (* total observed events *)
+}
+
+exception Unpredicted of string * State.trap_kind * int
+
+let () =
+  Printexc.register_printer (function
+    | Unpredicted (name, kind, pc) ->
+        Some
+          (Printf.sprintf
+             "Vax_analysis.Oracle.Unpredicted: %s trap at %#x not predicted \
+              by the static pass (oracle %S)"
+             (State.trap_kind_name kind) pc name)
+    | _ -> None)
+
+let kind_bit = function
+  | State.Trap_vm_emulation -> 1
+  | State.Trap_privileged -> 2
+  | State.Trap_modify -> 4
+
+let bitmask kinds = List.fold_left (fun m k -> m lor kind_bit k) 0 kinds
+
+let create ~name =
+  { name; predicted = Hashtbl.create 512; hits = Hashtbl.create 64; observed = 0 }
+
+let find0 tbl pc = match Hashtbl.find_opt tbl pc with Some m -> m | None -> 0
+
+let predict t ~pc kinds =
+  let m = bitmask kinds in
+  if m <> 0 then Hashtbl.replace t.predicted pc (find0 t.predicted pc lor m)
+
+let add_image t ~mode image =
+  let cfg = Cfg.analyze image in
+  List.iter
+    (fun i ->
+      predict t ~pc:i.Disasm.address (Classify.predict ~mode i))
+    (Cfg.all_sites cfg)
+
+let of_asm_images ~name ~mode images =
+  let t = create ~name in
+  List.iter (fun (n, img) -> add_image t ~mode (Cfg.of_asm n img)) images;
+  t
+
+let observe t kind pc =
+  t.observed <- t.observed + 1;
+  let b = kind_bit kind in
+  if find0 t.predicted pc land b = 0 then raise (Unpredicted (t.name, kind, pc));
+  Hashtbl.replace t.hits pc (find0 t.hits pc lor b)
+
+let install t (st : State.t) =
+  st.State.trap_observer <- Some (fun kind pc -> observe t kind pc)
+
+let popcount m = (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1)
+
+type coverage = {
+  predicted_pairs : int;  (* distinct (site, kind) pairs predicted *)
+  hit_pairs : int;  (* pairs observed at least once at runtime *)
+  observed_events : int;  (* total runtime events (all predicted) *)
+}
+
+let coverage t =
+  {
+    predicted_pairs = Hashtbl.fold (fun _ m n -> n + popcount m) t.predicted 0;
+    hit_pairs = Hashtbl.fold (fun _ m n -> n + popcount m) t.hits 0;
+    observed_events = t.observed;
+  }
+
+let pp_coverage ppf c =
+  Format.fprintf ppf "%d/%d predicted (site, kind) pairs hit, %d events"
+    c.hit_pairs c.predicted_pairs c.observed_events

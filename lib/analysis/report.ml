@@ -1,0 +1,119 @@
+(* The machine-readable vaxlint report, schema "vaxlint/1", following the
+   same hand-rolled JSON conventions as the vax-bench/1 benchmark
+   harness. *)
+
+open Vax_cpu
+module Disasm = Vax_asm.Disasm
+
+let schema_version = "vaxlint/1"
+
+let kind_json kinds =
+  Json.Arr
+    (List.map (fun k -> Json.Str (State.trap_kind_name k)) kinds)
+
+let site_json ~mode (i : Disasm.insn) =
+  let cls =
+    match i.Disasm.opcode with
+    | None -> "data"
+    | Some op -> Classify.cls_name (Classify.classify op)
+  in
+  Json.Obj
+    [
+      ("pc", Json.int i.Disasm.address);
+      ("insn", Json.Str (Disasm.to_string i));
+      ("class", Json.Str cls);
+      ("predicted_traps", kind_json (Classify.predict ~mode i));
+    ]
+
+let block_json ~mode (b : Cfg.block) =
+  let predicted =
+    List.fold_left
+      (fun n i -> n + List.length (Classify.predict ~mode i))
+      0 b.Cfg.b_insns
+  in
+  Json.Obj
+    [
+      ("start", Json.int b.Cfg.b_start);
+      ("insns", Json.int (List.length b.Cfg.b_insns));
+      ("succs", Json.Arr (List.map Json.int b.Cfg.b_succs));
+      ("predicted_traps", Json.int predicted);
+    ]
+
+let diag_json = function
+  | Cfg.Unreachable { at; count } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "unreachable-bytes");
+          ("at", Json.int at);
+          ("count", Json.int count);
+        ]
+  | Cfg.Overlap { at; prev } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "overlapping-decode");
+          ("at", Json.int at);
+          ("inside", Json.int prev);
+        ]
+
+let image_json ~mode (cfg : Cfg.t) =
+  let sites = Cfg.all_sites cfg in
+  let count cls =
+    List.length
+      (List.filter
+         (fun i ->
+           match i.Disasm.opcode with
+           | Some op -> Classify.classify op = cls
+           | None -> false)
+         sites)
+  in
+  let findings =
+    List.filter
+      (fun i ->
+        match i.Disasm.opcode with
+        | Some op -> Classify.classify op <> Classify.Innocuous
+        | None -> false)
+      sites
+  in
+  Json.Obj
+    [
+      ("name", Json.Str cfg.Cfg.image.Cfg.name);
+      ("base", Json.int cfg.Cfg.image.Cfg.base);
+      ("bytes", Json.int (Bytes.length cfg.Cfg.image.Cfg.code));
+      ("sites", Json.int (List.length sites));
+      ("reachable", Json.int (Hashtbl.length cfg.Cfg.reachable));
+      ("blocks", Json.Arr (List.map (block_json ~mode) cfg.Cfg.blocks));
+      ( "summary",
+        Json.Obj
+          [
+            ("innocuous", Json.int (count Classify.Innocuous));
+            ("privileged", Json.int (count Classify.Privileged));
+            ( "sensitive_unprivileged",
+              Json.int (count Classify.Sensitive_unprivileged) );
+          ] );
+      ("findings", Json.Arr (List.map (site_json ~mode) findings));
+      ("diagnostics", Json.Arr (List.map diag_json cfg.Cfg.diags));
+    ]
+
+let coverage_json (c : Oracle.coverage) =
+  Json.Obj
+    [
+      ("predicted_pairs", Json.int c.Oracle.predicted_pairs);
+      ("hit_pairs", Json.int c.Oracle.hit_pairs);
+      ("observed_events", Json.int c.Oracle.observed_events);
+    ]
+
+let report ?coverage ~mode ~workload (images : Cfg.image list) =
+  let cfgs = List.map Cfg.analyze images in
+  let fields =
+    [
+      ("schema", Json.Str schema_version);
+      ("workload", Json.Str workload);
+      ("mode", Json.Str (Classify.mode_name mode));
+      ("images", Json.Arr (List.map (image_json ~mode) cfgs));
+    ]
+    @
+    match coverage with
+    | None -> []
+    | Some c -> [ ("oracle", coverage_json c) ]
+  in
+  Json.to_string (Json.Obj fields)

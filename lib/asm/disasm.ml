@@ -2,10 +2,25 @@ open Vax_arch
 
 type operand_text = string
 
+type spec =
+  | Literal of int  (* short literal S^#n, 0..63 *)
+  | Index of int  (* [Rn] indexed prefix — outside the simulated subset *)
+  | Register of int
+  | Reg_deferred of int  (* (Rn) *)
+  | Autodec of int  (* -(Rn) *)
+  | Autoinc of int  (* (Rn)+ *)
+  | Autoinc_deferred of int  (* @(Rn)+ *)
+  | Immediate of int  (* #v — raw unsigned value of the operand width *)
+  | Absolute of int  (* @#a *)
+  | Disp of { rn : int; disp : int; deferred : bool; width : Opcode.width }
+  | Branch_dest of int  (* resolved target address *)
+
 type insn = {
   address : int;
   length : int;
+  opcode : Opcode.t option;
   mnemonic : string;
+  specs : spec list;
   operands : operand_text list;
 }
 
@@ -31,16 +46,31 @@ let long b pos =
 
 let width_bytes = function Opcode.Byte -> 1 | Opcode.Word -> 2 | Opcode.Long -> 4
 
-(* returns (text, bytes consumed) *)
+let spec_to_string = function
+  | Literal n -> Printf.sprintf "S^#%d" n
+  | Index rn -> Printf.sprintf "[%s]?" (reg_name rn)
+  | Register rn -> reg_name rn
+  | Reg_deferred rn -> Printf.sprintf "(%s)" (reg_name rn)
+  | Autodec rn -> Printf.sprintf "-(%s)" (reg_name rn)
+  | Autoinc rn -> Printf.sprintf "(%s)+" (reg_name rn)
+  | Autoinc_deferred rn -> Printf.sprintf "@(%s)+" (reg_name rn)
+  | Immediate v -> Printf.sprintf "#%#x" v
+  | Absolute a -> Printf.sprintf "@#%#x" a
+  | Disp { rn; disp; deferred; _ } ->
+      if deferred then Printf.sprintf "@%d(%s)" disp (reg_name rn)
+      else Printf.sprintf "%d(%s)" disp (reg_name rn)
+  | Branch_dest t -> Printf.sprintf "%#x" t
+
+(* returns (spec, bytes consumed) *)
 let specifier b pos width =
   let s = byte b pos in
   let m = s lsr 4 and rn = s land 0xF in
   match m with
-  | 0 | 1 | 2 | 3 -> (Printf.sprintf "S^#%d" (s land 0x3F), 1)
-  | 4 -> (Printf.sprintf "[%s]?" (reg_name rn), 1) (* not in the subset *)
-  | 5 -> (reg_name rn, 1)
-  | 6 -> (Printf.sprintf "(%s)" (reg_name rn), 1)
-  | 7 -> (Printf.sprintf "-(%s)" (reg_name rn), 1)
+  | 0 | 1 | 2 | 3 -> (Literal (s land 0x3F), 1)
+  | 4 -> (Index rn, 1) (* not in the subset *)
+  | 5 -> (Register rn, 1)
+  | 6 -> (Reg_deferred rn, 1)
+  | 7 -> (Autodec rn, 1)
   | 8 when rn = 15 ->
       let n = width_bytes width in
       let v =
@@ -49,20 +79,19 @@ let specifier b pos width =
         | Opcode.Word -> word b (pos + 1)
         | Opcode.Long -> long b (pos + 1)
       in
-      (Printf.sprintf "#%#x" v, 1 + n)
-  | 8 -> (Printf.sprintf "(%s)+" (reg_name rn), 1)
-  | 9 when rn = 15 -> (Printf.sprintf "@#%#x" (long b (pos + 1)), 5)
-  | 9 -> (Printf.sprintf "@(%s)+" (reg_name rn), 1)
-  | 0xA ->
-      (Printf.sprintf "%d(%s)" (Word.to_signed (Word.sext ~width:8 (byte b (pos + 1)))) (reg_name rn), 2)
-  | 0xB ->
-      (Printf.sprintf "@%d(%s)" (Word.to_signed (Word.sext ~width:8 (byte b (pos + 1)))) (reg_name rn), 2)
-  | 0xC ->
-      (Printf.sprintf "%d(%s)" (Word.to_signed (Word.sext ~width:16 (word b (pos + 1)))) (reg_name rn), 3)
-  | 0xD ->
-      (Printf.sprintf "@%d(%s)" (Word.to_signed (Word.sext ~width:16 (word b (pos + 1)))) (reg_name rn), 3)
-  | 0xE -> (Printf.sprintf "%d(%s)" (Word.to_signed (long b (pos + 1))) (reg_name rn), 5)
-  | 0xF -> (Printf.sprintf "@%d(%s)" (Word.to_signed (long b (pos + 1))) (reg_name rn), 5)
+      (Immediate v, 1 + n)
+  | 8 -> (Autoinc rn, 1)
+  | 9 when rn = 15 -> (Absolute (long b (pos + 1)), 5)
+  | 9 -> (Autoinc_deferred rn, 1)
+  | 0xA | 0xB ->
+      let disp = Word.to_signed (Word.sext ~width:8 (byte b (pos + 1))) in
+      (Disp { rn; disp; deferred = m = 0xB; width = Opcode.Byte }, 2)
+  | 0xC | 0xD ->
+      let disp = Word.to_signed (Word.sext ~width:16 (word b (pos + 1))) in
+      (Disp { rn; disp; deferred = m = 0xD; width = Opcode.Word }, 3)
+  | 0xE | 0xF ->
+      let disp = Word.to_signed (long b (pos + 1)) in
+      (Disp { rn; disp; deferred = m = 0xF; width = Opcode.Long }, 5)
   | _ -> assert false
 
 let decode_one b ~pos ~address =
@@ -76,42 +105,58 @@ let decode_one b ~pos ~address =
     Option.map
       (fun opcode ->
         let cur = ref (pos + oplen) in
-        let operands =
+        let specs =
           List.map
             (fun (access, width) ->
               match access with
               | Opcode.Branch_byte ->
                   let d = Word.to_signed (Word.sext ~width:8 (byte b !cur)) in
                   incr cur;
-                  Printf.sprintf "%#x" (address + (!cur - pos) + d)
+                  Branch_dest (address + (!cur - pos) + d)
               | Opcode.Branch_word ->
                   let d = Word.to_signed (Word.sext ~width:16 (word b !cur)) in
                   cur := !cur + 2;
-                  Printf.sprintf "%#x" (address + (!cur - pos) + d)
+                  Branch_dest (address + (!cur - pos) + d)
               | _ ->
-                  let text, n = specifier b !cur width in
+                  let sp, n = specifier b !cur width in
                   cur := !cur + n;
-                  text)
+                  sp)
             (Opcode.operands opcode)
         in
         {
           address;
           length = !cur - pos;
+          opcode = Some opcode;
           mnemonic = Opcode.name opcode;
-          operands;
+          specs;
+          operands = List.map spec_to_string specs;
         })
       opcode
   with
   | v -> v
   | exception Truncated -> None
 
-let decode_all b ~base =
+let data_byte b ~pos ~address =
+  {
+    address;
+    length = 1;
+    opcode = None;
+    mnemonic = ".byte";
+    specs = [];
+    operands = [ Printf.sprintf "%#x" (byte b pos) ];
+  }
+
+let decode_all ?(resync = false) b ~base =
   let rec go pos acc =
     if pos >= Bytes.length b then List.rev acc
     else
       match decode_one b ~pos ~address:(base + pos) with
       | Some i -> go (pos + i.length) (i :: acc)
-      | None -> List.rev acc
+      | None ->
+          if resync then
+            (* skip one byte, mark it as data, and keep sweeping *)
+            go (pos + 1) (data_byte b ~pos ~address:(base + pos) :: acc)
+          else List.rev acc
   in
   go 0 []
 

@@ -105,7 +105,20 @@ let mm_param ~length_violation ~ptbl_ref ~write =
   lor (if ptbl_ref then 2 else 0)
   lor if write then 4 else 0
 
+let observe_trap st kind ~pc =
+  match st.State.trap_observer with
+  | Some f -> f kind pc
+  | None -> ()
+
 let dispatch_fault st ~start_pc ~next_pc (fault : State.fault) =
+  (match fault with
+  | State.Mm_fault (Mmu.Modify_fault _) ->
+      observe_trap st State.Trap_modify ~pc:start_pc
+  | State.Privileged_instruction ->
+      observe_trap st State.Trap_privileged ~pc:start_pc
+  | State.Vm_emulation_fault _ ->
+      observe_trap st State.Trap_vm_emulation ~pc:start_pc
+  | _ -> ());
   match fault with
   | State.Mm_fault (Mmu.Access_violation { va; length_violation; ptbl_ref; write })
     ->

@@ -28,6 +28,14 @@ type fault =
 
 exception Fault of fault
 
+(* the three event kinds the vaxlint differential oracle tracks *)
+type trap_kind = Trap_vm_emulation | Trap_privileged | Trap_modify
+
+let trap_kind_name = function
+  | Trap_vm_emulation -> "vm-emulation"
+  | Trap_privileged -> "privileged"
+  | Trap_modify -> "modify"
+
 let pp_fault ppf = function
   | Mm_fault f -> Mmu.pp_fault ppf f
   | Privileged_instruction -> Format.pp_print_string ppf "privileged instruction"
@@ -73,6 +81,7 @@ type t = {
   mutable agent : (event -> unit) option;
   mutable ipr_read_hook : Ipr.t -> Word.t option;
   mutable ipr_write_hook : Ipr.t -> Word.t -> bool;
+  mutable trap_observer : (trap_kind -> Word.t -> unit) option;
   mutable halted : bool;
   mutable stop_requested : bool;
   mutable idle_hint : bool;
@@ -114,6 +123,7 @@ let create ?(variant = Variant.Standard) ?sid ~mmu ~clock () =
     agent = None;
     ipr_read_hook = (fun _ -> None);
     ipr_write_hook = (fun _ _ -> false);
+    trap_observer = None;
     halted = false;
     stop_requested = false;
     idle_hint = false;

@@ -46,6 +46,13 @@ exception Fault of fault
 
 val pp_fault : Format.formatter -> fault -> unit
 
+(** The three event kinds the vaxlint differential oracle tracks: the
+    VM-emulation trap, the privileged-instruction fault, and the modify
+    fault (paper §4).  Reported with the faulting instruction's PC. *)
+type trap_kind = Trap_vm_emulation | Trap_privileged | Trap_modify
+
+val trap_kind_name : trap_kind -> string
+
 (** What the microcode hands to the host kernel agent (the VMM) after
     initiating an exception or interrupt: the frame is already on the
     service stack; this is a decoded summary so the agent does not need to
@@ -82,6 +89,10 @@ type t = {
   mutable agent : (event -> unit) option;
   mutable ipr_read_hook : Ipr.t -> Word.t option;
   mutable ipr_write_hook : Ipr.t -> Word.t -> bool;
+  mutable trap_observer : (trap_kind -> Word.t -> unit) option;
+      (** called by the microcode with the faulting instruction's PC for
+          every VM-emulation trap, privileged-instruction fault, and
+          modify fault; installed by the vaxlint differential oracle *)
   mutable halted : bool;
   mutable stop_requested : bool;
   mutable idle_hint : bool;

@@ -14,6 +14,7 @@ type built = {
   entry : int;
   memsize : int;
   kernel : Asm.image;
+  code_images : (string * Asm.image) list;
 }
 
 let max_processes = 8
@@ -827,4 +828,7 @@ let build ?(profile = Vms_like) ?(tick = 8000) ?(quantum = 4) ?(memsize = 240)
     entry = stub_phys;
     memsize;
     kernel;
+    code_images =
+      (("boot", stub) :: ("kernel", kernel)
+      :: List.map (fun p -> (p.prog_name, p.prog_image)) programs);
   }

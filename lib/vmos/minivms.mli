@@ -41,6 +41,11 @@ type built = {
   entry : int;  (** boot PC (physical, MM off) *)
   memsize : int;  (** pages of (VM-)physical memory the OS manages *)
   kernel : Asm.image;  (** the kernel image, for symbol lookup *)
+  code_images : (string * Asm.image) list;
+      (** every code image at its *execution* origin: the boot stub
+          (physical, identity-mapped), the kernel (S space) and each user
+          program (P0 origin 0).  Labels are preserved as symbols; the
+          vaxlint static analyzer uses these as recursive-descent roots. *)
 }
 
 val max_processes : int (* 8 *)

@@ -1,0 +1,38 @@
+(* The eight named example workloads, shared by the vaxrun and vaxlint
+   command-line tools. *)
+
+open Vax_vmos
+
+let names =
+  [ "hello"; "mix"; "editing"; "transaction"; "compute"; "syscall"; "ipl"; "io" ]
+
+let build ?(force_mmio = false) = function
+  | "hello" -> Minivms.build ~force_mmio ~programs:[ Programs.hello ~ident:1 ] ()
+  | "mix" ->
+      Minivms.build ~force_mmio
+        ~programs:
+          [
+            Programs.editing ~ident:1 ~rounds:60;
+            Programs.transaction ~ident:2 ~count:40;
+            Programs.compute ~ident:3 ~iterations:4000;
+          ]
+        ()
+  | "editing" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.editing ~ident:1 ~rounds:80 ] ()
+  | "transaction" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.transaction ~ident:1 ~count:60 ] ()
+  | "compute" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.compute ~ident:1 ~iterations:8000 ] ()
+  | "syscall" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.syscall_storm ~iterations:1000 ] ()
+  | "ipl" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.ipl_storm ~iterations:1500 ] ()
+  | "io" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.io_storm ~ident:1 ~count:50 ] ()
+  | w -> failwith ("unknown workload: " ^ w)

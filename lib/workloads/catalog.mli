@@ -1,0 +1,10 @@
+(** The eight named example workloads, shared by vaxrun and vaxlint. *)
+
+open Vax_vmos
+
+val names : string list
+(** ["hello"; "mix"; "editing"; "transaction"; "compute"; "syscall";
+    "ipl"; "io"] *)
+
+val build : ?force_mmio:bool -> string -> Minivms.built
+(** Build a workload by name; fails on an unknown name. *)

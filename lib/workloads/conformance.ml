@@ -10,6 +10,19 @@ let fp = Format.fprintf
 let check what cond =
   if not cond then failwith ("conformance check failed: " ^ what)
 
+(* Every scenario harness runs under the vaxlint differential oracle: the
+   scenario image is statically analyzed and any VM-emulation trap,
+   privileged fault, or modify fault at an unpredicted PC raises
+   [Vax_analysis.Oracle.Unpredicted] out of the harness (the harness
+   catches only [State.Fault]). *)
+let install_oracle ~mode st (img : Asm.image) =
+  let o =
+    Vax_analysis.Oracle.of_asm_images ~name:"conformance" ~mode
+      [ ("scenario", img) ]
+  in
+  Vax_analysis.Oracle.install o st;
+  o
+
 (* ------------------------------------------------------------------ *)
 (* Raw-CPU scenario harness                                            *)
 
@@ -41,6 +54,7 @@ let exec_steps cpu ~mode ~code ~steps =
   let img = Asm.assemble a in
   Phys_mem.blit_in cpu.Cpu.phys ((32 + 20) * 512) img.Asm.code;
   let st = cpu.Cpu.state in
+  ignore (install_oracle ~mode:Vax_analysis.Classify.Bare st img);
   st.State.psl <- Psl.with_prv (Psl.with_cur (Psl.with_ipl st.State.psl 0) mode) mode;
   st.State.psl <- Psl.with_is st.State.psl false;
   State.set_pc st (s_va 20);
@@ -255,6 +269,8 @@ let vm_probe ?config ?(memory_pages = 128) ?(steps = 50_000) code =
   let a = Asm.create ~origin:0x200 in
   code a;
   let img = Asm.assemble a in
+  ignore
+    (install_oracle ~mode:Vax_analysis.Classify.Vm m.Machine.cpu img);
   let vm =
     Vmm.add_vm vmm ~name:"probe" ~memory_pages ~disk_blocks:8
       ~images:[ (0x200, img.Asm.code) ]
@@ -332,6 +348,7 @@ let table4 ppf =
   let a = Asm.create ~origin:0x200 in
   Asm.ins a Opcode.Wait [];
   let img = Asm.assemble a in
+  ignore (install_oracle ~mode:Vax_analysis.Classify.Bare cpu.Cpu.state img);
   Cpu.load cpu 0x200 img.Asm.code;
   State.set_pc cpu.Cpu.state 0x200;
   State.set_sp cpu.Cpu.state 0x1000;
@@ -341,6 +358,7 @@ let table4 ppf =
        Scb.privileged_instruction);
   (* WAIT on the standard VAX: reserved instruction *)
   let cpu = Cpu.create ~variant:Variant.Standard () in
+  ignore (install_oracle ~mode:Vax_analysis.Classify.Bare cpu.Cpu.state img);
   Cpu.load cpu 0x200 img.Asm.code;
   State.set_pc cpu.Cpu.state 0x200;
   State.set_sp cpu.Cpu.state 0x1000;

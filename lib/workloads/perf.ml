@@ -216,6 +216,12 @@ let e6_modify_scheme ppf =
     Asm.ins a Opcode.Movpsl [ Asm.R 4 ];
     Asm.ins a Opcode.Halt [];
     let img = Asm.assemble a in
+    let oracle =
+      Vax_analysis.Oracle.of_asm_images ~name:"e6-probew"
+        ~mode:Vax_analysis.Classify.Vm
+        [ ("probew", img) ]
+    in
+    Vax_analysis.Oracle.install oracle m.Machine.cpu;
     let vm =
       Vmm.add_vm vmm ~name:"p" ~memory_pages:64 ~disk_blocks:8
         ~images:[ (0x200, img.Asm.code) ]

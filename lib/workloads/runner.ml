@@ -3,6 +3,7 @@ open Vax_cpu
 open Vax_dev
 open Vax_vmm
 open Vax_vmos
+open Vax_analysis
 
 type measurement = {
   outcome : Machine.outcome;
@@ -13,13 +14,26 @@ type measurement = {
   console : string;
   machine : Machine.t;
   vm : Vm.t option;
+  oracle : Oracle.t;
 }
 
 let default_max = 400_000_000
 
+(* Every run carries the vaxlint differential oracle: the workload's code
+   images are statically analyzed up front and the microcode's trap
+   observer checks each VM-emulation trap, privileged fault, and modify
+   fault against the predicted sites, raising on any unpredicted one. *)
+let make_oracle ~mode (builts : Minivms.built list) =
+  let images =
+    List.concat_map (fun b -> b.Minivms.code_images) builts
+  in
+  Oracle.of_asm_images ~name:(Classify.mode_name mode) ~mode images
+
 let run_bare ?(variant = Variant.Standard) ?(max_cycles = default_max)
     (built : Minivms.built) =
   let m = Machine.create ~variant ~memory_pages:1024 ~disk_blocks:256 () in
+  let oracle = make_oracle ~mode:Classify.Bare [ built ] in
+  Oracle.install oracle m.Machine.cpu;
   List.iter
     (fun (pa, data) -> Machine.load m pa data)
     built.Minivms.images;
@@ -34,9 +48,10 @@ let run_bare ?(variant = Variant.Standard) ?(max_cycles = default_max)
     console = Console.output m.Machine.console;
     machine = m;
     vm = None;
+    oracle;
   }
 
-let measure_vm m vmm vm outcome =
+let measure_vm m vmm vm outcome oracle =
   ignore vmm;
   {
     outcome;
@@ -47,6 +62,7 @@ let measure_vm m vmm vm outcome =
     console = Vmm.console_output vm;
     machine = m;
     vm = Some vm;
+    oracle;
   }
 
 let run_vm ?config ?io_mode ?(max_cycles = default_max)
@@ -56,13 +72,15 @@ let run_vm ?config ?io_mode ?(max_cycles = default_max)
       ~disk_blocks:256 ()
   in
   let vmm = Vmm.create ?config m in
+  let oracle = make_oracle ~mode:Classify.Vm [ built ] in
+  Oracle.install oracle m.Machine.cpu;
   let vm =
     Vmm.add_vm vmm ~name:"guest" ~memory_pages:built.Minivms.memsize
       ~disk_blocks:64 ?io_mode ~images:built.Minivms.images
       ~start_pc:built.Minivms.entry ()
   in
   let outcome = Vmm.run vmm ~max_cycles () in
-  measure_vm m vmm vm outcome
+  measure_vm m vmm vm outcome oracle
 
 let run_two_vms ?config ?(max_cycles = default_max) (b1 : Minivms.built)
     (b2 : Minivms.built) =
@@ -71,6 +89,8 @@ let run_two_vms ?config ?(max_cycles = default_max) (b1 : Minivms.built)
       ~disk_blocks:256 ()
   in
   let vmm = Vmm.create ?config m in
+  let oracle = make_oracle ~mode:Classify.Vm [ b1; b2 ] in
+  Oracle.install oracle m.Machine.cpu;
   let vm1 =
     Vmm.add_vm vmm ~name:"vm1" ~memory_pages:b1.Minivms.memsize
       ~disk_blocks:64 ~images:b1.Minivms.images ~start_pc:b1.Minivms.entry ()
@@ -80,7 +100,7 @@ let run_two_vms ?config ?(max_cycles = default_max) (b1 : Minivms.built)
       ~disk_blocks:64 ~images:b2.Minivms.images ~start_pc:b2.Minivms.entry ()
   in
   let outcome = Vmm.run vmm ~max_cycles () in
-  (measure_vm m vmm vm1 outcome, measure_vm m vmm vm2 outcome)
+  (measure_vm m vmm vm1 outcome oracle, measure_vm m vmm vm2 outcome oracle)
 
 let ratio ~vm ~bare =
   float_of_int bare.total_cycles /. float_of_int vm.total_cycles

@@ -7,6 +7,7 @@ open Vax_cpu
 open Vax_dev
 open Vax_vmm
 open Vax_vmos
+open Vax_analysis
 
 type measurement = {
   outcome : Machine.outcome;
@@ -17,6 +18,10 @@ type measurement = {
   console : string;
   machine : Machine.t;
   vm : Vm.t option;  (** present for VM runs: stats live here *)
+  oracle : Oracle.t;
+      (** the differential trap-prediction oracle that watched the run;
+          every observed trap was checked eagerly ({!Oracle.Unpredicted}
+          would have propagated), so this carries coverage only *)
 }
 
 val run_bare :

@@ -1,0 +1,213 @@
+(* Tests for the vaxlint analysis subsystem: the resynchronizing
+   disassembler sweep, CFG recovery diagnostics, the Popek-Goldberg
+   classifier and trap predictor, and the differential oracle (unit-level
+   and end-to-end on the hello workload). *)
+
+open Vax_arch
+open Vax_cpu
+open Vax_analysis
+open Vax_workloads
+module Asm = Vax_asm.Asm
+module Disasm = Vax_asm.Disasm
+
+(* --- satellite: resynchronizing decode ------------------------------- *)
+
+let garbage = 0xFF (* no opcode page behind 0xFF in the subset *)
+
+let mixed_image () =
+  let a = Asm.create ~origin:0x800 in
+  Asm.ins a Opcode.Movl [ Asm.Imm 0x55; Asm.R 1 ];
+  Asm.byte a garbage;
+  Asm.ins a Opcode.Incl [ Asm.R 1 ];
+  Asm.assemble a
+
+let test_resync_continues () =
+  let img = mixed_image () in
+  let insns = Disasm.decode_all ~resync:true img.Asm.code ~base:0x800 in
+  Alcotest.(check int) "three entries" 3 (List.length insns);
+  let byte_insn = List.nth insns 1 in
+  Alcotest.(check bool) "pseudo-insn has no opcode" true
+    (byte_insn.Disasm.opcode = None);
+  Alcotest.(check string) ".byte mnemonic" ".byte" byte_insn.Disasm.mnemonic;
+  Alcotest.(check int) "one byte consumed" 1 byte_insn.Disasm.length;
+  (match (List.nth insns 2).Disasm.opcode with
+  | Some Opcode.Incl -> ()
+  | _ -> Alcotest.fail "did not resynchronize on INCL");
+  let total = List.fold_left (fun n i -> n + i.Disasm.length) 0 insns in
+  Alcotest.(check int) "whole image covered" (Bytes.length img.Asm.code) total
+
+let test_no_resync_stops () =
+  let img = mixed_image () in
+  let insns = Disasm.decode_all img.Asm.code ~base:0x800 in
+  Alcotest.(check int) "stops at the garbage byte" 1 (List.length insns)
+
+(* --- CFG recovery ---------------------------------------------------- *)
+
+(* entry: MOVL; BRB over an embedded data blob; target: HALT.  The blob
+   is reachable by no path, so it must show up as an unreachable-bytes
+   diagnostic and stay out of the recursive-descent instruction set. *)
+let branch_over_data () =
+  let a = Asm.create ~origin:0x1000 in
+  Asm.ins a Opcode.Movl [ Asm.Imm 0x11; Asm.R 0 ];
+  Asm.ins a Opcode.Brb [ Asm.Branch "after" ];
+  let data_at = Asm.here a in
+  Asm.long a 0xFFFF_FFFF;
+  Asm.label a "after";
+  Asm.ins a Opcode.Halt [];
+  (Asm.assemble a, data_at)
+
+let test_cfg_unreachable_data () =
+  let img, data_at = branch_over_data () in
+  (* drop the "after" symbol so the data is not rescued by an entry *)
+  let image =
+    { (Cfg.of_asm "t" img) with Cfg.entries = [ img.Asm.image_origin ] }
+  in
+  let cfg = Cfg.analyze image in
+  Alcotest.(check bool) "data address is not a reachable insn" false
+    (Hashtbl.mem cfg.Cfg.reachable data_at);
+  let unreachable =
+    List.exists
+      (function
+        | Cfg.Unreachable { at; count } -> at = data_at && count = 4
+        | Cfg.Overlap _ -> false)
+      cfg.Cfg.diags
+  in
+  Alcotest.(check bool) "unreachable-bytes diagnostic" true unreachable;
+  (* the BRB block's only successor is the HALT block *)
+  let brb_block =
+    List.find
+      (fun b ->
+        List.exists
+          (fun i -> i.Disasm.opcode = Some Opcode.Brb)
+          b.Cfg.b_insns)
+      cfg.Cfg.blocks
+  in
+  Alcotest.(check (list int)) "brb successor" [ data_at + 4 ]
+    brb_block.Cfg.b_succs
+
+let test_cfg_sites_union () =
+  let img, data_at = branch_over_data () in
+  let cfg = Cfg.analyze (Cfg.of_asm "t" img) in
+  let sites = Cfg.all_sites cfg in
+  Alcotest.(check bool) "entry is a site" true
+    (List.exists (fun i -> i.Disasm.address = 0x1000) sites);
+  Alcotest.(check bool) "halt is a site" true
+    (List.exists
+       (fun i ->
+         i.Disasm.opcode = Some Opcode.Halt && i.Disasm.address = data_at + 4)
+       sites)
+
+(* --- classifier and predictor ---------------------------------------- *)
+
+let insn_of op operands =
+  let a = Asm.create ~origin:0 in
+  Asm.ins a op operands;
+  let img = Asm.assemble a in
+  List.hd (Disasm.decode_all img.Asm.code ~base:0)
+
+let test_classify () =
+  let cls op = Classify.classify op in
+  Alcotest.(check string) "mtpr" "privileged" (Classify.cls_name (cls Opcode.Mtpr));
+  Alcotest.(check string) "halt" "privileged" (Classify.cls_name (cls Opcode.Halt));
+  Alcotest.(check string) "movpsl" "sensitive-unprivileged"
+    (Classify.cls_name (cls Opcode.Movpsl));
+  Alcotest.(check string) "rei" "sensitive-unprivileged"
+    (Classify.cls_name (cls Opcode.Rei));
+  Alcotest.(check string) "movl" "innocuous" (Classify.cls_name (cls Opcode.Movl));
+  (* MOVPSL is the paper's showcase: sensitive yet NOT VM-trapping,
+     because the microcode composes the virtual PSL directly (§4.4.1) *)
+  Alcotest.(check bool) "movpsl does not vm-trap" false
+    (Classify.vm_trapping Opcode.Movpsl);
+  Alcotest.(check bool) "rei vm-traps" true (Classify.vm_trapping Opcode.Rei);
+  Alcotest.(check bool) "probew vm-traps" true
+    (Classify.vm_trapping Opcode.Probew);
+  Alcotest.(check bool) "mtpr vm-traps" true (Classify.vm_trapping Opcode.Mtpr)
+
+let has k l = List.mem k l
+
+let test_predict () =
+  let mtpr = insn_of Opcode.Mtpr [ Asm.Imm 0x1F; Asm.Imm 18 ] in
+  let vm = Classify.predict ~mode:Classify.Vm mtpr in
+  Alcotest.(check bool) "mtpr/vm: vm-emulation" true
+    (has State.Trap_vm_emulation vm);
+  Alcotest.(check bool) "mtpr/vm: privileged (VM-user case)" true
+    (has State.Trap_privileged vm);
+  let bare = Classify.predict ~mode:Classify.Bare mtpr in
+  Alcotest.(check bool) "mtpr/bare: privileged" true
+    (has State.Trap_privileged bare);
+  Alcotest.(check bool) "mtpr/bare: no vm-emulation" false
+    (has State.Trap_vm_emulation bare);
+  (* register destination: no memory write, no modify fault *)
+  let movl_r = insn_of Opcode.Movl [ Asm.Imm 5; Asm.R 2 ] in
+  Alcotest.(check int) "movl->reg predicts nothing" 0
+    (List.length (Classify.predict ~mode:Classify.Vm movl_r));
+  (* memory destination: a modify fault is possible in either mode *)
+  let movl_m = insn_of Opcode.Movl [ Asm.Imm 5; Asm.Deref 2 ] in
+  Alcotest.(check bool) "movl->(r2) predicts modify" true
+    (has State.Trap_modify (Classify.predict ~mode:Classify.Bare movl_m));
+  (* implicit stack push counts as a memory write *)
+  let pushl = insn_of Opcode.Pushl [ Asm.R 0 ] in
+  Alcotest.(check bool) "pushl predicts modify" true
+    (has State.Trap_modify (Classify.predict ~mode:Classify.Vm pushl));
+  (* MOVPSL to a register: sensitive but silent — predicts nothing *)
+  let movpsl = insn_of Opcode.Movpsl [ Asm.R 4 ] in
+  Alcotest.(check int) "movpsl->reg predicts nothing in VM mode" 0
+    (List.length (Classify.predict ~mode:Classify.Vm movpsl))
+
+(* --- oracle ----------------------------------------------------------- *)
+
+let test_oracle_unit () =
+  let o = Oracle.create ~name:"unit" in
+  Oracle.predict o ~pc:0x100 [ State.Trap_privileged; State.Trap_modify ];
+  Oracle.predict o ~pc:0x104 [ State.Trap_vm_emulation ];
+  Oracle.observe o State.Trap_privileged 0x100;
+  Oracle.observe o State.Trap_privileged 0x100;
+  let c = Oracle.coverage o in
+  Alcotest.(check int) "predicted pairs" 3 c.Oracle.predicted_pairs;
+  Alcotest.(check int) "hit pairs" 1 c.Oracle.hit_pairs;
+  Alcotest.(check int) "observed events" 2 c.Oracle.observed_events;
+  Alcotest.check_raises "unpredicted kind raises"
+    (Oracle.Unpredicted ("unit", State.Trap_modify, 0x104))
+    (fun () -> Oracle.observe o State.Trap_modify 0x104);
+  Alcotest.check_raises "unpredicted pc raises"
+    (Oracle.Unpredicted ("unit", State.Trap_privileged, 0x200))
+    (fun () -> Oracle.observe o State.Trap_privileged 0x200)
+
+(* end-to-end differential check on the smallest workload: bare runs on
+   the Standard variant observe nothing; the VM run must hit predicted
+   sites and raise on nothing *)
+let test_oracle_hello () =
+  let bare = Runner.run_bare (Catalog.build "hello") in
+  let cb = Oracle.coverage bare.Runner.oracle in
+  Alcotest.(check int) "bare: no tracked events" 0 cb.Oracle.observed_events;
+  let vm = Runner.run_vm (Catalog.build "hello") in
+  let cv = Oracle.coverage vm.Runner.oracle in
+  Alcotest.(check bool) "vm: observed events" true (cv.Oracle.observed_events > 0);
+  Alcotest.(check bool) "vm: predicted sites hit" true (cv.Oracle.hit_pairs > 0);
+  Alcotest.(check bool) "vm: hits within predictions" true
+    (cv.Oracle.hit_pairs <= cv.Oracle.predicted_pairs)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "resync",
+        [
+          Alcotest.test_case "continues past garbage" `Quick test_resync_continues;
+          Alcotest.test_case "default stops" `Quick test_no_resync_stops;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "unreachable data" `Quick test_cfg_unreachable_data;
+          Alcotest.test_case "site union" `Quick test_cfg_sites_union;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "taxonomy" `Quick test_classify;
+          Alcotest.test_case "trap prediction" `Quick test_predict;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "unit" `Quick test_oracle_unit;
+          Alcotest.test_case "hello end-to-end" `Quick test_oracle_hello;
+        ] );
+    ]

@@ -1,0 +1,115 @@
+(* Assembler <-> disassembler round trip over every opcode in the subset:
+   assemble an instruction, structurally disassemble it, map the decoded
+   specifiers back to assembler operands, reassemble, and compare bytes.
+   Several addressing-mode variants are exercised per operand slot. *)
+
+open Vax_arch
+module Asm = Vax_asm.Asm
+module Disasm = Vax_asm.Disasm
+
+let origin = 0x1000
+
+(* candidate operands per access class; the variant index rotates the
+   choice so each slot sees several addressing modes across variants *)
+let read_ops =
+  [| Asm.Lit 9; Asm.R 3; Asm.Deref 4; Asm.Imm 0x77; Asm.Disp (8, 2);
+     Asm.Postinc 5; Asm.Abs 0x2000 |]
+
+let write_ops =
+  [| Asm.R 6; Asm.Deref 7; Asm.Disp (12, 2); Asm.Abs 0x2400; Asm.Predec 5;
+     Asm.Disp_deref (16, 3) |]
+
+let addr_ops = [| Asm.Disp (4, 1); Asm.Abs 0x2800; Asm.Deref 9 |]
+
+let pick arr i = arr.(i mod Array.length arr)
+
+let operand_for ~variant slot (access, _width) =
+  match access with
+  | Opcode.Read -> pick read_ops (slot + variant)
+  | Opcode.Write | Opcode.Modify -> pick write_ops (slot + variant)
+  | Opcode.Address -> pick addr_ops (slot + variant)
+  | Opcode.Branch_byte | Opcode.Branch_word -> Asm.Branch "target"
+
+let has_branch op =
+  List.exists
+    (function
+      | (Opcode.Branch_byte | Opcode.Branch_word), _ -> true | _ -> false)
+    (Opcode.operands op)
+
+let assemble_one op ~variant =
+  let a = Asm.create ~origin in
+  let ops = List.mapi (operand_for ~variant) (Opcode.operands op) in
+  Asm.ins a op ops;
+  (* the branch target is the instruction's own fallthrough address *)
+  if has_branch op then Asm.label a "target";
+  Asm.assemble a
+
+(* map a decoded specifier back to the assembler's operand language *)
+let operand_of_spec ~fallthrough = function
+  | Disasm.Literal n -> Asm.Lit n
+  | Disasm.Register n -> Asm.R n
+  | Disasm.Reg_deferred n -> Asm.Deref n
+  | Disasm.Autodec n -> Asm.Predec n
+  | Disasm.Autoinc n -> Asm.Postinc n
+  | Disasm.Autoinc_deferred n -> Asm.Postinc_deref n
+  | Disasm.Immediate v -> Asm.Imm v
+  | Disasm.Absolute a -> Asm.Abs a
+  | Disasm.Disp { rn; disp; deferred; width = _ } ->
+      if deferred then Asm.Disp_deref (disp, rn) else Asm.Disp (disp, rn)
+  | Disasm.Branch_dest t ->
+      Alcotest.(check int) "branch target is the fallthrough" fallthrough t;
+      Asm.Branch "target"
+  | Disasm.Index _ -> Alcotest.fail "index prefix outside the subset"
+
+let roundtrip op ~variant =
+  let ctx = Printf.sprintf "%s v%d" (Opcode.name op) variant in
+  let img1 = assemble_one op ~variant in
+  let insns = Disasm.decode_all img1.Asm.code ~base:origin in
+  Alcotest.(check int) (ctx ^ ": one instruction") 1 (List.length insns);
+  let i = List.hd insns in
+  (match i.Disasm.opcode with
+  | Some o -> Alcotest.(check string) (ctx ^ ": opcode") (Opcode.name op) (Opcode.name o)
+  | None -> Alcotest.fail (ctx ^ ": decoded to .byte"));
+  Alcotest.(check int)
+    (ctx ^ ": length covers image")
+    (Bytes.length img1.Asm.code) i.Disasm.length;
+  let fallthrough = i.Disasm.address + i.Disasm.length in
+  let a2 = Asm.create ~origin in
+  Asm.ins a2 op (List.map (operand_of_spec ~fallthrough) i.Disasm.specs);
+  if has_branch op then Asm.label a2 "target";
+  let img2 = Asm.assemble a2 in
+  Alcotest.(check bytes) (ctx ^ ": bytes") img1.Asm.code img2.Asm.code
+
+let test_all_opcodes () =
+  List.iter
+    (fun op ->
+      for variant = 0 to 2 do
+        roundtrip op ~variant
+      done)
+    Opcode.all
+
+(* a multi-instruction stream also survives: decode, rebuild, compare *)
+let test_stream () =
+  let a = Asm.create ~origin in
+  Asm.ins a Opcode.Movl [ Asm.Imm 0xDEAD; Asm.R 1 ];
+  Asm.ins a Opcode.Addl3 [ Asm.Lit 4; Asm.R 1; Asm.Disp (8, 2) ];
+  Asm.ins a Opcode.Tstl [ Asm.Abs 0x3000 ];
+  Asm.label a "loop";
+  Asm.ins a Opcode.Sobgtr [ Asm.R 1; Asm.Branch "loop" ];
+  Asm.ins a Opcode.Rsb [];
+  let img = Asm.assemble a in
+  let insns = Disasm.decode_all img.Asm.code ~base:origin in
+  Alcotest.(check int) "five instructions" 5 (List.length insns);
+  let total = List.fold_left (fun n i -> n + i.Disasm.length) 0 insns in
+  Alcotest.(check int) "full coverage" (Bytes.length img.Asm.code) total
+
+let () =
+  Alcotest.run "roundtrip"
+    [
+      ( "asm-disasm",
+        [
+          Alcotest.test_case "every opcode, three variants" `Quick
+            test_all_opcodes;
+          Alcotest.test_case "instruction stream" `Quick test_stream;
+        ] );
+    ]
