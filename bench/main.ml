@@ -54,187 +54,10 @@ let run_one ppf (id, title, f) =
     (Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON: just enough to emit and re-read benchmark results
-   without an external dependency.                                     *)
+(* JSON: the emitter/parser shared with vaxlint and the vax-trace/1
+   event stream (one copy used to live inline here).                   *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
-
-  let rec emit buf = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Num f ->
-        if Float.is_integer f && Float.abs f < 1e15 then
-          Buffer.add_string buf (Printf.sprintf "%.0f" f)
-        else Buffer.add_string buf (Printf.sprintf "%.6g" f)
-    | Str s ->
-        Buffer.add_char buf '"';
-        String.iter
-          (function
-            | '"' -> Buffer.add_string buf "\\\""
-            | '\\' -> Buffer.add_string buf "\\\\"
-            | '\n' -> Buffer.add_string buf "\\n"
-            | '\t' -> Buffer.add_string buf "\\t"
-            | c when Char.code c < 0x20 ->
-                Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-            | c -> Buffer.add_char buf c)
-          s;
-        Buffer.add_char buf '"'
-    | Arr items ->
-        Buffer.add_char buf '[';
-        List.iteri
-          (fun i item ->
-            if i > 0 then Buffer.add_string buf ", ";
-            emit buf item)
-          items;
-        Buffer.add_char buf ']'
-    | Obj kvs ->
-        Buffer.add_char buf '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_string buf ", ";
-            emit buf (Str k);
-            Buffer.add_string buf ": ";
-            emit buf v)
-          kvs;
-        Buffer.add_char buf '}'
-
-  let to_string t =
-    let buf = Buffer.create 256 in
-    emit buf t;
-    Buffer.contents buf
-
-  exception Parse_error of string
-
-  let parse s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let peek () = if !pos < n then s.[!pos] else '\000' in
-    let skip_ws () =
-      while
-        !pos < n
-        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
-      do
-        incr pos
-      done
-    in
-    let expect c =
-      skip_ws ();
-      if peek () = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
-    in
-    let keyword kw v =
-      if !pos + String.length kw <= n && String.sub s !pos (String.length kw) = kw
-      then begin
-        pos := !pos + String.length kw;
-        v
-      end
-      else fail (Printf.sprintf "expected %s" kw)
-    in
-    let string_lit () =
-      expect '"';
-      let buf = Buffer.create 16 in
-      let rec loop () =
-        if !pos >= n then fail "unterminated string"
-        else
-          match s.[!pos] with
-          | '"' -> incr pos
-          | '\\' ->
-              incr pos;
-              (if !pos >= n then fail "unterminated escape"
-               else
-                 match s.[!pos] with
-                 | '"' -> Buffer.add_char buf '"'
-                 | '\\' -> Buffer.add_char buf '\\'
-                 | '/' -> Buffer.add_char buf '/'
-                 | 'n' -> Buffer.add_char buf '\n'
-                 | 't' -> Buffer.add_char buf '\t'
-                 | 'r' -> Buffer.add_char buf '\r'
-                 | 'b' -> Buffer.add_char buf '\b'
-                 | 'f' -> Buffer.add_char buf '\012'
-                 | 'u' ->
-                     if !pos + 4 >= n then fail "bad \\u escape";
-                     let code =
-                       int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
-                     in
-                     (* sufficient for ASCII, which is all we emit *)
-                     Buffer.add_char buf (Char.chr (code land 0x7F));
-                     pos := !pos + 4
-                 | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
-              incr pos;
-              loop ()
-          | c ->
-              Buffer.add_char buf c;
-              incr pos;
-              loop ()
-      in
-      loop ();
-      Buffer.contents buf
-    in
-    let number () =
-      let start = !pos in
-      let numchar c =
-        (c >= '0' && c <= '9')
-        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-      in
-      while !pos < n && numchar s.[!pos] do incr pos done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> Num f
-      | None -> fail "bad number"
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | '{' ->
-          incr pos;
-          skip_ws ();
-          if peek () = '}' then begin incr pos; Obj [] end
-          else
-            let rec members acc =
-              let k = (skip_ws (); string_lit ()) in
-              expect ':';
-              let v = value () in
-              skip_ws ();
-              match peek () with
-              | ',' -> incr pos; members ((k, v) :: acc)
-              | '}' -> incr pos; Obj (List.rev ((k, v) :: acc))
-              | _ -> fail "expected ',' or '}'"
-            in
-            members []
-      | '[' ->
-          incr pos;
-          skip_ws ();
-          if peek () = ']' then begin incr pos; Arr [] end
-          else
-            let rec items acc =
-              let v = value () in
-              skip_ws ();
-              match peek () with
-              | ',' -> incr pos; items (v :: acc)
-              | ']' -> incr pos; Arr (List.rev (v :: acc))
-              | _ -> fail "expected ',' or ']'"
-            in
-            items []
-      | '"' -> Str (string_lit ())
-      | 't' -> keyword "true" (Bool true)
-      | 'f' -> keyword "false" (Bool false)
-      | 'n' -> keyword "null" Null
-      | c when c = '-' || (c >= '0' && c <= '9') -> number ()
-      | _ -> fail "unexpected character"
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
-  let member name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
-end
+module Json = Vax_obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock microbenchmarks of the simulator substrate      *)
@@ -378,18 +201,54 @@ let run_microbench ~quota_s ~limit () =
       (name, !est))
     (make_benches ())
 
-let results_to_json results =
+(* Machine-level fidelity numbers for the VM workload, riding along with
+   the timing results: TLB hit rate from the metrics registry and the
+   VM-trap rate (oracle-observed events per guest instruction). *)
+let machine_stats () =
+  let open Vax_vmos in
+  let built =
+    Minivms.build ~programs:[ Programs.syscall_storm ~iterations:20 ] ()
+  in
+  let m = Runner.run_vm built in
+  let snap =
+    Vax_obs.Metrics.snapshot m.Runner.machine.Vax_dev.Machine.metrics
+  in
+  let get k =
+    match List.assoc_opt k snap with Some v -> float_of_int v | None -> 0.0
+  in
+  let hits = get "tlb.hits" and misses = get "tlb.misses" in
+  let lookups = hits +. misses in
+  let traps =
+    float_of_int
+      (Vax_analysis.Oracle.coverage m.Runner.oracle)
+        .Vax_analysis.Oracle.observed_events
+  in
+  let instructions = float_of_int m.Runner.instructions in
+  [
+    ("tlb_hit_rate", if lookups > 0.0 then hits /. lookups else 0.0);
+    ("trap_rate", if instructions > 0.0 then traps /. instructions else 0.0);
+  ]
+
+let results_to_json ?machine results =
   Json.Obj
-    [
-      ("schema", Json.Str schema_version);
-      ( "results",
-        Json.Arr
-          (List.map
-             (fun (name, ns) ->
-               Json.Obj
-                 [ ("name", Json.Str name); ("ns_per_run", Json.Num ns) ])
-             results) );
-    ]
+    ([
+       ("schema", Json.Str schema_version);
+       ( "results",
+         Json.Arr
+           (List.map
+              (fun (name, ns) ->
+                Json.Obj
+                  [ ("name", Json.Str name); ("ns_per_run", Json.Num ns) ])
+              results) );
+     ]
+    @
+    match machine with
+    | None -> []
+    | Some stats ->
+        [
+          ( "machine",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) stats) );
+        ])
 
 let results_of_json j =
   (match Json.member "schema" j with
@@ -415,10 +274,12 @@ let load_results path =
   results_of_json (Json.parse s)
 
 let write_results path results =
+  let machine = machine_stats () in
   let oc = open_out_bin path in
-  output_string oc (Json.to_string (results_to_json results));
+  output_string oc (Json.to_string (results_to_json ~machine results));
   output_char oc '\n';
   close_out oc;
+  List.iter (fun (k, v) -> Format.printf "  %-14s %14.4f@." k v) machine;
   Format.printf "wrote %s@." path
 
 let print_results results =
@@ -468,7 +329,8 @@ let microbench ~json_out ~compare_with () =
    output; wired into the test suite as a smoke test. *)
 let bench_smoke () =
   let results = run_microbench ~quota_s:0.02 ~limit:10 () in
-  let js = Json.to_string (results_to_json results) in
+  let machine = machine_stats () in
+  let js = Json.to_string (results_to_json ~machine results) in
   let reparsed = results_of_json (Json.parse js) in
   let problems =
     List.filter_map
@@ -479,6 +341,12 @@ let bench_smoke () =
             Some (Printf.sprintf "%s: bad estimate %f" name ns)
         | Some _ -> None)
       required_benches
+    @ List.filter_map
+        (fun (k, v) ->
+          if Float.is_nan v || v < 0.0 then
+            Some (Printf.sprintf "machine.%s: bad value %f" k v)
+          else None)
+        machine
   in
   match problems with
   | [] ->

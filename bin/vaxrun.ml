@@ -10,9 +10,28 @@
 open Cmdliner
 open Vax_vmm
 open Vax_workloads
+module Trace = Vax_obs.Trace
 
-let run workload vm mmio assist slots no_cache prefill separate quiet =
+let run workload vm mmio assist slots no_cache prefill separate quiet trace_out
+    metrics =
   let built = Catalog.build ~force_mmio:(vm && mmio) workload in
+  (* --trace: enable the machine trace and stream vax-trace/1 JSONL *)
+  let trace_oc = ref None in
+  let instrument (mach : Vax_dev.Machine.t) =
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        trace_oc := Some oc;
+        output_string oc (Trace.header_json_line ());
+        output_char oc '\n';
+        Trace.set_sink mach.Vax_dev.Machine.trace
+          (Some
+             (fun ~seq kind ~a ~b ~c ->
+               output_string oc (Trace.to_json_line ~seq kind ~a ~b ~c);
+               output_char oc '\n'));
+        Trace.set_enabled mach.Vax_dev.Machine.trace true)
+  in
   let m =
     if vm then
       Runner.run_vm
@@ -26,14 +45,24 @@ let run workload vm mmio assist slots no_cache prefill separate quiet =
             separate_vmm_space = separate;
             default_io_mode = (if mmio then Vm.Mmio_io else Vm.Kcall_io);
           }
-        built
-    else Runner.run_bare built
+        ~instrument built
+    else Runner.run_bare ~instrument built
   in
+  (match !trace_oc with
+  | Some oc ->
+      close_out oc;
+      Format.printf "trace: %d events (%s)@."
+        (Trace.total m.Runner.machine.Vax_dev.Machine.trace)
+        (Option.get trace_out)
+  | None -> ());
   Format.printf "outcome: %a@." Vax_dev.Machine.pp_outcome m.Runner.outcome;
   if not quiet then Format.printf "console:@.%s@." m.Runner.console;
   Format.printf "cycles: %d (guest %d, monitor %d), instructions: %d@."
     m.Runner.total_cycles m.Runner.guest_cycles m.Runner.monitor_cycles
     m.Runner.instructions;
+  if metrics then
+    Format.printf "metrics:@.%a" Vax_obs.Metrics.pp
+      m.Runner.machine.Vax_dev.Machine.metrics;
   match m.Runner.vm with
   | Some g -> Format.printf "%a@." Vmm.pp_vm_stats g
   | None -> ()
@@ -72,10 +101,23 @@ let cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress console output.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Stream the machine event trace to $(docv) as vax-trace/1 JSONL.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the metrics registry snapshot after the run.")
+  in
   Cmd.v
     (Cmd.info "vaxrun" ~doc:"Run MiniVMS workloads on the simulated VAX")
     Term.(
       const run $ workload $ vm $ mmio $ assist $ slots $ no_cache $ prefill
-      $ separate $ quiet)
+      $ separate $ quiet $ trace_out $ metrics)
 
 let () = exit (Cmd.eval cmd)

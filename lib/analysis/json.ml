@@ -1,57 +1,5 @@
-(* Minimal JSON emitter, following the hand-rolled conventions of
-   bench/main.ml (schema "vax-bench/1"); emit-only, no parser needed
-   on this side. *)
+(* The hand-rolled JSON emitter now lives in Vax_obs.Json, shared with
+   bench/main.ml (vax-bench/1) and the vax-trace/1 event stream; this
+   alias keeps Report's [Json.Obj ...] spelling unchanged. *)
 
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of t list
-  | Obj of (string * t) list
-
-let int i = Num (float_of_int i)
-
-let rec emit buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Num f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Buffer.add_string buf (Printf.sprintf "%.0f" f)
-      else Buffer.add_string buf (Printf.sprintf "%.6g" f)
-  | Str s ->
-      Buffer.add_char buf '"';
-      String.iter
-        (function
-          | '"' -> Buffer.add_string buf "\\\""
-          | '\\' -> Buffer.add_string buf "\\\\"
-          | '\n' -> Buffer.add_string buf "\\n"
-          | '\t' -> Buffer.add_string buf "\\t"
-          | c when Char.code c < 0x20 ->
-              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-          | c -> Buffer.add_char buf c)
-        s;
-      Buffer.add_char buf '"'
-  | Arr items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_string buf ", ";
-          emit buf item)
-        items;
-      Buffer.add_char buf ']'
-  | Obj kvs ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_string buf ", ";
-          emit buf (Str k);
-          Buffer.add_string buf ": ";
-          emit buf v)
-        kvs;
-      Buffer.add_char buf '}'
-
-let to_string t =
-  let buf = Buffer.create 256 in
-  emit buf t;
-  Buffer.contents buf
+include Vax_obs.Json

@@ -311,6 +311,10 @@ let fill mmu (vm : Vm.t) ?(prefill = 0) ?(ro_scheme = false) va =
           | `Pte sp ->
               install_shadow mmu vm va sp;
               vm.Vm.stats.Vm.shadow_fills <- vm.Vm.stats.Vm.shadow_fills + 1;
+              (let tr = Mmu.trace mmu in
+               if Vax_obs.Trace.enabled tr then
+                 Vax_obs.Trace.emit tr Vax_obs.Trace.Shadow_fill
+                   (Word.mask va));
               (* anticipatory fill of the following PTEs (paper §4.3.1) *)
               let rec pre k =
                 if k <= prefill then begin
@@ -323,7 +327,11 @@ let fill mmu (vm : Vm.t) ?(prefill = 0) ?(ro_scheme = false) va =
                         | `Pte sp_k ->
                             install_shadow mmu vm va_k sp_k;
                             vm.Vm.stats.Vm.prefill_filled <-
-                              vm.Vm.stats.Vm.prefill_filled + 1
+                              vm.Vm.stats.Vm.prefill_filled + 1;
+                            let tr = Mmu.trace mmu in
+                            if Vax_obs.Trace.enabled tr then
+                              Vax_obs.Trace.emit tr Vax_obs.Trace.Shadow_fill
+                                ~b:1 (Word.mask va_k)
                         | `Io | `Nxm _ -> ())
                     | Ok _ | Error _ -> ()
                     | exception Vm_nxm _ -> ());

@@ -342,6 +342,9 @@ let enter_vm t (vm : Vm.t) =
       State.set_sp s s.State.sp_bank.(cur_slot);
       State.set_pc s vm.Vm.saved_regs.(15);
       charge t (Opcode.base_cycles Opcode.Rei);
+      if Vax_obs.Trace.enabled s.State.trace then
+        Vax_obs.Trace.emit s.State.trace Vax_obs.Trace.Vm_entry
+          vm.Vm.saved_regs.(15);
       vm.Vm.instr_mark <- s.State.vm_instructions;
       vm.Vm.run_state <- Vm.Runnable;
       t.running <- Some vm;
@@ -504,6 +507,9 @@ let kcall t (vm : Vm.t) packet_vmpa =
   with
   | exception Shadow.Vm_nxm m -> halt_vm t vm ("bad KCALL packet: " ^ m)
   | fn, block, buf -> (
+      (let tr = (st t).State.trace in
+       if Vax_obs.Trace.enabled tr then
+         Vax_obs.Trace.emit tr Vax_obs.Trace.Kcall ~b:packet_vmpa fn);
       let finish status =
         (try vm_phys_write_long t vm (Word.add packet_vmpa 12) status
          with Shadow.Vm_nxm _ -> ());
@@ -1256,6 +1262,26 @@ let add_vm t ~name ~memory_pages ~disk_blocks ?io_mode ~images ~start_pc () =
     }
   in
   t.next_vid <- t.next_vid + 1;
+  (* per-VM gauges in the machine's metrics registry *)
+  Vax_obs.Metrics.register_group t.m.Machine.metrics ("vm." ^ name) (fun () ->
+      let s = vm.Vm.stats in
+      [
+        ("guest_instructions", vm.Vm.guest_instructions);
+        ("emulation_traps", s.Vm.emulation_traps);
+        ("shadow_fills", s.Vm.shadow_fills);
+        ("shadow_invalidations", s.Vm.shadow_invalidations);
+        ("modify_faults", s.Vm.modify_faults);
+        ("reflected_faults", s.Vm.reflected_faults);
+        ("chm_forwarded", s.Vm.chm_forwarded);
+        ("rei_emulated", s.Vm.rei_emulated);
+        ("virq_delivered", s.Vm.virq_delivered);
+        ("io_requests", s.Vm.io_requests);
+        ("mmio_traps", s.Vm.mmio_trap_count);
+        ("probe_emulated", s.Vm.probe_emulated);
+        ("context_switches", s.Vm.context_switches);
+        ("shadow_cache_hits", s.Vm.shadow_cache_hits);
+        ("shadow_cache_misses", s.Vm.shadow_cache_misses);
+      ]);
   Shadow.init_vm_tables (phys t) vm;
   List.iter
     (fun (vmpa, data) ->

@@ -604,11 +604,23 @@ let step st =
           in
           decoded := Some d;
           st.State.instructions <- st.State.instructions + 1;
-          if Psl.vm st.State.psl then
+          let was_vm = Psl.vm st.State.psl in
+          if was_vm then
             st.State.vm_instructions <- st.State.vm_instructions + 1;
           Cycles.charge st.State.clock (Opcode.base_cycles d.Decode.opcode);
           let pc_set = execute st d ~start_pc in
-          if not pc_set then State.set_pc st d.Decode.next_pc
+          if not pc_set then State.set_pc st d.Decode.next_pc;
+          (* retire: the instruction completed without faulting *)
+          let tr = st.State.trace in
+          if Vax_obs.Trace.enabled tr then
+            Vax_obs.Trace.emit tr Vax_obs.Trace.Retire
+              ~b:
+                (match Opcode.encoding d.Decode.opcode with
+                | [ b ] -> b
+                | [ p; b ] -> (p lsl 8) lor b
+                | _ -> 0)
+              ~c:(if was_vm then 1 else 0)
+              start_pc
         with State.Fault f ->
           let next_pc =
             match !decoded with Some d -> d.Decode.next_pc | None -> start_pc

@@ -1,5 +1,6 @@
 open Vax_arch
 open Vax_mem
+module Trace = Vax_obs.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Exception initiation                                                *)
@@ -40,6 +41,15 @@ let deliver_exception st ~vector ~params ~saved_pc ?(interrupt = false)
     st.State.variant = Variant.Virtualizing && Psl.vm st.State.psl
   in
   if from_vm then Cycles.charge st.State.clock Cost.vm_exit_extra;
+  (let tr = st.State.trace in
+   if Trace.enabled tr then begin
+     Trace.emit tr
+       (if interrupt then Trace.Interrupt else Trace.Exception)
+       ~b:saved_pc
+       ~c:(if from_vm then 1 else 0)
+       vector;
+     if from_vm then Trace.emit tr Trace.Vm_exit ~b:saved_pc vector
+   end);
   let saved_psl = st.State.psl in
   (* Read the SCB entry (physically, via SCBB); with an agent attached the
      handler address is unused but the fetch is still charged. *)
@@ -112,12 +122,18 @@ let observe_trap st kind ~pc =
 
 let dispatch_fault st ~start_pc ~next_pc (fault : State.fault) =
   (match fault with
-  | State.Mm_fault (Mmu.Modify_fault _) ->
-      observe_trap st State.Trap_modify ~pc:start_pc
+  | State.Mm_fault (Mmu.Modify_fault { va }) ->
+      observe_trap st State.Trap_modify ~pc:start_pc;
+      if Trace.enabled st.State.trace then
+        Trace.emit st.State.trace Trace.Trap_modify ~b:va start_pc
   | State.Privileged_instruction ->
-      observe_trap st State.Trap_privileged ~pc:start_pc
+      observe_trap st State.Trap_privileged ~pc:start_pc;
+      if Trace.enabled st.State.trace then
+        Trace.emit st.State.trace Trace.Trap_privileged start_pc
   | State.Vm_emulation_fault _ ->
-      observe_trap st State.Trap_vm_emulation ~pc:start_pc
+      observe_trap st State.Trap_vm_emulation ~pc:start_pc;
+      if Trace.enabled st.State.trace then
+        Trace.emit st.State.trace Trace.Trap_vm_emulation start_pc
   | _ -> ());
   match fault with
   | State.Mm_fault (Mmu.Access_violation { va; length_violation; ptbl_ref; write })
@@ -204,7 +220,15 @@ let rei st =
     st.State.sp_bank.(old_slot) <- State.sp st;
     State.set_sp st st.State.sp_bank.(new_slot)
   end;
-  State.set_pc st new_pc
+  State.set_pc st new_pc;
+  let tr = st.State.trace in
+  if Trace.enabled tr then begin
+    Trace.emit tr Trace.Rei ~b:new_pc
+      ~c:(if Psl.vm new_psl then 1 else 0)
+      (Mode.to_int (Psl.cur new_psl));
+    if Psl.vm new_psl && not (Psl.vm cur_psl) then
+      Trace.emit tr Trace.Vm_entry new_pc
+  end
 
 (* ------------------------------------------------------------------ *)
 (* CHM                                                                 *)
@@ -239,6 +263,8 @@ let chm st ~target ~code ~next_pc =
   end;
   st.State.psl <- new_psl;
   push_kernel_frame st [ Word.sext ~width:16 code; next_pc; saved_psl ];
+  if Trace.enabled st.State.trace then
+    Trace.emit st.State.trace Trace.Chm ~b:next_pc (Mode.to_int target);
   match st.State.agent with
   | Some agent ->
       agent

@@ -89,6 +89,9 @@ type t = {
   mutable vm_instructions : int;
   mutable interrupts_taken : int;
   exceptions_by_vector : (Scb.vector, int) Hashtbl.t;
+  mutable trace : Vax_obs.Trace.t;
+      (* Trace.null unless the owning machine wires a live trace in;
+         emit sites guard with [Trace.enabled]. *)
 }
 
 let sid_standard = 0x0178_0000
@@ -131,6 +134,7 @@ let create ?(variant = Variant.Standard) ?sid ~mmu ~clock () =
     vm_instructions = 0;
     interrupts_taken = 0;
     exceptions_by_vector = Hashtbl.create 32;
+    trace = Vax_obs.Trace.null;
   }
 
 let pc t = t.regs.(15)

@@ -103,6 +103,11 @@ type t = {
   mutable vm_instructions : int;
   mutable interrupts_taken : int;
   exceptions_by_vector : (Scb.vector, int) Hashtbl.t;
+  mutable trace : Vax_obs.Trace.t;
+      (** machine-wide event trace; {!Vax_obs.Trace.null} (disabled)
+          unless the owning machine wires a live one in.  The CPU emits
+          retire, trap, exception/interrupt, CHMx/REI and VM entry/exit
+          events; every emit site is guarded by [Trace.enabled]. *)
 }
 
 val create :

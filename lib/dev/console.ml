@@ -70,6 +70,9 @@ let handles_write t r v =
   | Ipr.TXDB ->
       Buffer.add_char t.out (Char.chr (v land 0xFF));
       t.written <- t.written + 1;
+      (let tr = t.cpu.State.trace in
+       if Vax_obs.Trace.enabled tr then
+         Vax_obs.Trace.emit tr Vax_obs.Trace.Dev_io ~b:0 ~c:(v land 0xFF) 1);
       if t.txcs land bit_ie <> 0 then
         State.post_interrupt t.cpu ~ipl:tx_ipl ~vector:Scb.console_transmit;
       true

@@ -43,10 +43,18 @@ let transfer t ~write ~block ~phys_addr =
     Phys_mem.blit_in t.phys phys_addr
       (Bytes.sub t.store (block * block_size) block_size)
 
+let trace_io t ~write ~block =
+  let tr = t.cpu.State.trace in
+  if Vax_obs.Trace.enabled tr then
+    Vax_obs.Trace.emit tr Vax_obs.Trace.Dev_io
+      ~b:(if write then 1 else 0)
+      ~c:block 2
+
 let submit t ~write ~block ~phys_addr ~on_complete =
   Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
       transfer t ~write ~block ~phys_addr;
       t.ios <- t.ios + 1;
+      trace_io t ~write ~block;
       on_complete ())
 
 let start_mmio t ~write =
@@ -55,6 +63,7 @@ let start_mmio t ~write =
   Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
       transfer t ~write ~block ~phys_addr;
       t.ios <- t.ios + 1;
+      trace_io t ~write ~block;
       t.csr <- (t.csr land lnot bit_busy) lor bit_done;
       if t.csr land bit_ie <> 0 then
         State.post_interrupt t.cpu ~ipl ~vector:Scb.disk)

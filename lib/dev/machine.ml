@@ -11,6 +11,8 @@ type t = {
   timer : Timer.t;
   console : Console.t;
   disk : Disk.t;
+  trace : Vax_obs.Trace.t;
+  metrics : Vax_obs.Metrics.t;
 }
 
 type outcome = Halted | Stopped | Cycle_limit | Deadlock
@@ -49,7 +51,41 @@ let create ?(variant = Variant.Standard) ?(memory_pages = 2048)
       | None -> Console.handles_read console r);
   cpu.State.ipr_write_hook <-
     (fun r v -> Timer.handles_write timer r v || Console.handles_write console r v);
-  { cpu; mmu; phys; clock; sched; timer; console; disk }
+  (* one machine-wide trace, disabled until someone enables it, and a
+     registry of gauges over the counters the components already keep *)
+  let trace = Vax_obs.Trace.create () in
+  Mmu.set_trace mmu trace;
+  cpu.State.trace <- trace;
+  let metrics = Vax_obs.Metrics.create () in
+  let tlb = Mmu.tlb mmu in
+  Vax_obs.Metrics.register metrics "tlb.hits" (fun () -> Tlb.hits tlb);
+  Vax_obs.Metrics.register metrics "tlb.misses" (fun () -> Tlb.misses tlb);
+  Vax_obs.Metrics.register metrics "tlb.evictions" (fun () ->
+      Tlb.evictions tlb);
+  Vax_obs.Metrics.register metrics "mmu.walks" (fun () -> Mmu.walks mmu);
+  Vax_obs.Metrics.register metrics "mmu.modify_faults" (fun () ->
+      Mmu.modify_faults_delivered mmu);
+  Vax_obs.Metrics.register metrics "cpu.instructions" (fun () ->
+      cpu.State.instructions);
+  Vax_obs.Metrics.register metrics "cpu.vm_instructions" (fun () ->
+      cpu.State.vm_instructions);
+  Vax_obs.Metrics.register metrics "cpu.interrupts_taken" (fun () ->
+      cpu.State.interrupts_taken);
+  Vax_obs.Metrics.register_group metrics "cpu.exceptions" (fun () ->
+      Hashtbl.fold
+        (fun vector n acc ->
+          let key =
+            String.map
+              (fun c -> if c = ' ' then '-' else Char.lowercase_ascii c)
+              (Scb.name vector)
+          in
+          (key, n) :: acc)
+        cpu.State.exceptions_by_vector []);
+  Vax_obs.Metrics.register metrics "timer.ticks" (fun () -> Timer.ticks timer);
+  Vax_obs.Metrics.register metrics "disk.ios" (fun () -> Disk.io_count disk);
+  Vax_obs.Metrics.register metrics "console.chars_written" (fun () ->
+      Console.chars_written console);
+  { cpu; mmu; phys; clock; sched; timer; console; disk; trace; metrics }
 
 let load t pa image = Phys_mem.blit_in t.phys pa image
 

@@ -19,6 +19,14 @@ type t = {
   timer : Timer.t;
   console : Console.t;
   disk : Disk.t;
+  trace : Vax_obs.Trace.t;
+      (** machine-wide event trace, wired into the CPU, MMU and devices;
+          disabled (and allocation-free) until [Trace.set_enabled] *)
+  metrics : Vax_obs.Metrics.t;
+      (** registry of gauges over every component counter: [tlb.*],
+          [mmu.*], [cpu.*] (incl. per-vector exception counts),
+          [timer.ticks], [disk.ios], [console.chars_written]; the VMM
+          adds per-VM groups *)
 }
 
 type outcome =

@@ -1,5 +1,6 @@
 open Vax_arch
 open Vax_cpu
+module Trace = Vax_obs.Trace
 
 let ipl = 22
 let bit_run = 1
@@ -10,22 +11,35 @@ type t = {
   sched : Sched.t;
   cpu : State.t;
   mutable iccs : int;
-  mutable nicr : int;
+  mutable nicr : Word.t;  (** raw NICR as last written *)
+  mutable deadline : int;  (** cycle at which the armed tick fires *)
   mutable ticks : int;
   mutable generation : int;  (** invalidates stale scheduled ticks *)
 }
 
 let create ~sched ~cpu () =
-  { sched; cpu; iccs = 0; nicr = 10_000; ticks = 0; generation = 0 }
+  { sched; cpu; iccs = 0; nicr = 10_000; deadline = 0; ticks = 0; generation = 0 }
 
 let running t = t.iccs land bit_run <> 0
 
+(* As on the real interval clock, NICR holds the two's-complement
+   (negative) value the count-up register restarts from, so the period
+   is its magnitude.  Positive writes — used by guests that store the
+   period directly — are accepted as-is. *)
+let period t =
+  let s = Word.to_signed t.nicr in
+  max 16 (if s < 0 then -s else s)
+
 let rec arm t =
   let gen = t.generation in
-  Sched.after t.sched ~delay:(max 16 t.nicr) (fun () ->
+  let p = period t in
+  t.deadline <- Cycles.now t.cpu.State.clock + p;
+  Sched.after t.sched ~delay:p (fun () ->
       if gen = t.generation && running t then begin
         t.ticks <- t.ticks + 1;
         t.iccs <- t.iccs lor bit_int;
+        if Trace.enabled t.cpu.State.trace then
+          Trace.emit t.cpu.State.trace Trace.Dev_io ~b:0 ~c:t.ticks 0;
         if t.iccs land bit_ie <> 0 then
           State.post_interrupt t.cpu ~ipl ~vector:Scb.interval_timer;
         arm t
@@ -33,7 +47,12 @@ let rec arm t =
 
 let handles_read t = function
   | Ipr.ICCS -> Some t.iccs
-  | Ipr.ICR -> Some t.nicr
+  | Ipr.ICR ->
+      (* the running count: negative, counting up towards zero at the
+         next tick; the reload value while stopped *)
+      if running t then
+        Some (Word.mask (Cycles.now t.cpu.State.clock - t.deadline))
+      else Some (Word.of_signed (-period t))
   | Ipr.TODR ->
       (* time of day in 10ms-equivalent units of simulated time *)
       Some (Word.mask (Cycles.now t.cpu.State.clock / 1000))
@@ -57,9 +76,8 @@ let handles_write t r v =
       if (not (running t)) && was_running then t.generation <- t.generation + 1;
       true
   | Ipr.NICR ->
-      t.nicr <- max 16 (Word.mask v);
+      t.nicr <- Word.mask v;
       true
   | _ -> false
 
 let ticks t = t.ticks
-let period t = t.nicr

@@ -1,9 +1,14 @@
 (** Interval timer (ICCS/NICR/ICR).
 
-    A simplified VAX interval clock: NICR holds the tick period in cycles,
-    ICCS bit 0 (RUN) starts it, bit 6 (IE) enables the interrupt, bit 7
-    (INT) is the request flag, written-1-to-clear.  While running it posts
-    an interrupt at IPL 22 through SCB vector 0xC0 every period.
+    A simplified VAX interval clock: NICR holds the two's-complement
+    (negative) restart value of the count-up interval register, so the
+    tick period in cycles is its magnitude (positive writes are accepted
+    as the period directly).  ICCS bit 0 (RUN) starts it, bit 6 (IE)
+    enables the interrupt, bit 7 (INT) is the request flag,
+    written-1-to-clear.  While running it posts an interrupt at IPL 22
+    through SCB vector 0xC0 every period, and ICR reads back the running
+    count (negative, reaching zero at the next tick), computed from the
+    scheduled deadline.
 
     The paper's "Time" discussion (§5) hinges on this device: on a real
     VAX the OS counts its interrupts to compute uptime; in a VM, ticks
@@ -26,3 +31,4 @@ val ticks : t -> int
 (** Interrupts raised since creation. *)
 
 val period : t -> int
+(** Current tick period in cycles, derived from NICR (minimum 16). *)

@@ -38,6 +38,10 @@ type t = {
   mutable slr : int;
   mutable walks : int;
   mutable modify_faults : int;
+  mutable trace : Vax_obs.Trace.t;
+      (* Trace.null unless the owning machine wires a live trace in;
+         every emit site is guarded by [Trace.enabled] so a disabled
+         trace costs one load and one branch. *)
   mutable tb_gen : int;
       (* bumped whenever cached translations may have become stale:
          TBIA/TBIS, LDPCTX process invalidation, MAPEN changes.  Consumers
@@ -60,8 +64,12 @@ let create ?tlb_capacity ?(policy = Hardware_sets_m) ~phys ~clock () =
     slr = 0;
     walks = 0;
     modify_faults = 0;
+    trace = Vax_obs.Trace.null;
     tb_gen = 0;
   }
+
+let trace t = t.trace
+let set_trace t tr = t.trace <- tr
 
 let phys t = t.phys
 let tlb t = t.tlb
@@ -89,15 +97,21 @@ let set_slr t v = t.slr <- v
 
 let tbia t =
   t.tb_gen <- t.tb_gen + 1;
-  Tlb.invalidate_all t.tlb
+  Tlb.invalidate_all t.tlb;
+  if Vax_obs.Trace.enabled t.trace then
+    Vax_obs.Trace.emit t.trace Vax_obs.Trace.Tlb_invalidate 0
 
 let tbis t va =
   t.tb_gen <- t.tb_gen + 1;
-  Tlb.invalidate_single t.tlb va
+  Tlb.invalidate_single t.tlb va;
+  if Vax_obs.Trace.enabled t.trace then
+    Vax_obs.Trace.emit t.trace Vax_obs.Trace.Tlb_invalidate ~b:(Word.mask va) 1
 
 let tb_invalidate_process t =
   t.tb_gen <- t.tb_gen + 1;
-  Tlb.invalidate_process t.tlb
+  Tlb.invalidate_process t.tlb;
+  if Vax_obs.Trace.enabled t.trace then
+    Vax_obs.Trace.emit t.trace Vax_obs.Trace.Tlb_invalidate 2
 
 let tb_generation t = t.tb_gen
 let walks t = t.walks
@@ -189,7 +203,16 @@ and translate_inner t ~mode ~write ~ptbl_ref va =
                   system = Addr.region_of va = Addr.S;
                 }
               in
+              let tracing = Vax_obs.Trace.enabled t.trace in
+              let ev0 = if tracing then Tlb.evictions t.tlb else 0 in
               Tlb.insert t.tlb va entry;
+              if tracing then begin
+                if Tlb.evictions t.tlb <> ev0 then
+                  Vax_obs.Trace.emit t.trace Vax_obs.Trace.Tlb_evict
+                    (Word.mask va);
+                Vax_obs.Trace.emit t.trace Vax_obs.Trace.Tlb_fill
+                  ~b:entry.Tlb.pfn (Word.mask va)
+              end;
               if write && not entry.Tlb.m then begin
                 match t.policy with
                 | Hardware_sets_m ->
@@ -322,12 +345,45 @@ let rec bytes_read t ~mode va n acc shift =
           (acc lor (b lsl shift))
           (shift + 8)
 
-let rec bytes_write t ~mode va n v =
-  if n = 0 then Ok ()
-  else
-    match v_write_byte t ~mode va (v land 0xFF) with
-    | Error e -> Error e
-    | Ok () -> bytes_write t ~mode (Word.add va 1) (n - 1) (v lsr 8)
+(* A page-crossing write must be restartable: a VAX instruction that
+   faults partway must leave memory as if it never executed (the
+   paper's modify-fault scheme depends on faulting writes replaying
+   cleanly).  Resolve every byte's translation — faulting, charging
+   and filling the TB exactly as the bytewise path would — before any
+   byte is stored, so a fault on the second page leaves the first page
+   unmodified. *)
+let bytes_write t ~mode va n v =
+  let pas = Array.make (max n 1) 0 in
+  let rec resolve i =
+    if i = n then Ok ()
+    else begin
+      let bva = Word.add va i in
+      let pa = try_translate t ~mode ~write:true bva in
+      if pa >= 0 then begin
+        charge_mem t;
+        pas.(i) <- pa;
+        resolve (i + 1)
+      end
+      else
+        match translate t ~mode ~write:true bva with
+        | Error e -> Error e
+        | Ok pa ->
+            charge_mem t;
+            pas.(i) <- pa;
+            resolve (i + 1)
+    end
+  in
+  match resolve 0 with
+  | Error e -> Error e
+  | Ok () ->
+      let rec store i v =
+        if i < n then begin
+          Phys_mem.write_byte t.phys pas.(i) (v land 0xFF);
+          store (i + 1) (v lsr 8)
+        end
+      in
+      store 0 v;
+      Ok ()
 
 let v_read_long t ~mode va =
   if same_page va 4 then begin

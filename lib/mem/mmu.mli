@@ -135,3 +135,12 @@ val walks : t -> int
 (** Page-table walks performed (each PTE fetch counts one). *)
 
 val modify_faults_delivered : t -> int
+
+(** {1 Observability} *)
+
+val trace : t -> Vax_obs.Trace.t
+(** The event trace this MMU emits to; {!Vax_obs.Trace.null} (disabled)
+    unless {!set_trace} wired in a live one.  Emits tlb-fill, tlb-evict
+    and tlb-invalidate events. *)
+
+val set_trace : t -> Vax_obs.Trace.t -> unit

@@ -1,0 +1,200 @@
+(* Minimal hand-rolled JSON shared by every schema the simulator writes
+   (vaxlint/1 in lib/analysis, vax-bench/1 in bench/main.ml, vax-trace/1
+   here in vax_obs).  This used to exist as two divergent copies, both
+   of which emitted invalid tokens for nan/inf and truncated finite
+   floats to six significant digits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let int i = Num (float_of_int i)
+
+(* JSON has no representation for non-finite numbers, so they become
+   null (the same choice jq, Python's json and serde make by default).
+   Finite floats must re-parse to the identical value: integers below
+   2^53 keep the compact %.0f form, everything else takes the shortest
+   of %.15g/%.16g/%.17g that round-trips. *)
+let add_num buf f =
+  match Float.classify_float f with
+  | Float.FP_nan | Float.FP_infinite -> Buffer.add_string buf "null"
+  | _ ->
+      if Float.is_integer f && Float.abs f < 9.007199254740992e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else
+        let s15 = Printf.sprintf "%.15g" f in
+        if float_of_string s15 = f then Buffer.add_string buf s15
+        else
+          let s16 = Printf.sprintf "%.16g" f in
+          if float_of_string s16 = f then Buffer.add_string buf s16
+          else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> add_num buf f
+  | Str s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (function
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | '\t' -> Buffer.add_string buf "\\t"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ", ";
+          to_buffer buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          to_buffer buf (Str k);
+          Buffer.add_string buf ": ";
+          to_buffer buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = c then incr pos else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let keyword kw v =
+    if !pos + String.length kw <= n && String.sub s !pos (String.length kw) = kw
+    then begin
+      pos := !pos + String.length kw;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" kw)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'
+               | '\\' -> Buffer.add_char buf '\\'
+               | '/' -> Buffer.add_char buf '/'
+               | 'n' -> Buffer.add_char buf '\n'
+               | 't' -> Buffer.add_char buf '\t'
+               | 'r' -> Buffer.add_char buf '\r'
+               | 'b' -> Buffer.add_char buf '\b'
+               | 'f' -> Buffer.add_char buf '\012'
+               | 'u' ->
+                   if !pos + 4 >= n then fail "bad \\u escape";
+                   let code =
+                     int_of_string ("0x" ^ String.sub s (!pos + 1) 4)
+                   in
+                   (* sufficient for ASCII, which is all we emit *)
+                   Buffer.add_char buf (Char.chr (code land 0x7F));
+                   pos := !pos + 4
+               | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            incr pos;
+            loop ()
+        | c ->
+            Buffer.add_char buf c;
+            incr pos;
+            loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && numchar s.[!pos] do incr pos done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = '}' then begin incr pos; Obj [] end
+        else
+          let rec members acc =
+            let k = (skip_ws (); string_lit ()) in
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> incr pos; members ((k, v) :: acc)
+            | '}' -> incr pos; Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = ']' then begin incr pos; Arr [] end
+        else
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> incr pos; items (v :: acc)
+            | ']' -> incr pos; Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | '"' -> Str (string_lit ())
+    | 't' -> keyword "true" (Bool true)
+    | 'f' -> keyword "false" (Bool false)
+    | 'n' -> keyword "null" Null
+    | c when c = '-' || (c >= '0' && c <= '9') -> number ()
+    | _ -> fail "unexpected character"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member name = function Obj kvs -> List.assoc_opt name kvs | _ -> None

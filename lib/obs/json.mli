@@ -1,0 +1,33 @@
+(** Minimal hand-rolled JSON: one emitter and one parser shared by every
+    schema the simulator writes (vaxlint/1, vax-bench/1, vax-trace/1).
+
+    The emitter is total over OCaml floats: non-finite values (nan, inf)
+    have no JSON representation and are emitted as [null]; finite values
+    round-trip exactly ([float_of_string] of the emitted token equals the
+    original, including integers at or above 1e15). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [int n] is [Num (float_of_int n)]. *)
+
+val to_string : t -> string
+(** Render compactly (no whitespace beyond what strings contain). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse a complete JSON document; raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k]; [None] when absent
+    or when the argument is not an object. *)

@@ -1,0 +1,42 @@
+type entry =
+  | Gauge of (unit -> int)
+  | Group of (unit -> (string * int) list)
+
+type t = { mutable entries : (string * entry) list }
+
+let create () = { entries = [] }
+
+let register t name read =
+  t.entries <- (name, Gauge read) :: List.remove_assoc name t.entries
+
+let register_group t prefix read =
+  t.entries <- (prefix, Group read) :: List.remove_assoc prefix t.entries
+
+let snapshot t =
+  let rows =
+    List.concat_map
+      (fun (name, e) ->
+        match e with
+        | Gauge read -> [ (name, read ()) ]
+        | Group read ->
+            List.map (fun (k, v) -> (name ^ "." ^ k, v)) (read ()))
+      t.entries
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str "vax-metrics/1");
+      ( "metrics",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) (snapshot t)) );
+    ]
+
+let pp ppf t =
+  let rows = snapshot t in
+  let w =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 rows
+  in
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-*s %d@." w k v)
+    rows

@@ -1,0 +1,30 @@
+(** Metrics registry: one enumerable view over the counters that are
+    otherwise scattered across [Tlb], [Mmu], [State], the devices and
+    per-VM stats.
+
+    Metrics are {i gauges}: named closures read the authoritative
+    counter wherever it already lives, so registration changes no hot
+    path and nothing is counted twice. Dynamic families (per-vector
+    exception counts, per-VM stats) register as groups whose members
+    are enumerated at snapshot time. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> string -> (unit -> int) -> unit
+(** [register t name read] adds gauge [name] (dotted lowercase, e.g.
+    ["tlb.hits"]). Re-registering a name replaces the previous gauge. *)
+
+val register_group : t -> string -> (unit -> (string * int) list) -> unit
+(** [register_group t prefix read] adds a dynamic family; at snapshot
+    time each [(k, v)] from [read ()] appears as ["prefix.k"]. *)
+
+val snapshot : t -> (string * int) list
+(** All gauges and flattened groups, sorted by name. *)
+
+val to_json : t -> Json.t
+(** [{"schema": "vax-metrics/1", "metrics": {name: value, ...}}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Aligned [name value] lines, sorted by name. *)

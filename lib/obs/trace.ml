@@ -1,0 +1,172 @@
+type kind =
+  | Retire
+  | Trap_vm_emulation
+  | Trap_privileged
+  | Trap_modify
+  | Exception
+  | Interrupt
+  | Chm
+  | Rei
+  | Vm_entry
+  | Vm_exit
+  | Tlb_fill
+  | Tlb_evict
+  | Tlb_invalidate
+  | Shadow_fill
+  | Dev_io
+  | Kcall
+
+let n_kinds = 16
+
+let kind_code = function
+  | Retire -> 0
+  | Trap_vm_emulation -> 1
+  | Trap_privileged -> 2
+  | Trap_modify -> 3
+  | Exception -> 4
+  | Interrupt -> 5
+  | Chm -> 6
+  | Rei -> 7
+  | Vm_entry -> 8
+  | Vm_exit -> 9
+  | Tlb_fill -> 10
+  | Tlb_evict -> 11
+  | Tlb_invalidate -> 12
+  | Shadow_fill -> 13
+  | Dev_io -> 14
+  | Kcall -> 15
+
+let all_kinds =
+  [
+    Retire; Trap_vm_emulation; Trap_privileged; Trap_modify; Exception;
+    Interrupt; Chm; Rei; Vm_entry; Vm_exit; Tlb_fill; Tlb_evict;
+    Tlb_invalidate; Shadow_fill; Dev_io; Kcall;
+  ]
+
+let kind_of_code c =
+  List.find_opt (fun k -> kind_code k = c) all_kinds
+
+let kind_name = function
+  | Retire -> "retire"
+  | Trap_vm_emulation -> "trap-vm-emulation"
+  | Trap_privileged -> "trap-privileged"
+  | Trap_modify -> "trap-modify"
+  | Exception -> "exception"
+  | Interrupt -> "interrupt"
+  | Chm -> "chm"
+  | Rei -> "rei"
+  | Vm_entry -> "vm-entry"
+  | Vm_exit -> "vm-exit"
+  | Tlb_fill -> "tlb-fill"
+  | Tlb_evict -> "tlb-evict"
+  | Tlb_invalidate -> "tlb-invalidate"
+  | Shadow_fill -> "shadow-fill"
+  | Dev_io -> "dev-io"
+  | Kcall -> "kcall"
+
+let kind_of_name s =
+  List.find_opt (fun k -> kind_name k = s) all_kinds
+
+let arg_names = function
+  | Retire -> ("pc", "opcode", "vm")
+  | Trap_vm_emulation -> ("pc", "", "")
+  | Trap_privileged -> ("pc", "", "")
+  | Trap_modify -> ("pc", "va", "")
+  | Exception -> ("vector", "pc", "from-vm")
+  | Interrupt -> ("vector", "pc", "from-vm")
+  | Chm -> ("target", "pc", "")
+  | Rei -> ("mode", "pc", "vm")
+  | Vm_entry -> ("pc", "", "")
+  | Vm_exit -> ("vector", "pc", "")
+  | Tlb_fill -> ("va", "pfn", "")
+  | Tlb_evict -> ("va", "", "")
+  | Tlb_invalidate -> ("scope", "va", "")
+  | Shadow_fill -> ("va", "prefill", "")
+  | Dev_io -> ("dev", "op", "value")
+  | Kcall -> ("fn", "vmpa", "")
+
+type sink = seq:int -> kind -> a:int -> b:int -> c:int -> unit
+
+type t = {
+  mutable on : bool;
+  is_null : bool;
+  mask : int;
+  ring_kind : int array;
+  ring_a : int array;
+  ring_b : int array;
+  ring_c : int array;
+  counts : int array;
+  mutable seq : int;
+  mutable sink : sink option;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let make ~is_null capacity =
+  let cap = pow2_at_least (max 1 capacity) 1 in
+  {
+    on = false;
+    is_null;
+    mask = cap - 1;
+    ring_kind = Array.make cap 0;
+    ring_a = Array.make cap 0;
+    ring_b = Array.make cap 0;
+    ring_c = Array.make cap 0;
+    counts = Array.make n_kinds 0;
+    seq = 0;
+    sink = None;
+  }
+
+let create ?(capacity = 4096) () = make ~is_null:false capacity
+let null = make ~is_null:true 1
+let enabled t = t.on
+
+let set_enabled t on =
+  if on && t.is_null then invalid_arg "Trace.null cannot be enabled";
+  t.on <- on
+
+let emit t k ?(b = 0) ?(c = 0) a =
+  if t.on then begin
+    let code = kind_code k in
+    let i = t.seq land t.mask in
+    t.ring_kind.(i) <- code;
+    t.ring_a.(i) <- a;
+    t.ring_b.(i) <- b;
+    t.ring_c.(i) <- c;
+    t.counts.(code) <- t.counts.(code) + 1;
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    match t.sink with None -> () | Some f -> f ~seq k ~a ~b ~c
+  end
+
+let set_sink t s = t.sink <- s
+let count t k = t.counts.(kind_code k)
+let total t = t.seq
+
+let iter_retained t f =
+  let cap = t.mask + 1 in
+  let first = if t.seq > cap then t.seq - cap else 0 in
+  for seq = first to t.seq - 1 do
+    let i = seq land t.mask in
+    match kind_of_code t.ring_kind.(i) with
+    | Some k -> f ~seq k ~a:t.ring_a.(i) ~b:t.ring_b.(i) ~c:t.ring_c.(i)
+    | None -> ()
+  done
+
+let to_json_line ~seq k ~a ~b ~c =
+  let an, bn, cn = arg_names k in
+  let fields =
+    [ ("seq", Json.int seq); ("ev", Json.Str (kind_name k)) ]
+    @ (if an = "" then [] else [ (an, Json.int a) ])
+    @ (if bn = "" then [] else [ (bn, Json.int b) ])
+    @ if cn = "" then [] else [ (cn, Json.int c) ]
+  in
+  Json.to_string (Json.Obj fields)
+
+let header_json_line () =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str "vax-trace/1");
+         ("kinds", Json.Arr (List.map (fun k -> Json.Str (kind_name k)) all_kinds));
+       ])

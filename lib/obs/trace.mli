@@ -1,0 +1,91 @@
+(** Machine-wide event trace: a fixed-capacity ring buffer of compact
+    integer event records, plus per-kind running totals.
+
+    Design constraints, in order:
+    - {b zero allocation when disabled}: every emit site guards with
+      [if Trace.enabled tr then ...]; a disabled trace ([Trace.null] or
+      a created-but-not-enabled one) costs one load and one branch.
+    - {b no simulated-cycle interaction}: emitting never touches
+      [Cycles]; with tracing disabled, cycle counts are bit-identical
+      to a build without any trace calls.
+    - {b bounded memory}: events land in a power-of-two ring of
+      parallel int arrays; per-kind totals keep counting after the
+      ring wraps.
+
+    Event payloads are three ints [a]/[b]/[c] whose meaning depends on
+    the kind (see {!arg_names} and OBSERVABILITY.md, schema
+    [vax-trace/1]). *)
+
+type kind =
+  | Retire  (** a=pc, b=opcode encoding, c=1 if executed in a VM *)
+  | Trap_vm_emulation  (** a=pc of the sensitive instruction *)
+  | Trap_privileged  (** a=pc of the privileged instruction *)
+  | Trap_modify  (** a=pc, b=faulting va *)
+  | Exception  (** a=SCB vector, b=saved pc, c=1 if delivered from a VM *)
+  | Interrupt  (** a=SCB vector, b=saved pc, c=1 if delivered from a VM *)
+  | Chm  (** a=target mode, b=saved pc *)
+  | Rei  (** a=restored mode, b=restored pc, c=1 if PSL<VM> set *)
+  | Vm_entry  (** a=guest pc entered at *)
+  | Vm_exit  (** a=SCB vector that caused the exit, b=guest pc *)
+  | Tlb_fill  (** a=va, b=pfn *)
+  | Tlb_evict  (** a=va of the fill that caused the eviction *)
+  | Tlb_invalidate  (** a=scope (0=all, 1=single, 2=process), b=va *)
+  | Shadow_fill  (** a=guest va, b=1 if filled by anticipatory prefill *)
+  | Dev_io  (** a=device (0=timer 1=console 2=disk), b=op, c=value *)
+  | Kcall  (** a=function code, b=packet address (VM physical) *)
+
+val n_kinds : int
+
+val kind_code : kind -> int
+(** Stable small-int code, [0 .. n_kinds-1]. *)
+
+val kind_of_code : int -> kind option
+val kind_name : kind -> string
+(** Kebab-case name used in [vax-trace/1] records, e.g. ["tlb-fill"]. *)
+
+val kind_of_name : string -> kind option
+
+val arg_names : kind -> string * string * string
+(** JSON field names for (a, b, c); [""] means the field is unused and
+    omitted from emitted records. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A disabled trace with a ring of [capacity] (rounded up to a power
+    of two, default 4096) events. *)
+
+val null : t
+(** The shared always-disabled instance; the default wired into
+    components so emit sites never need an option check. Enabling it
+    raises [Invalid_argument]. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> kind -> ?b:int -> ?c:int -> int -> unit
+(** [emit t k a ~b ~c] records an event. Call only under
+    [if enabled t]; emitting on a disabled trace is a no-op. *)
+
+val set_sink : t -> (seq:int -> kind -> a:int -> b:int -> c:int -> unit) option -> unit
+(** Streaming hook invoked on every emit (after the ring is updated);
+    used by [vaxrun --trace] to write JSONL as events happen rather
+    than post-hoc from the (wrapping) ring. *)
+
+val count : t -> kind -> int
+(** Events of [kind] emitted since creation (not bounded by capacity). *)
+
+val total : t -> int
+(** All events emitted since creation. *)
+
+val iter_retained : t -> (seq:int -> kind -> a:int -> b:int -> c:int -> unit) -> unit
+(** Iterate the events still in the ring, oldest first. *)
+
+val to_json_line : seq:int -> kind -> a:int -> b:int -> c:int -> string
+(** One [vax-trace/1] event record, e.g.
+    [{"seq": 12, "ev": "tlb-fill", "va": 2147483648, "pfn": 3}].
+    Trap PCs and addresses are emitted as decimal ints. *)
+
+val header_json_line : unit -> string
+(** The first line of a [vax-trace/1] stream:
+    [{"schema": "vax-trace/1", "kinds": [...]}]. *)

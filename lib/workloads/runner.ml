@@ -29,11 +29,12 @@ let make_oracle ~mode (builts : Minivms.built list) =
   in
   Oracle.of_asm_images ~name:(Classify.mode_name mode) ~mode images
 
-let run_bare ?(variant = Variant.Standard) ?(max_cycles = default_max)
-    (built : Minivms.built) =
+let run_bare ?(variant = Variant.Standard) ?instrument
+    ?(max_cycles = default_max) (built : Minivms.built) =
   let m = Machine.create ~variant ~memory_pages:1024 ~disk_blocks:256 () in
   let oracle = make_oracle ~mode:Classify.Bare [ built ] in
   Oracle.install oracle m.Machine.cpu;
+  (match instrument with Some f -> f m | None -> ());
   List.iter
     (fun (pa, data) -> Machine.load m pa data)
     built.Minivms.images;
@@ -65,7 +66,7 @@ let measure_vm m vmm vm outcome oracle =
     oracle;
   }
 
-let run_vm ?config ?io_mode ?(max_cycles = default_max)
+let run_vm ?config ?io_mode ?instrument ?(max_cycles = default_max)
     (built : Minivms.built) =
   let m =
     Machine.create ~variant:Variant.Virtualizing ~memory_pages:8192
@@ -79,11 +80,12 @@ let run_vm ?config ?io_mode ?(max_cycles = default_max)
       ~disk_blocks:64 ?io_mode ~images:built.Minivms.images
       ~start_pc:built.Minivms.entry ()
   in
+  (match instrument with Some f -> f m | None -> ());
   let outcome = Vmm.run vmm ~max_cycles () in
   measure_vm m vmm vm outcome oracle
 
-let run_two_vms ?config ?(max_cycles = default_max) (b1 : Minivms.built)
-    (b2 : Minivms.built) =
+let run_two_vms ?config ?instrument ?(max_cycles = default_max)
+    (b1 : Minivms.built) (b2 : Minivms.built) =
   let m =
     Machine.create ~variant:Variant.Virtualizing ~memory_pages:8192
       ~disk_blocks:256 ()
@@ -99,6 +101,7 @@ let run_two_vms ?config ?(max_cycles = default_max) (b1 : Minivms.built)
     Vmm.add_vm vmm ~name:"vm2" ~memory_pages:b2.Minivms.memsize
       ~disk_blocks:64 ~images:b2.Minivms.images ~start_pc:b2.Minivms.entry ()
   in
+  (match instrument with Some f -> f m | None -> ());
   let outcome = Vmm.run vmm ~max_cycles () in
   (measure_vm m vmm vm1 outcome oracle, measure_vm m vmm vm2 outcome oracle)
 

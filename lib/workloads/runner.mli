@@ -25,21 +25,31 @@ type measurement = {
 }
 
 val run_bare :
-  ?variant:Variant.t -> ?max_cycles:int -> Minivms.built -> measurement
+  ?variant:Variant.t ->
+  ?instrument:(Machine.t -> unit) ->
+  ?max_cycles:int ->
+  Minivms.built ->
+  measurement
 (** Boot the system directly on the hardware ([Standard] by default: the
     unmodified VAX; pass [Virtualizing] to check the paper's claim that
-    standard operating systems run unchanged on the modified machine). *)
+    standard operating systems run unchanged on the modified machine).
+    [instrument] runs on the fully wired machine before execution starts
+    — the hook for enabling [Machine.trace] or attaching a sink. *)
 
 val run_vm :
   ?config:Vmm.config ->
   ?io_mode:Vm.io_mode ->
+  ?instrument:(Machine.t -> unit) ->
   ?max_cycles:int ->
   Minivms.built ->
   measurement
-(** Boot the same system in a virtual machine under the VMM. *)
+(** Boot the same system in a virtual machine under the VMM.
+    [instrument] runs after the VMM and guest are set up, before the
+    machine executes. *)
 
 val run_two_vms :
   ?config:Vmm.config ->
+  ?instrument:(Machine.t -> unit) ->
   ?max_cycles:int ->
   Minivms.built ->
   Minivms.built ->

@@ -110,6 +110,39 @@ let test_console_commands () =
   | None -> Alcotest.fail "examine returned nothing");
   check_bool "halted" true m.Machine.cpu.State.halted
 
+let test_timer_icr_nicr () =
+  (* regression: ICR must read the running count computed from the
+     scheduled deadline, not NICR's reload value; NICR holds the raw
+     two's-complement restart value *)
+  let cpu = Vax_cpu.Cpu.create ~memory_pages:16 () in
+  let st = cpu.Vax_cpu.Cpu.state in
+  let clock = st.State.clock in
+  let sched = Sched.create clock in
+  let t = Timer.create ~sched ~cpu:st () in
+  ignore (Timer.handles_write t Ipr.NICR (Word.of_signed (-500)));
+  check_int "period from negative NICR" 500 (Timer.period t);
+  (match Timer.handles_read t Ipr.ICR with
+  | Some v -> check_int "ICR = reload while stopped" (-500) (Word.to_signed v)
+  | None -> Alcotest.fail "ICR unhandled");
+  ignore (Timer.handles_write t Ipr.ICCS 0x1);
+  Cycles.advance_to clock (Cycles.now clock + 200);
+  (match Timer.handles_read t Ipr.ICR with
+  | Some v ->
+      check_int "running count, 200 cycles in" (-300) (Word.to_signed v)
+  | None -> Alcotest.fail "ICR unhandled");
+  (* cross the deadline: the tick fires and the count restarts *)
+  Cycles.advance_to clock (Cycles.now clock + 300);
+  Sched.run_due sched;
+  check_int "ticked" 1 (Timer.ticks t);
+  (match Timer.handles_read t Ipr.ICR with
+  | Some v -> check_int "count restarted" (-500) (Word.to_signed v)
+  | None -> Alcotest.fail "ICR unhandled");
+  (* positive writes are accepted as the period, with the 16-cycle floor *)
+  ignore (Timer.handles_write t Ipr.NICR 800);
+  check_int "positive NICR is the period" 800 (Timer.period t);
+  ignore (Timer.handles_write t Ipr.NICR 3);
+  check_int "minimum period" 16 (Timer.period t)
+
 let test_sched_event_order () =
   let clock = Cycles.create () in
   let s = Sched.create clock in
@@ -136,6 +169,8 @@ let () =
             test_console_output_and_input;
           Alcotest.test_case "disk MMIO DMA" `Quick test_disk_mmio_transfer;
           Alcotest.test_case "console commands" `Quick test_console_commands;
+          Alcotest.test_case "timer ICR/NICR semantics" `Quick
+            test_timer_icr_nicr;
           Alcotest.test_case "scheduler ordering" `Quick test_sched_event_order;
         ] );
     ]

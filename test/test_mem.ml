@@ -306,11 +306,149 @@ let extra_mmu_tests =
           (Mmu.modify_faults_delivered mmu));
   ]
 
+(* --- bytes_write atomicity across page boundaries ------------------- *)
+
+(* Set the modify bit of [va]'s PTE in memory and drop the stale TB
+   entry, the way MiniVMS's modify-fault handler does. *)
+let set_modify mmu va =
+  let pte, pa = ok (Mmu.read_pte mmu va) in
+  Phys_mem.write_long (Mmu.phys mmu) pa (Pte.with_modify pte true);
+  Mmu.tbis mmu va
+
+let bytes_write_tests =
+  [
+    Alcotest.test_case
+      "straddling write whose second page modify-faults is atomic" `Quick
+      (fun () ->
+        let mmu =
+          make_mmu ~policy:Mmu.Modify_fault_policy
+            ~prots:[ (true, Protection.UW, 8); (true, Protection.UW, 9) ]
+            ()
+        in
+        (* only the first page has M set: the write's first two bytes
+           translate cleanly, the third modify-faults *)
+        set_modify mmu (s_va 0);
+        let va = s_va 0 + 510 in
+        (match
+           expect_fault "second page must modify-fault"
+             (Mmu.v_write_long mmu ~mode:Mode.User va 0xAABBCCDD)
+         with
+        | Mmu.Modify_fault _ -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+        (* atomicity: no byte of the first page was stored *)
+        Alcotest.(check int) "first page byte 510 untouched" 0
+          (Phys_mem.read_byte (Mmu.phys mmu) ((8 * 512) + 510));
+        Alcotest.(check int) "first page byte 511 untouched" 0
+          (Phys_mem.read_byte (Mmu.phys mmu) ((8 * 512) + 511));
+        (* the handler sets M on the faulting page and the replay
+           completes with every byte in place *)
+        set_modify mmu (s_va 1);
+        ignore (ok (Mmu.v_write_long mmu ~mode:Mode.User va 0xAABBCCDD));
+        Alcotest.(check int) "readback after replay" 0xAABBCCDD
+          (ok (Mmu.v_read_long mmu ~mode:Mode.User va));
+        Alcotest.(check int) "low frame" 0xDD
+          (Phys_mem.read_byte (Mmu.phys mmu) ((8 * 512) + 510));
+        Alcotest.(check int) "high frame" 0xAA
+          (Phys_mem.read_byte (Mmu.phys mmu) ((9 * 512) + 1)));
+    Alcotest.test_case
+      "straddling write into protected second page leaves first untouched"
+      `Quick (fun () ->
+        let mmu =
+          make_mmu
+            ~prots:[ (true, Protection.UW, 8); (true, Protection.KW, 9) ]
+            ()
+        in
+        let va = s_va 0 + 511 in
+        (match
+           expect_fault "second page protected"
+             (Mmu.v_write_long mmu ~mode:Mode.User va 0x11223344)
+         with
+        | Mmu.Access_violation { write = true; _ } -> ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+        Alcotest.(check int) "first page byte untouched" 0
+          (Phys_mem.read_byte (Mmu.phys mmu) ((8 * 512) + 511)));
+  ]
+
+(* --- Mmu.probe: the PROBEx/PROBEVM primitive ------------------------- *)
+
+let probe_tests =
+  [
+    Alcotest.test_case "probe agrees on TLB hit and TLB miss" `Quick
+      (fun () ->
+        let mmu =
+          make_mmu
+            ~prots:
+              [
+                (true, Protection.UW, 8);
+                (true, Protection.KW, 9);
+                (false, Protection.UW, 10);
+                (true, Protection.UR, 11);
+              ]
+            ()
+        in
+        List.iter
+          (fun page ->
+            List.iter
+              (fun (mode, write) ->
+                Mmu.tbia mmu;
+                let cold = Mmu.probe mmu ~mode ~write (s_va page) in
+                (* warm the TB (faulting translations leave it cold,
+                   which is itself part of the contract) *)
+                ignore
+                  (Mmu.translate mmu ~mode:Mode.Kernel ~write:false
+                     (s_va page));
+                let warm = Mmu.probe mmu ~mode ~write (s_va page) in
+                if cold <> warm then
+                  Alcotest.failf "probe disagrees on page %d" page)
+              [ (Mode.User, false); (Mode.User, true); (Mode.Kernel, true) ])
+          [ 0; 1; 2; 3 ]);
+    Alcotest.test_case "probe ignores the modify-fault policy" `Quick
+      (fun () ->
+        (* PROBEW must report writability without taking (or counting) a
+           modify fault, even when a real write would fault *)
+        let mmu =
+          make_mmu ~policy:Mmu.Modify_fault_policy
+            ~prots:[ (true, Protection.UW, 8) ]
+            ()
+        in
+        let p = ok (Mmu.probe mmu ~mode:Mode.User ~write:true (s_va 0)) in
+        Alcotest.(check bool) "accessible despite clear M" true
+          p.Mmu.accessible;
+        Alcotest.(check bool) "valid" true p.Mmu.pte_valid;
+        Alcotest.(check int) "no modify fault delivered" 0
+          (Mmu.modify_faults_delivered mmu));
+    Alcotest.test_case "probe length semantics: region vs page table" `Quick
+      (fun () ->
+        let mmu = make_mmu ~prots:[ (true, Protection.KW, 2) ] () in
+        Phys_mem.write_long (Mmu.phys mmu) (2 * 512)
+          (Pte.make ~prot:Protection.UW ~pfn:9 ());
+        Mmu.set_p0br mmu (s_va 0);
+        Mmu.set_p0lr mmu 1;
+        (* a P0 va beyond P0LR is simply inaccessible, no fault *)
+        let p = ok (Mmu.probe mmu ~mode:Mode.Kernel ~write:false 512) in
+        Alcotest.(check bool) "beyond P0LR inaccessible" false
+          p.Mmu.accessible;
+        (* but when the page-table reference itself length-faults in S
+           space, the fault propagates with the PT flag (PROBEVM path) *)
+        Mmu.set_p0br mmu (s_va 4) (* PTE va beyond SLR *);
+        Mmu.set_p0lr mmu 4;
+        match
+          expect_fault "PT length fault propagates"
+            (Mmu.probe mmu ~mode:Mode.Kernel ~write:false 0)
+        with
+        | Mmu.Access_violation { length_violation = true; ptbl_ref = true; _ }
+          ->
+            ()
+        | f -> Alcotest.failf "wrong fault %a" Mmu.pp_fault f);
+  ]
+
 let () =
   Alcotest.run "vax_mem"
     [
       ("phys", phys_tests);
       ("mmu", mmu_tests);
       ("mmu-edge", extra_mmu_tests);
+      ("bytes-write", bytes_write_tests);
+      ("probe", probe_tests);
       ("tlb", [ tlb_consistency ]);
     ]

@@ -1,0 +1,262 @@
+(* Tests for the observability layer: the shared JSON emitter/parser,
+   the machine event trace, the metrics registry, and an end-to-end run
+   checking the trace against the vaxlint differential oracle. *)
+
+open Vax_obs
+open Vax_workloads
+open Vax_vmos
+
+let qtest name gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name gen f)
+
+(* --- Json ------------------------------------------------------------ *)
+
+let json_tests =
+  [
+    Alcotest.test_case "non-finite floats emit null" `Quick (fun () ->
+        Alcotest.(check string) "nan" "null" (Json.to_string (Json.Num nan));
+        Alcotest.(check string) "inf" "null"
+          (Json.to_string (Json.Num infinity));
+        Alcotest.(check string) "-inf" "null"
+          (Json.to_string (Json.Num neg_infinity));
+        (* and inside structures the document stays valid JSON *)
+        let s = Json.to_string (Json.Arr [ Json.Num nan; Json.int 1 ]) in
+        Alcotest.(check string) "array" "[null, 1]" s;
+        match Json.parse s with
+        | Json.Arr [ Json.Null; Json.Num 1.0 ] -> ()
+        | _ -> Alcotest.fail "reparse mismatch");
+    Alcotest.test_case "integers above 1e15 keep full precision" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            (* the emitted token must reproduce [float_of_int n] exactly,
+               even above 1e15 where %g-style emitters lose digits *)
+            let s = Json.to_string (Json.int n) in
+            match Json.parse s with
+            | Json.Num f ->
+                if f <> float_of_int n then
+                  Alcotest.failf "%d emitted as %s, reparsed as %h" n s f
+            | _ -> Alcotest.fail "not a number")
+          [
+            1_000_000_000_000_000_1;
+            (1 lsl 60) + (1 lsl 10);
+            -9_007_199_254_740_992;
+            4611686018427387904;
+          ]);
+    qtest "every finite float round-trips exactly" QCheck.float (fun f ->
+        match Json.parse (Json.to_string (Json.Num f)) with
+        | Json.Num g -> g = f || (Float.is_nan f && Float.is_nan g)
+        | Json.Null -> not (Float.is_finite f)
+        | _ -> false);
+    Alcotest.test_case "parse round-trip of a nested document" `Quick
+      (fun () ->
+        let doc =
+          Json.Obj
+            [
+              ("schema", Json.Str "x/1");
+              ("items", Json.Arr [ Json.Bool true; Json.Null; Json.Num 2.5 ]);
+              ("s", Json.Str "a\"b\\c\nd");
+            ]
+        in
+        Alcotest.(check bool)
+          "structural equality" true
+          (Json.parse (Json.to_string doc) = doc);
+        Alcotest.(check bool)
+          "member" true
+          (Json.member "schema" doc = Some (Json.Str "x/1"));
+        Alcotest.(check bool) "absent member" true
+          (Json.member "nope" doc = None));
+    Alcotest.test_case "malformed input raises Parse_error" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Json.parse s with
+            | exception Json.Parse_error _ -> ()
+            | _ -> Alcotest.failf "accepted %S" s)
+          [ "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "" ]);
+  ]
+
+(* --- Trace ----------------------------------------------------------- *)
+
+let all_kinds =
+  List.init Trace.n_kinds (fun i ->
+      match Trace.kind_of_code i with
+      | Some k -> k
+      | None -> Alcotest.failf "no kind for code %d" i)
+
+let trace_tests =
+  [
+    Alcotest.test_case "kind codes and names round-trip" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            Alcotest.(check bool) "code" true
+              (Trace.kind_of_code (Trace.kind_code k) = Some k);
+            Alcotest.(check bool) "name" true
+              (Trace.kind_of_name (Trace.kind_name k) = Some k))
+          all_kinds);
+    Alcotest.test_case "null trace: disabled, emit no-op, enable raises"
+      `Quick (fun () ->
+        Alcotest.(check bool) "disabled" false (Trace.enabled Trace.null);
+        Trace.emit Trace.null Trace.Retire 0x100;
+        Alcotest.(check int) "still empty" 0 (Trace.total Trace.null);
+        (match Trace.set_enabled Trace.null true with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "enabling null must raise");
+        (* disabling it is harmless *)
+        Trace.set_enabled Trace.null false);
+    Alcotest.test_case "counts survive ring wrap; ring keeps the tail"
+      `Quick (fun () ->
+        let tr = Trace.create ~capacity:4 () in
+        Trace.emit tr Trace.Retire 1;
+        Alcotest.(check int) "no-op while disabled" 0 (Trace.total tr);
+        Trace.set_enabled tr true;
+        for i = 0 to 9 do
+          Trace.emit tr
+            (if i mod 2 = 0 then Trace.Retire else Trace.Tlb_fill)
+            ~b:(i * 10) i
+        done;
+        Alcotest.(check int) "total" 10 (Trace.total tr);
+        Alcotest.(check int) "retires" 5 (Trace.count tr Trace.Retire);
+        Alcotest.(check int) "fills" 5 (Trace.count tr Trace.Tlb_fill);
+        let seen = ref [] in
+        Trace.iter_retained tr (fun ~seq _ ~a ~b ~c:_ ->
+            seen := (seq, a, b) :: !seen);
+        Alcotest.(check (list (triple int int int)))
+          "last capacity events, oldest first"
+          [ (6, 6, 60); (7, 7, 70); (8, 8, 80); (9, 9, 90) ]
+          (List.rev !seen));
+    Alcotest.test_case "sink sees every emit" `Quick (fun () ->
+        let tr = Trace.create ~capacity:8 () in
+        Trace.set_enabled tr true;
+        let got = ref [] in
+        Trace.set_sink tr
+          (Some (fun ~seq kind ~a ~b:_ ~c:_ -> got := (seq, kind, a) :: !got));
+        Trace.emit tr Trace.Vm_entry 0x200;
+        Trace.emit tr Trace.Vm_exit ~b:0x204 0x10;
+        Alcotest.(check int) "two callbacks" 2 (List.length !got);
+        Alcotest.(check bool) "payload" true
+          (List.rev !got
+          = [ (0, Trace.Vm_entry, 0x200); (1, Trace.Vm_exit, 0x10) ]));
+    Alcotest.test_case "JSONL lines are valid vax-trace/1" `Quick (fun () ->
+        (match Json.parse (Trace.header_json_line ()) with
+        | Json.Obj _ as h -> (
+            Alcotest.(check bool) "schema" true
+              (Json.member "schema" h = Some (Json.Str "vax-trace/1"));
+            match Json.member "kinds" h with
+            | Some (Json.Arr ks) ->
+                Alcotest.(check int) "all kinds listed" Trace.n_kinds
+                  (List.length ks)
+            | _ -> Alcotest.fail "missing kinds")
+        | _ -> Alcotest.fail "header not an object");
+        List.iter
+          (fun k ->
+            let line =
+              Trace.to_json_line ~seq:7 k ~a:0x8000_0000 ~b:3 ~c:1
+            in
+            match Json.parse line with
+            | Json.Obj _ as j ->
+                Alcotest.(check bool)
+                  (Trace.kind_name k ^ " ev field")
+                  true
+                  (Json.member "ev" j = Some (Json.Str (Trace.kind_name k)));
+                let na, _, _ = Trace.arg_names k in
+                if na <> "" then
+                  Alcotest.(check bool) (na ^ " field") true
+                    (Json.member na j = Some (Json.Num 2147483648.0))
+            | _ -> Alcotest.failf "bad line %s" line)
+          all_kinds);
+  ]
+
+(* --- Metrics --------------------------------------------------------- *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "gauges, groups, sorting, replacement" `Quick
+      (fun () ->
+        let m = Metrics.create () in
+        let x = ref 5 in
+        Metrics.register m "b.count" (fun () -> !x);
+        Metrics.register m "a.count" (fun () -> 1);
+        Metrics.register_group m "vm.g" (fun () -> [ ("z", 9); ("y", 8) ]);
+        Alcotest.(check (list (pair string int)))
+          "sorted snapshot"
+          [ ("a.count", 1); ("b.count", 5); ("vm.g.y", 8); ("vm.g.z", 9) ]
+          (Metrics.snapshot m);
+        (* gauges are live, not sampled at registration *)
+        x := 6;
+        Alcotest.(check bool) "live" true
+          (List.assoc "b.count" (Metrics.snapshot m) = 6);
+        (* re-registration replaces *)
+        Metrics.register m "a.count" (fun () -> 2);
+        Alcotest.(check bool) "replaced" true
+          (List.assoc "a.count" (Metrics.snapshot m) = 2);
+        match Json.member "schema" (Metrics.to_json m) with
+        | Some (Json.Str "vax-metrics/1") -> ()
+        | _ -> Alcotest.fail "bad metrics schema");
+  ]
+
+(* --- End-to-end: trace vs the differential oracle -------------------- *)
+
+let build_workload () =
+  Minivms.build ~programs:[ Programs.syscall_storm ~iterations:5 ] ()
+
+let run_traced () =
+  Runner.run_vm
+    ~instrument:(fun mach ->
+      Vax_obs.Trace.set_enabled mach.Vax_dev.Machine.trace true)
+    (build_workload ())
+
+let e2e_tests =
+  [
+    Alcotest.test_case "trace trap counts equal the oracle's observations"
+      `Slow (fun () ->
+        let m = run_traced () in
+        let tr = m.Runner.machine.Vax_dev.Machine.trace in
+        let traced_traps =
+          Trace.count tr Trace.Trap_vm_emulation
+          + Trace.count tr Trace.Trap_privileged
+          + Trace.count tr Trace.Trap_modify
+        in
+        let cov = Vax_analysis.Oracle.coverage m.Runner.oracle in
+        Alcotest.(check int) "trap events"
+          cov.Vax_analysis.Oracle.observed_events traced_traps;
+        Alcotest.(check bool) "saw vm entries" true
+          (Trace.count tr Trace.Vm_entry > 0);
+        Alcotest.(check bool) "saw vm exits" true
+          (Trace.count tr Trace.Vm_exit > 0);
+        (* every VM exit is an exception/interrupt delivered from VM mode *)
+        Alcotest.(check bool) "exits bounded by deliveries" true
+          (Trace.count tr Trace.Vm_exit
+          <= Trace.count tr Trace.Exception + Trace.count tr Trace.Interrupt));
+    Alcotest.test_case "metrics registry matches the run's counters" `Slow
+      (fun () ->
+        let m = run_traced () in
+        let mach = m.Runner.machine in
+        let snap = Metrics.snapshot mach.Vax_dev.Machine.metrics in
+        let get k =
+          match List.assoc_opt k snap with
+          | Some v -> v
+          | None -> Alcotest.failf "metric %s missing" k
+        in
+        Alcotest.(check int) "cpu.instructions"
+          mach.Vax_dev.Machine.cpu.Vax_cpu.State.instructions
+          (get "cpu.instructions");
+        Alcotest.(check bool) "tlb.hits nonzero" true (get "tlb.hits" > 0);
+        Alcotest.(check bool) "per-VM group present" true
+          (get "vm.guest.emulation_traps" > 0));
+    Alcotest.test_case "tracing does not perturb simulated cycles" `Slow
+      (fun () ->
+        let plain = Runner.run_vm (build_workload ()) in
+        let traced = run_traced () in
+        Alcotest.(check int) "identical total cycles"
+          plain.Runner.total_cycles traced.Runner.total_cycles;
+        Alcotest.(check int) "identical instructions"
+          plain.Runner.instructions traced.Runner.instructions);
+  ]
+
+let () =
+  Alcotest.run "vax_obs"
+    [
+      ("json", json_tests);
+      ("trace", trace_tests);
+      ("metrics", metrics_tests);
+      ("end-to-end", e2e_tests);
+    ]

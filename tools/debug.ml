@@ -350,6 +350,64 @@ let run_two () =
   | Ok pa -> Format.printf "translate ok -> %x@." pa
   | Error f -> Format.printf "translate fault: %a@." Vax_mem.Mmu.pp_fault f
 
+(* summarize a vax-trace/1 JSONL stream: per-kind event counts, plus the
+   guest PCs that cause the most traps and VM exits *)
+let run_trace_summary path =
+  let module Json = Vax_obs.Json in
+  let ic = open_in path in
+  let kind_counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let pc_counts : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let bump tbl key =
+    Hashtbl.replace tbl key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let events = ref 0 in
+  let bad = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Json.parse line with
+         | exception Json.Parse_error msg ->
+             incr bad;
+             Printf.eprintf "bad line: %s (%s)\n" line msg
+         | j -> (
+             match Json.member "ev" j with
+             | Some (Json.Str ev) ->
+                 incr events;
+                 bump kind_counts ev;
+                 (match (ev, Json.member "pc" j) with
+                 | ( ( "trap-vm-emulation" | "trap-privileged" | "trap-modify"
+                     | "vm-exit" | "chm" ),
+                     Some (Json.Num pc) ) ->
+                     bump pc_counts (ev, int_of_float pc)
+                 | _ -> ())
+             | _ -> (
+                 (* the header line carries the schema *)
+                 match Json.member "schema" j with
+                 | Some (Json.Str s) -> Printf.printf "schema: %s\n" s
+                 | _ -> incr bad))
+     done
+   with End_of_file -> close_in ic);
+  Printf.printf "%d events (%d malformed lines)\n" !events !bad;
+  let rows =
+    List.sort (fun (_, a) (_, b) -> compare b a)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kind_counts [])
+  in
+  List.iter (fun (k, v) -> Printf.printf "  %-18s %8d\n" k v) rows;
+  let top =
+    List.sort (fun (_, a) (_, b) -> compare b a)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) pc_counts [])
+  in
+  if top <> [] then begin
+    Printf.printf "top trap/exit sites:\n";
+    List.iteri
+      (fun i ((ev, pc), n) ->
+        if i < 10 then Printf.printf "  pc=%08x %-18s %8d\n" pc ev n)
+      top
+  end;
+  if !bad > 0 then exit 1
+
 let tools =
   [
     ("chmk", run_chmk, "single-CPU CHMK round trip");
@@ -369,12 +427,15 @@ let tools =
 
 let usage () =
   prerr_endline "usage: debug <tool>";
+  prerr_endline "       debug trace <file.jsonl>";
   List.iter
     (fun (name, _, doc) -> Printf.eprintf "  %-8s %s\n" name doc)
-    tools
+    tools;
+  Printf.eprintf "  %-8s %s\n" "trace" "summarize a vax-trace/1 JSONL stream"
 
 let () =
   match Sys.argv with
+  | [| _; "trace"; path |] -> run_trace_summary path
   | [| _; name |] -> (
       match List.find_opt (fun (n, _, _) -> n = name) tools with
       | Some (_, f, _) -> f ()
