@@ -12,6 +12,9 @@
                                     also write machine-readable results
      main.exe --microbench --compare old.json
                                     rerun and print speedups vs a saved run
+     main.exe --microbench --compare old.json --max-regress 25
+                                    additionally fail (exit 1) if any shared
+                                    bench regressed by more than 25%
      main.exe --bench-smoke         one fast iteration validating the JSON
                                     schema (wired into the test suite)
 
@@ -218,6 +221,8 @@ let machine_stats () =
   in
   let hits = get "tlb.hits" and misses = get "tlb.misses" in
   let lookups = hits +. misses in
+  let bhits = get "blocks.hits" and bmisses = get "blocks.misses" in
+  let bdispatch = bhits +. bmisses in
   let traps =
     float_of_int
       (Vax_analysis.Oracle.coverage m.Runner.oracle)
@@ -227,6 +232,10 @@ let machine_stats () =
   [
     ("tlb_hit_rate", if lookups > 0.0 then hits /. lookups else 0.0);
     ("trap_rate", if instructions > 0.0 then traps /. instructions else 0.0);
+    ("block_hit_rate", if bdispatch > 0.0 then bhits /. bdispatch else 0.0);
+    ("blocks_built", get "blocks.built");
+    ("block_chains", get "blocks.chains");
+    ("block_invalidations", get "blocks.invalidations");
   ]
 
 let results_to_json ?machine results =
@@ -287,19 +296,25 @@ let print_results results =
     (fun (name, ns) -> Format.printf "  %-14s %14.1f ns/run@." name ns)
     results
 
-let print_comparison ~old_results results =
+(* Print old-vs-new and return the regressions: shared benches whose new
+   time exceeds the old by more than [max_regress] percent. *)
+let print_comparison ~old_results ~max_regress results =
   Format.printf "  %-14s %14s %14s %9s@." "benchmark" "old ns/run"
     "new ns/run" "speedup";
-  List.iter
+  List.filter_map
     (fun (name, ns) ->
       match List.assoc_opt name old_results with
       | Some old_ns when ns > 0.0 ->
           Format.printf "  %-14s %14.1f %14.1f %8.2fx@." name old_ns ns
-            (old_ns /. ns)
-      | _ -> Format.printf "  %-14s %14s %14.1f@." name "-" ns)
+            (old_ns /. ns);
+          let regress_pct = ((ns /. old_ns) -. 1.0) *. 100.0 in
+          if regress_pct > max_regress then Some (name, regress_pct) else None
+      | _ ->
+          Format.printf "  %-14s %14s %14.1f@." name "-" ns;
+          None)
     results
 
-let microbench ~json_out ~compare_with () =
+let microbench ~json_out ~compare_with ~max_regress () =
   (* load the baseline up front so a missing or malformed file fails
      before the benchmarks run, not after *)
   let old_results =
@@ -317,12 +332,26 @@ let microbench ~json_out ~compare_with () =
             exit 1)
   in
   let results = run_microbench ~quota_s:0.5 ~limit:200 () in
-  (match old_results with
-  | Some old_results -> print_comparison ~old_results results
-  | None -> print_results results);
-  match json_out with
+  let regressions =
+    match old_results with
+    | Some old_results ->
+        print_comparison ~old_results ~max_regress results
+    | None ->
+        print_results results;
+        []
+  in
+  (match json_out with
   | Some path -> write_results path results
-  | None -> ()
+  | None -> ());
+  match regressions with
+  | [] -> ()
+  | rs ->
+      List.iter
+        (fun (name, pct) ->
+          Format.eprintf "regression: %s is %.1f%% slower (limit %.0f%%)@." name
+            pct max_regress)
+        rs;
+      exit 1
 
 (* One fast iteration of the full suite, validating the JSON round-trip
    and schema.  Exits nonzero on any missing benchmark or malformed
@@ -375,8 +404,18 @@ let () =
           Format.eprintf "unknown experiment %s (try --list)@." id;
           exit 1)
   | _ :: "--microbench" :: rest ->
+      let max_regress =
+        match flag_value "--max-regress" rest with
+        | None -> infinity
+        | Some v -> (
+            match float_of_string_opt v with
+            | Some f -> f
+            | None ->
+                Format.eprintf "error: --max-regress wants a percentage@.";
+                exit 1)
+      in
       microbench ~json_out:(flag_value "--json" rest)
-        ~compare_with:(flag_value "--compare" rest) ()
+        ~compare_with:(flag_value "--compare" rest) ~max_regress ()
   | _ :: "--bench-smoke" :: _ -> bench_smoke ()
   | _ ->
       Format.printf

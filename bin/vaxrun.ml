@@ -12,9 +12,12 @@ open Vax_vmm
 open Vax_workloads
 module Trace = Vax_obs.Trace
 
-let run workload vm mmio assist slots no_cache prefill separate quiet trace_out
-    metrics =
+let run workload vm mmio assist slots no_cache no_block_cache prefill separate
+    quiet trace_out metrics =
   let built = Catalog.build ~force_mmio:(vm && mmio) workload in
+  let engine =
+    if no_block_cache then Vax_cpu.Exec.Stepper else Vax_cpu.Exec.Blocks
+  in
   (* --trace: enable the machine trace and stream vax-trace/1 JSONL *)
   let trace_oc = ref None in
   let instrument (mach : Vax_dev.Machine.t) =
@@ -45,8 +48,8 @@ let run workload vm mmio assist slots no_cache prefill separate quiet trace_out
             separate_vmm_space = separate;
             default_io_mode = (if mmio then Vm.Mmio_io else Vm.Kcall_io);
           }
-        ~instrument built
-    else Runner.run_bare ~instrument built
+        ~engine ~instrument built
+    else Runner.run_bare ~engine ~instrument built
   in
   (match !trace_oc with
   | Some oc ->
@@ -90,6 +93,15 @@ let cmd =
   let no_cache =
     Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the shadow cache.")
   in
+  let no_block_cache =
+    Arg.(
+      value & flag
+      & info [ "no-block-cache" ]
+          ~doc:
+            "Run on the reference per-step interpreter instead of the \
+             superblock engine (identical simulated behaviour, slower host \
+             wall-clock).")
+  in
   let prefill =
     Arg.(value & opt int 0 & info [ "prefill" ] ~doc:"Shadow prefill group.")
   in
@@ -117,7 +129,7 @@ let cmd =
   Cmd.v
     (Cmd.info "vaxrun" ~doc:"Run MiniVMS workloads on the simulated VAX")
     Term.(
-      const run $ workload $ vm $ mmio $ assist $ slots $ no_cache $ prefill
-      $ separate $ quiet $ trace_out $ metrics)
+      const run $ workload $ vm $ mmio $ assist $ slots $ no_cache
+      $ no_block_cache $ prefill $ separate $ quiet $ trace_out $ metrics)
 
 let () = exit (Cmd.eval cmd)

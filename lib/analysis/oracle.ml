@@ -60,6 +60,14 @@ let of_asm_images ~name ~mode images =
   List.iter (fun (n, img) -> add_image t ~mode (Cfg.of_asm n img)) images;
   t
 
+(* A fresh oracle sharing an existing oracle's static analysis.  The
+   predicted table is read-only after construction, so it can be shared
+   between runs; hit tracking and the event counter start fresh.  Lets a
+   harness amortize the static pass over repeated runs of the same
+   workload. *)
+let with_predictions ~name src =
+  { name; predicted = src.predicted; hits = Hashtbl.create 64; observed = 0 }
+
 let observe t kind pc =
   t.observed <- t.observed + 1;
   let b = kind_bit kind in

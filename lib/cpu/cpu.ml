@@ -6,10 +6,12 @@ type t = {
   mmu : Mmu.t;
   phys : Phys_mem.t;
   clock : Cycles.t;
+  engine : Exec.engine;
+  bcache : Block_cache.t;
 }
 
 let create ?(variant = Variant.Standard) ?(memory_pages = 1024) ?modify_policy
-    () =
+    ?(engine = Exec.Blocks) () =
   let policy =
     match modify_policy with
     | Some p -> p
@@ -22,8 +24,16 @@ let create ?(variant = Variant.Standard) ?(memory_pages = 1024) ?modify_policy
   let clock = Cycles.create () in
   let mmu = Mmu.create ~policy ~phys ~clock () in
   let state = State.create ~variant ~mmu ~clock () in
-  { state; mmu; phys; clock }
+  { state; mmu; phys; clock; engine; bcache = Block_cache.create () }
 
 let load t pa image = Phys_mem.blit_in t.phys pa image
-let step t = Exec.step t.state
-let run t ?max_instructions () = Exec.run t.state ?max_instructions ()
+
+let step t =
+  match t.engine with
+  | Exec.Stepper -> Exec.step t.state
+  | Exec.Blocks -> Exec.step_blocks t.state t.bcache
+
+let run t ?max_instructions () =
+  match t.engine with
+  | Exec.Stepper -> Exec.run t.state ?max_instructions ()
+  | Exec.Blocks -> Exec.run_blocks t.state t.bcache ?max_instructions ()

@@ -13,17 +13,21 @@ type t = {
   mmu : Mmu.t;
   phys : Phys_mem.t;
   clock : Cycles.t;
+  engine : Exec.engine;
+  bcache : Block_cache.t;
 }
 
 val create :
   ?variant:Variant.t ->
   ?memory_pages:int ->
   ?modify_policy:Mmu.modify_policy ->
+  ?engine:Exec.engine ->
   unit ->
   t
 (** Default: 1024 pages (512 KB) of RAM, standard variant, hardware-set
     modify bits.  A [Virtualizing] variant defaults to the modify-fault
-    policy, as the modified architecture requires. *)
+    policy, as the modified architecture requires.  [engine] defaults to
+    [Exec.Blocks] (see {!Exec.engine}). *)
 
 val load : t -> Word.t -> bytes -> unit
 (** Copy a program image into physical memory. *)

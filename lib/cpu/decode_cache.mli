@@ -15,14 +15,15 @@
 
     - {!Vax_mem.Mmu.tb_generation}: bumped by TBIA, TBIS, LDPCTX process
       invalidation, and MAPEN changes;
-    - {!Vax_mem.Phys_mem.page_gen} of the instruction's page: bumped by
-      every store into the page, which makes self-modifying code and DMA
-      into code pages decode fresh bytes on the next execution.
+    - {!Vax_mem.Phys_mem.page_gen} of *every* page holding instruction
+      bytes: bumped by each store into the page, which makes
+      self-modifying code and DMA into code pages decode fresh bytes on
+      the next execution.  A page-straddling instruction records both
+      pages' generations, so a store into its second page invalidates it
+      too; its second-page *translation* is covered by the TB generation
+      (any change that could remap it bumps the counter).
 
-    Only instructions contained in a single RAM page are cached: the
-    lookup translation of the first byte then covers every byte of the
-    instruction, preserving the fault, cycle, and page-table-walk
-    behaviour of an uncached fetch. *)
+    Only instructions whose bytes lie entirely in RAM are cached. *)
 
 open Vax_arch
 open Vax_mem
@@ -63,10 +64,13 @@ val find : t -> mmu:Mmu.t -> int -> template
     physical address [pa], or raises [Not_found].  Counts a hit or miss;
     stale entries (either generation moved on) miss. *)
 
-val store : t -> mmu:Mmu.t -> int -> template -> unit
-(** Fill the slot for [pa], recording current generations.  Silently does
-    nothing when the instruction is uncacheable (crosses a page boundary,
-    or its bytes are not in RAM). *)
+val store : t -> mmu:Mmu.t -> ?pa2:int -> int -> template -> unit
+(** Fill the slot for [pa], recording current generations.  [pa2] is the
+    physical address of the instruction's first byte on its second page
+    when it straddles a page boundary (the caller resolves it; a
+    straddler with no [pa2] is uncacheable).  Silently does nothing when
+    the instruction is uncacheable (zero length, bytes not in RAM, or an
+    unresolvable second page). *)
 
 val hits : t -> int
 val misses : t -> int

@@ -250,334 +250,605 @@ let cond_branch st d cond =
    to keep the dispatch uniform and documented. *)
 let vm_sensitive_trap_noop _st = ()
 
-(* Returns [true] when the instruction set the PC itself. *)
-let execute st (d : Decode.decoded) ~start_pc =
-  let ops = d.Decode.operands in
-  let rv o = Decode.read_value st o in
-  let p = st.State.psl in
-  match (d.Decode.opcode, ops) with
-  | Opcode.Nop, [] -> false
-  | Opcode.Halt, [] ->
-      check_privileged st d ~start_pc;
-      st.State.halted <- true;
-      true (* leave PC at the HALT *)
-  | Opcode.Bpt, [] -> raise (State.Fault State.Breakpoint_fault)
-  | Opcode.Rei, [] ->
-      vm_sensitive_trap st d ~start_pc;
-      Microcode.rei st;
-      true
-  | Opcode.Ldpctx, [] ->
-      check_privileged st d ~start_pc;
-      Microcode.ldpctx st;
-      false
-  | Opcode.Svpctx, [] ->
-      check_privileged st d ~start_pc;
-      Microcode.svpctx st;
-      false
-  | Opcode.Wait, [] ->
+(* Per-opcode handlers: the big dispatch resolved once per opcode rather
+   than per executed instruction.  A handler returns [true] when the
+   instruction set the PC itself.  [execute] still pays the dispatch on
+   every step; block slots resolve it at build time and then reuse the
+   handler for the life of the block. *)
+
+type handler = State.t -> Decode.decoded -> start_pc:Word.t -> bool
+
+(* operand-count mismatch: impossible for decoded instructions *)
+let bad_operands () = assert false
+
+let handler_of : Opcode.t -> handler = function
+  | Opcode.Nop -> (fun _st _d ~start_pc:_ -> false)
+  | Opcode.Halt ->
+      (fun st d ~start_pc ->
+        check_privileged st d ~start_pc;
+        st.State.halted <- true;
+        true (* leave PC at the HALT *))
+  | Opcode.Bpt -> (fun _st _d ~start_pc:_ -> raise (State.Fault State.Breakpoint_fault))
+  | Opcode.Rei ->
+      (fun st d ~start_pc ->
+        vm_sensitive_trap st d ~start_pc;
+        Microcode.rei st;
+        true)
+  | Opcode.Ldpctx ->
+      (fun st d ~start_pc ->
+        check_privileged st d ~start_pc;
+        Microcode.ldpctx st;
+        false)
+  | Opcode.Svpctx ->
+      (fun st d ~start_pc ->
+        check_privileged st d ~start_pc;
+        Microcode.svpctx st;
+        false)
+  | Opcode.Wait ->
       (* Not implemented by real processors, modified or not (Table 4:
          "no change"); the VMM catches the VM-emulation trap and
          deschedules the VM.  Bare kernels must not use it. *)
-      check_privileged st d ~start_pc;
-      raise (State.Fault State.Privileged_instruction)
-  | (Opcode.Chmk | Opcode.Chme | Opcode.Chms | Opcode.Chmu), [ code_op ] ->
-      vm_sensitive_trap st d ~start_pc;
-      let target = Option.get (Opcode.chm_target d.Decode.opcode) in
-      let code = rv code_op in
-      Microcode.chm st ~target ~code ~next_pc:d.Decode.next_pc;
-      true
-  | Opcode.Prober, ops ->
-      vm_sensitive_trap_noop st;
-      exec_probe st d ~start_pc ~write:false ops;
-      false
-  | Opcode.Probew, ops ->
-      vm_sensitive_trap_noop st;
-      exec_probe st d ~start_pc ~write:true ops;
-      false
-  | Opcode.Probevmr, ops ->
-      check_privileged st d ~start_pc;
-      exec_probevm st ~write:false ops;
-      false
-  | Opcode.Probevmw, ops ->
-      check_privileged st d ~start_pc;
-      exec_probevm st ~write:true ops;
-      false
-  | Opcode.Movpsl, [ dst ] ->
-      Decode.write_value st dst (Microcode.movpsl_value st);
-      false
-  | Opcode.Mtpr, ops ->
-      exec_mtpr st d ~start_pc ops;
-      false
-  | Opcode.Mfpr, ops ->
-      exec_mfpr st d ~start_pc ops;
-      false
-  | Opcode.Bispsw, [ src ] ->
-      let v = rv src in
-      if v land 0xFF00 <> 0 then raise (State.Fault State.Reserved_operand);
-      st.State.psl <- Word.logor p (v land 0xFF);
-      false
-  | Opcode.Bicpsw, [ src ] ->
-      let v = rv src in
-      if v land 0xFF00 <> 0 then raise (State.Fault State.Reserved_operand);
-      st.State.psl <- Word.logand p (Word.lognot (v land 0xFF));
-      false
-  | Opcode.Movl, [ src; dst ] ->
-      let v = rv src in
-      Decode.write_value st dst v;
-      set_nz_keep_c st v;
-      false
-  | Opcode.Pushl, [ src ] ->
-      let v = rv src in
-      State.push_long st v;
-      set_nz_keep_c st v;
-      false
-  | Opcode.Moval, [ src; dst ] ->
-      let va =
-        match src.Decode.loc with
-        | Decode.Mem va -> va
-        | Decode.Reg _ | Decode.Imm _ ->
-            raise (State.Fault State.Reserved_addressing)
-      in
-      Decode.write_value st dst va;
-      set_nz_keep_c st va;
-      false
-  | Opcode.Clrl, [ dst ] ->
-      Decode.write_value st dst 0;
-      set_nz_keep_c st 0;
-      false
-  | Opcode.Clrb, [ dst ] ->
-      Decode.write_value st dst 0;
-      set_nz_byte_keep_c st 0;
-      false
-  | Opcode.Tstl, [ src ] ->
-      let v = rv src in
-      set_nzvc st ~n:(Word.to_signed v < 0) ~z:(v = 0) ~v:false ~c:false;
-      false
-  | Opcode.Tstb, [ src ] ->
-      let v = rv src land 0xFF in
-      set_nzvc st ~n:(v land 0x80 <> 0) ~z:(v = 0) ~v:false ~c:false;
-      false
-  | Opcode.Movb, [ src; dst ] ->
-      let v = rv src land 0xFF in
-      Decode.write_value st dst v;
-      set_nz_byte_keep_c st v;
-      false
-  | Opcode.Movzbl, [ src; dst ] ->
-      let v = rv src land 0xFF in
-      Decode.write_value st dst v;
-      set_nzvc st ~n:false ~z:(v = 0) ~v:false ~c:(Psl.c p);
-      false
-  | Opcode.Cmpl, [ a; b ] ->
-      compare_long st (rv a) (rv b);
-      false
-  | Opcode.Cmpb, [ a; b ] ->
-      compare_byte st (rv a) (rv b);
-      false
-  | Opcode.Incl, [ dst ] ->
-      let r = do_add st (rv dst) 1 in
-      Decode.write_value st dst r;
-      check_overflow_trap st;
-      false
-  | Opcode.Decl, [ dst ] ->
-      let r = do_sub st (rv dst) 1 in
-      Decode.write_value st dst r;
-      check_overflow_trap st;
-      false
-  | Opcode.Mnegl, [ src; dst ] ->
-      let r = do_sub st 0 (rv src) in
-      Decode.write_value st dst r;
-      check_overflow_trap st;
-      false
-  | Opcode.Ashl, [ cnt_op; src; dst ] ->
-      let cnt = Word.to_signed (Word.sext ~width:8 (rv cnt_op)) in
-      let s = rv src in
-      let r =
-        if cnt >= 32 then 0
-        else if cnt >= 0 then Word.mask (s lsl cnt)
-        else if cnt <= -32 then if Word.to_signed s < 0 then 0xFFFF_FFFF else 0
-        else Word.of_signed (Word.to_signed s asr -cnt)
-      in
-      Decode.write_value st dst r;
-      set_nzvc st ~n:(Word.to_signed r < 0) ~z:(r = 0)
-        ~v:(cnt > 0 && Word.to_signed r <> Word.to_signed s * (1 lsl min cnt 62))
-        ~c:false;
-      false
-  | Opcode.Addl2, [ src; dst ] ->
-      let r = do_add st (rv dst) (rv src) in
-      Decode.write_value st dst r;
-      check_overflow_trap st;
-      false
-  | Opcode.Addl3, [ a; b; dst ] ->
-      let r = do_add st (rv a) (rv b) in
-      Decode.write_value st dst r;
-      check_overflow_trap st;
-      false
-  | Opcode.Subl2, [ src; dst ] ->
-      let r = do_sub st (rv dst) (rv src) in
-      Decode.write_value st dst r;
-      check_overflow_trap st;
-      false
-  | Opcode.Subl3, [ a; b; dst ] ->
-      (* dst <- b - a *)
-      let r = do_sub st (rv b) (rv a) in
-      Decode.write_value st dst r;
-      check_overflow_trap st;
-      false
-  | Opcode.Mull2, [ src; dst ] ->
-      let r = do_mul st (rv dst) (rv src) in
-      Decode.write_value st dst r;
-      check_overflow_trap st;
-      false
-  | Opcode.Mull3, [ a; b; dst ] ->
-      let r = do_mul st (rv a) (rv b) in
-      Decode.write_value st dst r;
-      check_overflow_trap st;
-      false
-  | Opcode.Divl2, [ src; dst ] ->
-      let r = do_div st (rv dst) (rv src) in
-      Decode.write_value st dst r;
-      false
-  | Opcode.Divl3, [ a; b; dst ] ->
-      (* dst <- b / a *)
-      let r = do_div st (rv b) (rv a) in
-      Decode.write_value st dst r;
-      false
-  | Opcode.Bisl2, [ src; dst ] ->
-      let r = do_logic st Word.logor (rv dst) (rv src) in
-      Decode.write_value st dst r;
-      false
-  | Opcode.Bisl3, [ a; b; dst ] ->
-      let r = do_logic st Word.logor (rv a) (rv b) in
-      Decode.write_value st dst r;
-      false
-  | Opcode.Bicl2, [ src; dst ] ->
-      let r = do_logic st (fun d s -> Word.logand d (Word.lognot s)) (rv dst) (rv src) in
-      Decode.write_value st dst r;
-      false
-  | Opcode.Bicl3, [ a; b; dst ] ->
-      (* dst <- b AND NOT a *)
-      let r = do_logic st (fun a b -> Word.logand b (Word.lognot a)) (rv a) (rv b) in
-      Decode.write_value st dst r;
-      false
-  | Opcode.Xorl2, [ src; dst ] ->
-      let r = do_logic st Word.logxor (rv dst) (rv src) in
-      Decode.write_value st dst r;
-      false
-  | Opcode.Xorl3, [ a; b; dst ] ->
-      let r = do_logic st Word.logxor (rv a) (rv b) in
-      Decode.write_value st dst r;
-      false
-  | Opcode.Brb, _ | Opcode.Brw, _ ->
-      cond_branch st d true;
-      true
-  | Opcode.Bneq, _ ->
-      cond_branch st d (not (Psl.z p));
-      true
-  | Opcode.Beql, _ ->
-      cond_branch st d (Psl.z p);
-      true
-  | Opcode.Bgtr, _ ->
-      cond_branch st d (not (Psl.n p || Psl.z p));
-      true
-  | Opcode.Bleq, _ ->
-      cond_branch st d (Psl.n p || Psl.z p);
-      true
-  | Opcode.Bgeq, _ ->
-      cond_branch st d (not (Psl.n p));
-      true
-  | Opcode.Blss, _ ->
-      cond_branch st d (Psl.n p);
-      true
-  | Opcode.Bgtru, _ ->
-      cond_branch st d (not (Psl.c p || Psl.z p));
-      true
-  | Opcode.Blequ, _ ->
-      cond_branch st d (Psl.c p || Psl.z p);
-      true
-  | Opcode.Bvc, _ ->
-      cond_branch st d (not (Psl.v p));
-      true
-  | Opcode.Bvs, _ ->
-      cond_branch st d (Psl.v p);
-      true
-  | Opcode.Bcc, _ ->
-      cond_branch st d (not (Psl.c p));
-      true
-  | Opcode.Bcs, _ ->
-      cond_branch st d (Psl.c p);
-      true
-  | Opcode.Blbs, [ src; disp ] ->
-      if rv src land 1 = 1 then branch_to st disp
-      else State.set_pc st d.Decode.next_pc;
-      true
-  | Opcode.Blbc, [ src; disp ] ->
-      if rv src land 1 = 0 then branch_to st disp
-      else State.set_pc st d.Decode.next_pc;
-      true
-  | Opcode.Aoblss, [ limit; index; disp ] ->
-      let r = do_add st (rv index) 1 in
-      Decode.write_value st index r;
-      if Word.signed_lt r (rv limit) then branch_to st disp
-      else State.set_pc st d.Decode.next_pc;
-      true
-  | Opcode.Sobgtr, [ index; disp ] ->
-      let r = do_sub st (rv index) 1 in
-      Decode.write_value st index r;
-      if Word.to_signed r > 0 then branch_to st disp
-      else State.set_pc st d.Decode.next_pc;
-      true
-  | Opcode.Bsbb, [ disp ] ->
-      State.push_long st d.Decode.next_pc;
-      branch_to st disp;
-      true
-  | Opcode.Jsb, [ dst ] -> (
-      match dst.Decode.loc with
-      | Decode.Mem va ->
-          State.push_long st d.Decode.next_pc;
-          State.set_pc st va;
-          true
-      | Decode.Reg _ | Decode.Imm _ ->
-          raise (State.Fault State.Reserved_addressing))
-  | Opcode.Rsb, [] ->
-      State.set_pc st (State.pop_long st);
-      true
-  | Opcode.Jmp, [ dst ] -> (
-      match dst.Decode.loc with
-      | Decode.Mem va ->
-          State.set_pc st va;
-          true
-      | Decode.Reg _ | Decode.Imm _ ->
-          raise (State.Fault State.Reserved_addressing))
-  | Opcode.Calls, [ narg; dst ] -> (
-      match dst.Decode.loc with
-      | Decode.Mem va ->
-          let n = rv narg in
-          State.push_long st n;
-          let arg_base = State.sp st in
-          State.push_long st d.Decode.next_pc;
-          State.push_long st (State.reg st 13) (* FP *);
-          State.push_long st (State.reg st 12) (* AP *);
-          State.set_reg st 13 (State.sp st);
-          State.set_reg st 12 arg_base;
-          State.set_pc st va;
-          true
-      | Decode.Reg _ | Decode.Imm _ ->
-          raise (State.Fault State.Reserved_addressing))
-  | Opcode.Ret, [] ->
-      State.set_sp st (State.reg st 13);
-      State.set_reg st 12 (State.pop_long st);
-      State.set_reg st 13 (State.pop_long st);
-      let ret_pc = State.pop_long st in
-      let n = State.pop_long st in
-      State.set_sp st (Word.add (State.sp st) (4 * (n land 0xFF)));
-      State.set_pc st ret_pc;
-      true
-  | _ ->
-      (* operand-count mismatch: impossible for decoded instructions *)
-      assert false
+      (fun st d ~start_pc ->
+        check_privileged st d ~start_pc;
+        raise (State.Fault State.Privileged_instruction))
+  | Opcode.Chmk | Opcode.Chme | Opcode.Chms | Opcode.Chmu ->
+      (fun st d ~start_pc ->
+        match d.Decode.operands with
+        | [ code_op ] ->
+            vm_sensitive_trap st d ~start_pc;
+            let target = Option.get (Opcode.chm_target d.Decode.opcode) in
+            let code = Decode.read_value st code_op in
+            Microcode.chm st ~target ~code ~next_pc:d.Decode.next_pc;
+            true
+        | _ -> bad_operands ())
+  | Opcode.Prober ->
+      (fun st d ~start_pc ->
+        vm_sensitive_trap_noop st;
+        exec_probe st d ~start_pc ~write:false d.Decode.operands;
+        false)
+  | Opcode.Probew ->
+      (fun st d ~start_pc ->
+        vm_sensitive_trap_noop st;
+        exec_probe st d ~start_pc ~write:true d.Decode.operands;
+        false)
+  | Opcode.Probevmr ->
+      (fun st d ~start_pc ->
+        check_privileged st d ~start_pc;
+        exec_probevm st ~write:false d.Decode.operands;
+        false)
+  | Opcode.Probevmw ->
+      (fun st d ~start_pc ->
+        check_privileged st d ~start_pc;
+        exec_probevm st ~write:true d.Decode.operands;
+        false)
+  | Opcode.Movpsl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ dst ] ->
+            Decode.write_value st dst (Microcode.movpsl_value st);
+            false
+        | _ -> bad_operands ())
+  | Opcode.Mtpr ->
+      (fun st d ~start_pc ->
+        exec_mtpr st d ~start_pc d.Decode.operands;
+        false)
+  | Opcode.Mfpr ->
+      (fun st d ~start_pc ->
+        exec_mfpr st d ~start_pc d.Decode.operands;
+        false)
+  | Opcode.Bispsw ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src ] ->
+            let v = Decode.read_value st src in
+            if v land 0xFF00 <> 0 then raise (State.Fault State.Reserved_operand);
+            st.State.psl <- Word.logor st.State.psl (v land 0xFF);
+            false
+        | _ -> bad_operands ())
+  | Opcode.Bicpsw ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src ] ->
+            let v = Decode.read_value st src in
+            if v land 0xFF00 <> 0 then raise (State.Fault State.Reserved_operand);
+            st.State.psl <- Word.logand st.State.psl (Word.lognot (v land 0xFF));
+            false
+        | _ -> bad_operands ())
+  | Opcode.Movl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let v = Decode.read_value st src in
+            Decode.write_value st dst v;
+            set_nz_keep_c st v;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Pushl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src ] ->
+            let v = Decode.read_value st src in
+            State.push_long st v;
+            set_nz_keep_c st v;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Moval ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let va =
+              match src.Decode.loc with
+              | Decode.Mem va -> va
+              | Decode.Reg _ | Decode.Imm _ ->
+                  raise (State.Fault State.Reserved_addressing)
+            in
+            Decode.write_value st dst va;
+            set_nz_keep_c st va;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Clrl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ dst ] ->
+            Decode.write_value st dst 0;
+            set_nz_keep_c st 0;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Clrb ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ dst ] ->
+            Decode.write_value st dst 0;
+            set_nz_byte_keep_c st 0;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Tstl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src ] ->
+            let v = Decode.read_value st src in
+            set_nzvc st ~n:(Word.to_signed v < 0) ~z:(v = 0) ~v:false ~c:false;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Tstb ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src ] ->
+            let v = Decode.read_value st src land 0xFF in
+            set_nzvc st ~n:(v land 0x80 <> 0) ~z:(v = 0) ~v:false ~c:false;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Movb ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let v = Decode.read_value st src land 0xFF in
+            Decode.write_value st dst v;
+            set_nz_byte_keep_c st v;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Movzbl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let v = Decode.read_value st src land 0xFF in
+            Decode.write_value st dst v;
+            set_nzvc st ~n:false ~z:(v = 0) ~v:false ~c:(Psl.c st.State.psl);
+            false
+        | _ -> bad_operands ())
+  | Opcode.Cmpl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ a; b ] ->
+            compare_long st (Decode.read_value st a) (Decode.read_value st b);
+            false
+        | _ -> bad_operands ())
+  | Opcode.Cmpb ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ a; b ] ->
+            compare_byte st (Decode.read_value st a) (Decode.read_value st b);
+            false
+        | _ -> bad_operands ())
+  | Opcode.Incl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ dst ] ->
+            let r = do_add st (Decode.read_value st dst) 1 in
+            Decode.write_value st dst r;
+            check_overflow_trap st;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Decl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ dst ] ->
+            let r = do_sub st (Decode.read_value st dst) 1 in
+            Decode.write_value st dst r;
+            check_overflow_trap st;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Mnegl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let r = do_sub st 0 (Decode.read_value st src) in
+            Decode.write_value st dst r;
+            check_overflow_trap st;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Ashl ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ cnt_op; src; dst ] ->
+            let cnt =
+              Word.to_signed (Word.sext ~width:8 (Decode.read_value st cnt_op))
+            in
+            let s = Decode.read_value st src in
+            let r =
+              if cnt >= 32 then 0
+              else if cnt >= 0 then Word.mask (s lsl cnt)
+              else if cnt <= -32 then
+                if Word.to_signed s < 0 then 0xFFFF_FFFF else 0
+              else Word.of_signed (Word.to_signed s asr -cnt)
+            in
+            Decode.write_value st dst r;
+            set_nzvc st ~n:(Word.to_signed r < 0) ~z:(r = 0)
+              ~v:
+                (cnt > 0
+                && Word.to_signed r <> Word.to_signed s * (1 lsl min cnt 62))
+              ~c:false;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Addl2 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let r = do_add st (Decode.read_value st dst) (Decode.read_value st src) in
+            Decode.write_value st dst r;
+            check_overflow_trap st;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Addl3 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ a; b; dst ] ->
+            let r = do_add st (Decode.read_value st a) (Decode.read_value st b) in
+            Decode.write_value st dst r;
+            check_overflow_trap st;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Subl2 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let r = do_sub st (Decode.read_value st dst) (Decode.read_value st src) in
+            Decode.write_value st dst r;
+            check_overflow_trap st;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Subl3 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ a; b; dst ] ->
+            (* dst <- b - a *)
+            let r = do_sub st (Decode.read_value st b) (Decode.read_value st a) in
+            Decode.write_value st dst r;
+            check_overflow_trap st;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Mull2 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let r = do_mul st (Decode.read_value st dst) (Decode.read_value st src) in
+            Decode.write_value st dst r;
+            check_overflow_trap st;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Mull3 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ a; b; dst ] ->
+            let r = do_mul st (Decode.read_value st a) (Decode.read_value st b) in
+            Decode.write_value st dst r;
+            check_overflow_trap st;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Divl2 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let r = do_div st (Decode.read_value st dst) (Decode.read_value st src) in
+            Decode.write_value st dst r;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Divl3 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ a; b; dst ] ->
+            (* dst <- b / a *)
+            let r = do_div st (Decode.read_value st b) (Decode.read_value st a) in
+            Decode.write_value st dst r;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Bisl2 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let r =
+              do_logic st Word.logor (Decode.read_value st dst)
+                (Decode.read_value st src)
+            in
+            Decode.write_value st dst r;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Bisl3 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ a; b; dst ] ->
+            let r =
+              do_logic st Word.logor (Decode.read_value st a)
+                (Decode.read_value st b)
+            in
+            Decode.write_value st dst r;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Bicl2 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let r =
+              do_logic st
+                (fun d s -> Word.logand d (Word.lognot s))
+                (Decode.read_value st dst) (Decode.read_value st src)
+            in
+            Decode.write_value st dst r;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Bicl3 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ a; b; dst ] ->
+            (* dst <- b AND NOT a *)
+            let r =
+              do_logic st
+                (fun a b -> Word.logand b (Word.lognot a))
+                (Decode.read_value st a) (Decode.read_value st b)
+            in
+            Decode.write_value st dst r;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Xorl2 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; dst ] ->
+            let r =
+              do_logic st Word.logxor (Decode.read_value st dst)
+                (Decode.read_value st src)
+            in
+            Decode.write_value st dst r;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Xorl3 ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ a; b; dst ] ->
+            let r =
+              do_logic st Word.logxor (Decode.read_value st a)
+                (Decode.read_value st b)
+            in
+            Decode.write_value st dst r;
+            false
+        | _ -> bad_operands ())
+  | Opcode.Brb | Opcode.Brw ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d true;
+        true)
+  | Opcode.Bneq ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (not (Psl.z st.State.psl));
+        true)
+  | Opcode.Beql ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (Psl.z st.State.psl);
+        true)
+  | Opcode.Bgtr ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (not (Psl.n st.State.psl || Psl.z st.State.psl));
+        true)
+  | Opcode.Bleq ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (Psl.n st.State.psl || Psl.z st.State.psl);
+        true)
+  | Opcode.Bgeq ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (not (Psl.n st.State.psl));
+        true)
+  | Opcode.Blss ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (Psl.n st.State.psl);
+        true)
+  | Opcode.Bgtru ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (not (Psl.c st.State.psl || Psl.z st.State.psl));
+        true)
+  | Opcode.Blequ ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (Psl.c st.State.psl || Psl.z st.State.psl);
+        true)
+  | Opcode.Bvc ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (not (Psl.v st.State.psl));
+        true)
+  | Opcode.Bvs ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (Psl.v st.State.psl);
+        true)
+  | Opcode.Bcc ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (not (Psl.c st.State.psl));
+        true)
+  | Opcode.Bcs ->
+      (fun st d ~start_pc:_ ->
+        cond_branch st d (Psl.c st.State.psl);
+        true)
+  | Opcode.Blbs ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; disp ] ->
+            if Decode.read_value st src land 1 = 1 then branch_to st disp
+            else State.set_pc st d.Decode.next_pc;
+            true
+        | _ -> bad_operands ())
+  | Opcode.Blbc ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ src; disp ] ->
+            if Decode.read_value st src land 1 = 0 then branch_to st disp
+            else State.set_pc st d.Decode.next_pc;
+            true
+        | _ -> bad_operands ())
+  | Opcode.Aoblss ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ limit; index; disp ] ->
+            let r = do_add st (Decode.read_value st index) 1 in
+            Decode.write_value st index r;
+            if Word.signed_lt r (Decode.read_value st limit) then
+              branch_to st disp
+            else State.set_pc st d.Decode.next_pc;
+            true
+        | _ -> bad_operands ())
+  | Opcode.Sobgtr ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ index; disp ] ->
+            let r = do_sub st (Decode.read_value st index) 1 in
+            Decode.write_value st index r;
+            if Word.to_signed r > 0 then branch_to st disp
+            else State.set_pc st d.Decode.next_pc;
+            true
+        | _ -> bad_operands ())
+  | Opcode.Bsbb ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ disp ] ->
+            State.push_long st d.Decode.next_pc;
+            branch_to st disp;
+            true
+        | _ -> bad_operands ())
+  | Opcode.Jsb ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ dst ] -> (
+            match dst.Decode.loc with
+            | Decode.Mem va ->
+                State.push_long st d.Decode.next_pc;
+                State.set_pc st va;
+                true
+            | Decode.Reg _ | Decode.Imm _ ->
+                raise (State.Fault State.Reserved_addressing))
+        | _ -> bad_operands ())
+  | Opcode.Rsb ->
+      (fun st _d ~start_pc:_ ->
+        State.set_pc st (State.pop_long st);
+        true)
+  | Opcode.Jmp ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ dst ] -> (
+            match dst.Decode.loc with
+            | Decode.Mem va ->
+                State.set_pc st va;
+                true
+            | Decode.Reg _ | Decode.Imm _ ->
+                raise (State.Fault State.Reserved_addressing))
+        | _ -> bad_operands ())
+  | Opcode.Calls ->
+      (fun st d ~start_pc:_ ->
+        match d.Decode.operands with
+        | [ narg; dst ] -> (
+            match dst.Decode.loc with
+            | Decode.Mem va ->
+                let n = Decode.read_value st narg in
+                State.push_long st n;
+                let arg_base = State.sp st in
+                State.push_long st d.Decode.next_pc;
+                State.push_long st (State.reg st 13) (* FP *);
+                State.push_long st (State.reg st 12) (* AP *);
+                State.set_reg st 13 (State.sp st);
+                State.set_reg st 12 arg_base;
+                State.set_pc st va;
+                true
+            | Decode.Reg _ | Decode.Imm _ ->
+                raise (State.Fault State.Reserved_addressing))
+        | _ -> bad_operands ())
+  | Opcode.Ret ->
+      (fun st _d ~start_pc:_ ->
+        State.set_sp st (State.reg st 13);
+        State.set_reg st 12 (State.pop_long st);
+        State.set_reg st 13 (State.pop_long st);
+        let ret_pc = State.pop_long st in
+        let n = State.pop_long st in
+        State.set_sp st (Word.add (State.sp st) (4 * (n land 0xFF)));
+        State.set_pc st ret_pc;
+        true)
+
+let execute st (d : Decode.decoded) ~start_pc =
+  (handler_of d.Decode.opcode) st d ~start_pc
 
 (* ------------------------------------------------------------------ *)
 (* Step                                                                *)
+
+let enc_int op =
+  match Opcode.encoding op with
+  | [ b ] -> b
+  | [ p; b ] -> (p lsl 8) lor b
+  | _ -> 0
+
+(* The post-decode half of a step, shared verbatim between the per-step
+   loop and the block engine's cold path so the two engines agree on
+   counter/charge/retire order by construction. *)
+let run_decoded st (d : Decode.decoded) ~start_pc =
+  st.State.instructions <- st.State.instructions + 1;
+  let was_vm = Psl.vm st.State.psl in
+  if was_vm then st.State.vm_instructions <- st.State.vm_instructions + 1;
+  Cycles.charge st.State.clock (Opcode.base_cycles d.Decode.opcode);
+  let pc_set = execute st d ~start_pc in
+  if not pc_set then State.set_pc st d.Decode.next_pc;
+  (* retire: the instruction completed without faulting *)
+  let tr = st.State.trace in
+  if Vax_obs.Trace.enabled tr then
+    Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:(enc_int d.Decode.opcode)
+      ~c:(if was_vm then 1 else 0)
+      start_pc
+
+let fault_finish st decoded ~start_pc f =
+  let next_pc =
+    match decoded with Some d -> d.Decode.next_pc | None -> start_pc
+  in
+  (* fault-style exceptions back out operand side effects; trap-style
+     (arithmetic) leave them applied *)
+  (match (f, decoded) with
+  | State.Arithmetic_trap _, _ | _, None -> ()
+  | _, Some d -> Decode.undo_side_effects st d);
+  Microcode.dispatch_fault st ~start_pc ~next_pc f
+
+(* Physical address of a page-straddling instruction's first byte on its
+   second page, when the TLB can resolve it without charging anything
+   ([try_translate] is free on a hit and refuses on a miss).  [None]
+   leaves the instruction uncacheable, exactly as before. *)
+let straddle_pa2 st start_pc (tmpl : Decode_cache.template) pa =
+  if Addr.offset pa + tmpl.Decode_cache.t_len > Addr.page_size then begin
+    let second_va = Word.add start_pc (Addr.page_size - Addr.offset pa) in
+    let pa2 =
+      Mmu.try_translate st.State.mmu ~mode:(State.cur_mode st) ~write:false
+        second_va
+    in
+    if pa2 >= 0 then Some pa2 else None
+  end
+  else None
 
 let step st =
   if st.State.halted then Machine_halted
@@ -598,39 +869,14 @@ let step st =
             | tmpl -> Decode.operandize st tmpl ~start_pc
             | exception Not_found ->
                 let d = Decode.decode st in
-                Decode_cache.store st.State.dcache ~mmu:st.State.mmu pa
-                  d.Decode.tmpl;
+                Decode_cache.store st.State.dcache ~mmu:st.State.mmu
+                  ?pa2:(straddle_pa2 st start_pc d.Decode.tmpl pa)
+                  pa d.Decode.tmpl;
                 d
           in
           decoded := Some d;
-          st.State.instructions <- st.State.instructions + 1;
-          let was_vm = Psl.vm st.State.psl in
-          if was_vm then
-            st.State.vm_instructions <- st.State.vm_instructions + 1;
-          Cycles.charge st.State.clock (Opcode.base_cycles d.Decode.opcode);
-          let pc_set = execute st d ~start_pc in
-          if not pc_set then State.set_pc st d.Decode.next_pc;
-          (* retire: the instruction completed without faulting *)
-          let tr = st.State.trace in
-          if Vax_obs.Trace.enabled tr then
-            Vax_obs.Trace.emit tr Vax_obs.Trace.Retire
-              ~b:
-                (match Opcode.encoding d.Decode.opcode with
-                | [ b ] -> b
-                | [ p; b ] -> (p lsl 8) lor b
-                | _ -> 0)
-              ~c:(if was_vm then 1 else 0)
-              start_pc
-        with State.Fault f ->
-          let next_pc =
-            match !decoded with Some d -> d.Decode.next_pc | None -> start_pc
-          in
-          (* fault-style exceptions back out operand side effects;
-             trap-style (arithmetic) leave them applied *)
-          (match (f, !decoded) with
-          | State.Arithmetic_trap _, _ | _, None -> ()
-          | _, Some d -> Decode.undo_side_effects st d);
-          Microcode.dispatch_fault st ~start_pc ~next_pc f));
+          run_decoded st d ~start_pc
+        with State.Fault f -> fault_finish st !decoded ~start_pc f));
     if st.State.halted then Machine_halted
     else if st.State.stop_requested then Stopped
     else Stepped
@@ -645,3 +891,1768 @@ let run st ?(max_instructions = max_int) () =
       | (Machine_halted | Stopped) as s -> s
   in
   loop max_instructions
+
+(* ================================================================== *)
+(* Superblock engine                                                   *)
+(*                                                                     *)
+(* A block slot's closure replays one instruction exactly as [step]     *)
+(* would after the decode-cache probe: same operand-specifier charges   *)
+(* in the same order, same eval-time memory reads, same counter bumps,  *)
+(* same base-cycle charge, same fault next-PC protocol.  The common     *)
+(* addressing shapes compile to a fused closure with no decoded-record  *)
+(* allocation at all; everything else gets a generic slot that calls    *)
+(* [Decode.operandize] with the handler pre-resolved.                   *)
+(* ================================================================== *)
+
+let reserved_addressing () = raise (State.Fault State.Reserved_addressing)
+
+(* Fast operand IR: the side-effect-free addressing shapes.  Evaluating
+   one never changes a register, so faults need no undo and addresses
+   can be recomputed at write time. *)
+type faddr =
+  | A_reg of int  (* (Rn) *)
+  | A_disp of int * Word.t  (* disp(Rn) *)
+  | A_pc of Word.t  (* start_pc + fixed offset (PC-relative forms) *)
+  | A_abs of Word.t
+
+type fop = F_imm of Word.t | F_reg of int | F_mem of faddr
+
+(* branch displacements get the fused target offset instead *)
+type farg = FA of fop | FB of Word.t | FX
+
+let fop_of_shape (ts : Decode_cache.tspec) =
+  match ts.Decode_cache.t_shape with
+  | Decode_cache.Sh_literal v -> Some (F_imm v)
+  | Decode_cache.Sh_register rn -> Some (F_reg rn)
+  | Decode_cache.Sh_reg_deferred rn ->
+      Some (F_mem (if rn = 15 then A_pc ts.Decode_cache.t_after else A_reg rn))
+  | Decode_cache.Sh_disp { rn; disp; deferred = false } ->
+      Some
+        (F_mem
+           (if rn = 15 then A_pc (Word.add disp ts.Decode_cache.t_after)
+            else A_disp (rn, disp)))
+  | Decode_cache.Sh_absolute va -> Some (F_mem (A_abs va))
+  | Decode_cache.Sh_autodec _ | Decode_cache.Sh_autoinc _
+  | Decode_cache.Sh_autoinc_deferred _
+  | Decode_cache.Sh_disp { deferred = true; _ }
+  | Decode_cache.Sh_branch _ ->
+      None
+
+let farg_of_spec (ts : Decode_cache.tspec) =
+  match ts.Decode_cache.t_shape with
+  | Decode_cache.Sh_branch disp ->
+      FB (Word.add disp ts.Decode_cache.t_after)
+  | _ -> ( match fop_of_shape ts with Some f -> FA f | None -> FX)
+
+let charge_spec st = Cycles.charge st.State.clock Cost.operand_specifier
+
+let faddr_va st start_pc = function
+  | A_reg rn -> State.reg st rn
+  | A_disp (rn, disp) -> Word.add (State.reg st rn) disp
+  | A_pc ofs -> Word.add start_pc ofs
+  | A_abs va -> va
+
+(* reads mirror [Decode.mk]: immediates raw, registers masked to the
+   operand width, memory through the mode-checked accessors *)
+let fread_long st start_pc = function
+  | F_imm v -> v
+  | F_reg rn -> State.reg st rn
+  | F_mem a -> State.read_long st (State.cur_mode st) (faddr_va st start_pc a)
+
+let fread_byte st start_pc = function
+  | F_imm v -> v
+  | F_reg rn -> State.reg st rn land 0xFF
+  | F_mem a -> State.read_byte st (State.cur_mode st) (faddr_va st start_pc a)
+
+let fmodify_long = fread_long
+
+(* writes mirror [Decode.write_value] *)
+let fwrite_long st start_pc f v =
+  match f with
+  | F_reg rn -> State.set_reg st rn v
+  | F_mem a -> State.write_long st (State.cur_mode st) (faddr_va st start_pc a) v
+  | F_imm _ -> reserved_addressing ()
+
+let fwrite_byte st start_pc f v =
+  match f with
+  | F_reg rn ->
+      State.set_reg st rn
+        (Word.logor (Word.logand (State.reg st rn) 0xFFFF_FF00) (v land 0xFF))
+  | F_mem a ->
+      State.write_byte st (State.cur_mode st) (faddr_va st start_pc a)
+        (v land 0xFF)
+  | F_imm _ -> reserved_addressing ()
+
+let wr = function F_imm _ -> false | F_reg _ | F_mem _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Hot-shape compiler.
+
+   The generic fast compiler below pays three per-execution overheads
+   that add up to more than the useful work of a register-to-register
+   instruction: a [ref] allocation plus a try frame for the fault
+   next-PC protocol, a two-level shape dispatch per operand access, and
+   one [Cycles.charge] call per specifier.  These arms re-express the
+   hottest opcode/operand combinations without them:
+
+   - adjacent cycle charges with no possible fault point between them
+     are merged into a single [Cycles.charge].  Merging is
+     cycle-identical: faults are the only mid-instruction observers of
+     the clock (interrupts are sampled at instruction boundaries only),
+     and register/immediate operands cannot fault;
+   - instead of one ref-tracked handler around the whole body, each
+     faultable phase gets its own [match ... with exception] with the
+     next-PC of that phase baked in: operand evaluation reports
+     [next_pc = start_pc], everything after evaluation committed (the
+     destination write, a division trap, the overflow trap) reports the
+     instruction's end.  Bodies whose operands are all
+     register/immediate carry no handler at all;
+   - operand access is pre-resolved at compile time to a direct
+     register index or a single address closure.
+
+   A fault raised by [dispatch_fault] itself propagates, as in
+   [step]. *)
+
+let compile_fast_hot (tmpl : Decode_cache.template) =
+  let op = tmpl.Decode_cache.t_opcode in
+  let len = tmpl.Decode_cache.t_len in
+  let base = Opcode.base_cycles op in
+  let enc = enc_int op in
+  let spec = Cost.operand_specifier in
+  let commit st =
+    st.State.instructions <- st.State.instructions + 1;
+    let was_vm = Psl.vm st.State.psl in
+    if was_vm then st.State.vm_instructions <- st.State.vm_instructions + 1;
+    was_vm
+  in
+  let retire st start_pc was_vm =
+    let tr = st.State.trace in
+    if Vax_obs.Trace.enabled tr then
+      Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+        ~c:(if was_vm then 1 else 0)
+        start_pc
+  in
+  let finish st start_pc was_vm =
+    State.set_pc st (Word.add start_pc len);
+    retire st start_pc was_vm
+  in
+  let fault0 st pc f = Microcode.dispatch_fault st ~start_pc:pc ~next_pc:pc f in
+  let fault1 st pc f =
+    Microcode.dispatch_fault st ~start_pc:pc ~next_pc:(Word.add pc len) f
+  in
+  (* [check_overflow_trap] + the handler's dispatch, fused *)
+  let ovf_finish st pc was_vm =
+    if Psl.v st.State.psl && Psl.iv st.State.psl then
+      fault1 st pc (State.Arithmetic_trap 1)
+    else finish st pc was_vm
+  in
+  (* pre-resolved operand accessors; [rd_pure] never faults *)
+  let rd_pure = function
+    | F_imm v -> fun _ -> v
+    | F_reg rn -> fun st -> Array.unsafe_get st.State.regs rn
+    | F_mem _ -> assert false
+  in
+  let rd_pure_b = function
+    | F_imm v -> fun _ -> v
+    | F_reg rn -> fun st -> Array.unsafe_get st.State.regs rn land 0xFF
+    | F_mem _ -> assert false
+  in
+  let va_of = function
+    | A_reg rn -> fun st _ -> Array.unsafe_get st.State.regs rn
+    | A_disp (rn, disp) ->
+        fun st _ -> Word.add (Array.unsafe_get st.State.regs rn) disp
+    | A_pc ofs -> fun _ pc -> Word.add pc ofs
+    | A_abs va -> fun _ _ -> va
+  in
+  let rd_mem = function
+    | A_reg rn ->
+        fun st _ ->
+          State.read_long st (State.cur_mode st)
+            (Array.unsafe_get st.State.regs rn)
+    | A_disp (rn, disp) ->
+        fun st _ ->
+          State.read_long st (State.cur_mode st)
+            (Word.add (Array.unsafe_get st.State.regs rn) disp)
+    | A_pc ofs ->
+        fun st pc -> State.read_long st (State.cur_mode st) (Word.add pc ofs)
+    | A_abs va -> fun st _ -> State.read_long st (State.cur_mode st) va
+  in
+  let rd_mem_b = function
+    | A_reg rn ->
+        fun st _ ->
+          State.read_byte st (State.cur_mode st)
+            (Array.unsafe_get st.State.regs rn)
+    | A_disp (rn, disp) ->
+        fun st _ ->
+          State.read_byte st (State.cur_mode st)
+            (Word.add (Array.unsafe_get st.State.regs rn) disp)
+    | A_pc ofs ->
+        fun st pc -> State.read_byte st (State.cur_mode st) (Word.add pc ofs)
+    | A_abs va -> fun st _ -> State.read_byte st (State.cur_mode st) va
+  in
+  let wr_mem = function
+    | A_reg rn ->
+        fun st _ v ->
+          State.write_long st (State.cur_mode st)
+            (Array.unsafe_get st.State.regs rn)
+            v
+    | A_disp (rn, disp) ->
+        fun st _ v ->
+          State.write_long st (State.cur_mode st)
+            (Word.add (Array.unsafe_get st.State.regs rn) disp)
+            v
+    | A_pc ofs ->
+        fun st pc v ->
+          State.write_long st (State.cur_mode st) (Word.add pc ofs) v
+    | A_abs va -> fun st _ v -> State.write_long st (State.cur_mode st) va v
+  in
+  let wr_mem_b = function
+    | A_reg rn ->
+        fun st _ v ->
+          State.write_byte st (State.cur_mode st)
+            (Array.unsafe_get st.State.regs rn)
+            (v land 0xFF)
+    | A_disp (rn, disp) ->
+        fun st _ v ->
+          State.write_byte st (State.cur_mode st)
+            (Word.add (Array.unsafe_get st.State.regs rn) disp)
+            (v land 0xFF)
+    | A_pc ofs ->
+        fun st pc v ->
+          State.write_byte st (State.cur_mode st) (Word.add pc ofs)
+            (v land 0xFF)
+    | A_abs va ->
+        fun st _ v ->
+          State.write_byte st (State.cur_mode st) va (v land 0xFF)
+  in
+  (* write a byte into the low byte of a register, [Decode.write_value]
+     style *)
+  let set_reg_b st rn v =
+    Array.unsafe_set st.State.regs rn
+      (Array.unsafe_get st.State.regs rn land 0xFFFF_FF00 lor (v land 0xFF))
+  in
+  (* conditional branch: one specifier, nothing can fault *)
+  let cbr tofs cond =
+    let call = spec + base in
+    Some
+      (fun st pc ->
+        Cycles.charge st.State.clock call;
+        st.State.instructions <- st.State.instructions + 1;
+        let was_vm = Psl.vm st.State.psl in
+        if was_vm then st.State.vm_instructions <- st.State.vm_instructions + 1;
+        if cond st.State.psl then State.set_pc st (Word.add pc tofs)
+        else State.set_pc st (Word.add pc len);
+        let tr = st.State.trace in
+        if Vax_obs.Trace.enabled tr then
+          Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+            ~c:(if was_vm then 1 else 0)
+            pc)
+  in
+  (* two-operand read-modify-write arithmetic.  [f] may raise (division
+     by zero), always after evaluation committed, so its phase reports
+     the instruction's end.  The register-destination combos inline the
+     commit/retire bookkeeping textually: a helper-call chain costs more
+     than the useful work at this size. *)
+  let arith2 s d f ~ovf =
+    match (s, d) with
+    | (F_imm _ | F_reg _), F_reg dr ->
+        let rd = rd_pure s in
+        let call = (2 * spec) + base in
+        Some
+          (fun st pc ->
+            Cycles.charge st.State.clock call;
+            st.State.instructions <- st.State.instructions + 1;
+            let was_vm = Psl.vm st.State.psl in
+            if was_vm then
+              st.State.vm_instructions <- st.State.vm_instructions + 1;
+            let sv = rd st in
+            let dv = Array.unsafe_get st.State.regs dr in
+            match f st dv sv with
+            | exception State.Fault fe -> fault1 st pc fe
+            | r ->
+                Array.unsafe_set st.State.regs dr (Word.mask r);
+                if ovf && Psl.v st.State.psl && Psl.iv st.State.psl then
+                  fault1 st pc (State.Arithmetic_trap 1)
+                else begin
+                  State.set_pc st (Word.add pc len);
+                  let tr = st.State.trace in
+                  if Vax_obs.Trace.enabled tr then
+                    Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+                      ~c:(if was_vm then 1 else 0)
+                      pc
+                end)
+    | F_mem a, F_reg dr ->
+        let rd = rd_mem a in
+        let tail = spec + base in
+        Some
+          (fun st pc ->
+            Cycles.charge st.State.clock spec;
+            match rd st pc with
+            | exception State.Fault fe -> fault0 st pc fe
+            | sv -> (
+                Cycles.charge st.State.clock tail;
+                st.State.instructions <- st.State.instructions + 1;
+                let was_vm = Psl.vm st.State.psl in
+                if was_vm then
+                  st.State.vm_instructions <- st.State.vm_instructions + 1;
+                let dv = Array.unsafe_get st.State.regs dr in
+                match f st dv sv with
+                | exception State.Fault fe -> fault1 st pc fe
+                | r ->
+                    Array.unsafe_set st.State.regs dr (Word.mask r);
+                    if ovf && Psl.v st.State.psl && Psl.iv st.State.psl then
+                      fault1 st pc (State.Arithmetic_trap 1)
+                    else begin
+                      State.set_pc st (Word.add pc len);
+                      let tr = st.State.trace in
+                      if Vax_obs.Trace.enabled tr then
+                        Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+                          ~c:(if was_vm then 1 else 0)
+                          pc
+                    end))
+    | (F_imm _ | F_reg _), F_mem a ->
+        let rd = rd_pure s in
+        let rdm = rd_mem a in
+        let wrm = wr_mem a in
+        Some
+          (fun st pc ->
+            Cycles.charge st.State.clock (2 * spec);
+            match rdm st pc with
+            | exception State.Fault fe -> fault0 st pc fe
+            | dv -> (
+                Cycles.charge st.State.clock base;
+                let was_vm = commit st in
+                let sv = rd st in
+                match
+                  let r = f st dv sv in
+                  wrm st pc r
+                with
+                | exception State.Fault fe -> fault1 st pc fe
+                | () ->
+                    if ovf then ovf_finish st pc was_vm
+                    else finish st pc was_vm))
+    | F_mem sa, F_mem da ->
+        let rds = rd_mem sa in
+        let rdm = rd_mem da in
+        let wrm = wr_mem da in
+        Some
+          (fun st pc ->
+            Cycles.charge st.State.clock spec;
+            match rds st pc with
+            | exception State.Fault fe -> fault0 st pc fe
+            | sv -> (
+                Cycles.charge st.State.clock spec;
+                match rdm st pc with
+                | exception State.Fault fe -> fault0 st pc fe
+                | dv -> (
+                    Cycles.charge st.State.clock base;
+                    let was_vm = commit st in
+                    match
+                      let r = f st dv sv in
+                      wrm st pc r
+                    with
+                    | exception State.Fault fe -> fault1 st pc fe
+                    | () ->
+                        if ovf then ovf_finish st pc was_vm
+                        else finish st pc was_vm)))
+    | _, F_imm _ -> None
+  in
+  (* three-operand arithmetic with a register destination; memory
+     destinations fall back to the generic compiler *)
+  let arith3 a b d f ~ovf =
+    match (a, b, d) with
+    | (F_imm _ | F_reg _), (F_imm _ | F_reg _), F_reg dr ->
+        let rda = rd_pure a in
+        let rdb = rd_pure b in
+        let call = (3 * spec) + base in
+        Some
+          (fun st pc ->
+            Cycles.charge st.State.clock call;
+            st.State.instructions <- st.State.instructions + 1;
+            let was_vm = Psl.vm st.State.psl in
+            if was_vm then
+              st.State.vm_instructions <- st.State.vm_instructions + 1;
+            let av = rda st in
+            let bv = rdb st in
+            match f st av bv with
+            | exception State.Fault fe -> fault1 st pc fe
+            | r ->
+                Array.unsafe_set st.State.regs dr (Word.mask r);
+                if ovf && Psl.v st.State.psl && Psl.iv st.State.psl then
+                  fault1 st pc (State.Arithmetic_trap 1)
+                else begin
+                  State.set_pc st (Word.add pc len);
+                  let tr = st.State.trace in
+                  if Vax_obs.Trace.enabled tr then
+                    Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+                      ~c:(if was_vm then 1 else 0)
+                      pc
+                end)
+    | F_mem aa, (F_imm _ | F_reg _), F_reg dr ->
+        let rda = rd_mem aa in
+        let rdb = rd_pure b in
+        let tail = (2 * spec) + base in
+        Some
+          (fun st pc ->
+            Cycles.charge st.State.clock spec;
+            match rda st pc with
+            | exception State.Fault fe -> fault0 st pc fe
+            | av -> (
+                Cycles.charge st.State.clock tail;
+                let was_vm = commit st in
+                let bv = rdb st in
+                match f st av bv with
+                | exception State.Fault fe -> fault1 st pc fe
+                | r ->
+                    Array.unsafe_set st.State.regs dr (Word.mask r);
+                    if ovf then ovf_finish st pc was_vm
+                    else finish st pc was_vm))
+    | (F_imm _ | F_reg _), F_mem ba, F_reg dr ->
+        let rda = rd_pure a in
+        let rdb = rd_mem ba in
+        let tail = spec + base in
+        Some
+          (fun st pc ->
+            Cycles.charge st.State.clock (2 * spec);
+            match rdb st pc with
+            | exception State.Fault fe -> fault0 st pc fe
+            | bv -> (
+                Cycles.charge st.State.clock tail;
+                let was_vm = commit st in
+                let av = rda st in
+                match f st av bv with
+                | exception State.Fault fe -> fault1 st pc fe
+                | r ->
+                    Array.unsafe_set st.State.regs dr (Word.mask r);
+                    if ovf then ovf_finish st pc was_vm
+                    else finish st pc was_vm))
+    | _ -> None
+  in
+  match (op, List.map farg_of_spec tmpl.Decode_cache.t_specs) with
+  | Opcode.Nop, [] ->
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock base;
+          let was_vm = commit st in
+          finish st pc was_vm)
+  | Opcode.Movl, [ FA s; FA d ] -> (
+      match (s, d) with
+      | (F_imm _ | F_reg _), F_reg dr ->
+          let rd = rd_pure s in
+          let call = (2 * spec) + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock call;
+              st.State.instructions <- st.State.instructions + 1;
+              let was_vm = Psl.vm st.State.psl in
+              if was_vm then
+                st.State.vm_instructions <- st.State.vm_instructions + 1;
+              let v = rd st in
+              Array.unsafe_set st.State.regs dr (Word.mask v);
+              set_nz_keep_c st v;
+              State.set_pc st (Word.add pc len);
+              let tr = st.State.trace in
+              if Vax_obs.Trace.enabled tr then
+                Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+                  ~c:(if was_vm then 1 else 0)
+                  pc)
+      | F_mem a, F_reg dr ->
+          let rd = rd_mem a in
+          let tail = spec + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock spec;
+              match rd st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | v ->
+                  Cycles.charge st.State.clock tail;
+                  st.State.instructions <- st.State.instructions + 1;
+                  let was_vm = Psl.vm st.State.psl in
+                  if was_vm then
+                    st.State.vm_instructions <- st.State.vm_instructions + 1;
+                  Array.unsafe_set st.State.regs dr (Word.mask v);
+                  set_nz_keep_c st v;
+                  State.set_pc st (Word.add pc len);
+                  let tr = st.State.trace in
+                  if Vax_obs.Trace.enabled tr then
+                    Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+                      ~c:(if was_vm then 1 else 0)
+                      pc)
+      | (F_imm _ | F_reg _), F_mem a ->
+          let rd = rd_pure s in
+          let wrm = wr_mem a in
+          let call = (2 * spec) + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock call;
+              st.State.instructions <- st.State.instructions + 1;
+              let was_vm = Psl.vm st.State.psl in
+              if was_vm then
+                st.State.vm_instructions <- st.State.vm_instructions + 1;
+              let v = rd st in
+              match wrm st pc v with
+              | exception State.Fault f -> fault1 st pc f
+              | () ->
+                  set_nz_keep_c st v;
+                  State.set_pc st (Word.add pc len);
+                  let tr = st.State.trace in
+                  if Vax_obs.Trace.enabled tr then
+                    Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+                      ~c:(if was_vm then 1 else 0)
+                      pc)
+      | F_mem sa, F_mem da ->
+          let rd = rd_mem sa in
+          let wrm = wr_mem da in
+          let tail = spec + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock spec;
+              match rd st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | v -> (
+                  Cycles.charge st.State.clock tail;
+                  let was_vm = commit st in
+                  match wrm st pc v with
+                  | exception State.Fault f -> fault1 st pc f
+                  | () ->
+                      set_nz_keep_c st v;
+                      finish st pc was_vm))
+      | _, F_imm _ -> None)
+  | Opcode.Movb, [ FA s; FA d ] -> (
+      match (s, d) with
+      | (F_imm _ | F_reg _), F_reg dr ->
+          let rd = rd_pure_b s in
+          let call = (2 * spec) + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock call;
+              let was_vm = commit st in
+              let v = rd st land 0xFF in
+              set_reg_b st dr v;
+              set_nz_byte_keep_c st v;
+              finish st pc was_vm)
+      | F_mem a, F_reg dr ->
+          let rd = rd_mem_b a in
+          let tail = spec + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock spec;
+              match rd st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | v0 ->
+                  Cycles.charge st.State.clock tail;
+                  let was_vm = commit st in
+                  let v = v0 land 0xFF in
+                  set_reg_b st dr v;
+                  set_nz_byte_keep_c st v;
+                  finish st pc was_vm)
+      | (F_imm _ | F_reg _), F_mem a ->
+          let rd = rd_pure_b s in
+          let wrm = wr_mem_b a in
+          let call = (2 * spec) + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock call;
+              let was_vm = commit st in
+              let v = rd st land 0xFF in
+              match wrm st pc v with
+              | exception State.Fault f -> fault1 st pc f
+              | () ->
+                  set_nz_byte_keep_c st v;
+                  finish st pc was_vm)
+      | F_mem sa, F_mem da ->
+          let rd = rd_mem_b sa in
+          let wrm = wr_mem_b da in
+          let tail = spec + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock spec;
+              match rd st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | v0 -> (
+                  Cycles.charge st.State.clock tail;
+                  let was_vm = commit st in
+                  let v = v0 land 0xFF in
+                  match wrm st pc v with
+                  | exception State.Fault f -> fault1 st pc f
+                  | () ->
+                      set_nz_byte_keep_c st v;
+                      finish st pc was_vm))
+      | _, F_imm _ -> None)
+  | Opcode.Movzbl, [ FA s; FA (F_reg dr) ] -> (
+      match s with
+      | F_imm _ | F_reg _ ->
+          let rd = rd_pure_b s in
+          let call = (2 * spec) + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock call;
+              let was_vm = commit st in
+              let v = rd st land 0xFF in
+              Array.unsafe_set st.State.regs dr v;
+              set_nzvc st ~n:false ~z:(v = 0) ~v:false ~c:(Psl.c st.State.psl);
+              finish st pc was_vm)
+      | F_mem a ->
+          let rd = rd_mem_b a in
+          let tail = spec + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock spec;
+              match rd st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | v0 ->
+                  Cycles.charge st.State.clock tail;
+                  let was_vm = commit st in
+                  let v = v0 land 0xFF in
+                  Array.unsafe_set st.State.regs dr v;
+                  set_nzvc st ~n:false ~z:(v = 0) ~v:false
+                    ~c:(Psl.c st.State.psl);
+                  finish st pc was_vm))
+  | Opcode.Clrl, [ FA (F_reg dr) ] ->
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          Array.unsafe_set st.State.regs dr 0;
+          set_nz_keep_c st 0;
+          finish st pc was_vm)
+  | Opcode.Clrl, [ FA (F_mem a) ] ->
+      let wrm = wr_mem a in
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          match wrm st pc 0 with
+          | exception State.Fault f -> fault1 st pc f
+          | () ->
+              set_nz_keep_c st 0;
+              finish st pc was_vm)
+  | Opcode.Clrb, [ FA (F_reg dr) ] ->
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          set_reg_b st dr 0;
+          set_nz_byte_keep_c st 0;
+          finish st pc was_vm)
+  | Opcode.Clrb, [ FA (F_mem a) ] ->
+      let wrm = wr_mem_b a in
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          match wrm st pc 0 with
+          | exception State.Fault f -> fault1 st pc f
+          | () ->
+              set_nz_byte_keep_c st 0;
+              finish st pc was_vm)
+  | Opcode.Tstl, [ FA ((F_imm _ | F_reg _) as s) ] ->
+      let rd = rd_pure s in
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          let v = rd st in
+          set_nzvc st ~n:(Word.to_signed v < 0) ~z:(v = 0) ~v:false ~c:false;
+          finish st pc was_vm)
+  | Opcode.Tstl, [ FA (F_mem a) ] ->
+      let rd = rd_mem a in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock spec;
+          match rd st pc with
+          | exception State.Fault f -> fault0 st pc f
+          | v ->
+              Cycles.charge st.State.clock base;
+              let was_vm = commit st in
+              set_nzvc st ~n:(Word.to_signed v < 0) ~z:(v = 0) ~v:false
+                ~c:false;
+              finish st pc was_vm)
+  | Opcode.Tstb, [ FA ((F_imm _ | F_reg _) as s) ] ->
+      let rd = rd_pure_b s in
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          let v = rd st land 0xFF in
+          set_nzvc st ~n:(v land 0x80 <> 0) ~z:(v = 0) ~v:false ~c:false;
+          finish st pc was_vm)
+  | Opcode.Tstb, [ FA (F_mem a) ] ->
+      let rd = rd_mem_b a in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock spec;
+          match rd st pc with
+          | exception State.Fault f -> fault0 st pc f
+          | v0 ->
+              Cycles.charge st.State.clock base;
+              let was_vm = commit st in
+              let v = v0 land 0xFF in
+              set_nzvc st ~n:(v land 0x80 <> 0) ~z:(v = 0) ~v:false ~c:false;
+              finish st pc was_vm)
+  | Opcode.Cmpl, [ FA a; FA b ] -> (
+      match (a, b) with
+      | (F_imm _ | F_reg _), (F_imm _ | F_reg _) ->
+          let rda = rd_pure a in
+          let rdb = rd_pure b in
+          let call = (2 * spec) + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock call;
+              let was_vm = commit st in
+              compare_long st (rda st) (rdb st);
+              finish st pc was_vm)
+      | F_mem aa, (F_imm _ | F_reg _) ->
+          let rda = rd_mem aa in
+          let rdb = rd_pure b in
+          let tail = spec + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock spec;
+              match rda st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | av ->
+                  Cycles.charge st.State.clock tail;
+                  let was_vm = commit st in
+                  compare_long st av (rdb st);
+                  finish st pc was_vm)
+      | (F_imm _ | F_reg _), F_mem ba ->
+          let rda = rd_pure a in
+          let rdb = rd_mem ba in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock (2 * spec);
+              match rdb st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | bv ->
+                  Cycles.charge st.State.clock base;
+                  let was_vm = commit st in
+                  compare_long st (rda st) bv;
+                  finish st pc was_vm)
+      | F_mem aa, F_mem ba ->
+          let rda = rd_mem aa in
+          let rdb = rd_mem ba in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock spec;
+              match rda st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | av -> (
+                  Cycles.charge st.State.clock spec;
+                  match rdb st pc with
+                  | exception State.Fault f -> fault0 st pc f
+                  | bv ->
+                      Cycles.charge st.State.clock base;
+                      let was_vm = commit st in
+                      compare_long st av bv;
+                      finish st pc was_vm)))
+  | Opcode.Cmpb, [ FA a; FA b ] -> (
+      match (a, b) with
+      | (F_imm _ | F_reg _), (F_imm _ | F_reg _) ->
+          let rda = rd_pure_b a in
+          let rdb = rd_pure_b b in
+          let call = (2 * spec) + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock call;
+              let was_vm = commit st in
+              compare_byte st (rda st) (rdb st);
+              finish st pc was_vm)
+      | F_mem aa, (F_imm _ | F_reg _) ->
+          let rda = rd_mem_b aa in
+          let rdb = rd_pure_b b in
+          let tail = spec + base in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock spec;
+              match rda st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | av ->
+                  Cycles.charge st.State.clock tail;
+                  let was_vm = commit st in
+                  compare_byte st av (rdb st);
+                  finish st pc was_vm)
+      | (F_imm _ | F_reg _), F_mem ba ->
+          let rda = rd_pure_b a in
+          let rdb = rd_mem_b ba in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock (2 * spec);
+              match rdb st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | bv ->
+                  Cycles.charge st.State.clock base;
+                  let was_vm = commit st in
+                  compare_byte st (rda st) bv;
+                  finish st pc was_vm)
+      | F_mem aa, F_mem ba ->
+          let rda = rd_mem_b aa in
+          let rdb = rd_mem_b ba in
+          Some
+            (fun st pc ->
+              Cycles.charge st.State.clock spec;
+              match rda st pc with
+              | exception State.Fault f -> fault0 st pc f
+              | av -> (
+                  Cycles.charge st.State.clock spec;
+                  match rdb st pc with
+                  | exception State.Fault f -> fault0 st pc f
+                  | bv ->
+                      Cycles.charge st.State.clock base;
+                      let was_vm = commit st in
+                      compare_byte st av bv;
+                      finish st pc was_vm)))
+  | Opcode.Pushl, [ FA ((F_imm _ | F_reg _) as s) ] ->
+      let rd = rd_pure s in
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          let v = rd st in
+          match State.push_long st v with
+          | exception State.Fault f -> fault1 st pc f
+          | () ->
+              set_nz_keep_c st v;
+              finish st pc was_vm)
+  | Opcode.Pushl, [ FA (F_mem a) ] ->
+      let rd = rd_mem a in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock spec;
+          match rd st pc with
+          | exception State.Fault f -> fault0 st pc f
+          | v -> (
+              Cycles.charge st.State.clock base;
+              let was_vm = commit st in
+              match State.push_long st v with
+              | exception State.Fault f -> fault1 st pc f
+              | () ->
+                  set_nz_keep_c st v;
+                  finish st pc was_vm))
+  | Opcode.Moval, [ FA (F_mem a); FA (F_reg dr) ] ->
+      let va = va_of a in
+      let call = (2 * spec) + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          let v = va st pc in
+          Array.unsafe_set st.State.regs dr (Word.mask v);
+          set_nz_keep_c st v;
+          finish st pc was_vm)
+  | Opcode.Moval, [ FA (F_mem a); FA (F_mem da) ] ->
+      let va = va_of a in
+      let wrm = wr_mem da in
+      let call = (2 * spec) + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          let v = va st pc in
+          match wrm st pc v with
+          | exception State.Fault f -> fault1 st pc f
+          | () ->
+              set_nz_keep_c st v;
+              finish st pc was_vm)
+  | Opcode.Incl, [ FA (F_reg dr) ] ->
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          st.State.instructions <- st.State.instructions + 1;
+          let was_vm = Psl.vm st.State.psl in
+          if was_vm then
+            st.State.vm_instructions <- st.State.vm_instructions + 1;
+          let r = do_add st (Array.unsafe_get st.State.regs dr) 1 in
+          Array.unsafe_set st.State.regs dr r;
+          if Psl.v st.State.psl && Psl.iv st.State.psl then
+            fault1 st pc (State.Arithmetic_trap 1)
+          else begin
+            State.set_pc st (Word.add pc len);
+            let tr = st.State.trace in
+            if Vax_obs.Trace.enabled tr then
+              Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+                ~c:(if was_vm then 1 else 0)
+                pc
+          end)
+  | Opcode.Decl, [ FA (F_reg dr) ] ->
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          st.State.instructions <- st.State.instructions + 1;
+          let was_vm = Psl.vm st.State.psl in
+          if was_vm then
+            st.State.vm_instructions <- st.State.vm_instructions + 1;
+          let r = do_sub st (Array.unsafe_get st.State.regs dr) 1 in
+          Array.unsafe_set st.State.regs dr r;
+          if Psl.v st.State.psl && Psl.iv st.State.psl then
+            fault1 st pc (State.Arithmetic_trap 1)
+          else begin
+            State.set_pc st (Word.add pc len);
+            let tr = st.State.trace in
+            if Vax_obs.Trace.enabled tr then
+              Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+                ~c:(if was_vm then 1 else 0)
+                pc
+          end)
+  | Opcode.Incl, [ FA (F_mem a) ] ->
+      let rdm = rd_mem a in
+      let wrm = wr_mem a in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock spec;
+          match rdm st pc with
+          | exception State.Fault f -> fault0 st pc f
+          | dv -> (
+              Cycles.charge st.State.clock base;
+              let was_vm = commit st in
+              let r = do_add st dv 1 in
+              match wrm st pc r with
+              | exception State.Fault f -> fault1 st pc f
+              | () -> ovf_finish st pc was_vm))
+  | Opcode.Decl, [ FA (F_mem a) ] ->
+      let rdm = rd_mem a in
+      let wrm = wr_mem a in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock spec;
+          match rdm st pc with
+          | exception State.Fault f -> fault0 st pc f
+          | dv -> (
+              Cycles.charge st.State.clock base;
+              let was_vm = commit st in
+              let r = do_sub st dv 1 in
+              match wrm st pc r with
+              | exception State.Fault f -> fault1 st pc f
+              | () -> ovf_finish st pc was_vm))
+  | Opcode.Mnegl, [ FA ((F_imm _ | F_reg _) as s); FA (F_reg dr) ] ->
+      let rd = rd_pure s in
+      let call = (2 * spec) + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          let r = do_sub st 0 (rd st) in
+          Array.unsafe_set st.State.regs dr r;
+          ovf_finish st pc was_vm)
+  | Opcode.Mnegl, [ FA (F_mem a); FA (F_reg dr) ] ->
+      let rd = rd_mem a in
+      let tail = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock spec;
+          match rd st pc with
+          | exception State.Fault f -> fault0 st pc f
+          | sv ->
+              Cycles.charge st.State.clock tail;
+              let was_vm = commit st in
+              let r = do_sub st 0 sv in
+              Array.unsafe_set st.State.regs dr r;
+              ovf_finish st pc was_vm)
+  | Opcode.Addl2, [ FA s; FA d ] -> arith2 s d do_add ~ovf:true
+  | Opcode.Subl2, [ FA s; FA d ] -> arith2 s d do_sub ~ovf:true
+  | Opcode.Mull2, [ FA s; FA d ] -> arith2 s d do_mul ~ovf:true
+  | Opcode.Divl2, [ FA s; FA d ] -> arith2 s d do_div ~ovf:false
+  | Opcode.Bisl2, [ FA s; FA d ] ->
+      arith2 s d (fun st x y -> do_logic st Word.logor x y) ~ovf:false
+  | Opcode.Bicl2, [ FA s; FA d ] ->
+      arith2 s d
+        (fun st x y -> do_logic st (fun a b -> Word.logand a (Word.lognot b)) x y)
+        ~ovf:false
+  | Opcode.Xorl2, [ FA s; FA d ] ->
+      arith2 s d (fun st x y -> do_logic st Word.logxor x y) ~ovf:false
+  | Opcode.Addl3, [ FA a; FA b; FA d ] -> arith3 a b d do_add ~ovf:true
+  | Opcode.Subl3, [ FA a; FA b; FA d ] ->
+      arith3 a b d (fun st x y -> do_sub st y x) ~ovf:true
+  | Opcode.Mull3, [ FA a; FA b; FA d ] -> arith3 a b d do_mul ~ovf:true
+  | Opcode.Divl3, [ FA a; FA b; FA d ] ->
+      arith3 a b d (fun st x y -> do_div st y x) ~ovf:false
+  | Opcode.Bisl3, [ FA a; FA b; FA d ] ->
+      arith3 a b d (fun st x y -> do_logic st Word.logor x y) ~ovf:false
+  | Opcode.Bicl3, [ FA a; FA b; FA d ] ->
+      arith3 a b d
+        (fun st x y -> do_logic st (fun a b -> Word.logand b (Word.lognot a)) x y)
+        ~ovf:false
+  | Opcode.Xorl3, [ FA a; FA b; FA d ] ->
+      arith3 a b d (fun st x y -> do_logic st Word.logxor x y) ~ovf:false
+  | (Opcode.Brb | Opcode.Brw), [ FB tofs ] -> cbr tofs (fun _ -> true)
+  | Opcode.Bneq, [ FB t ] -> cbr t (fun p -> not (Psl.z p))
+  | Opcode.Beql, [ FB t ] -> cbr t Psl.z
+  | Opcode.Bgtr, [ FB t ] -> cbr t (fun p -> not (Psl.n p || Psl.z p))
+  | Opcode.Bleq, [ FB t ] -> cbr t (fun p -> Psl.n p || Psl.z p)
+  | Opcode.Bgeq, [ FB t ] -> cbr t (fun p -> not (Psl.n p))
+  | Opcode.Blss, [ FB t ] -> cbr t Psl.n
+  | Opcode.Bgtru, [ FB t ] -> cbr t (fun p -> not (Psl.c p || Psl.z p))
+  | Opcode.Blequ, [ FB t ] -> cbr t (fun p -> Psl.c p || Psl.z p)
+  | Opcode.Bvc, [ FB t ] -> cbr t (fun p -> not (Psl.v p))
+  | Opcode.Bvs, [ FB t ] -> cbr t Psl.v
+  | Opcode.Bcc, [ FB t ] -> cbr t (fun p -> not (Psl.c p))
+  | Opcode.Bcs, [ FB t ] -> cbr t Psl.c
+  | (Opcode.Blbs | Opcode.Blbc), [ FA ((F_imm _ | F_reg _) as s); FB tofs ]
+    ->
+      let want = if op = Opcode.Blbs then 1 else 0 in
+      let rd = rd_pure s in
+      let call = (2 * spec) + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          if rd st land 1 = want then State.set_pc st (Word.add pc tofs)
+          else State.set_pc st (Word.add pc len);
+          retire st pc was_vm)
+  | (Opcode.Blbs | Opcode.Blbc), [ FA (F_mem a); FB tofs ] ->
+      let want = if op = Opcode.Blbs then 1 else 0 in
+      let rd = rd_mem a in
+      let tail = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock spec;
+          match rd st pc with
+          | exception State.Fault f -> fault0 st pc f
+          | v ->
+              Cycles.charge st.State.clock tail;
+              let was_vm = commit st in
+              if v land 1 = want then State.set_pc st (Word.add pc tofs)
+              else State.set_pc st (Word.add pc len);
+              retire st pc was_vm)
+  | Opcode.Sobgtr, [ FA (F_reg rn); FB tofs ] ->
+      let call = (2 * spec) + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          st.State.instructions <- st.State.instructions + 1;
+          let was_vm = Psl.vm st.State.psl in
+          if was_vm then
+            st.State.vm_instructions <- st.State.vm_instructions + 1;
+          let r = do_sub st (Array.unsafe_get st.State.regs rn) 1 in
+          Array.unsafe_set st.State.regs rn r;
+          if Word.to_signed r > 0 then State.set_pc st (Word.add pc tofs)
+          else State.set_pc st (Word.add pc len);
+          let tr = st.State.trace in
+          if Vax_obs.Trace.enabled tr then
+            Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+              ~c:(if was_vm then 1 else 0)
+              pc)
+  | Opcode.Aoblss, [ FA ((F_imm _ | F_reg _) as l); FA (F_reg rn); FB tofs ]
+    ->
+      let rdl = rd_pure l in
+      let call = (3 * spec) + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          let lv = rdl st in
+          let r = do_add st (Array.unsafe_get st.State.regs rn) 1 in
+          Array.unsafe_set st.State.regs rn r;
+          if Word.signed_lt r lv then State.set_pc st (Word.add pc tofs)
+          else State.set_pc st (Word.add pc len);
+          retire st pc was_vm)
+  | Opcode.Bsbb, [ FB tofs ] ->
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          match State.push_long st (Word.add pc len) with
+          | exception State.Fault f -> fault1 st pc f
+          | () ->
+              State.set_pc st (Word.add pc tofs);
+              retire st pc was_vm)
+  | Opcode.Jsb, [ FA (F_mem a) ] ->
+      let va = va_of a in
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          let target = va st pc in
+          match State.push_long st (Word.add pc len) with
+          | exception State.Fault f -> fault1 st pc f
+          | () ->
+              State.set_pc st target;
+              retire st pc was_vm)
+  | Opcode.Jmp, [ FA (F_mem a) ] ->
+      let va = va_of a in
+      let call = spec + base in
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock call;
+          let was_vm = commit st in
+          State.set_pc st (va st pc);
+          retire st pc was_vm)
+  | Opcode.Rsb, [] ->
+      Some
+        (fun st pc ->
+          Cycles.charge st.State.clock base;
+          let was_vm = commit st in
+          match State.pop_long st with
+          | exception State.Fault f -> fault1 st pc f
+          | v ->
+              State.set_pc st v;
+              retire st pc was_vm)
+  | _ -> None
+
+(* Generic fast compiler: the [np] ref tracks the fault next-PC exactly
+   like [step]'s [decoded] option: [start_pc] while operands are still
+   being evaluated (no undo needed — fast shapes have no side effects),
+   the instruction's end once evaluation committed.  A fault raised by
+   [dispatch_fault] itself propagates, as in [step].  The hottest
+   opcode/operand combinations never reach this compiler — see
+   [compile_fast_hot] below. *)
+let compile_fast_gen (tmpl : Decode_cache.template) =
+  let op = tmpl.Decode_cache.t_opcode in
+  let len = tmpl.Decode_cache.t_len in
+  let base = Opcode.base_cycles op in
+  let enc = enc_int op in
+  let commit st =
+    st.State.instructions <- st.State.instructions + 1;
+    let was_vm = Psl.vm st.State.psl in
+    if was_vm then st.State.vm_instructions <- st.State.vm_instructions + 1;
+    Cycles.charge st.State.clock base;
+    was_vm
+  in
+  let retire st start_pc was_vm =
+    let tr = st.State.trace in
+    if Vax_obs.Trace.enabled tr then
+      Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+        ~c:(if was_vm then 1 else 0)
+        start_pc
+  in
+  let finish st start_pc was_vm =
+    State.set_pc st (Word.add start_pc len);
+    retire st start_pc was_vm
+  in
+  let slot body =
+    Some
+      (fun st start_pc ->
+        let np = ref start_pc in
+        try body st start_pc np
+        with State.Fault f ->
+          Microcode.dispatch_fault st ~start_pc ~next_pc:!np f)
+  in
+  let cbr tofs cond =
+    slot (fun st pc np ->
+        charge_spec st;
+        np := Word.add pc len;
+        let was_vm = commit st in
+        if cond st.State.psl then State.set_pc st (Word.add pc tofs)
+        else State.set_pc st (Word.add pc len);
+        retire st pc was_vm)
+  in
+  let arith2 s d f ~ovf =
+    slot (fun st pc np ->
+        charge_spec st;
+        let sv = fread_long st pc s in
+        charge_spec st;
+        let dv = fmodify_long st pc d in
+        np := Word.add pc len;
+        let was_vm = commit st in
+        let r = f st dv sv in
+        fwrite_long st pc d r;
+        if ovf then check_overflow_trap st;
+        finish st pc was_vm)
+  in
+  let arith3 a b d f ~ovf =
+    slot (fun st pc np ->
+        charge_spec st;
+        let av = fread_long st pc a in
+        charge_spec st;
+        let bv = fread_long st pc b in
+        charge_spec st;
+        np := Word.add pc len;
+        let was_vm = commit st in
+        let r = f st av bv in
+        fwrite_long st pc d r;
+        if ovf then check_overflow_trap st;
+        finish st pc was_vm)
+  in
+  match (op, List.map farg_of_spec tmpl.Decode_cache.t_specs) with
+  | Opcode.Nop, [] ->
+      slot (fun st pc np ->
+          np := Word.add pc len;
+          let was_vm = commit st in
+          finish st pc was_vm)
+  | Opcode.Movl, [ FA s; FA d ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let v = fread_long st pc s in
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          fwrite_long st pc d v;
+          set_nz_keep_c st v;
+          finish st pc was_vm)
+  | Opcode.Movb, [ FA s; FA d ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let v = fread_byte st pc s land 0xFF in
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          fwrite_byte st pc d v;
+          set_nz_byte_keep_c st v;
+          finish st pc was_vm)
+  | Opcode.Movzbl, [ FA s; FA d ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let v = fread_byte st pc s land 0xFF in
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          fwrite_long st pc d v;
+          set_nzvc st ~n:false ~z:(v = 0) ~v:false ~c:(Psl.c st.State.psl);
+          finish st pc was_vm)
+  | Opcode.Clrl, [ FA d ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          fwrite_long st pc d 0;
+          set_nz_keep_c st 0;
+          finish st pc was_vm)
+  | Opcode.Clrb, [ FA d ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          fwrite_byte st pc d 0;
+          set_nz_byte_keep_c st 0;
+          finish st pc was_vm)
+  | Opcode.Tstl, [ FA s ] ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let v = fread_long st pc s in
+          np := Word.add pc len;
+          let was_vm = commit st in
+          set_nzvc st ~n:(Word.to_signed v < 0) ~z:(v = 0) ~v:false ~c:false;
+          finish st pc was_vm)
+  | Opcode.Tstb, [ FA s ] ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let v = fread_byte st pc s land 0xFF in
+          np := Word.add pc len;
+          let was_vm = commit st in
+          set_nzvc st ~n:(v land 0x80 <> 0) ~z:(v = 0) ~v:false ~c:false;
+          finish st pc was_vm)
+  | Opcode.Cmpl, [ FA a; FA b ] ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let av = fread_long st pc a in
+          charge_spec st;
+          let bv = fread_long st pc b in
+          np := Word.add pc len;
+          let was_vm = commit st in
+          compare_long st av bv;
+          finish st pc was_vm)
+  | Opcode.Cmpb, [ FA a; FA b ] ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let av = fread_byte st pc a in
+          charge_spec st;
+          let bv = fread_byte st pc b in
+          np := Word.add pc len;
+          let was_vm = commit st in
+          compare_byte st av bv;
+          finish st pc was_vm)
+  | Opcode.Pushl, [ FA s ] ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let v = fread_long st pc s in
+          np := Word.add pc len;
+          let was_vm = commit st in
+          State.push_long st v;
+          set_nz_keep_c st v;
+          finish st pc was_vm)
+  | Opcode.Moval, [ FA (F_mem a); FA d ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let va = faddr_va st pc a in
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          fwrite_long st pc d va;
+          set_nz_keep_c st va;
+          finish st pc was_vm)
+  | Opcode.Incl, [ FA d ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let dv = fmodify_long st pc d in
+          np := Word.add pc len;
+          let was_vm = commit st in
+          let r = do_add st dv 1 in
+          fwrite_long st pc d r;
+          check_overflow_trap st;
+          finish st pc was_vm)
+  | Opcode.Decl, [ FA d ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let dv = fmodify_long st pc d in
+          np := Word.add pc len;
+          let was_vm = commit st in
+          let r = do_sub st dv 1 in
+          fwrite_long st pc d r;
+          check_overflow_trap st;
+          finish st pc was_vm)
+  | Opcode.Mnegl, [ FA s; FA d ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let sv = fread_long st pc s in
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          let r = do_sub st 0 sv in
+          fwrite_long st pc d r;
+          check_overflow_trap st;
+          finish st pc was_vm)
+  | Opcode.Addl2, [ FA s; FA d ] when wr d -> arith2 s d do_add ~ovf:true
+  | Opcode.Subl2, [ FA s; FA d ] when wr d -> arith2 s d do_sub ~ovf:true
+  | Opcode.Mull2, [ FA s; FA d ] when wr d -> arith2 s d do_mul ~ovf:true
+  | Opcode.Divl2, [ FA s; FA d ] when wr d -> arith2 s d do_div ~ovf:false
+  | Opcode.Bisl2, [ FA s; FA d ] when wr d ->
+      arith2 s d (fun st x y -> do_logic st Word.logor x y) ~ovf:false
+  | Opcode.Bicl2, [ FA s; FA d ] when wr d ->
+      arith2 s d
+        (fun st x y -> do_logic st (fun a b -> Word.logand a (Word.lognot b)) x y)
+        ~ovf:false
+  | Opcode.Xorl2, [ FA s; FA d ] when wr d ->
+      arith2 s d (fun st x y -> do_logic st Word.logxor x y) ~ovf:false
+  | Opcode.Addl3, [ FA a; FA b; FA d ] when wr d -> arith3 a b d do_add ~ovf:true
+  | Opcode.Subl3, [ FA a; FA b; FA d ] when wr d ->
+      arith3 a b d (fun st x y -> do_sub st y x) ~ovf:true
+  | Opcode.Mull3, [ FA a; FA b; FA d ] when wr d -> arith3 a b d do_mul ~ovf:true
+  | Opcode.Divl3, [ FA a; FA b; FA d ] when wr d ->
+      arith3 a b d (fun st x y -> do_div st y x) ~ovf:false
+  | Opcode.Bisl3, [ FA a; FA b; FA d ] when wr d ->
+      arith3 a b d (fun st x y -> do_logic st Word.logor x y) ~ovf:false
+  | Opcode.Bicl3, [ FA a; FA b; FA d ] when wr d ->
+      arith3 a b d
+        (fun st x y -> do_logic st (fun a b -> Word.logand b (Word.lognot a)) x y)
+        ~ovf:false
+  | Opcode.Xorl3, [ FA a; FA b; FA d ] when wr d ->
+      arith3 a b d (fun st x y -> do_logic st Word.logxor x y) ~ovf:false
+  | (Opcode.Brb | Opcode.Brw), [ FB tofs ] -> cbr tofs (fun _ -> true)
+  | Opcode.Bneq, [ FB t ] -> cbr t (fun p -> not (Psl.z p))
+  | Opcode.Beql, [ FB t ] -> cbr t Psl.z
+  | Opcode.Bgtr, [ FB t ] -> cbr t (fun p -> not (Psl.n p || Psl.z p))
+  | Opcode.Bleq, [ FB t ] -> cbr t (fun p -> Psl.n p || Psl.z p)
+  | Opcode.Bgeq, [ FB t ] -> cbr t (fun p -> not (Psl.n p))
+  | Opcode.Blss, [ FB t ] -> cbr t Psl.n
+  | Opcode.Bgtru, [ FB t ] -> cbr t (fun p -> not (Psl.c p || Psl.z p))
+  | Opcode.Blequ, [ FB t ] -> cbr t (fun p -> Psl.c p || Psl.z p)
+  | Opcode.Bvc, [ FB t ] -> cbr t (fun p -> not (Psl.v p))
+  | Opcode.Bvs, [ FB t ] -> cbr t Psl.v
+  | Opcode.Bcc, [ FB t ] -> cbr t (fun p -> not (Psl.c p))
+  | Opcode.Bcs, [ FB t ] -> cbr t Psl.c
+  | (Opcode.Blbs | Opcode.Blbc), [ FA s; FB tofs ] ->
+      let want = if op = Opcode.Blbs then 1 else 0 in
+      slot (fun st pc np ->
+          charge_spec st;
+          let v = fread_long st pc s in
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          if v land 1 = want then State.set_pc st (Word.add pc tofs)
+          else State.set_pc st (Word.add pc len);
+          retire st pc was_vm)
+  | Opcode.Sobgtr, [ FA d; FB tofs ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let dv = fmodify_long st pc d in
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          let r = do_sub st dv 1 in
+          fwrite_long st pc d r;
+          if Word.to_signed r > 0 then State.set_pc st (Word.add pc tofs)
+          else State.set_pc st (Word.add pc len);
+          retire st pc was_vm)
+  | Opcode.Aoblss, [ FA l; FA d; FB tofs ] when wr d ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let lv = fread_long st pc l in
+          charge_spec st;
+          let dv = fmodify_long st pc d in
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          let r = do_add st dv 1 in
+          fwrite_long st pc d r;
+          if Word.signed_lt r lv then State.set_pc st (Word.add pc tofs)
+          else State.set_pc st (Word.add pc len);
+          retire st pc was_vm)
+  | Opcode.Bsbb, [ FB tofs ] ->
+      slot (fun st pc np ->
+          charge_spec st;
+          np := Word.add pc len;
+          let was_vm = commit st in
+          State.push_long st (Word.add pc len);
+          State.set_pc st (Word.add pc tofs);
+          retire st pc was_vm)
+  | Opcode.Jsb, [ FA (F_mem a) ] ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let va = faddr_va st pc a in
+          np := Word.add pc len;
+          let was_vm = commit st in
+          State.push_long st (Word.add pc len);
+          State.set_pc st va;
+          retire st pc was_vm)
+  | Opcode.Jmp, [ FA (F_mem a) ] ->
+      slot (fun st pc np ->
+          charge_spec st;
+          let va = faddr_va st pc a in
+          np := Word.add pc len;
+          let was_vm = commit st in
+          State.set_pc st va;
+          retire st pc was_vm)
+  | Opcode.Rsb, [] ->
+      slot (fun st pc np ->
+          np := Word.add pc len;
+          let was_vm = commit st in
+          State.set_pc st (State.pop_long st);
+          retire st pc was_vm)
+  | _ -> None
+
+let compile_fast tmpl =
+  match compile_fast_hot tmpl with
+  | Some _ as r -> r
+  | None -> compile_fast_gen tmpl
+
+(* Generic slot: [Decode.operandize] against the cached template with the
+   handler and constants pre-resolved — the body of [step] after its
+   decode-cache probe, verbatim. *)
+let generic_slot (tmpl : Decode_cache.template) =
+  let h = handler_of tmpl.Decode_cache.t_opcode in
+  let base = Opcode.base_cycles tmpl.Decode_cache.t_opcode in
+  let enc = enc_int tmpl.Decode_cache.t_opcode in
+  fun st start_pc ->
+    let decoded = ref None in
+    try
+      let d = Decode.operandize st tmpl ~start_pc in
+      decoded := Some d;
+      st.State.instructions <- st.State.instructions + 1;
+      let was_vm = Psl.vm st.State.psl in
+      if was_vm then st.State.vm_instructions <- st.State.vm_instructions + 1;
+      Cycles.charge st.State.clock base;
+      let pc_set = h st d ~start_pc in
+      if not pc_set then State.set_pc st d.Decode.next_pc;
+      let tr = st.State.trace in
+      if Vax_obs.Trace.enabled tr then
+        Vax_obs.Trace.emit tr Vax_obs.Trace.Retire ~b:enc
+          ~c:(if was_vm then 1 else 0)
+          start_pc
+    with State.Fault f -> fault_finish st !decoded ~start_pc f
+
+let compile_slot tmpl =
+  match compile_fast tmpl with Some f -> f | None -> generic_slot tmpl
+
+(* Block enders: everything that sets the PC ends a block (and is its
+   last slot). *)
+let is_pc_setter = function
+  | Opcode.Brb | Opcode.Brw | Opcode.Bneq | Opcode.Beql | Opcode.Bgtr
+  | Opcode.Bleq | Opcode.Bgeq | Opcode.Blss | Opcode.Bgtru | Opcode.Blequ
+  | Opcode.Bvc | Opcode.Bvs | Opcode.Bcc | Opcode.Bcs | Opcode.Blbs
+  | Opcode.Blbc | Opcode.Aoblss | Opcode.Sobgtr | Opcode.Bsbb | Opcode.Jsb
+  | Opcode.Jmp | Opcode.Rsb | Opcode.Calls | Opcode.Ret ->
+      true
+  | _ -> false
+
+(* Sensitive/privileged instructions never enter a block at all: they
+   always execute on the cold path, so the VM-emulation and privilege
+   machinery sees exactly the per-step environment. *)
+let is_block_excluded = function
+  | Opcode.Halt | Opcode.Rei | Opcode.Bpt | Opcode.Ldpctx | Opcode.Svpctx
+  | Opcode.Wait | Opcode.Chmk | Opcode.Chme | Opcode.Chms | Opcode.Chmu
+  | Opcode.Prober | Opcode.Probew | Opcode.Probevmr | Opcode.Probevmw
+  | Opcode.Mtpr | Opcode.Mfpr ->
+      true
+  | _ -> false
+
+let finish_builder st (bc : Block_cache.t) =
+  let pa = bc.Block_cache.bld_pa in
+  let n = Block_cache.bld_finish bc in
+  if n > 0 && Vax_obs.Trace.enabled st.State.trace then
+    Vax_obs.Trace.emit st.State.trace Vax_obs.Trace.Block_build ~b:n pa
+
+(* Feed one cold-path instruction to the block builder.  Called before
+   the instruction executes: the slot is a compilation of the bytes at
+   [pa], valid whatever the instruction then does at run time.  Must not
+   raise.
+
+   Page straddlers are never cached: their tail bytes live at a
+   translation-dependent physical address, and excluding them is what
+   makes blocks pure physical-address objects — a block's slots all sit
+   on the page of [b_pa], guarded by that page's store generation alone,
+   and the block survives translation changes (every instruction that
+   can change translations is itself block-excluded). *)
+let feed_builder st (bc : Block_cache.t) pa (tmpl : Decode_cache.template) =
+  let open Block_cache in
+  let phys = Mmu.phys st.State.mmu in
+  (* a control-flow discontinuity ends the pending prefix (it is still a
+     valid block of what it covers) *)
+  if bld_active bc && bc.bld_next_pa <> pa then finish_builder st bc;
+  let len = tmpl.Decode_cache.t_len in
+  let op = tmpl.Decode_cache.t_opcode in
+  if
+    len = 0
+    || (not (Phys_mem.in_ram phys pa))
+    || is_block_excluded op
+    || Addr.offset pa + len > Addr.page_size
+  then finish_builder st bc
+  else begin
+    if not (bld_active bc) then bld_begin bc ~pa;
+    bld_append bc
+      {
+        s_pa = pa;
+        s_len = len;
+        s_gen1 = Phys_mem.page_gen phys (pa lsr Addr.page_shift);
+        s_exec = compile_slot tmpl;
+      };
+    if is_pc_setter op || Addr.offset pa + len >= Addr.page_size || bld_full bc
+    then finish_builder st bc
+  end
+
+(* Cold path: the per-step decode pipeline, plus feeding the builder. *)
+let step_cold st (bc : Block_cache.t) pa start_pc =
+  bc.Block_cache.misses <- bc.Block_cache.misses + 1;
+  bc.Block_cache.cur_pa <- -1;
+  bc.Block_cache.cur_va <- -1;
+  let decoded = ref None in
+  try
+    let d =
+      match Decode_cache.find st.State.dcache ~mmu:st.State.mmu pa with
+      | tmpl ->
+          feed_builder st bc pa tmpl;
+          Decode.operandize st tmpl ~start_pc
+      | exception Not_found ->
+          let d = Decode.decode st in
+          Decode_cache.store st.State.dcache ~mmu:st.State.mmu
+            ?pa2:(straddle_pa2 st start_pc d.Decode.tmpl pa)
+            pa d.Decode.tmpl;
+          feed_builder st bc pa d.Decode.tmpl;
+          d
+    in
+    decoded := Some d;
+    run_decoded st d ~start_pc
+  with State.Fault f -> fault_finish st !decoded ~start_pc f
+
+(* Execute the slot at the cursor and advance the cursor (before the
+   slot runs: a fault or branch simply makes the prediction miss).  The
+   advance also arms the fetch memo: the caller just translated
+   [start_pc] successfully, so as long as the TB and the mode do not
+   change, translating the fall-through PC (same page — blocks never
+   cross a page) must yield the next slot's [s_pa].  Recording happens
+   before [s_exec] runs, so the memoed mode is exactly the fetch's mode,
+   and any TB fill the body performs bumps the generation and disarms
+   the memo. *)
+let exec_slot st (bc : Block_cache.t) (b : Block_cache.block) ix start_pc =
+  let open Block_cache in
+  bc.hits <- bc.hits + 1;
+  let s = Array.unsafe_get b.b_slots ix in
+  let nix = ix + 1 in
+  if nix < Array.length b.b_slots then begin
+    let mmu = st.State.mmu in
+    bc.cur_block <- b;
+    bc.cur_ix <- nix;
+    bc.cur_pa <- (Array.unsafe_get b.b_slots nix).s_pa;
+    bc.cur_va <- start_pc + s.s_len;
+    bc.cur_fgen <- Tlb.mutation_generation (Mmu.tlb mmu);
+    bc.cur_fmode <- State.cur_mode st;
+    bc.cur_fhit <- Mmu.mapen mmu
+  end
+  else begin
+    bc.cur_pa <- -1;
+    bc.cur_va <- -1;
+    bc.last <- b
+  end;
+  s.s_exec st start_pc
+
+(* Entry at a block head: try the chain links of the block we just left,
+   then the table; install/refresh the chain link on a table hit. *)
+let enter_block st (bc : Block_cache.t) pa start_pc =
+  let open Block_cache in
+  let phys = Mmu.phys st.State.mmu in
+  let valid b =
+    b != empty_block && b.b_pa = pa
+    && slot_valid phys (Array.unsafe_get b.b_slots 0)
+  in
+  let last = bc.last in
+  bc.last <- empty_block;
+  let b =
+    if last != empty_block then begin
+      let c1 = last.b_chain1 in
+      if valid c1 then begin
+        bc.chains <- bc.chains + 1;
+        c1
+      end
+      else begin
+        let c2 = last.b_chain2 in
+        if valid c2 then begin
+          (* promote the second-chance link *)
+          last.b_chain2 <- c1;
+          last.b_chain1 <- c2;
+          bc.chains <- bc.chains + 1;
+          c2
+        end
+        else empty_block
+      end
+    end
+    else empty_block
+  in
+  let b =
+    if b != empty_block then b
+    else begin
+      let t = lookup bc pa in
+      if valid t then begin
+        if last != empty_block && last.b_chain1 != t then begin
+          last.b_chain2 <- last.b_chain1;
+          last.b_chain1 <- t
+        end;
+        t
+      end
+      else begin
+        if t != empty_block then invalidate bc t;
+        empty_block
+      end
+    end
+  in
+  if b != empty_block then exec_slot st bc b 0 start_pc
+  else step_cold st bc pa start_pc
+
+(* One architectural step under the block engine.  The machine loop keeps
+   calling this once per instruction, so device scheduling, interrupt
+   sampling, and halt/stop checks all happen at exactly the same
+   instruction boundaries as with [step] — simulated time and interrupt
+   latency are bit-identical; only host wall-clock changes. *)
+let step_blocks st (bc : Block_cache.t) =
+  if st.State.halted then Machine_halted
+  else if st.State.stop_requested then Stopped
+  else begin
+    (match State.highest_pending st with
+    | Some (ipl, vector) ->
+        (* prediction and pending chain link die across the delivery *)
+        bc.Block_cache.cur_pa <- -1;
+        bc.Block_cache.cur_va <- -1;
+        bc.Block_cache.last <- Block_cache.empty_block;
+        Microcode.take_interrupt st ~ipl ~vector
+    | None ->
+        let start_pc = State.pc st in
+        let mmu = st.State.mmu in
+        if
+          bc.Block_cache.cur_va = start_pc
+          && bc.Block_cache.cur_fgen = Tlb.mutation_generation (Mmu.tlb mmu)
+          && bc.Block_cache.cur_fmode == State.cur_mode st
+        then begin
+          (* fetch memo hit: the TB has had no fill or invalidation and
+             the mode is unchanged since the previous slot's fetch on
+             this same page, so translating [start_pc] would
+             deterministically repeat that outcome — the predicted
+             [cur_pa] (= the slot's [s_pa]) IS the translation.  The TB
+             lookup is skipped but its hit is still counted ([cur_fhit])
+             so TB statistics stay identical to the per-step loop. *)
+          let open Block_cache in
+          let b = bc.cur_block in
+          let ix = bc.cur_ix in
+          let s = Array.unsafe_get b.b_slots ix in
+          let phys = Mmu.phys mmu in
+          if s.s_gen1 = Phys_mem.page_gen phys (s.s_pa lsr Addr.page_shift)
+          then begin
+            if bc.cur_fhit then begin
+              Tlb.count_hit (Mmu.tlb mmu);
+              if Cost.tlb_hit <> 0 then
+                Cycles.charge st.State.clock Cost.tlb_hit
+            end;
+            bc.hits <- bc.hits + 1;
+            let nix = ix + 1 in
+            if nix < Array.length b.b_slots then begin
+              bc.cur_ix <- nix;
+              bc.cur_pa <- (Array.unsafe_get b.b_slots nix).s_pa;
+              bc.cur_va <- start_pc + s.s_len
+              (* cur_fgen/cur_fmode/cur_fhit still hold: nothing between
+                 the memo check and here can change them *)
+            end
+            else begin
+              bc.cur_pa <- -1;
+              bc.cur_va <- -1;
+              bc.last <- b
+            end;
+            s.s_exec st start_pc
+          end
+          else begin
+            (* block went stale under a live memo (stored-to page):
+               re-fetch for real, then take the cold path *)
+            Block_cache.invalidate bc b;
+            match State.code_pa st start_pc with
+            | exception State.Fault f ->
+                Microcode.dispatch_fault st ~start_pc ~next_pc:start_pc f
+            | pa -> step_cold st bc pa start_pc
+          end
+        end
+        else begin
+          match State.code_pa st start_pc with
+          | exception State.Fault f ->
+              bc.Block_cache.cur_pa <- -1;
+              bc.Block_cache.cur_va <- -1;
+              Microcode.dispatch_fault st ~start_pc ~next_pc:start_pc f
+          | pa ->
+              if bc.Block_cache.cur_pa = pa then begin
+                (* cursor hit on a cold memo (TB or mode changed since
+                   the advance): [exec_slot] inlined, re-arming the
+                   memo with the fresh generation *)
+                let open Block_cache in
+                let b = bc.cur_block in
+                let ix = bc.cur_ix in
+                let s = Array.unsafe_get b.b_slots ix in
+                let phys = Mmu.phys mmu in
+                if s.s_gen1 = Phys_mem.page_gen phys (s.s_pa lsr Addr.page_shift)
+                then begin
+                  bc.hits <- bc.hits + 1;
+                  let nix = ix + 1 in
+                  if nix < Array.length b.b_slots then begin
+                    bc.cur_ix <- nix;
+                    bc.cur_pa <- (Array.unsafe_get b.b_slots nix).s_pa;
+                    bc.cur_va <- start_pc + s.s_len;
+                    bc.cur_fgen <- Tlb.mutation_generation (Mmu.tlb mmu);
+                    bc.cur_fmode <- State.cur_mode st;
+                    bc.cur_fhit <- Mmu.mapen mmu
+                  end
+                  else begin
+                    bc.cur_pa <- -1;
+                    bc.cur_va <- -1;
+                    bc.last <- b
+                  end;
+                  s.s_exec st start_pc
+                end
+                else begin
+                  Block_cache.invalidate bc b;
+                  step_cold st bc pa start_pc
+                end
+              end
+              else enter_block st bc pa start_pc
+        end);
+    if st.State.halted then Machine_halted
+    else if st.State.stop_requested then Stopped
+    else Stepped
+  end
+
+let run_blocks st bc ?(max_instructions = max_int) () =
+  let rec loop n =
+    if n <= 0 then Stepped
+    else
+      match step_blocks st bc with
+      | Stepped -> loop (n - 1)
+      | (Machine_halted | Stopped) as s -> s
+  in
+  loop max_instructions
+
+(* Which execution engine a machine uses; [Blocks] is the default
+   everywhere, [Stepper] is the reference interpreter. *)
+type engine = Stepper | Blocks

@@ -17,3 +17,20 @@ val run : State.t -> ?max_instructions:int -> unit -> status
     ([Stepped] then means "budget exhausted").  The machine loop in
     [Vax_dev.Machine] is the full-featured driver; this one is for tests
     and bare-CPU programs with no devices. *)
+
+type engine = Stepper | Blocks
+(** [Stepper] is the reference per-step interpreter; [Blocks] dispatches
+    through a {!Block_cache} of straight-line superblocks with
+    pre-resolved handlers.  The two produce bit-identical architectural
+    state, simulated cycle counts, and interrupt latencies — [Blocks]
+    only changes host wall-clock time. *)
+
+val step_blocks : State.t -> Block_cache.t -> status
+(** One architectural step under the block engine.  Interrupts are
+    sampled at every instruction boundary, exactly as in {!step}: a block
+    never runs more than one instruction per call — the cache contributes
+    pre-resolved handlers, fused operand closures, and chain links, not a
+    different interleaving. *)
+
+val run_blocks : State.t -> Block_cache.t -> ?max_instructions:int -> unit -> status
+(** [run] under the block engine. *)

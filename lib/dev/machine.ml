@@ -13,6 +13,8 @@ type t = {
   disk : Disk.t;
   trace : Vax_obs.Trace.t;
   metrics : Vax_obs.Metrics.t;
+  engine : Exec.engine;
+  bcache : Block_cache.t;
 }
 
 type outcome = Halted | Stopped | Cycle_limit | Deadlock
@@ -26,7 +28,7 @@ let pp_outcome ppf o =
     | Deadlock -> "deadlock")
 
 let create ?(variant = Variant.Standard) ?(memory_pages = 2048)
-    ?(disk_blocks = 256) ?modify_policy () =
+    ?(disk_blocks = 256) ?modify_policy ?(engine = Exec.Blocks) () =
   let policy =
     match modify_policy with
     | Some p -> p
@@ -85,7 +87,19 @@ let create ?(variant = Variant.Standard) ?(memory_pages = 2048)
   Vax_obs.Metrics.register metrics "disk.ios" (fun () -> Disk.io_count disk);
   Vax_obs.Metrics.register metrics "console.chars_written" (fun () ->
       Console.chars_written console);
-  { cpu; mmu; phys; clock; sched; timer; console; disk; trace; metrics }
+  let bcache = Block_cache.create () in
+  Vax_obs.Metrics.register metrics "blocks.hits" (fun () ->
+      Block_cache.hits bcache);
+  Vax_obs.Metrics.register metrics "blocks.misses" (fun () ->
+      Block_cache.misses bcache);
+  Vax_obs.Metrics.register metrics "blocks.chains" (fun () ->
+      Block_cache.chains bcache);
+  Vax_obs.Metrics.register metrics "blocks.built" (fun () ->
+      Block_cache.built bcache);
+  Vax_obs.Metrics.register metrics "blocks.invalidations" (fun () ->
+      Block_cache.invalidations bcache);
+  { cpu; mmu; phys; clock; sched; timer; console; disk; trace; metrics;
+    engine; bcache }
 
 let load t pa image = Phys_mem.blit_in t.phys pa image
 
@@ -96,6 +110,12 @@ let start t ~pc ~sp =
 
 let run t ?(max_cycles = 100_000_000) () =
   let limit = Cycles.now t.clock + max_cycles in
+  (* resolve the engine dispatch once per [run], not per instruction *)
+  let exec_once =
+    match t.engine with
+    | Exec.Stepper -> fun () -> Exec.step t.cpu
+    | Exec.Blocks -> fun () -> Exec.step_blocks t.cpu t.bcache
+  in
   let rec loop () =
     if Cycles.now t.clock >= limit then Cycle_limit
     else begin
@@ -118,7 +138,7 @@ let run t ?(max_cycles = 100_000_000) () =
       else step ()
     end
   and step () =
-    match Exec.step t.cpu with
+    match exec_once () with
     | Exec.Stepped -> loop ()
     | Exec.Machine_halted -> Halted
     | Exec.Stopped -> Stopped

@@ -25,8 +25,11 @@ type t = {
   metrics : Vax_obs.Metrics.t;
       (** registry of gauges over every component counter: [tlb.*],
           [mmu.*], [cpu.*] (incl. per-vector exception counts),
-          [timer.ticks], [disk.ios], [console.chars_written]; the VMM
-          adds per-VM groups *)
+          [blocks.*], [timer.ticks], [disk.ios], [console.chars_written];
+          the VMM adds per-VM groups *)
+  engine : Exec.engine;
+  bcache : Block_cache.t;
+      (** superblock cache driven by [run] when [engine] is [Blocks] *)
 }
 
 type outcome =
@@ -42,10 +45,13 @@ val create :
   ?memory_pages:int ->
   ?disk_blocks:int ->
   ?modify_policy:Mmu.modify_policy ->
+  ?engine:Exec.engine ->
   unit ->
   t
 (** Defaults: 2048 pages (1 MB) RAM, 256-block disk; a [Virtualizing]
-    variant gets the modify-fault policy. *)
+    variant gets the modify-fault policy.  [engine] defaults to
+    [Exec.Blocks]; pass [Exec.Stepper] for the reference per-step
+    interpreter (the two are architecturally bit-identical). *)
 
 val load : t -> Word.t -> bytes -> unit
 (** Copy an image into physical memory. *)

@@ -2,26 +2,36 @@ open Vax_arch
 
 module Imap = Map.Make (Int)
 
-type t = { clock : Cycles.t; mutable events : (unit -> unit) list Imap.t }
+(* [next] caches the earliest pending time (max_int = none) so the
+   machine loop's per-instruction [run_due] poll is a compare rather
+   than an [Imap.min_binding_opt] allocation. *)
+type t = {
+  clock : Cycles.t;
+  mutable events : (unit -> unit) list Imap.t;
+  mutable next : int;
+}
 
-let create clock = { clock; events = Imap.empty }
+let create clock = { clock; events = Imap.empty; next = max_int }
 
 let at t ~cycle f =
   let existing = Option.value ~default:[] (Imap.find_opt cycle t.events) in
   (* keep FIFO order for same-cycle events *)
-  t.events <- Imap.add cycle (existing @ [ f ]) t.events
+  t.events <- Imap.add cycle (existing @ [ f ]) t.events;
+  if cycle < t.next then t.next <- cycle
 
 let after t ~delay f = at t ~cycle:(Cycles.now t.clock + delay) f
 
-let rec run_due t =
+let rec drain t =
   match Imap.min_binding_opt t.events with
   | Some (cycle, fs) when cycle <= Cycles.now t.clock ->
       t.events <- Imap.remove cycle t.events;
       List.iter (fun f -> f ()) fs;
-      run_due t
-  | Some _ | None -> ()
+      drain t
+  | Some (cycle, _) -> t.next <- cycle
+  | None -> t.next <- max_int
 
-let next_due t =
-  Option.map fst (Imap.min_binding_opt t.events)
+let run_due t = if t.next <= Cycles.now t.clock then drain t
+
+let next_due t = if t.next = max_int then None else Some t.next
 
 let pending t = Imap.fold (fun _ fs acc -> acc + List.length fs) t.events 0

@@ -79,7 +79,12 @@ let set_policy t p = t.policy <- p
 let mapen t = t.mapen
 
 let set_mapen t b =
-  if t.mapen <> b then t.tb_gen <- t.tb_gen + 1;
+  if t.mapen <> b then begin
+    t.tb_gen <- t.tb_gen + 1;
+    (* a MAPEN flip changes every lookup's outcome; the fetch fast path
+       keys on the TB mutation generation, so count it there too *)
+    Tlb.touch t.tlb
+  end;
   t.mapen <- b
 
 let p0br t = t.p0br
@@ -308,6 +313,77 @@ let read_pte t va =
 let charge_mem t = Cycles.charge t.clock Cost.memory_access
 
 let same_page va len = Addr.offset va + len <= Addr.page_size
+
+(* Allocation-free virtual accessors for the hot path.  Each combines
+   [try_translate] with the physical access: reads return the value or
+   [no_translation] (-1, never a valid byte/word/long) when the caller
+   must take the full [v_read_*] path; writes return [false] in the same
+   situation.  On success they charge and count exactly what the full
+   accessor would; on the sentinel return nothing has been charged,
+   counted, or stored. *)
+
+let v_read_byte_fast t ~mode va =
+  let pa = try_translate t ~mode ~write:false va in
+  if pa >= 0 then begin
+    charge_mem t;
+    Phys_mem.read_byte t.phys pa
+  end
+  else no_translation
+
+let v_read_word_fast t ~mode va =
+  if same_page va 2 then begin
+    let pa = try_translate t ~mode ~write:false va in
+    if pa >= 0 then begin
+      charge_mem t;
+      Phys_mem.read_word t.phys pa
+    end
+    else no_translation
+  end
+  else no_translation
+
+let v_read_long_fast t ~mode va =
+  if same_page va 4 then begin
+    let pa = try_translate t ~mode ~write:false va in
+    if pa >= 0 then begin
+      charge_mem t;
+      Phys_mem.read_long t.phys pa
+    end
+    else no_translation
+  end
+  else no_translation
+
+let v_write_byte_fast t ~mode va b =
+  let pa = try_translate t ~mode ~write:true va in
+  if pa >= 0 then begin
+    charge_mem t;
+    Phys_mem.write_byte t.phys pa b;
+    true
+  end
+  else false
+
+let v_write_word_fast t ~mode va w =
+  if same_page va 2 then begin
+    let pa = try_translate t ~mode ~write:true va in
+    if pa >= 0 then begin
+      charge_mem t;
+      Phys_mem.write_word t.phys pa w;
+      true
+    end
+    else false
+  end
+  else false
+
+let v_write_long_fast t ~mode va w =
+  if same_page va 4 then begin
+    let pa = try_translate t ~mode ~write:true va in
+    if pa >= 0 then begin
+      charge_mem t;
+      Phys_mem.write_long t.phys pa w;
+      true
+    end
+    else false
+  end
+  else false
 
 let v_read_byte t ~mode va =
   let pa = try_translate t ~mode ~write:false va in

@@ -116,6 +116,20 @@ val v_write_word : t -> mode:Mode.t -> Word.t -> int -> (unit, fault) result
 val v_read_long : t -> mode:Mode.t -> Word.t -> (Word.t, fault) result
 val v_write_long : t -> mode:Mode.t -> Word.t -> Word.t -> (unit, fault) result
 
+(** Allocation-free fast halves of the virtual accessors: a single-page
+    access through a {!try_translate} hit performs the physical access and
+    charges exactly as the full accessor would.  Reads return the value or
+    {!no_translation} (never a valid datum); writes return [false] when
+    the caller must take the full path.  On the sentinel return nothing
+    has been charged, counted, or stored. *)
+
+val v_read_byte_fast : t -> mode:Mode.t -> Word.t -> int
+val v_read_word_fast : t -> mode:Mode.t -> Word.t -> int
+val v_read_long_fast : t -> mode:Mode.t -> Word.t -> int
+val v_write_byte_fast : t -> mode:Mode.t -> Word.t -> int -> bool
+val v_write_word_fast : t -> mode:Mode.t -> Word.t -> int -> bool
+val v_write_long_fast : t -> mode:Mode.t -> Word.t -> Word.t -> bool
+
 (** {1 Translation buffer control} *)
 
 val tbia : t -> unit

@@ -30,6 +30,7 @@ type t = {
   set_mask : int;
   mutable sys_gen : int;
   mutable proc_gen : int;
+  mutable mut_gen : int;  (* bumped by every fill and invalidation *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -50,6 +51,7 @@ let create ?(capacity = 2048) () =
     set_mask = sets_per_bank - 1;
     sys_gen = 1;
     proc_gen = 1;
+    mut_gen = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -105,7 +107,17 @@ let lookup t va =
 
 let dead t i g = t.keys.(i) < 0 || t.gens.(i) <> g
 
+(* Every state change that could alter a future lookup's outcome bumps
+   [mut_gen]: fills (they may evict a congruent live entry) and all three
+   invalidation shapes.  [entry.m] flips are deliberately not counted —
+   the modify bit only affects writes, and the consumers of [mut_gen]
+   reason about read/execute lookups.  The MMU also bumps it on MAPEN
+   changes via [touch]. *)
+let touch t = t.mut_gen <- t.mut_gen + 1
+let mutation_generation t = t.mut_gen
+
 let insert t va e =
+  touch t;
   let k = key va in
   let i = slot_of t k in
   let g = live_gen t k in
@@ -126,16 +138,20 @@ let insert t va e =
   t.gens.(w) <- g
 
 let invalidate_single t va =
+  touch t;
   let k = key va in
   let i = slot_of t k in
   if t.keys.(i) = k then t.keys.(i) <- -1;
   if t.keys.(i + 1) = k then t.keys.(i + 1) <- -1
 
 let invalidate_all t =
+  touch t;
   t.sys_gen <- t.sys_gen + 1;
   t.proc_gen <- t.proc_gen + 1
 
-let invalidate_process t = t.proc_gen <- t.proc_gen + 1
+let invalidate_process t =
+  touch t;
+  t.proc_gen <- t.proc_gen + 1
 
 let hits t = t.hits
 let misses t = t.misses

@@ -55,6 +55,18 @@ val lookup : t -> Word.t -> entry option
 val insert : t -> Word.t -> entry -> unit
 val invalidate_single : t -> Word.t -> unit
 
+val mutation_generation : t -> int
+(** Counter bumped by every fill and invalidation (and by the MMU on
+    MAPEN changes, via {!touch}).  While it is unchanged, no lookup's
+    outcome can have changed: a read/execute translation that hit keeps
+    hitting with the same entry.  Lets an instruction-fetch fast path
+    prove a repeat translation without performing it.  [entry.m] flips
+    are not counted — they affect writes only. *)
+
+val touch : t -> unit
+(** Bump {!mutation_generation} for an external event (MAPEN change)
+    that alters translation outcomes without touching the buffer. *)
+
 val invalidate_all : t -> unit
 (** Drop every entry by bumping both bank generations; O(1). *)
 

@@ -15,8 +15,9 @@ type kind =
   | Shadow_fill
   | Dev_io
   | Kcall
+  | Block_build
 
-let n_kinds = 16
+let n_kinds = 17
 
 let kind_code = function
   | Retire -> 0
@@ -35,12 +36,13 @@ let kind_code = function
   | Shadow_fill -> 13
   | Dev_io -> 14
   | Kcall -> 15
+  | Block_build -> 16
 
 let all_kinds =
   [
     Retire; Trap_vm_emulation; Trap_privileged; Trap_modify; Exception;
     Interrupt; Chm; Rei; Vm_entry; Vm_exit; Tlb_fill; Tlb_evict;
-    Tlb_invalidate; Shadow_fill; Dev_io; Kcall;
+    Tlb_invalidate; Shadow_fill; Dev_io; Kcall; Block_build;
   ]
 
 let kind_of_code c =
@@ -63,6 +65,7 @@ let kind_name = function
   | Shadow_fill -> "shadow-fill"
   | Dev_io -> "dev-io"
   | Kcall -> "kcall"
+  | Block_build -> "block-build"
 
 let kind_of_name s =
   List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -84,6 +87,7 @@ let arg_names = function
   | Shadow_fill -> ("va", "prefill", "")
   | Dev_io -> ("dev", "op", "value")
   | Kcall -> ("fn", "vmpa", "")
+  | Block_build -> ("pa", "slots", "")
 
 type sink = seq:int -> kind -> a:int -> b:int -> c:int -> unit
 

@@ -33,6 +33,7 @@ type kind =
   | Shadow_fill  (** a=guest va, b=1 if filled by anticipatory prefill *)
   | Dev_io  (** a=device (0=timer 1=console 2=disk), b=op, c=value *)
   | Kcall  (** a=function code, b=packet address (VM physical) *)
+  | Block_build  (** a=physical address of the block head, b=slot count *)
 
 val n_kinds : int
 

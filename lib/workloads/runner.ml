@@ -22,16 +22,40 @@ let default_max = 400_000_000
 (* Every run carries the vaxlint differential oracle: the workload's code
    images are statically analyzed up front and the microcode's trap
    observer checks each VM-emulation trap, privileged fault, and modify
-   fault against the predicted sites, raising on any unpredicted one. *)
-let make_oracle ~mode (builts : Minivms.built list) =
-  let images =
-    List.concat_map (fun b -> b.Minivms.code_images) builts
-  in
-  Oracle.of_asm_images ~name:(Classify.mode_name mode) ~mode images
+   fault against the predicted sites, raising on any unpredicted one.
 
-let run_bare ?(variant = Variant.Standard) ?instrument
+   The static pass is pure in the code images, and a [Minivms.built] is
+   immutable once assembled, so the analysis is memoized by the physical
+   identity of the built list: repeated runs of the same workload (the
+   benchmark harness's pattern) share one predicted table and get fresh
+   hit tracking via {!Oracle.with_predictions}. *)
+let oracle_cache : (Classify.mode_assumption * Minivms.built list * Oracle.t) list ref =
+  ref []
+
+let max_cached_oracles = 8
+
+let make_oracle ~mode (builts : Minivms.built list) =
+  let name = Classify.mode_name mode in
+  let same (m, bs, _) =
+    m = mode
+    && List.length bs = List.length builts
+    && List.for_all2 ( == ) bs builts
+  in
+  match List.find_opt same !oracle_cache with
+  | Some (_, _, src) -> Oracle.with_predictions ~name src
+  | None ->
+      let images = List.concat_map (fun b -> b.Minivms.code_images) builts in
+      let o = Oracle.of_asm_images ~name ~mode images in
+      oracle_cache :=
+        (mode, builts, o)
+        :: (if List.length !oracle_cache >= max_cached_oracles then
+              List.filteri (fun i _ -> i < max_cached_oracles - 1) !oracle_cache
+            else !oracle_cache);
+      o
+
+let run_bare ?(variant = Variant.Standard) ?engine ?instrument
     ?(max_cycles = default_max) (built : Minivms.built) =
-  let m = Machine.create ~variant ~memory_pages:1024 ~disk_blocks:256 () in
+  let m = Machine.create ~variant ~memory_pages:1024 ~disk_blocks:256 ?engine () in
   let oracle = make_oracle ~mode:Classify.Bare [ built ] in
   Oracle.install oracle m.Machine.cpu;
   (match instrument with Some f -> f m | None -> ());
@@ -66,11 +90,11 @@ let measure_vm m vmm vm outcome oracle =
     oracle;
   }
 
-let run_vm ?config ?io_mode ?instrument ?(max_cycles = default_max)
+let run_vm ?config ?io_mode ?engine ?instrument ?(max_cycles = default_max)
     (built : Minivms.built) =
   let m =
-    Machine.create ~variant:Variant.Virtualizing ~memory_pages:8192
-      ~disk_blocks:256 ()
+    Machine.create ~variant:Variant.Virtualizing ~memory_pages:2048
+      ~disk_blocks:256 ?engine ()
   in
   let vmm = Vmm.create ?config m in
   let oracle = make_oracle ~mode:Classify.Vm [ built ] in
@@ -84,11 +108,11 @@ let run_vm ?config ?io_mode ?instrument ?(max_cycles = default_max)
   let outcome = Vmm.run vmm ~max_cycles () in
   measure_vm m vmm vm outcome oracle
 
-let run_two_vms ?config ?instrument ?(max_cycles = default_max)
+let run_two_vms ?config ?engine ?instrument ?(max_cycles = default_max)
     (b1 : Minivms.built) (b2 : Minivms.built) =
   let m =
-    Machine.create ~variant:Variant.Virtualizing ~memory_pages:8192
-      ~disk_blocks:256 ()
+    Machine.create ~variant:Variant.Virtualizing ~memory_pages:2048
+      ~disk_blocks:256 ?engine ()
   in
   let vmm = Vmm.create ?config m in
   let oracle = make_oracle ~mode:Classify.Vm [ b1; b2 ] in

@@ -26,6 +26,7 @@ type measurement = {
 
 val run_bare :
   ?variant:Variant.t ->
+  ?engine:Exec.engine ->
   ?instrument:(Machine.t -> unit) ->
   ?max_cycles:int ->
   Minivms.built ->
@@ -33,12 +34,14 @@ val run_bare :
 (** Boot the system directly on the hardware ([Standard] by default: the
     unmodified VAX; pass [Virtualizing] to check the paper's claim that
     standard operating systems run unchanged on the modified machine).
+    [engine] selects the execution engine (default {!Exec.Blocks}).
     [instrument] runs on the fully wired machine before execution starts
     — the hook for enabling [Machine.trace] or attaching a sink. *)
 
 val run_vm :
   ?config:Vmm.config ->
   ?io_mode:Vm.io_mode ->
+  ?engine:Exec.engine ->
   ?instrument:(Machine.t -> unit) ->
   ?max_cycles:int ->
   Minivms.built ->
@@ -49,6 +52,7 @@ val run_vm :
 
 val run_two_vms :
   ?config:Vmm.config ->
+  ?engine:Exec.engine ->
   ?instrument:(Machine.t -> unit) ->
   ?max_cycles:int ->
   Minivms.built ->
