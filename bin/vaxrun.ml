@@ -11,9 +11,41 @@ open Cmdliner
 open Vax_vmm
 open Vax_workloads
 module Trace = Vax_obs.Trace
+module Fleet = Vax_fleet.Fleet
 
-let run workload vm mmio assist slots no_cache no_block_cache prefill separate
-    quiet trace_out metrics =
+(* --fleet N: run N independent jobs drawn round-robin from the workload
+   catalog across --jobs worker domains, print the per-job table, and
+   optionally write the vax-fleet/1 report.  Exits nonzero if any job
+   crashed. *)
+let run_fleet_mode ~fleet ~jobs ~vm ~mmio ~quiet ~fleet_json =
+  let mode = if vm then Fleet.Vm else Fleet.Bare in
+  let batch = Fleet.catalog_jobs ~n:fleet ~mode ~mmio:(vm && mmio) in
+  let report = Fleet.run ?jobs batch in
+  if not quiet then Format.printf "%a" Fleet.pp report
+  else
+    Format.printf "%d jobs on %d domains: %.2f jobs/sec@." report.Fleet.njobs
+      report.Fleet.domains report.Fleet.jobs_per_sec;
+  (match fleet_json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Vax_obs.Json.to_string (Fleet.to_json report));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "fleet report: %s@." path);
+  match Fleet.crashed report with
+  | [] -> ()
+  | crashed ->
+      List.iter
+        (fun (j, msg) ->
+          Format.eprintf "fleet job %s crashed: %s@." j.Fleet.job_name msg)
+        crashed;
+      exit 1
+
+let run workload fleet jobs fleet_json vm mmio assist slots no_cache
+    no_block_cache prefill separate quiet trace_out metrics =
+  if fleet > 0 then run_fleet_mode ~fleet ~jobs ~vm ~mmio ~quiet ~fleet_json
+  else
   let built = Catalog.build ~force_mmio:(vm && mmio) workload in
   let engine =
     if no_block_cache then Vax_cpu.Exec.Stepper else Vax_cpu.Exec.Blocks
@@ -80,6 +112,33 @@ let cmd =
             "Workload: hello, mix, editing, transaction, compute, syscall, \
              ipl, io.")
   in
+  let fleet =
+    Arg.(
+      value & opt int 0
+      & info [ "fleet" ] ~docv:"N"
+          ~doc:
+            "Fleet mode: run $(docv) independent jobs drawn round-robin \
+             from the workload catalog (bare machines, or VMs with $(b,--vm)) \
+             across worker domains, and report per-job results plus batch \
+             throughput.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:
+            "Worker domains for $(b,--fleet) (default: the runtime's \
+             recommended domain count).  Per-job results are bit-identical \
+             whatever $(docv) is.")
+  in
+  let fleet_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fleet-json" ] ~docv:"FILE"
+          ~doc:"Write the vax-fleet/1 JSON report to $(docv).")
+  in
   let vm = Arg.(value & flag & info [ "vm" ] ~doc:"Run in a virtual machine.") in
   let mmio =
     Arg.(value & flag & info [ "mmio" ] ~doc:"Emulated memory-mapped I/O.")
@@ -129,7 +188,8 @@ let cmd =
   Cmd.v
     (Cmd.info "vaxrun" ~doc:"Run MiniVMS workloads on the simulated VAX")
     Term.(
-      const run $ workload $ vm $ mmio $ assist $ slots $ no_cache
-      $ no_block_cache $ prefill $ separate $ quiet $ trace_out $ metrics)
+      const run $ workload $ fleet $ jobs $ fleet_json $ vm $ mmio $ assist
+      $ slots $ no_cache $ no_block_cache $ prefill $ separate $ quiet
+      $ trace_out $ metrics)
 
 let () = exit (Cmd.eval cmd)

@@ -33,10 +33,21 @@ type t = {
   buf : Buffer.t;
   labels : (string, int) Hashtbl.t;
   mutable fixups : fixup list;
+  mutable fresh : int;
 }
 
 let create ~origin =
-  { origin; buf = Buffer.create 1024; labels = Hashtbl.create 64; fixups = [] }
+  {
+    origin;
+    buf = Buffer.create 1024;
+    labels = Hashtbl.create 64;
+    fixups = [];
+    fresh = 0;
+  }
+
+let fresh_label ?(prefix = "L") t =
+  t.fresh <- t.fresh + 1;
+  Printf.sprintf "%s%d" prefix t.fresh
 
 let origin t = t.origin
 let here t = t.origin + Buffer.length t.buf

@@ -42,6 +42,12 @@ val here : t -> int
 val label : t -> string -> unit
 (** Define [name] at the current address; duplicate definitions fail. *)
 
+val fresh_label : ?prefix:string -> t -> string
+(** A label name unique within this assembler ([<prefix>1], [<prefix>2],
+    ...; default prefix ["L"]).  The counter lives in the assembler, not
+    in a global, so independent builds — including builds running
+    concurrently on different domains — produce identical images. *)
+
 val ins : t -> Opcode.t -> operand list -> unit
 (** Emit one instruction.  Fails (with [Invalid_argument]) on operand
     count mismatch or an operand unsuitable for the access type (e.g. a

@@ -24,6 +24,20 @@ let snapshot t =
   in
   List.sort (fun (a, _) (b, _) -> compare a b) rows
 
+(* Merging works on snapshots, not registries: a registry's gauges are
+   live closures into one machine's counters, so the only meaningful
+   cross-machine aggregate is over materialized (name, value) rows. *)
+let merge snaps =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (k, v) ->
+         Hashtbl.replace tbl k
+           (v + Option.value ~default:0 (Hashtbl.find_opt tbl k))))
+    snaps;
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
 let to_json t =
   Json.Obj
     [

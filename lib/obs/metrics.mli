@@ -23,6 +23,13 @@ val register_group : t -> string -> (unit -> (string * int) list) -> unit
 val snapshot : t -> (string * int) list
 (** All gauges and flattened groups, sorted by name. *)
 
+val merge : (string * int) list list -> (string * int) list
+(** [merge snaps] sums any number of {!snapshot}s key-wise into one
+    aggregate, sorted by name; a key missing from a snapshot counts as
+    0.  This is the fleet engine's join-time combiner: each machine
+    keeps its own registry while running (nothing is shared across
+    domains) and the materialized snapshots are merged afterwards. *)
+
 val to_json : t -> Json.t
 (** [{"schema": "vax-metrics/1", "metrics": {name: value, ...}}]. *)
 

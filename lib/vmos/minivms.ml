@@ -73,17 +73,17 @@ let p1lr_value = (1 lsl Addr.vpn_width) - user_stack_pages
 
 let ii a op ops = Asm.ins a op ops
 let label = Asm.label
-let skip_counter = ref 0
 
-let fresh_skip () =
-  incr skip_counter;
-  Printf.sprintf "sk%d" !skip_counter
+(* Skip labels are drawn from the assembler's own fresh-label counter:
+   builds share no mutable state, so concurrent fleets assembling the
+   same workload on different domains produce identical images. *)
+let fresh_skip a = Asm.fresh_label ~prefix:"sk" a
 
 let jmp_abs a l = ii a Opcode.Jmp [ Asm.Abs_label l ]
 
 (* far conditional branch: invert the condition over a JMP *)
 let far a cond l =
-  let sk = fresh_skip () in
+  let sk = fresh_skip a in
   let inverse =
     match cond with
     | `Eql -> Opcode.Bneq
@@ -118,7 +118,7 @@ let build_stub ~memsize =
   let fill ~first ~count ~base =
     ii a Opcode.Movl [ Asm.Imm (spt_phys + (4 * first)); Asm.R 0 ];
     ii a Opcode.Movl [ Asm.Imm first; Asm.R 1 ];
-    let l = fresh_skip () in
+    let l = fresh_skip a in
     label a l;
     ii a Opcode.Movl [ Asm.Imm base; Asm.R 2 ];
     ii a Opcode.Bisl2 [ Asm.R 1; Asm.R 2 ];
@@ -282,7 +282,7 @@ let build_kernel ~profile ~tick ~quantum ~memsize ~nproc ~first_free ~force_mmio
      jumps to [bad] for S-region or reserved-region addresses *)
   let locate_pte ~bad =
     ii a Opcode.Bicl3 [ Asm.Imm 0x3FFF_FFFF; Asm.R 0; Asm.R 1 ];
-    let p0 = fresh_skip () and join = fresh_skip () in
+    let p0 = fresh_skip a and join = fresh_skip a in
     ii a Opcode.Beql [ Asm.Branch p0 ];
     ii a Opcode.Cmpl [ Asm.R 1; Asm.Imm 0x4000_0000 ];
     far a `Neq bad;
@@ -449,7 +449,7 @@ let build_kernel ~profile ~tick ~quantum ~memsize ~nproc ~first_free ~force_mmio
   mtpr_imm a 2 Ipr.IPL (* VMS-style synchronization level *);
   ii a Opcode.Movl [ Asm.Disp (12, Asm.sp); Asm.R 3 ];
   let case code target =
-    let sk = fresh_skip () in
+    let sk = fresh_skip a in
     ii a Opcode.Cmpl [ Asm.R 3; Asm.Imm code ];
     ii a Opcode.Bneq [ Asm.Branch sk ];
     jmp_abs a target;
@@ -760,7 +760,6 @@ let build_page_tables ~profile ~programs ~prog_pfns =
 
 let build ?(profile = Vms_like) ?(tick = 8000) ?(quantum = 4) ?(memsize = 240)
     ?(force_mmio = false) ~programs () =
-  skip_counter := 0;
   let nproc = List.length programs in
   if nproc = 0 || nproc > max_processes then
     invalid_arg "Minivms.build: 1-8 programs";

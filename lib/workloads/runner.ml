@@ -28,10 +28,17 @@ let default_max = 400_000_000
    immutable once assembled, so the analysis is memoized by the physical
    identity of the built list: repeated runs of the same workload (the
    benchmark harness's pattern) share one predicted table and get fresh
-   hit tracking via {!Oracle.with_predictions}. *)
+   hit tracking via {!Oracle.with_predictions}.
+
+   The cache is process-global, so lookup and insertion are serialized
+   by [oracle_cache_lock]: fleet workers on different domains may run
+   (and even share) the same built images concurrently.  A cached
+   oracle's predicted table is completed inside the critical section
+   and read-only afterwards, so sharing it across domains is safe. *)
 let oracle_cache : (Classify.mode_assumption * Minivms.built list * Oracle.t) list ref =
   ref []
 
+let oracle_cache_lock = Mutex.create ()
 let max_cached_oracles = 8
 
 let make_oracle ~mode (builts : Minivms.built list) =
@@ -41,17 +48,22 @@ let make_oracle ~mode (builts : Minivms.built list) =
     && List.length bs = List.length builts
     && List.for_all2 ( == ) bs builts
   in
-  match List.find_opt same !oracle_cache with
-  | Some (_, _, src) -> Oracle.with_predictions ~name src
-  | None ->
-      let images = List.concat_map (fun b -> b.Minivms.code_images) builts in
-      let o = Oracle.of_asm_images ~name ~mode images in
-      oracle_cache :=
-        (mode, builts, o)
-        :: (if List.length !oracle_cache >= max_cached_oracles then
-              List.filteri (fun i _ -> i < max_cached_oracles - 1) !oracle_cache
-            else !oracle_cache);
-      o
+  Mutex.protect oracle_cache_lock (fun () ->
+      match List.find_opt same !oracle_cache with
+      | Some (_, _, src) -> Oracle.with_predictions ~name src
+      | None ->
+          let images =
+            List.concat_map (fun b -> b.Minivms.code_images) builts
+          in
+          let o = Oracle.of_asm_images ~name ~mode images in
+          oracle_cache :=
+            (mode, builts, o)
+            :: (if List.length !oracle_cache >= max_cached_oracles then
+                  List.filteri
+                    (fun i _ -> i < max_cached_oracles - 1)
+                    !oracle_cache
+                else !oracle_cache);
+          o)
 
 let run_bare ?(variant = Variant.Standard) ?engine ?instrument
     ?(max_cycles = default_max) (built : Minivms.built) =

@@ -158,6 +158,29 @@ let test_sched_event_order () =
   Alcotest.(check (list int)) "fifo within a cycle" [ 3; 1; 2 ] !log;
   check_int "drained" 0 (Sched.pending s)
 
+(* a same-cycle burst fires in registration order, including events
+   registered by a firing callback at the very cycle being drained
+   (regression for the reversed-cons storage in [Sched.at]) *)
+let test_sched_same_cycle_burst () =
+  let clock = Cycles.create () in
+  let s = Sched.create clock in
+  let n = 64 in
+  let log = ref [] in
+  for i = 1 to n do
+    Sched.at s ~cycle:10 (fun () ->
+        log := i :: !log;
+        if i = n then
+          Sched.at s ~cycle:10 (fun () -> log := (n + 1) :: !log))
+  done;
+  check_int "all pending" n (Sched.pending s);
+  Cycles.advance_to clock 10;
+  Sched.run_due s;
+  Alcotest.(check (list int))
+    "burst fires fifo, late same-cycle event last"
+    (List.init (n + 1) (fun i -> i + 1))
+    (List.rev !log);
+  check_int "drained" 0 (Sched.pending s)
+
 let () =
   Alcotest.run "vax_dev"
     [
@@ -172,5 +195,7 @@ let () =
           Alcotest.test_case "timer ICR/NICR semantics" `Quick
             test_timer_icr_nicr;
           Alcotest.test_case "scheduler ordering" `Quick test_sched_event_order;
+          Alcotest.test_case "scheduler same-cycle burst" `Quick
+            test_sched_same_cycle_burst;
         ] );
     ]
