@@ -1,9 +1,11 @@
 (* vaxlint — static Popek–Goldberg sensitivity analysis of guest images,
-   with a differential trap-prediction oracle against the simulator.
+   with a differential trap-prediction oracle against the simulator and
+   the vaxflow flow-sensitive refinement.
 
    Examples:
-     vaxlint --workload mix --vm        # vaxlint/1 JSON report
-     vaxlint --workload mix --vm -o r.json
+     vaxlint --workload mix --vm        # vaxlint/2 JSON report
+     vaxlint --workload mix --vm --no-flow -o r.json
+     vaxlint --precision                # static flow-vs-flowless table
      vaxlint --self-check               # run all workloads bare + VM under
                                         # the oracle and report coverage *)
 
@@ -11,15 +13,12 @@ open Cmdliner
 open Vax_workloads
 open Vax_analysis
 
-let images_of_built (built : Vax_vmos.Minivms.built) =
-  List.map
-    (fun (name, img) -> Cfg.of_asm name img)
-    built.Vax_vmos.Minivms.code_images
-
-let emit_report ~workload ~vm ~out =
+let emit_report ~workload ~vm ~flow ~out =
   let built = Catalog.build workload in
   let mode = if vm then Classify.Vm else Classify.Bare in
-  let json = Report.report ~mode ~workload (images_of_built built) in
+  let json =
+    Report.report ~mode ~flow ~workload (Runner.images_of_built built)
+  in
   match out with
   | None -> print_endline json
   | Some path ->
@@ -29,36 +28,104 @@ let emit_report ~workload ~vm ~out =
       close_out oc;
       Printf.printf "wrote %s\n" path
 
+(* Static precision comparison, no simulation: for every workload and
+   both mode assumptions, the flow-sensitive predicted table must be no
+   larger than the flowless one, and at least one VM workload must
+   actually shrink. *)
+let precision ~workloads =
+  let failed = ref false in
+  let vm_pruned = ref 0 in
+  Format.printf "%-12s %-5s %9s %9s %7s@." "workload" "mode" "flow" "flowless"
+    "pruned";
+  List.iter
+    (fun w ->
+      let images = Runner.images_of_built (Catalog.build w) in
+      List.iter
+        (fun mode ->
+          let o = Oracle.of_images ~flow:true ~name:w ~mode images in
+          let pairs = Oracle.predicted_pairs o in
+          let flowless =
+            match o.Oracle.flow with
+            | Some f -> f.Oracle.fs_pairs_flowless
+            | None -> pairs
+          in
+          let pruned = flowless - pairs in
+          if mode = Classify.Vm then vm_pruned := !vm_pruned + pruned;
+          let bad = pairs > flowless in
+          if bad then failed := true;
+          Format.printf "%-12s %-5s %9d %9d %7d%s@." w
+            (Classify.mode_name mode) pairs flowless pruned
+            (if bad then "  [FAIL: flow predicted more than flowless]" else ""))
+        [ Classify.Bare; Classify.Vm ])
+    workloads;
+  if !vm_pruned <= 0 then begin
+    failed := true;
+    Format.printf "[FAIL: no VM workload pruned any predicted pair]@."
+  end;
+  if !failed then exit 1;
+  Format.printf
+    "precision check passed: flow \xe2\x89\xa4 flowless everywhere, %d VM \
+     pairs pruned@."
+    !vm_pruned
+
 (* Run every requested workload bare and in a VM under the differential
    oracle.  An unpredicted trap raises out of the run; a VM run that hits
    no predicted site at all means the analyzer is not seeing the code the
-   simulator executes, and also fails. *)
-let self_check ~workloads =
+   simulator executes, and also fails.  With flow enabled, the
+   flow-sensitive predicted table must also be no larger than the
+   flowless baseline, and some VM workload must shrink. *)
+let self_check ~workloads ~flow =
   let failed = ref false in
+  let vm_pruned = ref 0 in
+  let check_precision (o : Oracle.t) =
+    match o.Oracle.flow with
+    | None -> ""
+    | Some f ->
+        let pairs = Oracle.predicted_pairs o in
+        let pruned = f.Oracle.fs_pairs_flowless - pairs in
+        if pruned < 0 then begin
+          failed := true;
+          "  [FAIL: flow predicted more than flowless]"
+        end
+        else Printf.sprintf "  (%d pruned)" pruned
+  in
   List.iter
     (fun w ->
-      let bare = Runner.run_bare (Catalog.build w) in
+      let bare = Runner.run_bare ~flow (Catalog.build w) in
       let cb = Oracle.coverage bare.Runner.oracle in
-      Format.printf "%-12s bare  %a@." w Oracle.pp_coverage cb;
-      let vm = Runner.run_vm (Catalog.build w) in
+      Format.printf "%-12s bare  %a%s@." w Oracle.pp_coverage cb
+        (check_precision bare.Runner.oracle);
+      let vm = Runner.run_vm ~flow (Catalog.build w) in
       let cv = Oracle.coverage vm.Runner.oracle in
+      (match vm.Runner.oracle.Oracle.flow with
+      | Some f ->
+          vm_pruned :=
+            !vm_pruned + f.Oracle.fs_pairs_flowless
+            - Oracle.predicted_pairs vm.Runner.oracle
+      | None -> ());
       let ok = cv.Oracle.hit_pairs > 0 in
       if not ok then failed := true;
-      Format.printf "%-12s vm    %a%s@." w Oracle.pp_coverage cv
+      Format.printf "%-12s vm    %a%s%s@." w Oracle.pp_coverage cv
+        (check_precision vm.Runner.oracle)
         (if ok then "" else "  [FAIL: no predicted site was ever hit]"))
     workloads;
+  if flow && !vm_pruned <= 0 then begin
+    failed := true;
+    Format.printf "[FAIL: no VM workload pruned any predicted pair]@."
+  end;
   if !failed then exit 1;
-  Format.printf "self-check passed: every trap was statically predicted@."
+  Format.printf "self-check passed: every trap was statically predicted%s@."
+    (if flow then
+       Printf.sprintf " (flow pruned %d VM pairs)" !vm_pruned
+     else "")
 
-let run workload vm self out =
-  if self then
-    let workloads =
-      if workload = "all" then Catalog.names else [ workload ]
-    in
-    self_check ~workloads
+let run workload vm flow self prec out =
+  let workloads = if workload = "all" then Catalog.names else [ workload ] in
+  if self then self_check ~workloads ~flow
+  else if prec then precision ~workloads
   else if workload = "all" then
-    List.iter (fun w -> emit_report ~workload:w ~vm ~out:None) Catalog.names
-  else emit_report ~workload ~vm ~out
+    List.iter (fun w -> emit_report ~workload:w ~vm ~flow ~out:None) Catalog.names
+  else emit_report ~workload ~vm ~flow ~out
 
 let cmd =
   let workload =
@@ -78,6 +145,23 @@ let cmd =
             "Assume the image runs in a virtual machine (PSL<VM> set) \
              rather than on the bare machine.")
   in
+  let flow =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "flow" ]
+                ~doc:
+                  "Run the vaxflow flow-sensitive abstract interpretation \
+                   (default): per-site mode sets refine trap predictions and \
+                   resolve computed control flow." );
+            ( false,
+              info [ "no-flow" ]
+                ~doc:"Disable vaxflow; every prediction is flow-insensitive."
+            );
+          ])
+  in
   let self =
     Arg.(
       value & flag
@@ -85,7 +169,19 @@ let cmd =
           ~doc:
             "Run the workload(s) bare and in a VM under the differential \
              oracle: every observed VM-emulation trap, privileged fault, \
-             and modify fault must land on a statically predicted site.")
+             and modify fault must land on a statically predicted site; \
+             with flow enabled, the flow-sensitive predicted table must \
+             also be no larger than the flowless baseline.")
+  in
+  let prec =
+    Arg.(
+      value & flag
+      & info [ "precision" ]
+          ~doc:
+            "Static comparison of the flow-sensitive and flow-insensitive \
+             predicted tables over the workload(s), both mode assumptions; \
+             fails if flow ever predicts more than flowless or if no VM \
+             workload shrinks.")
   in
   let out =
     Arg.(
@@ -97,6 +193,6 @@ let cmd =
     (Cmd.info "vaxlint"
        ~doc:
          "Popek-Goldberg sensitivity analyzer for simulated-VAX guest images")
-    Term.(const run $ workload $ vm $ self $ out)
+    Term.(const run $ workload $ vm $ flow $ self $ prec $ out)
 
 let () = exit (Cmd.eval cmd)

@@ -13,9 +13,13 @@ type image = {
   base : int;  (* execution virtual address of byte 0 *)
   code : bytes;
   entries : int list;  (* absolute addresses of recursive-descent roots *)
+  entry_mode : Mode.t option;
+      (* access mode in which control first enters the image at its
+         origin, when the workload declares one; seeds the vaxflow
+         abstract-mode lattice (None = unknown = all modes) *)
 }
 
-let of_asm name (img : Asm.image) =
+let of_asm ?entry_mode name (img : Asm.image) =
   {
     name;
     base = img.Asm.image_origin;
@@ -23,6 +27,7 @@ let of_asm name (img : Asm.image) =
     entries =
       List.sort_uniq compare
         (img.Asm.image_origin :: List.map snd img.Asm.symbols);
+    entry_mode;
   }
 
 (* instructions that never fall through to the next byte *)
@@ -33,7 +38,9 @@ let is_terminator = function
   | _ -> false
 
 (* statically-resolvable control-flow targets: branch displacements, and
-   absolute-mode destinations of JMP/JSB/CALLS *)
+   absolute-mode or PC-relative displacement-mode destinations of
+   JMP/JSB/CALLS.  A non-deferred displacement off PC evaluates against
+   the updated PC, i.e. the end of that operand's specifier. *)
 let static_targets (i : Disasm.insn) =
   match i.Disasm.opcode with
   | None -> []
@@ -43,10 +50,18 @@ let static_targets (i : Disasm.insn) =
           (function Disasm.Branch_dest t -> Some t | _ -> None)
           i.Disasm.specs
       in
+      let resolve spec end_off =
+        match spec with
+        | Disasm.Absolute a -> Some a
+        | Disasm.Disp { rn = 15; disp; deferred = false; _ } ->
+            Some (i.Disasm.address + end_off + disp)
+        | _ -> None
+      in
       let abs =
-        match (op, i.Disasm.specs) with
-        | (Opcode.Jmp | Opcode.Jsb), [ Disasm.Absolute a ] -> [ a ]
-        | Opcode.Calls, [ _; Disasm.Absolute a ] -> [ a ]
+        match (op, i.Disasm.specs, Disasm.spec_ends i) with
+        | (Opcode.Jmp | Opcode.Jsb), [ s ], [ e ] ->
+            Option.to_list (resolve s e)
+        | Opcode.Calls, [ _; s ], [ _; e ] -> Option.to_list (resolve s e)
         | _ -> []
       in
       branches @ abs
@@ -122,26 +137,26 @@ let analyze image =
   in
   overlaps sorted;
   (* basic blocks over the reachable set *)
+  let ends_block i =
+    static_targets i <> []
+    || match i.Disasm.opcode with Some op -> is_terminator op | None -> true
+  in
   let leaders = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace leaders e ()) image.entries;
   List.iter
     (fun i ->
-      let targets = static_targets i in
-      List.iter (fun t -> Hashtbl.replace leaders t ()) targets;
-      let ends_block =
-        targets <> []
-        || match i.Disasm.opcode with Some op -> is_terminator op | None -> true
-      in
-      if ends_block then
+      List.iter (fun t -> Hashtbl.replace leaders t ()) (static_targets i);
+      if ends_block i then
         Hashtbl.replace leaders (i.Disasm.address + i.Disasm.length) ())
     sorted;
   let blocks = ref [] in
-  let cur = ref [] in
+  let cur = ref [] in  (* current block's instructions, most recent first *)
   let flush () =
-    match List.rev !cur with
+    match !cur with
     | [] -> ()
-    | first :: _ as insns ->
-        let last = List.nth insns (List.length insns - 1) in
+    | last :: _ ->
+        let insns = List.rev !cur in
+        let first = List.hd insns in
         let succs =
           static_targets last
           @
@@ -159,11 +174,7 @@ let analyze image =
       then flush ();
       cur := i :: !cur;
       prev_end := i.Disasm.address + i.Disasm.length;
-      let ends_block =
-        static_targets i <> []
-        || match i.Disasm.opcode with Some op -> is_terminator op | None -> true
-      in
-      if ends_block then flush ())
+      if ends_block i then flush ())
     sorted;
   flush ();
   let swept = Disasm.decode_all ~resync:true image.code ~base:image.base in

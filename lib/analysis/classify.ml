@@ -78,27 +78,54 @@ let writes_memory (i : Disasm.insn) =
         | _ -> false
       in
       implicit
-      || List.exists2
+      ||
+      (* a truncated decode at the image edge can leave fewer specs than
+         the operand table expects; treat such a site conservatively as
+         memory-writing rather than letting [exists2] raise *)
+      (try
+         List.exists2
            (fun (access, _) spec ->
              (access = Opcode.Write || access = Opcode.Modify)
              && mem_capable_spec spec)
            (Opcode.operands op) i.Disasm.specs
+       with Invalid_argument _ -> true)
 
-let predict ~mode (i : Disasm.insn) : State.trap_kind list =
+(* What vaxflow proved about the access modes live at a site: can it be
+   reached with the (virtual) PSL in kernel mode, and can it be reached
+   in any non-kernel mode?  Refines {!predict} — see below. *)
+type flow_fact = { may_kernel : bool; may_other : bool }
+
+let predict ~mode ?flow (i : Disasm.insn) : State.trap_kind list =
   match i.Disasm.opcode with
   | None -> []
   | Some op -> (
       let writes = if writes_memory i then [ State.Trap_modify ] else [] in
       match mode with
       | Bare ->
-          (if Opcode.privileged op then [ State.Trap_privileged ] else [])
+          (* a privileged opcode faults only outside kernel mode — except
+             WAIT, whose microcode on the bare machine raises the
+             privileged fault even from kernel mode (idling is only
+             virtualized, §5), so flow facts must not prune it *)
+          (if
+             Opcode.privileged op
+             &&
+             match flow with
+             | Some { may_other = false; _ } when op <> Opcode.Wait -> false
+             | _ -> true
+           then [ State.Trap_privileged ]
+           else [])
           @ writes
       | Vm ->
           (* a privileged opcode takes the VM-emulation trap from VM-kernel
              mode but the ordinary privileged fault from VM-user mode, so
-             both are predicted at the site *)
+             without flow facts both are predicted at the site; a flow
+             fact keeps only the kinds its mode set can realize *)
           (if Opcode.privileged op then
-             [ State.Trap_vm_emulation; State.Trap_privileged ]
+             match flow with
+             | None -> [ State.Trap_vm_emulation; State.Trap_privileged ]
+             | Some { may_kernel; may_other } ->
+                 (if may_kernel then [ State.Trap_vm_emulation ] else [])
+                 @ (if may_other then [ State.Trap_privileged ] else [])
            else if vm_trapping op then [ State.Trap_vm_emulation ]
            else [])
           @ writes)

@@ -1,0 +1,61 @@
+(* Generic forward worklist dataflow solver.
+
+   Nodes are integers (vaxflow uses basic-block start addresses), the
+   abstract domain is any join-semilattice of finite height, and the
+   transfer function maps a node's input state to the list of
+   (successor, successor-input-state) contributions — so one node can
+   hand different states to different successors, and edges to nodes the
+   client does not know (cross-image jumps, not-yet-recovered blocks)
+   are simply not returned.
+
+   The solver is seeded with (node, state) pairs, merges contributions
+   by join, and iterates a FIFO worklist to the least fixpoint.
+   Termination is the client's contract: the lattice must have no
+   infinite ascending chains. *)
+
+type 'a lattice = {
+  join : 'a -> 'a -> 'a;
+  equal : 'a -> 'a -> bool;
+}
+
+type stats = {
+  nodes : int;  (* distinct nodes that received a state *)
+  visits : int;  (* worklist pops *)
+  updates : int;  (* state changes (including seeding) *)
+}
+
+let solve ~lattice ~transfer ~seeds =
+  let states = Hashtbl.create 64 in
+  let queued = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let visits = ref 0 and updates = ref 0 in
+  let enqueue n =
+    if not (Hashtbl.mem queued n) then begin
+      Hashtbl.replace queued n ();
+      Queue.add n queue
+    end
+  in
+  let merge n s =
+    match Hashtbl.find_opt states n with
+    | None ->
+        Hashtbl.replace states n s;
+        incr updates;
+        enqueue n
+    | Some old ->
+        let j = lattice.join old s in
+        if not (lattice.equal j old) then begin
+          Hashtbl.replace states n j;
+          incr updates;
+          enqueue n
+        end
+  in
+  List.iter (fun (n, s) -> merge n s) seeds;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    Hashtbl.remove queued n;
+    incr visits;
+    match Hashtbl.find_opt states n with
+    | None -> ()
+    | Some s -> List.iter (fun (m, s') -> merge m s') (transfer n s)
+  done;
+  (states, { nodes = Hashtbl.length states; visits = !visits; updates = !updates })

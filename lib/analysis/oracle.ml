@@ -13,11 +13,29 @@
 open Vax_cpu
 module Disasm = Vax_asm.Disasm
 
+(* Aggregate vaxflow statistics when the static pass ran flow-sensitively
+   (see Absdom).  [pairs_flowless] is what the flow-insensitive pass
+   would have predicted for the same images — the precision baseline. *)
+type flow_stats = {
+  fs_images : int;
+  fs_sites : int;  (* candidate sites across all images *)
+  fs_fact_sites : int;  (* sites refined by a flow fact *)
+  fs_rounds : int;
+  fs_visits : int;
+  fs_updates : int;
+  fs_resolved : int;
+  fs_unresolved : int;
+  fs_escapes : int;
+  fs_mode_sound : bool;  (* false => refinement was disabled (the valve) *)
+  fs_pairs_flowless : int;
+}
+
 type t = {
   name : string;
   predicted : (int, int) Hashtbl.t;  (* pc -> kind bitmask *)
   hits : (int, int) Hashtbl.t;  (* pc -> bitmask of kinds observed *)
   mutable observed : int;  (* total observed events *)
+  mutable flow : flow_stats option;  (* present for flow-sensitive passes *)
 }
 
 exception Unpredicted of string * State.trap_kind * int
@@ -40,7 +58,13 @@ let kind_bit = function
 let bitmask kinds = List.fold_left (fun m k -> m lor kind_bit k) 0 kinds
 
 let create ~name =
-  { name; predicted = Hashtbl.create 512; hits = Hashtbl.create 64; observed = 0 }
+  {
+    name;
+    predicted = Hashtbl.create 512;
+    hits = Hashtbl.create 64;
+    observed = 0;
+    flow = None;
+  }
 
 let find0 tbl pc = match Hashtbl.find_opt tbl pc with Some m -> m | None -> 0
 
@@ -48,17 +72,83 @@ let predict t ~pc kinds =
   let m = bitmask kinds in
   if m <> 0 then Hashtbl.replace t.predicted pc (find0 t.predicted pc lor m)
 
-let add_image t ~mode image =
-  let cfg = Cfg.analyze image in
+let add_cfg t ~mode cfg =
   List.iter
-    (fun i ->
-      predict t ~pc:i.Disasm.address (Classify.predict ~mode i))
+    (fun i -> predict t ~pc:i.Disasm.address (Classify.predict ~mode i))
     (Cfg.all_sites cfg)
 
-let of_asm_images ~name ~mode images =
+let add_image t ~mode image = add_cfg t ~mode (Cfg.analyze image)
+
+let popcount m = (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1)
+
+let predicted_pairs t =
+  Hashtbl.fold (fun _ m n -> n + popcount m) t.predicted 0
+
+(* Flow-sensitive static pass: escaped addresses are pooled across the
+   whole workload (a vector cell written by one image can dispatch into
+   another), each image is abstractly interpreted, and each site's
+   prediction is refined by its mode fact.  The refinement only ever
+   drops trap kinds at a site, so the flow-sensitive predicted table is
+   a subset of the flowless one.  If any image has an unresolved
+   computed control transfer, refinement is disabled wholesale
+   ([fs_mode_sound] = false): a missed edge could reach any image in
+   any mode. *)
+let of_images ?(flow = true) ~name ~mode (images : Cfg.image list) =
   let t = create ~name in
-  List.iter (fun (n, img) -> add_image t ~mode (Cfg.of_asm n img)) images;
-  t
+  if not flow then begin
+    List.iter (add_image t ~mode) images;
+    t
+  end
+  else begin
+    let cfg0s = List.map Cfg.analyze images in
+    let escapes = List.concat_map Absdom.escape_values cfg0s in
+    let results = List.map (Absdom.analyze ~escapes) images in
+    let mode_sound =
+      List.for_all (fun r -> r.Absdom.stats.Absdom.mode_sound) results
+    in
+    let sites = ref 0 and fact_sites = ref 0 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (i : Disasm.insn) ->
+            incr sites;
+            let flow_fact =
+              if mode_sound then
+                match Hashtbl.find_opt r.Absdom.facts i.Disasm.address with
+                | Some s ->
+                    incr fact_sites;
+                    Some (Absdom.flow_fact_of s)
+                | None -> None
+              else None
+            in
+            predict t ~pc:i.Disasm.address
+              (Classify.predict ~mode ?flow:flow_fact i))
+          (Cfg.all_sites r.Absdom.cfg))
+      results;
+    let flowless = create ~name in
+    List.iter (add_cfg flowless ~mode) cfg0s;
+    let sum f = List.fold_left (fun n r -> n + f r.Absdom.stats) 0 results in
+    t.flow <-
+      Some
+        {
+          fs_images = List.length images;
+          fs_sites = !sites;
+          fs_fact_sites = !fact_sites;
+          fs_rounds = sum (fun s -> s.Absdom.rounds);
+          fs_visits = sum (fun s -> s.Absdom.visits);
+          fs_updates = sum (fun s -> s.Absdom.updates);
+          fs_resolved = sum (fun s -> s.Absdom.resolved);
+          fs_unresolved = sum (fun s -> s.Absdom.unresolved);
+          fs_escapes = sum (fun s -> s.Absdom.escapes);
+          fs_mode_sound = mode_sound;
+          fs_pairs_flowless = predicted_pairs flowless;
+        };
+    t
+  end
+
+let of_asm_images ?flow ~name ~mode images =
+  of_images ?flow ~name ~mode
+    (List.map (fun (n, img) -> Cfg.of_asm n img) images)
 
 (* A fresh oracle sharing an existing oracle's static analysis.  The
    predicted table is read-only after construction, so it can be shared
@@ -66,7 +156,13 @@ let of_asm_images ~name ~mode images =
    harness amortize the static pass over repeated runs of the same
    workload. *)
 let with_predictions ~name src =
-  { name; predicted = src.predicted; hits = Hashtbl.create 64; observed = 0 }
+  {
+    name;
+    predicted = src.predicted;
+    hits = Hashtbl.create 64;
+    observed = 0;
+    flow = src.flow;
+  }
 
 let observe t kind pc =
   t.observed <- t.observed + 1;
@@ -76,8 +172,6 @@ let observe t kind pc =
 
 let install t (st : State.t) =
   st.State.trap_observer <- Some (fun kind pc -> observe t kind pc)
-
-let popcount m = (m land 1) + ((m lsr 1) land 1) + ((m lsr 2) land 1)
 
 type coverage = {
   predicted_pairs : int;  (* distinct (site, kind) pairs predicted *)
@@ -95,3 +189,24 @@ let coverage t =
 let pp_coverage ppf c =
   Format.fprintf ppf "%d/%d predicted (site, kind) pairs hit, %d events"
     c.hit_pairs c.predicted_pairs c.observed_events
+
+(* vaxflow gauges for the metrics registry ("analysis.flow.*"). *)
+let flow_metrics t =
+  match t.flow with
+  | None -> [ ("enabled", 0) ]
+  | Some f ->
+      [
+        ("enabled", 1);
+        ("pairs", predicted_pairs t);
+        ("pairs_flowless", f.fs_pairs_flowless);
+        ("pairs_pruned", f.fs_pairs_flowless - predicted_pairs t);
+        ("sites", f.fs_sites);
+        ("fact_sites", f.fs_fact_sites);
+        ("rounds", f.fs_rounds);
+        ("visits", f.fs_visits);
+        ("updates", f.fs_updates);
+        ("resolved_targets", f.fs_resolved);
+        ("unresolved_targets", f.fs_unresolved);
+        ("escapes", f.fs_escapes);
+        ("mode_sound", if f.fs_mode_sound then 1 else 0);
+      ]

@@ -1,28 +1,45 @@
-(* The machine-readable vaxlint report, schema "vaxlint/1", following the
+(* The machine-readable vaxlint report, schema "vaxlint/2", following the
    same hand-rolled JSON conventions as the vax-bench/1 benchmark
-   harness. *)
+   harness.  vaxlint/2 extends vaxlint/1 with the vaxflow results:
+   per-site abstract mode sets, flow-refined trap predictions, fixpoint
+   statistics, flow diagnostics, and a precision section comparing the
+   flow-sensitive predicted table against the flowless one. *)
 
 open Vax_cpu
 module Disasm = Vax_asm.Disasm
 
-let schema_version = "vaxlint/1"
+let schema_version = "vaxlint/2"
 
 let kind_json kinds =
   Json.Arr
     (List.map (fun k -> Json.Str (State.trap_kind_name k)) kinds)
 
-let site_json ~mode (i : Disasm.insn) =
+(* flow fact for a site, honoring the soundness valve *)
+let fact_of ~flow_ok (r : Absdom.result option) (i : Disasm.insn) =
+  match r with
+  | Some r when flow_ok -> Hashtbl.find_opt r.Absdom.facts i.Disasm.address
+  | _ -> None
+
+let site_json ~mode ~flow_ok ~flow_result (i : Disasm.insn) =
   let cls =
     match i.Disasm.opcode with
     | None -> "data"
     | Some op -> Classify.cls_name (Classify.classify op)
+  in
+  let fact = fact_of ~flow_ok flow_result i in
+  let flow = Option.map Absdom.flow_fact_of fact in
+  let modes =
+    match fact with
+    | None -> [ Json.Str "unknown" ]
+    | Some s -> List.map (fun n -> Json.Str n) (Absdom.Modes.names s.Absdom.modes)
   in
   Json.Obj
     [
       ("pc", Json.int i.Disasm.address);
       ("insn", Json.Str (Disasm.to_string i));
       ("class", Json.Str cls);
-      ("predicted_traps", kind_json (Classify.predict ~mode i));
+      ("modes", Json.Arr modes);
+      ("predicted_traps", kind_json (Classify.predict ~mode ?flow i));
     ]
 
 let block_json ~mode (b : Cfg.block) =
@@ -55,7 +72,54 @@ let diag_json = function
           ("inside", Json.int prev);
         ]
 
-let image_json ~mode (cfg : Cfg.t) =
+let flow_diag_json = function
+  | Absdom.Mode_unreachable { at } ->
+      Json.Obj [ ("kind", Json.Str "mode-unreachable"); ("at", Json.int at) ]
+  | Absdom.Never_kernel { at; modes } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "never-kernel");
+          ("at", Json.int at);
+          ( "modes",
+            Json.Arr (List.map (fun n -> Json.Str n) (Absdom.Modes.names modes))
+          );
+        ]
+  | Absdom.Probe_const_mode { at; mode } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "probe-const-mode");
+          ("at", Json.int at);
+          ("mode", Json.Str (Vax_arch.Mode.name mode));
+        ]
+  | Absdom.Const_kernel_write { at; addr } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "const-kernel-write");
+          ("at", Json.int at);
+          ("addr", Json.int addr);
+        ]
+
+let flow_json (r : Absdom.result) =
+  let s = r.Absdom.stats in
+  Json.Obj
+    [
+      ("rounds", Json.int s.Absdom.rounds);
+      ("blocks", Json.int s.Absdom.blocks);
+      ("visits", Json.int s.Absdom.visits);
+      ("updates", Json.int s.Absdom.updates);
+      ("resolved_targets", Json.int s.Absdom.resolved);
+      ("unresolved_targets", Json.int s.Absdom.unresolved);
+      ("escapes", Json.int s.Absdom.escapes);
+      ("mode_sound", Json.Bool s.Absdom.mode_sound);
+      ("diagnostics", Json.Arr (List.map flow_diag_json r.Absdom.diags));
+    ]
+
+let image_json ~mode ~flow_ok (image, flow_result) =
+  let cfg =
+    match flow_result with
+    | Some r -> r.Absdom.cfg  (* includes discovered computed targets *)
+    | None -> Cfg.analyze image
+  in
   let sites = Cfg.all_sites cfg in
   let count cls =
     List.length
@@ -75,24 +139,29 @@ let image_json ~mode (cfg : Cfg.t) =
       sites
   in
   Json.Obj
-    [
-      ("name", Json.Str cfg.Cfg.image.Cfg.name);
-      ("base", Json.int cfg.Cfg.image.Cfg.base);
-      ("bytes", Json.int (Bytes.length cfg.Cfg.image.Cfg.code));
-      ("sites", Json.int (List.length sites));
-      ("reachable", Json.int (Hashtbl.length cfg.Cfg.reachable));
-      ("blocks", Json.Arr (List.map (block_json ~mode) cfg.Cfg.blocks));
-      ( "summary",
-        Json.Obj
-          [
-            ("innocuous", Json.int (count Classify.Innocuous));
-            ("privileged", Json.int (count Classify.Privileged));
-            ( "sensitive_unprivileged",
-              Json.int (count Classify.Sensitive_unprivileged) );
-          ] );
-      ("findings", Json.Arr (List.map (site_json ~mode) findings));
-      ("diagnostics", Json.Arr (List.map diag_json cfg.Cfg.diags));
-    ]
+    ([
+       ("name", Json.Str cfg.Cfg.image.Cfg.name);
+       ("base", Json.int cfg.Cfg.image.Cfg.base);
+       ("bytes", Json.int (Bytes.length cfg.Cfg.image.Cfg.code));
+       ("sites", Json.int (List.length sites));
+       ("reachable", Json.int (Hashtbl.length cfg.Cfg.reachable));
+       ("blocks", Json.Arr (List.map (block_json ~mode) cfg.Cfg.blocks));
+       ( "summary",
+         Json.Obj
+           [
+             ("innocuous", Json.int (count Classify.Innocuous));
+             ("privileged", Json.int (count Classify.Privileged));
+             ( "sensitive_unprivileged",
+               Json.int (count Classify.Sensitive_unprivileged) );
+           ] );
+       ( "findings",
+         Json.Arr (List.map (site_json ~mode ~flow_ok ~flow_result) findings) );
+       ("diagnostics", Json.Arr (List.map diag_json cfg.Cfg.diags));
+     ]
+    @
+    match flow_result with
+    | None -> []
+    | Some r -> [ ("flow", flow_json r) ])
 
 let coverage_json (c : Oracle.coverage) =
   Json.Obj
@@ -102,15 +171,51 @@ let coverage_json (c : Oracle.coverage) =
       ("observed_events", Json.int c.Oracle.observed_events);
     ]
 
-let report ?coverage ~mode ~workload (images : Cfg.image list) =
-  let cfgs = List.map Cfg.analyze images in
+let report ?coverage ?(flow = true) ~mode ~workload (images : Cfg.image list) =
+  let results =
+    if flow then
+      let escapes =
+        List.concat_map (fun i -> Absdom.escape_values (Cfg.analyze i)) images
+      in
+      List.map (fun i -> Some (Absdom.analyze ~escapes i)) images
+    else List.map (fun _ -> None) images
+  in
+  let flow_ok =
+    List.for_all
+      (function Some r -> r.Absdom.stats.Absdom.mode_sound | None -> false)
+      results
+  in
+  let precision =
+    if not flow then []
+    else
+      let o = Oracle.of_images ~flow:true ~name:workload ~mode images in
+      let pairs = Oracle.predicted_pairs o in
+      match o.Oracle.flow with
+      | None -> []
+      | Some f ->
+          [
+            ( "precision",
+              Json.Obj
+                [
+                  ("pairs", Json.int pairs);
+                  ("pairs_flowless", Json.int f.Oracle.fs_pairs_flowless);
+                  ("pairs_pruned", Json.int (f.Oracle.fs_pairs_flowless - pairs));
+                  ("mode_sound", Json.Bool f.Oracle.fs_mode_sound);
+                ] );
+          ]
+  in
   let fields =
     [
       ("schema", Json.Str schema_version);
       ("workload", Json.Str workload);
       ("mode", Json.Str (Classify.mode_name mode));
-      ("images", Json.Arr (List.map (image_json ~mode) cfgs));
+      ("flow", Json.Bool flow);
+      ( "images",
+        Json.Arr
+          (List.map (image_json ~mode ~flow_ok) (List.combine images results))
+      );
     ]
+    @ precision
     @
     match coverage with
     | None -> []

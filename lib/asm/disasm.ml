@@ -136,6 +136,42 @@ let decode_one b ~pos ~address =
   | v -> v
   | exception Truncated -> None
 
+(* Byte offset, relative to the instruction start, of the end of each
+   operand specifier — the "updated PC" against which a PC-relative
+   displacement in that operand is evaluated.  Recovered from the decoded
+   specs (spec sizes are self-describing), so no re-decode is needed:
+   opcode length = total length minus the sum of spec sizes.  Empty for
+   [.byte] pseudo-instructions or if the spec list does not match the
+   opcode's operand table (truncated decode). *)
+let spec_ends (i : insn) =
+  match i.opcode with
+  | None -> []
+  | Some op ->
+      let accs = Opcode.operands op in
+      if List.length accs <> List.length i.specs then []
+      else
+        let size (access, width) spec =
+          match access with
+          | Opcode.Branch_byte -> 1
+          | Opcode.Branch_word -> 2
+          | _ -> (
+              match spec with
+              | Literal _ | Index _ | Register _ | Reg_deferred _ | Autodec _
+              | Autoinc _ | Autoinc_deferred _ ->
+                  1
+              | Immediate _ -> 1 + width_bytes width
+              | Absolute _ -> 5
+              | Disp { width = w; _ } -> 1 + width_bytes w
+              | Branch_dest _ -> 2 (* unreachable: covered by access above *))
+        in
+        let sizes = List.map2 size accs i.specs in
+        let oplen = i.length - List.fold_left ( + ) 0 sizes in
+        List.rev
+          (fst
+             (List.fold_left
+                (fun (acc, off) n -> ((off + n) :: acc, off + n))
+                ([], oplen) sizes))
+
 let data_byte b ~pos ~address =
   {
     address;

@@ -46,6 +46,13 @@ val decode_all : ?resync:bool -> bytes -> base:int -> insn list
     [.byte] pseudo-instruction and the sweep continues, so the whole image
     is covered. *)
 
+val spec_ends : insn -> int list
+(** Byte offset, relative to the instruction start, of the end of each
+    operand specifier — the updated-PC value a PC-relative displacement
+    in that operand is computed against.  Empty for [.byte]
+    pseudo-instructions or when the specs do not match the opcode's
+    operand table. *)
+
 val spec_to_string : spec -> operand_text
 (** Render one specifier the way [to_string] does. *)
 

@@ -831,3 +831,13 @@ let build ?(profile = Vms_like) ?(tick = 8000) ?(quantum = 4) ?(memsize = 240)
       (("boot", stub) :: ("kernel", kernel)
       :: List.map (fun p -> (p.prog_name, p.prog_image)) programs);
   }
+
+(* Execution mode in which control first enters a code image: the boot
+   stub is entered at the boot PC with memory management off, in kernel
+   mode, and jumps to the kernel image still in kernel mode; user
+   program images are only ever entered through LDPCTX/REI with the PCB
+   PSL (current mode = user, PC = 0).  Seeds the vaxflow abstract-mode
+   analysis. *)
+let image_entry_mode = function
+  | "boot" | "kernel" -> Some Mode.Kernel
+  | _ -> Some Mode.User

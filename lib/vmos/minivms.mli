@@ -68,3 +68,10 @@ val build :
     as processes 0..n-1.  [tick] is the interval-timer period in cycles
     (default 8000); [quantum] the timeslice in ticks (default 4);
     [memsize] the managed memory in pages (default 240, max 255). *)
+
+val image_entry_mode : string -> Vax_arch.Mode.t option
+(** Access mode in which control first enters the named
+    {!built.code_images} image: the boot stub and the kernel are entered
+    in kernel mode; user program images only through LDPCTX/REI with
+    their PCB PSL (user mode, PC 0).  Seeds the vaxflow abstract-mode
+    analysis ([None] would mean unknown). *)

@@ -35,29 +35,37 @@ let default_max = 400_000_000
    (and even share) the same built images concurrently.  A cached
    oracle's predicted table is completed inside the critical section
    and read-only afterwards, so sharing it across domains is safe. *)
-let oracle_cache : (Classify.mode_assumption * Minivms.built list * Oracle.t) list ref =
+let oracle_cache :
+    (Classify.mode_assumption * bool * Minivms.built list * Oracle.t) list ref =
   ref []
 
 let oracle_cache_lock = Mutex.create ()
 let max_cached_oracles = 8
 
-let make_oracle ~mode (builts : Minivms.built list) =
+(* A built's code images as vaxflow-ready CFG images: each carries the
+   access mode in which MiniVMS first enters it, seeding the
+   abstract-mode analysis. *)
+let images_of_built (b : Minivms.built) =
+  List.map
+    (fun (name, img) ->
+      Cfg.of_asm ?entry_mode:(Minivms.image_entry_mode name) name img)
+    b.Minivms.code_images
+
+let make_oracle ~mode ~flow (builts : Minivms.built list) =
   let name = Classify.mode_name mode in
-  let same (m, bs, _) =
-    m = mode
+  let same (m, f, bs, _) =
+    m = mode && f = flow
     && List.length bs = List.length builts
     && List.for_all2 ( == ) bs builts
   in
   Mutex.protect oracle_cache_lock (fun () ->
       match List.find_opt same !oracle_cache with
-      | Some (_, _, src) -> Oracle.with_predictions ~name src
+      | Some (_, _, _, src) -> Oracle.with_predictions ~name src
       | None ->
-          let images =
-            List.concat_map (fun b -> b.Minivms.code_images) builts
-          in
-          let o = Oracle.of_asm_images ~name ~mode images in
+          let images = List.concat_map images_of_built builts in
+          let o = Oracle.of_images ~flow ~name ~mode images in
           oracle_cache :=
-            (mode, builts, o)
+            (mode, flow, builts, o)
             :: (if List.length !oracle_cache >= max_cached_oracles then
                   List.filteri
                     (fun i _ -> i < max_cached_oracles - 1)
@@ -65,11 +73,16 @@ let make_oracle ~mode (builts : Minivms.built list) =
                 else !oracle_cache);
           o)
 
-let run_bare ?(variant = Variant.Standard) ?engine ?instrument
+let register_flow_metrics m oracle =
+  Vax_obs.Metrics.register_group m.Machine.metrics "analysis.flow" (fun () ->
+      Oracle.flow_metrics oracle)
+
+let run_bare ?(variant = Variant.Standard) ?engine ?instrument ?(flow = true)
     ?(max_cycles = default_max) (built : Minivms.built) =
   let m = Machine.create ~variant ~memory_pages:1024 ~disk_blocks:256 ?engine () in
-  let oracle = make_oracle ~mode:Classify.Bare [ built ] in
+  let oracle = make_oracle ~mode:Classify.Bare ~flow [ built ] in
   Oracle.install oracle m.Machine.cpu;
+  register_flow_metrics m oracle;
   (match instrument with Some f -> f m | None -> ());
   List.iter
     (fun (pa, data) -> Machine.load m pa data)
@@ -102,15 +115,16 @@ let measure_vm m vmm vm outcome oracle =
     oracle;
   }
 
-let run_vm ?config ?io_mode ?engine ?instrument ?(max_cycles = default_max)
-    (built : Minivms.built) =
+let run_vm ?config ?io_mode ?engine ?instrument ?(flow = true)
+    ?(max_cycles = default_max) (built : Minivms.built) =
   let m =
     Machine.create ~variant:Variant.Virtualizing ~memory_pages:2048
       ~disk_blocks:256 ?engine ()
   in
   let vmm = Vmm.create ?config m in
-  let oracle = make_oracle ~mode:Classify.Vm [ built ] in
+  let oracle = make_oracle ~mode:Classify.Vm ~flow [ built ] in
   Oracle.install oracle m.Machine.cpu;
+  register_flow_metrics m oracle;
   let vm =
     Vmm.add_vm vmm ~name:"guest" ~memory_pages:built.Minivms.memsize
       ~disk_blocks:64 ?io_mode ~images:built.Minivms.images
@@ -120,15 +134,16 @@ let run_vm ?config ?io_mode ?engine ?instrument ?(max_cycles = default_max)
   let outcome = Vmm.run vmm ~max_cycles () in
   measure_vm m vmm vm outcome oracle
 
-let run_two_vms ?config ?engine ?instrument ?(max_cycles = default_max)
-    (b1 : Minivms.built) (b2 : Minivms.built) =
+let run_two_vms ?config ?engine ?instrument ?(flow = true)
+    ?(max_cycles = default_max) (b1 : Minivms.built) (b2 : Minivms.built) =
   let m =
     Machine.create ~variant:Variant.Virtualizing ~memory_pages:2048
       ~disk_blocks:256 ?engine ()
   in
   let vmm = Vmm.create ?config m in
-  let oracle = make_oracle ~mode:Classify.Vm [ b1; b2 ] in
+  let oracle = make_oracle ~mode:Classify.Vm ~flow [ b1; b2 ] in
   Oracle.install oracle m.Machine.cpu;
+  register_flow_metrics m oracle;
   let vm1 =
     Vmm.add_vm vmm ~name:"vm1" ~memory_pages:b1.Minivms.memsize
       ~disk_blocks:64 ~images:b1.Minivms.images ~start_pc:b1.Minivms.entry ()

@@ -24,10 +24,16 @@ type measurement = {
           would have propagated), so this carries coverage only *)
 }
 
+val images_of_built : Minivms.built -> Vax_analysis.Cfg.image list
+(** The built system's code images as vaxflow-ready CFG images, each
+    carrying the access mode in which MiniVMS first enters it
+    ({!Minivms.image_entry_mode}) as the abstract-mode seed. *)
+
 val run_bare :
   ?variant:Variant.t ->
   ?engine:Exec.engine ->
   ?instrument:(Machine.t -> unit) ->
+  ?flow:bool ->
   ?max_cycles:int ->
   Minivms.built ->
   measurement
@@ -36,13 +42,17 @@ val run_bare :
     standard operating systems run unchanged on the modified machine).
     [engine] selects the execution engine (default {!Exec.Blocks}).
     [instrument] runs on the fully wired machine before execution starts
-    — the hook for enabling [Machine.trace] or attaching a sink. *)
+    — the hook for enabling [Machine.trace] or attaching a sink.
+    [flow] (default [true]) builds the oracle's static pass
+    flow-sensitively (vaxflow); its gauges register as
+    ["analysis.flow.*"] in the machine's metrics. *)
 
 val run_vm :
   ?config:Vmm.config ->
   ?io_mode:Vm.io_mode ->
   ?engine:Exec.engine ->
   ?instrument:(Machine.t -> unit) ->
+  ?flow:bool ->
   ?max_cycles:int ->
   Minivms.built ->
   measurement
@@ -54,6 +64,7 @@ val run_two_vms :
   ?config:Vmm.config ->
   ?engine:Exec.engine ->
   ?instrument:(Machine.t -> unit) ->
+  ?flow:bool ->
   ?max_cycles:int ->
   Minivms.built ->
   Minivms.built ->

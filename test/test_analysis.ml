@@ -85,6 +85,62 @@ let test_cfg_unreachable_data () =
   Alcotest.(check (list int)) "brb successor" [ data_at + 4 ]
     brb_block.Cfg.b_succs
 
+(* --- satellite: PC-relative displacement control transfers ----------- *)
+
+(* assembler round-trip: a disp(PC) destination of JMP/JSB/CALLS must
+   resolve, after decode, to the address the displacement was computed
+   against — the end of that operand's specifier *)
+let pc_disp_targets op operands =
+  let a = Asm.create ~origin:0x2000 in
+  Asm.ins a op operands;
+  let img = Asm.assemble a in
+  let i = List.hd (Disasm.decode_all img.Asm.code ~base:0x2000) in
+  (i, Cfg.static_targets i)
+
+let test_static_targets_pc_disp () =
+  (* JMP: 17 AF 05 — operand ends at +3, so the target is 0x2008 *)
+  let i, ts = pc_disp_targets Opcode.Jmp [ Asm.Disp (5, Asm.pc) ] in
+  Alcotest.(check int) "jmp length" 3 i.Disasm.length;
+  Alcotest.(check (list int)) "jmp disp(pc)" [ 0x2008 ] ts;
+  (* negative displacement *)
+  let _, ts = pc_disp_targets Opcode.Jsb [ Asm.Disp (-4, Asm.pc) ] in
+  Alcotest.(check (list int)) "jsb disp(pc)" [ 0x2000 + 3 - 4 ] ts;
+  (* CALLS: the destination is the second operand, after the argument
+     count literal — FB 00 AF 06, operand ends at +4 *)
+  let _, ts = pc_disp_targets Opcode.Calls [ Asm.Lit 0; Asm.Disp (6, Asm.pc) ] in
+  Alcotest.(check (list int)) "calls disp(pc)" [ 0x2000 + 4 + 6 ] ts
+
+let test_cfg_pc_disp_roundtrip () =
+  (* JMP over an embedded blob via disp(PC): the target must be reached
+     by recursive descent with no symbol entry helping out *)
+  let a = Asm.create ~origin:0x3000 in
+  Asm.ins a Opcode.Jmp [ Asm.Disp (4, Asm.pc) ];
+  Asm.long a 0xDEADBEEF;
+  Asm.ins a Opcode.Halt [];
+  let img = Asm.assemble a in
+  let image = { (Cfg.of_asm "t" img) with Cfg.entries = [ 0x3000 ] } in
+  let cfg = Cfg.analyze image in
+  Alcotest.(check bool) "halt reachable through jmp disp(pc)" true
+    (Hashtbl.mem cfg.Cfg.reachable 0x3007);
+  Alcotest.(check bool) "data not reachable" false
+    (Hashtbl.mem cfg.Cfg.reachable 0x3003)
+
+let test_cfg_overlap_diag () =
+  (* MOVL #imm32, R0 whose immediate bytes themselves decode (CLRL R0);
+     a second entry into the immediate creates overlapping decodes *)
+  let code = Bytes.of_string "\xD0\x8F\xD4\x50\x00\x00\x50" in
+  let image =
+    { Cfg.name = "t"; base = 0x400; code; entries = [ 0x400; 0x402 ];
+      entry_mode = None }
+  in
+  let cfg = Cfg.analyze image in
+  Alcotest.(check bool) "overlap diagnostic" true
+    (List.exists
+       (function
+         | Cfg.Overlap { at = 0x402; prev = 0x400 } -> true
+         | _ -> false)
+       cfg.Cfg.diags)
+
 let test_cfg_sites_union () =
   let img, data_at = branch_over_data () in
   let cfg = Cfg.analyze (Cfg.of_asm "t" img) in
@@ -154,6 +210,25 @@ let test_predict () =
   Alcotest.(check int) "movpsl->reg predicts nothing in VM mode" 0
     (List.length (Classify.predict ~mode:Classify.Vm movpsl))
 
+(* a truncated decode at the image edge: opcode present, operand list
+   shorter than the operand table — must be treated conservatively as
+   memory-writing, not crash in [exists2] *)
+let test_writes_memory_truncated () =
+  let i =
+    {
+      Disasm.address = 0x500;
+      length = 1;
+      opcode = Some Opcode.Movl;
+      mnemonic = "MOVL";
+      specs = [];
+      operands = [];
+    }
+  in
+  Alcotest.(check bool) "truncated movl conservatively writes" true
+    (Classify.writes_memory i);
+  Alcotest.(check bool) "prediction includes modify" true
+    (has State.Trap_modify (Classify.predict ~mode:Classify.Vm i))
+
 (* --- oracle ----------------------------------------------------------- *)
 
 let test_oracle_unit () =
@@ -172,6 +247,42 @@ let test_oracle_unit () =
   Alcotest.check_raises "unpredicted pc raises"
     (Oracle.Unpredicted ("unit", State.Trap_privileged, 0x200))
     (fun () -> Oracle.observe o State.Trap_privileged 0x200)
+
+(* a [with_predictions] copy shares the (read-only) predicted table but
+   tracks hits and events on its own — the benchmark harness's pattern *)
+let test_oracle_sharing () =
+  let src = Oracle.create ~name:"src" in
+  Oracle.predict src ~pc:0x100 [ State.Trap_privileged ];
+  Oracle.observe src State.Trap_privileged 0x100;
+  let fresh = Oracle.with_predictions ~name:"fresh" src in
+  let c = Oracle.coverage fresh in
+  Alcotest.(check int) "shared predicted table" 1 c.Oracle.predicted_pairs;
+  Alcotest.(check int) "fresh hits" 0 c.Oracle.hit_pairs;
+  Alcotest.(check int) "fresh events" 0 c.Oracle.observed_events;
+  Oracle.observe fresh State.Trap_privileged 0x100;
+  let cs = Oracle.coverage src in
+  Alcotest.(check int) "copy's hits do not leak back" 1 cs.Oracle.hit_pairs;
+  Alcotest.(check int) "src events unchanged" 1 cs.Oracle.observed_events;
+  Alcotest.check_raises "copy still raises on unpredicted"
+    (Oracle.Unpredicted ("fresh", State.Trap_modify, 0x100))
+    (fun () -> Oracle.observe fresh State.Trap_modify 0x100)
+
+let contains hay needle =
+  try
+    ignore (Str.search_forward (Str.regexp_string needle) hay 0);
+    true
+  with Not_found -> false
+
+(* the registered exception printer: a raw Unpredicted escaping to the
+   toplevel must name the trap, the site, and the oracle *)
+let test_unpredicted_printer () =
+  let s =
+    Printexc.to_string (Oracle.Unpredicted ("w", State.Trap_modify, 0x42))
+  in
+  Alcotest.(check bool) "printer mentions prediction failure" true
+    (contains s "not predicted");
+  Alcotest.(check bool) "printer names the oracle" true (contains s "\"w\"");
+  Alcotest.(check bool) "printer shows the pc" true (contains s "0x42")
 
 (* end-to-end differential check on the smallest workload: bare runs on
    the Standard variant observe nothing; the VM run must hit predicted
@@ -199,15 +310,24 @@ let () =
         [
           Alcotest.test_case "unreachable data" `Quick test_cfg_unreachable_data;
           Alcotest.test_case "site union" `Quick test_cfg_sites_union;
+          Alcotest.test_case "pc-disp targets" `Quick test_static_targets_pc_disp;
+          Alcotest.test_case "pc-disp round-trip" `Quick
+            test_cfg_pc_disp_roundtrip;
+          Alcotest.test_case "overlap diagnostic" `Quick test_cfg_overlap_diag;
         ] );
       ( "classify",
         [
           Alcotest.test_case "taxonomy" `Quick test_classify;
           Alcotest.test_case "trap prediction" `Quick test_predict;
+          Alcotest.test_case "truncated decode writes" `Quick
+            test_writes_memory_truncated;
         ] );
       ( "oracle",
         [
           Alcotest.test_case "unit" `Quick test_oracle_unit;
+          Alcotest.test_case "prediction sharing" `Quick test_oracle_sharing;
+          Alcotest.test_case "unpredicted printer" `Quick
+            test_unpredicted_printer;
           Alcotest.test_case "hello end-to-end" `Quick test_oracle_hello;
         ] );
     ]
