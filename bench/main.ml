@@ -68,15 +68,26 @@ module Json = Vax_obs.Json
 let schema_version = "vax-bench/1"
 
 let required_benches =
-  [ "bare-run"; "vm-run"; "translate"; "decode"; "shadow-fill";
+  [ "bare-run"; "vm-run"; "bare-run-eager"; "vm-run-eager"; "compute-run";
+    "compute-run-eager"; "translate"; "decode"; "shadow-fill";
     "fleet-throughput" ]
 
-(* Benchmarks whose wall-clock depends on host parallelism rather than
-   single-machine hot-path latency.  They are reported and written to
-   the JSON like everything else, but excluded from the --max-regress
-   gate: CI runners have arbitrary core counts, so a fleet-throughput
-   delta says nothing about a hot-path regression. *)
-let gated_bench name = not (String.length name >= 5 && String.sub name 0 5 = "fleet")
+(* Benchmarks excluded from the --max-regress gate (still reported and
+   written to the JSON like everything else):
+   - fleet-*: wall-clock depends on the runner's core count, so a delta
+     says nothing about hot-path latency;
+   - *-eager: the liveness contrast twins exist to document the
+     facts-on/facts-off delta, not to catch regressions — a real
+     hot-path regression shows in their non-eager counterparts, and
+     gating both doubles the exposure to shared-runner noise. *)
+let has_prefix p name =
+  String.length name >= String.length p && String.sub name 0 (String.length p) = p
+
+let has_suffix s name =
+  let ln = String.length name and ls = String.length s in
+  ln >= ls && String.sub name (ln - ls) ls = s
+
+let gated_bench name = not (has_prefix "fleet" name || has_suffix "-eager" name)
 
 (* A system-space identity mapping (UW protection) over [pages] pages,
    with the page table itself placed beyond them. *)
@@ -163,6 +174,9 @@ let make_benches () =
   let built =
     Minivms.build ~programs:[ Programs.syscall_storm ~iterations:20 ] ()
   in
+  let built_compute =
+    Minivms.build ~programs:[ Programs.compute ~ident:1 ~iterations:4000 ] ()
+  in
   let bench_translate =
     let mmu = make_mapped_mmu ~pages:64 () in
     (* warm the TB so steady-state translations are measured *)
@@ -186,6 +200,17 @@ let make_benches () =
   [
     ("bare-run", fun () -> ignore (Runner.run_bare built));
     ("vm-run", fun () -> ignore (Runner.run_vm built));
+    (* eager contrast pairs: the same runs with the liveness facts
+       withheld, so the JSON records the deferred-CC/const-fold win
+       directly instead of relying on a cross-baseline comparison.  The
+       syscall-storm pair is setup-dominated (~2.3k instructions/run);
+       the compute pair (~34k instructions/run) is where the per-slot
+       hot-path saving shows. *)
+    ("bare-run-eager", fun () -> ignore (Runner.run_bare ~liveness:false built));
+    ("vm-run-eager", fun () -> ignore (Runner.run_vm ~liveness:false built));
+    ("compute-run", fun () -> ignore (Runner.run_bare built_compute));
+    ( "compute-run-eager",
+      fun () -> ignore (Runner.run_bare ~liveness:false built_compute) );
     ("translate", bench_translate);
     ("decode", make_decode_bench ());
     ("shadow-fill", make_shadow_fill_bench built);
@@ -313,10 +338,16 @@ let results_of_json j =
   | _ -> failwith "missing \"schema\" field");
   match Json.member "results" j with
   | Some (Json.Arr items) ->
-      List.map
+      List.filter_map
         (fun item ->
           match (Json.member "name" item, Json.member "ns_per_run" item) with
-          | Some (Json.Str name), Some (Json.Num ns) -> (name, ns)
+          | Some (Json.Str name), Some (Json.Num ns) -> Some (name, ns)
+          | Some (Json.Str name), Some Json.Null ->
+              (* non-finite gauges serialize as null; the entry carries
+                 no comparable value, so drop it rather than crash the
+                 gate *)
+              Format.eprintf "warning: skipping %s: null ns_per_run@." name;
+              None
           | _ -> failwith "result entry missing \"name\"/\"ns_per_run\"")
         items
   | _ -> failwith "missing \"results\" array"
@@ -427,6 +458,27 @@ let bench_smoke () =
             Some (Printf.sprintf "machine.%s: bad value %f" k v)
           else None)
         machine
+  in
+  (* a baseline containing a null gauge (non-finite float serialized by
+     an older run) must parse to the finite subset, not crash the gate *)
+  let with_null =
+    Printf.sprintf
+      {|{"schema":"%s","results":[{"name":"bare-run","ns_per_run":12.5},{"name":"broken","ns_per_run":null}]}|}
+      schema_version
+  in
+  let problems =
+    problems
+    @
+    match results_of_json (Json.parse with_null) with
+    | [ ("bare-run", 12.5) ] -> []
+    | other ->
+        [
+          Printf.sprintf
+            "null-gauge baseline parsed to %d entries (want just bare-run)"
+            (List.length other);
+        ]
+    | exception e ->
+        [ "null-gauge baseline raised: " ^ Printexc.to_string e ]
   in
   match problems with
   | [] ->

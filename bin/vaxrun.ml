@@ -43,7 +43,7 @@ let run_fleet_mode ~fleet ~jobs ~vm ~mmio ~quiet ~fleet_json =
       exit 1
 
 let run workload fleet jobs fleet_json vm mmio assist slots no_cache
-    no_block_cache prefill separate quiet trace_out metrics =
+    no_block_cache no_liveness prefill separate quiet trace_out metrics =
   if fleet > 0 then run_fleet_mode ~fleet ~jobs ~vm ~mmio ~quiet ~fleet_json
   else
   let built = Catalog.build ~force_mmio:(vm && mmio) workload in
@@ -80,8 +80,8 @@ let run workload fleet jobs fleet_json vm mmio assist slots no_cache
             separate_vmm_space = separate;
             default_io_mode = (if mmio then Vm.Mmio_io else Vm.Kcall_io);
           }
-        ~engine ~instrument built
-    else Runner.run_bare ~engine ~instrument built
+        ~engine ~instrument ~liveness:(not no_liveness) built
+    else Runner.run_bare ~engine ~instrument ~liveness:(not no_liveness) built
   in
   (match !trace_oc with
   | Some oc ->
@@ -161,6 +161,15 @@ let cmd =
              superblock engine (identical simulated behaviour, slower host \
              wall-clock).")
   in
+  let no_liveness =
+    Arg.(
+      value & flag
+      & info [ "no-liveness" ]
+          ~doc:
+            "Compile superblocks without the static liveness facts: no \
+             deferred condition codes, no constant folding (identical \
+             simulated behaviour, slower host wall-clock).")
+  in
   let prefill =
     Arg.(value & opt int 0 & info [ "prefill" ] ~doc:"Shadow prefill group.")
   in
@@ -189,7 +198,7 @@ let cmd =
     (Cmd.info "vaxrun" ~doc:"Run MiniVMS workloads on the simulated VAX")
     Term.(
       const run $ workload $ fleet $ jobs $ fleet_json $ vm $ mmio $ assist
-      $ slots $ no_cache $ no_block_cache $ prefill $ separate $ quiet
-      $ trace_out $ metrics)
+      $ slots $ no_cache $ no_block_cache $ no_liveness $ prefill $ separate
+      $ quiet $ trace_out $ metrics)
 
 let () = exit (Cmd.eval cmd)

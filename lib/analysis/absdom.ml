@@ -224,17 +224,8 @@ let step (st : state) (i : Disasm.insn) : effect =
         | Opcode.Xorl2, [ _; d ] -> set_dst d (Const.map2 ( lxor ) (v 0) (v 1))
         | Opcode.Xorl3, [ _; _; d ] -> set_dst d (Const.map2 ( lxor ) (v 0) (v 1))
         | Opcode.Ashl, [ _; _; d ] ->
-            (* mirrors Exec: count is the sign-extended low byte *)
-            set_dst d
-              (Const.map2
-                 (fun cnt_raw s ->
-                   let cnt = Word.to_signed (Word.sext ~width:8 cnt_raw) in
-                   if cnt >= 32 then 0
-                   else if cnt >= 0 then Word.mask (s lsl cnt)
-                   else if cnt <= -32 then
-                     if Word.to_signed s < 0 then 0xFFFF_FFFF else 0
-                   else Word.of_signed (Word.to_signed s asr -cnt))
-                 (v 0) (v 1))
+            (* exec-exact: both sides call Word.ashl *)
+            set_dst d (Const.map2 (fun cnt s -> Word.ashl ~cnt s) (v 0) (v 1))
         | Opcode.Sobgtr, [ d; _ ] -> set_dst d (Const.map pred (v 0))
         | Opcode.Aoblss, [ _; d; _ ] -> set_dst d (Const.map succ (v 1))
         | _ -> ());
@@ -310,6 +301,7 @@ type stats = {
   visits : int;  (* worklist pops, summed over rounds *)
   updates : int;  (* state changes, summed over rounds *)
   resolved : int;  (* computed JMP/JSB/CALLS destinations resolved *)
+  xresolved : int;  (* resolved into a sibling image (extern) *)
   unresolved : int;  (* computed destinations the const domain missed *)
   escapes : int;  (* in-range escaped addresses (unknown-mode entries) *)
   mode_sound : bool;  (* no unresolved computed transfer: mode facts hold *)
@@ -332,11 +324,16 @@ type result = {
   facts : (int, state) Hashtbl.t;  (* per-site input state *)
   stats : stats;
   diags : diag list;
+  xtargets : int list;
+      (* const-resolved computed targets landing in a sibling image
+         (accepted by [extern]); the caller must re-analyze those
+         images with these as unknown-mode entries for [mode_sound]
+         to hold workload-wide *)
 }
 
 let max_rounds = 8
 
-let analyze ?escapes (image : Cfg.image) =
+let analyze ?escapes ?(extern = fun _ -> false) (image : Cfg.image) =
   let lo = image.Cfg.base and hi = image.Cfg.base + Bytes.length image.Cfg.code in
   let escape_list =
     match escapes with Some l -> l | None -> escape_values (Cfg.analyze image)
@@ -417,6 +414,7 @@ let analyze ?escapes (image : Cfg.image) =
          the value diagnostics *)
       let facts = Hashtbl.create 256 in
       let resolved = ref 0 and unresolved = ref 0 in
+      let xresolved = ref 0 and xtargets = ref [] in
       let diags = ref [] in
       List.iter
         (fun b ->
@@ -430,6 +428,14 @@ let analyze ?escapes (image : Cfg.image) =
                   | Some old -> Hashtbl.replace facts at (state_join old st));
                   (match resolve_computed i eff with
                   | Some (Const.Known a) when a >= lo && a < hi -> incr resolved
+                  | Some (Const.Known a) when extern a ->
+                      (* lands in a sibling image of the workload: the
+                         destination is known, so this is not the valve
+                         case — the caller re-analyzes the sibling with
+                         [a] as an entry *)
+                      incr resolved;
+                      incr xresolved;
+                      xtargets := a :: !xtargets
                   | Some Const.Bot -> ()
                   | Some _ -> incr unresolved
                   | None -> ());
@@ -495,6 +501,7 @@ let analyze ?escapes (image : Cfg.image) =
           visits;
           updates;
           resolved = !resolved;
+          xresolved = !xresolved;
           unresolved = !unresolved;
           escapes = Hashtbl.length esc;
           mode_sound;
@@ -512,7 +519,58 @@ let analyze ?escapes (image : Cfg.image) =
         facts;
         stats;
         diags = List.sort (fun a b -> compare (diag_at a) (diag_at b)) !diags;
+        xtargets = List.sort_uniq compare !xtargets;
       }
     end
   in
   go 1 [] 0 0
+
+(* ---- workload-wide analysis ------------------------------------------ *)
+
+(* Analyze every image of a workload against the pooled escape set,
+   iterating (bounded) until cross-image computed targets settle: a
+   const-resolved JMP/JSB target in a sibling image is accepted instead
+   of closing the valve, but is only sound once the sibling has been
+   re-analyzed with that target as an unknown-mode entry.  Returns the
+   plain per-image CFGs (no extra entries — the flowless baseline), the
+   per-image results of the final round, and whether the iteration
+   settled.  Shared by the oracle (mode facts) and the liveness pass
+   (constant facts): both need the same settled workload-wide fixpoint
+   before trusting any per-site fact. *)
+let analyze_images (images : Cfg.image list) =
+  let cfg0s = List.map Cfg.analyze images in
+  let escapes0 = List.concat_map escape_values cfg0s in
+  let ranges =
+    List.map
+      (fun (img : Cfg.image) ->
+        (img.Cfg.base, img.Cfg.base + Bytes.length img.Cfg.code))
+      images
+  in
+  let extern a = List.exists (fun (lo, hi) -> a >= lo && a < hi) ranges in
+  let max_settle = 4 in
+  let rec settle iter known =
+    let with_entries (img : Cfg.image) =
+      let lo = img.Cfg.base in
+      let hi = lo + Bytes.length img.Cfg.code in
+      match List.filter (fun a -> a >= lo && a < hi) known with
+      | [] -> img
+      | extra ->
+          {
+            img with
+            Cfg.entries = List.sort_uniq compare (extra @ img.Cfg.entries);
+          }
+    in
+    let escapes = known @ escapes0 in
+    let results =
+      List.map (fun img -> analyze ~escapes ~extern (with_entries img)) images
+    in
+    let fresh =
+      List.sort_uniq compare (List.concat_map (fun r -> r.xtargets) results)
+      |> List.filter (fun a -> not (List.mem a known))
+    in
+    if fresh = [] then (results, true)
+    else if iter >= max_settle then (results, false)
+    else settle (iter + 1) (fresh @ known)
+  in
+  let results, settled = settle 1 [] in
+  (cfg0s, results, settled)

@@ -1,0 +1,319 @@
+(* Backward liveness over the recovered CFG: which NZVC condition-code
+   bits, and which of R0..R14, can still be read after each instruction
+   executes.  The results feed the tier-3 slot compiler through
+   [Vax_cpu.Block_facts]: a site whose N, Z and V are provably dead gets
+   its condition-code recomputation deferred (see [State.cc_lazy]), and
+   a pure register source operand whose value vaxflow proves constant on
+   every path is pre-folded to an immediate.  Dead register writes are
+   detected too, but only counted — register state must stay
+   bit-identical, so nothing is elided there.
+
+   Soundness shape.  Liveness is a backward property: a bit is dead at a
+   point iff NO path from that point reads it before writing it.  The
+   analysis must therefore over-approximate liveness — anything it
+   cannot see keeps bits alive:
+
+   - a block with no recovered successors (computed jump, RSB/RET,
+     HALT/REI, end of image) gets an all-live live-out seed;
+   - a successor address that is not a recovered block start (cross
+     image, mid-block target) likewise forces all-live;
+   - an opcode outside the modelled set reads everything ([cc_gen] and
+     [reg_gen] default to all); calls (JSB/BSBB/CALLS) read everything
+     because the callee does;
+   - only bits an instruction overwrites on *every* non-faulting path
+     are killed.  DIVL's divide-by-zero path, which writes V alone, is
+     covered differently: exception delivery materializes any deferred
+     codes first, so the trap frame is exact whatever was elided.
+
+   Unlike the mode facts, CC/register liveness stays sound even when
+   vaxflow's computed-flow valve closes: unresolved flow only ever
+   *adds* unknown successors, and unknown successors are already
+   all-live here.  Constant facts are forward facts and do need the
+   valve: they are only emitted when the workload-wide analysis settled
+   with [mode_sound] (same gate as the oracle's mode refinement). *)
+
+open Vax_arch
+module Disasm = Vax_asm.Disasm
+module Block_facts = Vax_cpu.Block_facts
+
+let n_bit = Block_facts.n_bit
+let z_bit = Block_facts.z_bit
+let v_bit = Block_facts.v_bit
+let c_bit = Block_facts.c_bit
+let all_cc = Block_facts.all_cc
+
+(* The combined abstract state packs both masks into one int: CC bits in
+   0..3, R0..R14 liveness in bits 4..18.  One solver run covers both. *)
+let all_regs = 0x7FFF
+let reg_bit rn = 1 lsl (4 + rn)
+let all_live = all_cc lor (all_regs lsl 4)
+let cc_of m = m land all_cc
+let regs_of m = (m lsr 4) land all_regs
+
+(* ---- per-instruction transfer ---------------------------------------- *)
+
+(* CC bits an instruction reads.  Conditional branches read their
+   condition; the modelled data instructions read none; everything else
+   (CHMx pushes the PSL, MOVPSL/BISPSW observe it, calls run unknown
+   code, ...) conservatively reads all four. *)
+let cc_gen : Opcode.t -> int = function
+  | Opcode.Bneq | Opcode.Beql -> z_bit
+  | Opcode.Bgtr | Opcode.Bleq -> n_bit lor z_bit
+  | Opcode.Bgeq | Opcode.Blss -> n_bit
+  | Opcode.Bgtru | Opcode.Blequ -> c_bit lor z_bit
+  | Opcode.Bvc | Opcode.Bvs -> v_bit
+  | Opcode.Bcc | Opcode.Bcs -> c_bit
+  | Opcode.Blbs | Opcode.Blbc | Opcode.Brb | Opcode.Brw | Opcode.Nop
+  | Opcode.Aoblss | Opcode.Sobgtr ->
+      0
+  | Opcode.Movl | Opcode.Movb | Opcode.Movzbl | Opcode.Clrl | Opcode.Clrb
+  | Opcode.Pushl | Opcode.Moval | Opcode.Addl2 | Opcode.Addl3 | Opcode.Subl2
+  | Opcode.Subl3 | Opcode.Mull2 | Opcode.Mull3 | Opcode.Divl2 | Opcode.Divl3
+  | Opcode.Mnegl | Opcode.Incl | Opcode.Decl | Opcode.Ashl | Opcode.Cmpl
+  | Opcode.Cmpb | Opcode.Tstl | Opcode.Tstb | Opcode.Bisl2 | Opcode.Bisl3
+  | Opcode.Bicl2 | Opcode.Bicl3 | Opcode.Xorl2 | Opcode.Xorl3 ->
+      0
+  | _ -> all_cc
+
+(* CC bits an instruction overwrites on every non-faulting path.  The
+   full writers set all four; MOV/CLR/MOVZ/PUSH/MOVA and the logicals
+   write N and Z, clear V, and pass C through (a pass-through neither
+   reads nor kills).  DIVL kills all four on its normal path; its
+   zero-divisor path is handled by materialize-at-delivery, so claiming
+   the normal path's kill here stays sound.  AOBLSS/SOBGTR write N, Z
+   and V and keep C. *)
+let cc_kill : Opcode.t -> int = function
+  | Opcode.Addl2 | Opcode.Addl3 | Opcode.Subl2 | Opcode.Subl3 | Opcode.Mull2
+  | Opcode.Mull3 | Opcode.Divl2 | Opcode.Divl3 | Opcode.Mnegl | Opcode.Incl
+  | Opcode.Decl | Opcode.Ashl | Opcode.Cmpl | Opcode.Cmpb | Opcode.Tstl
+  | Opcode.Tstb ->
+      all_cc
+  | Opcode.Movl | Opcode.Movb | Opcode.Movzbl | Opcode.Clrl | Opcode.Clrb
+  | Opcode.Pushl | Opcode.Moval | Opcode.Bisl2 | Opcode.Bisl3 | Opcode.Bicl2
+  | Opcode.Bicl3 | Opcode.Xorl2 | Opcode.Xorl3 | Opcode.Aoblss | Opcode.Sobgtr
+    ->
+      n_bit lor z_bit lor v_bit
+  | _ -> 0
+
+(* Opcodes whose register effects are fully described by their operand
+   specifiers (plus PUSHL's implicit SP use).  Anything else — calls,
+   returns, CHMx, MTPR, string/context instructions — conservatively
+   reads every register. *)
+let regs_modelled : Opcode.t -> bool = function
+  | Opcode.Nop | Opcode.Brb | Opcode.Brw | Opcode.Bneq | Opcode.Beql
+  | Opcode.Bgtr | Opcode.Bleq | Opcode.Bgeq | Opcode.Blss | Opcode.Bgtru
+  | Opcode.Blequ | Opcode.Bvc | Opcode.Bvs | Opcode.Bcc | Opcode.Bcs
+  | Opcode.Blbs | Opcode.Blbc | Opcode.Aoblss | Opcode.Sobgtr | Opcode.Movl
+  | Opcode.Movb | Opcode.Movzbl | Opcode.Clrl | Opcode.Clrb | Opcode.Pushl
+  | Opcode.Moval | Opcode.Addl2 | Opcode.Addl3 | Opcode.Subl2 | Opcode.Subl3
+  | Opcode.Mull2 | Opcode.Mull3 | Opcode.Divl2 | Opcode.Divl3 | Opcode.Mnegl
+  | Opcode.Incl | Opcode.Decl | Opcode.Ashl | Opcode.Cmpl | Opcode.Cmpb
+  | Opcode.Tstl | Opcode.Tstb | Opcode.Bisl2 | Opcode.Bisl3 | Opcode.Bicl2
+  | Opcode.Bicl3 | Opcode.Xorl2 | Opcode.Xorl3 ->
+      true
+  | _ -> false
+
+let sp = 14
+
+(* Register gen/kill masks from the operand specifiers.  A register is
+   killed only by a pure longword [Write] register operand: byte-width
+   register writes merge into the low byte (they read the rest), and
+   [Modify] reads first.  Addressing bases, autoincrement and
+   autodecrement registers are always read. *)
+let reg_effect (op : Opcode.t) (i : Disasm.insn) =
+  if not (regs_modelled op) then (all_regs, 0)
+  else begin
+    let gen = ref (if op = Opcode.Pushl then reg_bit sp lsr 4 else 0) in
+    let kill = ref 0 in
+    let accs = Opcode.operands op in
+    List.iteri
+      (fun idx spec ->
+        let acc = List.nth_opt accs idx in
+        let read rn = if rn < 15 then gen := !gen lor (1 lsl rn) in
+        match spec with
+        | Disasm.Register rn -> (
+            match acc with
+            | Some (Opcode.Write, Opcode.Long) ->
+                if rn < 15 then kill := !kill lor (1 lsl rn)
+            | Some ((Opcode.Read | Opcode.Modify), _)
+            | Some (Opcode.Write, _) ->
+                read rn
+            | Some ((Opcode.Address | Opcode.Branch_byte | Opcode.Branch_word), _)
+            | None ->
+                read rn)
+        | Disasm.Reg_deferred rn | Disasm.Autodec rn | Disasm.Autoinc rn
+        | Disasm.Autoinc_deferred rn | Disasm.Index rn ->
+            read rn
+        | Disasm.Disp { rn; _ } -> read rn
+        | Disasm.Literal _ | Disasm.Immediate _ | Disasm.Absolute _
+        | Disasm.Branch_dest _ ->
+            ())
+      i.Disasm.specs;
+    (!gen, !kill land lnot !gen)
+  end
+
+(* Combined (gen, kill) over the packed domain. *)
+let insn_effect (i : Disasm.insn) =
+  match i.Disasm.opcode with
+  | None -> (all_live, 0)
+  | Some op ->
+      let rg, rk = reg_effect op i in
+      (cc_gen op lor (rg lsl 4), cc_kill op lor (rk lsl 4))
+
+let live_before i live_after =
+  let gen, kill = insn_effect i in
+  gen lor (live_after land lnot kill)
+
+(* live-in of a block given its live-out: right fold = backward walk *)
+let block_live_in (b : Cfg.block) live_out =
+  List.fold_right live_before b.Cfg.b_insns live_out
+
+(* ---- per-image solve -------------------------------------------------- *)
+
+(* Solved per-block live-out masks for one image, using the forward
+   worklist solver on the reversed graph: a block's state is its
+   live-out; its transfer hands its live-in to every predecessor.
+   Every block is seeded with its control-flow-boundary contribution —
+   all-live when any successor is unrecovered, bottom otherwise — which
+   also enqueues every block at least once. *)
+let solve_image (cfg : Cfg.t) =
+  let block_at = Hashtbl.create 64 in
+  List.iter (fun (b : Cfg.block) -> Hashtbl.replace block_at b.Cfg.b_start b)
+    cfg.Cfg.blocks;
+  let preds = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun s ->
+          if Hashtbl.mem block_at s then
+            Hashtbl.replace preds s (b.Cfg.b_start :: Option.value ~default:[] (Hashtbl.find_opt preds s)))
+        b.Cfg.b_succs)
+    cfg.Cfg.blocks;
+  let seeds =
+    List.map
+      (fun (b : Cfg.block) ->
+        let boundary =
+          if
+            b.Cfg.b_succs = []
+            || List.exists (fun s -> not (Hashtbl.mem block_at s)) b.Cfg.b_succs
+          then all_live
+          else 0
+        in
+        (b.Cfg.b_start, boundary))
+      cfg.Cfg.blocks
+  in
+  let transfer node live_out =
+    match Hashtbl.find_opt block_at node with
+    | None -> []
+    | Some b ->
+        let live_in = block_live_in b live_out in
+        List.map
+          (fun p -> (p, live_in))
+          (Option.value ~default:[] (Hashtbl.find_opt preds node))
+  in
+  Dataflow.solve
+    ~lattice:{ Dataflow.join = ( lor ); equal = Int.equal }
+    ~transfer ~seeds
+
+(* ---- fact extraction -------------------------------------------------- *)
+
+(* Walk a block backward from its solved live-out, handing each
+   instruction its live-after mask in address order via [emit]. *)
+let walk_block (b : Cfg.block) live_out ~emit =
+  let rec go = function
+    | [] -> live_out
+    | i :: rest ->
+        let live_after = go rest in
+        emit i live_after;
+        live_before i live_after
+  in
+  ignore (go b.Cfg.b_insns)
+
+type stats = {
+  images : int;
+  blocks : int;
+  insns : int;  (* instructions walked for facts *)
+  mode_sound : bool;  (* workload-wide: constants were emitted *)
+}
+
+(* The full pipeline: recover each image's CFG, solve liveness, run the
+   workload-wide vaxflow analysis for constants, and populate one fact
+   table keyed by virtual address.  VA collisions between images merge
+   conservatively inside [Block_facts.add]. *)
+let facts_of_images (images : Cfg.image list) =
+  let facts = Block_facts.create () in
+  let cfg0s, results, settled = Absdom.analyze_images images in
+  let mode_sound =
+    settled && List.for_all (fun r -> r.Absdom.stats.Absdom.mode_sound) results
+  in
+  let nblocks = ref 0 and ninsns = ref 0 in
+  List.iter2
+    (fun (cfg : Cfg.t) (r : Absdom.result) ->
+      let liveouts, st = solve_image cfg in
+      facts.Block_facts.solver_visits <-
+        facts.Block_facts.solver_visits + st.Dataflow.visits;
+      facts.Block_facts.solver_updates <-
+        facts.Block_facts.solver_updates + st.Dataflow.updates;
+      List.iter
+        (fun (b : Cfg.block) ->
+          incr nblocks;
+          let live_out =
+            Option.value ~default:all_live
+              (Hashtbl.find_opt liveouts b.Cfg.b_start)
+          in
+          walk_block b live_out ~emit:(fun i live_after ->
+              incr ninsns;
+              match i.Disasm.opcode with
+              | None -> ()
+              | Some op ->
+                  (* dead register writes: detected, counted, never
+                     elided (register state stays bit-identical) *)
+                  let accs = Opcode.operands op in
+                  if regs_modelled op then
+                    List.iteri
+                      (fun idx spec ->
+                        match (spec, List.nth_opt accs idx) with
+                        | ( Disasm.Register rn,
+                            Some (Opcode.Write, Opcode.Long) )
+                          when rn < 15
+                               && regs_of live_after land (1 lsl rn) = 0 ->
+                            facts.Block_facts.dead_reg_writes <-
+                              facts.Block_facts.dead_reg_writes + 1
+                        | _ -> ())
+                      i.Disasm.specs;
+                  let consts =
+                    if not mode_sound then []
+                    else
+                      match
+                        Hashtbl.find_opt r.Absdom.facts i.Disasm.address
+                      with
+                      | None -> []
+                      | Some (s : Absdom.state) ->
+                          List.concat
+                            (List.mapi
+                               (fun idx spec ->
+                                 match (spec, List.nth_opt accs idx) with
+                                 | Disasm.Register rn, Some (Opcode.Read, _)
+                                   when rn < 15 -> (
+                                     match s.Absdom.regs.(rn) with
+                                     | Absdom.Const.Known v -> [ (idx, v) ]
+                                     | _ -> [])
+                                 | _ -> [])
+                               i.Disasm.specs)
+                  in
+                  Block_facts.add facts ~va:i.Disasm.address
+                    {
+                      Block_facts.f_op = op;
+                      f_len = i.Disasm.length;
+                      f_cc_dead = all_cc land lnot (cc_of live_after);
+                      f_consts = consts;
+                    }))
+        cfg.Cfg.blocks)
+    cfg0s results;
+  ( facts,
+    {
+      images = List.length images;
+      blocks = !nblocks;
+      insns = !ninsns;
+      mode_sound;
+    } )

@@ -24,6 +24,7 @@ type flow_stats = {
   fs_visits : int;
   fs_updates : int;
   fs_resolved : int;
+  fs_xresolved : int;  (* resolved into a sibling image of the workload *)
   fs_unresolved : int;
   fs_escapes : int;
   fs_mode_sound : bool;  (* false => refinement was disabled (the valve) *)
@@ -100,11 +101,13 @@ let of_images ?(flow = true) ~name ~mode (images : Cfg.image list) =
     t
   end
   else begin
-    let cfg0s = List.map Cfg.analyze images in
-    let escapes = List.concat_map Absdom.escape_values cfg0s in
-    let results = List.map (Absdom.analyze ~escapes) images in
+    (* Cross-image computed edges settle workload-wide in
+       [Absdom.analyze_images]; a workload that does not settle keeps
+       no mode facts. *)
+    let cfg0s, results, settled = Absdom.analyze_images images in
     let mode_sound =
-      List.for_all (fun r -> r.Absdom.stats.Absdom.mode_sound) results
+      settled
+      && List.for_all (fun r -> r.Absdom.stats.Absdom.mode_sound) results
     in
     let sites = ref 0 and fact_sites = ref 0 in
     List.iter
@@ -138,6 +141,7 @@ let of_images ?(flow = true) ~name ~mode (images : Cfg.image list) =
           fs_visits = sum (fun s -> s.Absdom.visits);
           fs_updates = sum (fun s -> s.Absdom.updates);
           fs_resolved = sum (fun s -> s.Absdom.resolved);
+          fs_xresolved = sum (fun s -> s.Absdom.xresolved);
           fs_unresolved = sum (fun s -> s.Absdom.unresolved);
           fs_escapes = sum (fun s -> s.Absdom.escapes);
           fs_mode_sound = mode_sound;
@@ -206,6 +210,7 @@ let flow_metrics t =
         ("visits", f.fs_visits);
         ("updates", f.fs_updates);
         ("resolved_targets", f.fs_resolved);
+        ("cross_image_resolved", f.fs_xresolved);
         ("unresolved_targets", f.fs_unresolved);
         ("escapes", f.fs_escapes);
         ("mode_sound", if f.fs_mode_sound then 1 else 0);

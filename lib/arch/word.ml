@@ -45,6 +45,32 @@ let sext ~width v =
   let s = 1 lsl (width - 1) in
   if v land s <> 0 then (v - (1 lsl width)) land mask32 else v
 
+(* VAX ASHL: shift [s] by the sign-extended low byte of [cnt].
+   Positive counts shift left (a count >= 32 shifts everything out),
+   negative counts shift right arithmetically (a count <= -32 leaves
+   pure sign fill).  Exec and Absdom must agree on these semantics, so
+   both go through here. *)
+let ashl ~cnt s =
+  let c = to_signed (sext ~width:8 cnt) in
+  if c >= 32 then 0
+  else if c >= 0 then mask (s lsl c)
+  else if c <= -32 then if to_signed s < 0 then mask32 else 0
+  else of_signed (to_signed s asr -c)
+
+(* The ASHL V condition: during a left shift some bit entering the sign
+   position differed from the initial sign, i.e. the signed result no
+   longer equals src * 2^cnt.  Right shifts never overflow.  For counts
+   1..31 this is "the top cnt+1 bits of src are not all equal"; for
+   counts >= 32 every bit of src (and then a zero) passes through the
+   sign position, so any nonzero src overflows. *)
+let ashl_overflows ~cnt s =
+  let c = to_signed (sext ~width:8 cnt) in
+  if c >= 32 then mask s <> 0
+  else if c > 0 then
+    let top = to_signed s asr (31 - c) in
+    top <> 0 && top <> -1
+  else false
+
 let byte x i = (x lsr (8 * i)) land 0xFF
 
 let of_bytes b0 b1 b2 b3 =

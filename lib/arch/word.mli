@@ -46,6 +46,16 @@ val insert : t -> pos:int -> width:int -> int -> t
 val sext : width:int -> int -> t
 (** [sext ~width v] sign-extends the [width]-bit value [v] to 32 bits. *)
 
+val ashl : cnt:t -> t -> t
+(** VAX ASHL semantics: shift by the sign-extended low byte of [cnt].
+    Positive counts shift left ([>= 32] produces 0), negative counts
+    shift right arithmetically ([<= -32] produces pure sign fill). *)
+
+val ashl_overflows : cnt:t -> t -> bool
+(** The ASHL V condition: a bit entering the sign position during a
+    left shift differed from the initial sign.  Always false for
+    right shifts. *)
+
 val byte : t -> int -> int
 (** [byte x i] is byte [i] (0 = least significant) of [x]. *)
 

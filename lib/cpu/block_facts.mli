@@ -1,0 +1,63 @@
+(** Per-instruction facts proven by a static analysis, keyed by virtual
+    address — the narrow interface through which the superblock slot
+    compiler consumes liveness and constant-propagation results without
+    [lib/cpu] depending on the analysis internals (the analysis side,
+    [Vax_analysis.Liveness], constructs the table).
+
+    A fact licenses two compile-time specializations:
+    - [f_cc_dead]: NZVC bits proven dead immediately {e after} the
+      instruction (N=8, Z=4, V=2, C=1).  When N, Z and V are all dead
+      the slot compiler defers the condition-code update (see
+      [State.cc_lazy]); the update stays architecturally invisible
+      because every PSL observer materializes first.
+    - [f_consts]: operand-index/value pairs proven constant on every
+      path, used to pre-fold pure register source operands into
+      immediates.
+
+    The [f_op]/[f_len] guard makes a stale fact harmless: the compiler
+    only applies a fact whose opcode and length match the template it
+    is compiling, so runtime-modified code falls back to eager
+    compilation. *)
+
+open Vax_arch
+
+type fact = {
+  f_op : Opcode.t;  (** guard: opcode the analysis decoded at this VA *)
+  f_len : int;  (** guard: instruction length the analysis decoded *)
+  f_cc_dead : int;  (** NZVC bits dead after the instruction *)
+  f_consts : (int * Word.t) list;
+      (** operand index -> value proven constant on every path *)
+}
+
+val n_bit : int
+val z_bit : int
+val v_bit : int
+val c_bit : int
+val all_cc : int
+val nzv : int
+
+type t = {
+  tbl : (int, fact) Hashtbl.t;
+  mutable dead_reg_writes : int;
+      (** statically detected dead register writes (metrics only —
+          register writes are never elided) *)
+  mutable solver_visits : int;
+  mutable solver_updates : int;
+}
+
+val create : unit -> t
+
+val add : t -> va:int -> fact -> unit
+(** Insert a fact; on a VA collision between images, keep the
+    intersection of what both agree on (conflicting decodes keep
+    nothing). *)
+
+val find : t -> va:int -> op:Opcode.t -> len:int -> fact option
+(** The fact at [va], or [None] when absent or the opcode/length guard
+    rejects it. *)
+
+(** {1 Gauges} *)
+
+val sites : t -> int
+val cc_dead_sites : t -> int
+val const_ops : t -> int

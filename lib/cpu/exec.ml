@@ -6,7 +6,13 @@ type status = Stepped | Machine_halted | Stopped
 (* ------------------------------------------------------------------ *)
 (* Condition-code helpers                                              *)
 
-let set_nzvc st ~n ~z ~v ~c = st.State.psl <- Psl.with_nzvc st.State.psl ~n ~z ~v ~c
+(* The single funnel for eager NZVC writes.  Overwriting all four codes
+   makes any deferred CC (see [State.cc_lazy]) irrelevant, so the
+   pending class is dropped here — this is what keeps an eager write
+   after an elided one correct without a materialization. *)
+let set_nzvc st ~n ~z ~v ~c =
+  st.State.cc_lazy <- 0;
+  st.State.psl <- Psl.with_nzvc st.State.psl ~n ~z ~v ~c
 
 let set_nz_keep_c st value =
   let n = Word.to_signed value < 0 and z = value = 0 in
@@ -75,6 +81,9 @@ let do_div st a b =
   (* a / b, VAX operand order handled by caller *)
   match Word.div a b with
   | None ->
+      (* partial CC write: materialize any deferred codes first, or the
+         delivery below would overwrite the V just set *)
+      State.sync_cc st;
       st.State.psl <- Psl.with_v st.State.psl true;
       raise (State.Fault (State.Arithmetic_trap 2))
   | Some r ->
@@ -342,6 +351,7 @@ let handler_of : Opcode.t -> handler = function
         | [ src ] ->
             let v = Decode.read_value st src in
             if v land 0xFF00 <> 0 then raise (State.Fault State.Reserved_operand);
+            State.sync_cc st;
             st.State.psl <- Word.logor st.State.psl (v land 0xFF);
             false
         | _ -> bad_operands ())
@@ -351,6 +361,7 @@ let handler_of : Opcode.t -> handler = function
         | [ src ] ->
             let v = Decode.read_value st src in
             if v land 0xFF00 <> 0 then raise (State.Fault State.Reserved_operand);
+            State.sync_cc st;
             st.State.psl <- Word.logand st.State.psl (Word.lognot (v land 0xFF));
             false
         | _ -> bad_operands ())
@@ -481,23 +492,12 @@ let handler_of : Opcode.t -> handler = function
       (fun st d ~start_pc:_ ->
         match d.Decode.operands with
         | [ cnt_op; src; dst ] ->
-            let cnt =
-              Word.to_signed (Word.sext ~width:8 (Decode.read_value st cnt_op))
-            in
+            let cnt = Decode.read_value st cnt_op in
             let s = Decode.read_value st src in
-            let r =
-              if cnt >= 32 then 0
-              else if cnt >= 0 then Word.mask (s lsl cnt)
-              else if cnt <= -32 then
-                if Word.to_signed s < 0 then 0xFFFF_FFFF else 0
-              else Word.of_signed (Word.to_signed s asr -cnt)
-            in
+            let r = Word.ashl ~cnt s in
             Decode.write_value st dst r;
             set_nzvc st ~n:(Word.to_signed r < 0) ~z:(r = 0)
-              ~v:
-                (cnt > 0
-                && Word.to_signed r <> Word.to_signed s * (1 lsl min cnt 62))
-              ~c:false;
+              ~v:(Word.ashl_overflows ~cnt s) ~c:false;
             false
         | _ -> bad_operands ())
   | Opcode.Addl2 ->
@@ -944,6 +944,54 @@ let farg_of_spec (ts : Decode_cache.tspec) =
       FB (Word.add disp ts.Decode_cache.t_after)
   | _ -> ( match fop_of_shape ts with Some f -> FA f | None -> FX)
 
+(* Constants a liveness fact lets the compiler pre-fold, as
+   [(operand index, width-masked value)] pairs.  Folding is restricted
+   to pure register operands with [Read] access: immediates cannot be
+   written, and register autoincrement never applies to [Sh_register].
+   The value is pre-masked to the operand width because immediates are
+   read raw where registers are masked at read time.  16-bit operands
+   are left alone (no fast path reads them). *)
+let applicable_consts (fact : Block_facts.fact) (tmpl : Decode_cache.template) =
+  match fact.Block_facts.f_consts with
+  | [] -> []
+  | consts ->
+      let accs = Opcode.operands tmpl.Decode_cache.t_opcode in
+      let specs = Array.of_list tmpl.Decode_cache.t_specs in
+      List.filter_map
+        (fun (i, v) ->
+          match
+            (List.nth_opt accs i, if i < Array.length specs then Some specs.(i) else None)
+          with
+          | Some (Opcode.Read, w), Some ts -> (
+              match ts.Decode_cache.t_shape with
+              | Decode_cache.Sh_register _ -> (
+                  match w with
+                  | Opcode.Byte -> Some (i, v land 0xFF)
+                  | Opcode.Long -> Some (i, Word.mask v)
+                  | Opcode.Word -> None)
+              | _ -> None)
+          | _ -> None)
+        consts
+
+(* Operand list for the fast compilers, with fact-proven constants
+   folded to immediates.  Cycle-identical: [F_imm] and [F_reg] sit in
+   the same pattern class at every fast-path use site, with the same
+   charges and no fault points in either. *)
+let fargs_of_tmpl ?fact (tmpl : Decode_cache.template) =
+  let raw = List.map farg_of_spec tmpl.Decode_cache.t_specs in
+  match fact with
+  | None -> raw
+  | Some f -> (
+      match applicable_consts f tmpl with
+      | [] -> raw
+      | app ->
+          List.mapi
+            (fun i fa ->
+              match List.assoc_opt i app with
+              | Some v -> FA (F_imm v)
+              | None -> fa)
+            raw)
+
 let charge_spec st = Cycles.charge st.State.clock Cost.operand_specifier
 
 let faddr_va st start_pc = function
@@ -1013,12 +1061,63 @@ let wr = function F_imm _ -> false | F_reg _ | F_mem _ -> true
    A fault raised by [dispatch_fault] itself propagates, as in
    [step]. *)
 
-let compile_fast_hot (tmpl : Decode_cache.template) =
+let compile_fast_hot ?fact (tmpl : Decode_cache.template) =
   let op = tmpl.Decode_cache.t_opcode in
   let len = tmpl.Decode_cache.t_len in
   let base = Opcode.base_cycles op in
   let enc = enc_int op in
   let spec = Cost.operand_specifier in
+  (* Liveness-guided specialization: when the fact proves N, Z and V
+     dead after this instruction, the CC helpers below are shadowed by
+     deferring versions — they record the would-be CC source in
+     [State.cc_lazy]/[cc_value] instead of computing the bits.  The
+     pending write is dropped wholesale by the next eager [set_nzvc]
+     (the common case: the next CC writer kills it) or materialized by
+     the first PSL observer via [State.sync_cc].  The C bit is never
+     deferred: classes 1/2 keep it and the TST helpers clear it eagerly,
+     so [psl]'s C is exact at all times and an interleaved eager keep-C
+     write (cold path, unfacted slot) reads the right value. *)
+  let nzv_dead =
+    match fact with
+    | Some f -> f.Block_facts.f_cc_dead land Block_facts.nzv = Block_facts.nzv
+    | None -> false
+  in
+  let set_nz_keep_c =
+    if nzv_dead then fun st v ->
+      st.State.cc_lazy <- 1;
+      st.State.cc_value <- v
+    else set_nz_keep_c
+  in
+  let set_nz_byte_keep_c =
+    if nzv_dead then fun st v ->
+      st.State.cc_lazy <- 2;
+      st.State.cc_value <- v
+    else set_nz_byte_keep_c
+  in
+  let do_logic =
+    if nzv_dead then fun st f a b ->
+      let r = f a b in
+      st.State.cc_lazy <- 1;
+      st.State.cc_value <- r;
+      r
+    else do_logic
+  in
+  let set_cc_tstl =
+    if nzv_dead then fun st v ->
+      st.State.psl <- Psl.with_c st.State.psl false;
+      st.State.cc_lazy <- 3;
+      st.State.cc_value <- v
+    else fun st v ->
+      set_nzvc st ~n:(Word.to_signed v < 0) ~z:(v = 0) ~v:false ~c:false
+  in
+  let set_cc_tstb =
+    if nzv_dead then fun st v ->
+      st.State.psl <- Psl.with_c st.State.psl false;
+      st.State.cc_lazy <- 4;
+      st.State.cc_value <- v
+    else fun st v ->
+      set_nzvc st ~n:(v land 0x80 <> 0) ~z:(v = 0) ~v:false ~c:false
+  in
   let commit st =
     st.State.instructions <- st.State.instructions + 1;
     let was_vm = Psl.vm st.State.psl in
@@ -1328,7 +1427,7 @@ let compile_fast_hot (tmpl : Decode_cache.template) =
                     else finish st pc was_vm))
     | _ -> None
   in
-  match (op, List.map farg_of_spec tmpl.Decode_cache.t_specs) with
+  match (op, fargs_of_tmpl ?fact tmpl) with
   | Opcode.Nop, [] ->
       Some
         (fun st pc ->
@@ -1490,7 +1589,9 @@ let compile_fast_hot (tmpl : Decode_cache.template) =
               let was_vm = commit st in
               let v = rd st land 0xFF in
               Array.unsafe_set st.State.regs dr v;
-              set_nzvc st ~n:false ~z:(v = 0) ~v:false ~c:(Psl.c st.State.psl);
+              (* zero-extended, so N is false either way: the long
+                 keep-C helper computes the same bits and defers *)
+              set_nz_keep_c st v;
               finish st pc was_vm)
       | F_mem a ->
           let rd = rd_mem_b a in
@@ -1505,8 +1606,7 @@ let compile_fast_hot (tmpl : Decode_cache.template) =
                   let was_vm = commit st in
                   let v = v0 land 0xFF in
                   Array.unsafe_set st.State.regs dr v;
-                  set_nzvc st ~n:false ~z:(v = 0) ~v:false
-                    ~c:(Psl.c st.State.psl);
+                  set_nz_keep_c st v;
                   finish st pc was_vm))
   | Opcode.Clrl, [ FA (F_reg dr) ] ->
       let call = spec + base in
@@ -1558,7 +1658,7 @@ let compile_fast_hot (tmpl : Decode_cache.template) =
           Cycles.charge st.State.clock call;
           let was_vm = commit st in
           let v = rd st in
-          set_nzvc st ~n:(Word.to_signed v < 0) ~z:(v = 0) ~v:false ~c:false;
+          set_cc_tstl st v;
           finish st pc was_vm)
   | Opcode.Tstl, [ FA (F_mem a) ] ->
       let rd = rd_mem a in
@@ -1570,8 +1670,7 @@ let compile_fast_hot (tmpl : Decode_cache.template) =
           | v ->
               Cycles.charge st.State.clock base;
               let was_vm = commit st in
-              set_nzvc st ~n:(Word.to_signed v < 0) ~z:(v = 0) ~v:false
-                ~c:false;
+              set_cc_tstl st v;
               finish st pc was_vm)
   | Opcode.Tstb, [ FA ((F_imm _ | F_reg _) as s) ] ->
       let rd = rd_pure_b s in
@@ -1581,7 +1680,7 @@ let compile_fast_hot (tmpl : Decode_cache.template) =
           Cycles.charge st.State.clock call;
           let was_vm = commit st in
           let v = rd st land 0xFF in
-          set_nzvc st ~n:(v land 0x80 <> 0) ~z:(v = 0) ~v:false ~c:false;
+          set_cc_tstb st v;
           finish st pc was_vm)
   | Opcode.Tstb, [ FA (F_mem a) ] ->
       let rd = rd_mem_b a in
@@ -1594,7 +1693,7 @@ let compile_fast_hot (tmpl : Decode_cache.template) =
               Cycles.charge st.State.clock base;
               let was_vm = commit st in
               let v = v0 land 0xFF in
-              set_nzvc st ~n:(v land 0x80 <> 0) ~z:(v = 0) ~v:false ~c:false;
+              set_cc_tstb st v;
               finish st pc was_vm)
   | Opcode.Cmpl, [ FA a; FA b ] -> (
       match (a, b) with
@@ -2007,7 +2106,7 @@ let compile_fast_hot (tmpl : Decode_cache.template) =
    [dispatch_fault] itself propagates, as in [step].  The hottest
    opcode/operand combinations never reach this compiler — see
    [compile_fast_hot] below. *)
-let compile_fast_gen (tmpl : Decode_cache.template) =
+let compile_fast_gen ?fact (tmpl : Decode_cache.template) =
   let op = tmpl.Decode_cache.t_opcode in
   let len = tmpl.Decode_cache.t_len in
   let base = Opcode.base_cycles op in
@@ -2074,7 +2173,7 @@ let compile_fast_gen (tmpl : Decode_cache.template) =
         if ovf then check_overflow_trap st;
         finish st pc was_vm)
   in
-  match (op, List.map farg_of_spec tmpl.Decode_cache.t_specs) with
+  match (op, fargs_of_tmpl ?fact tmpl) with
   | Opcode.Nop, [] ->
       slot (fun st pc np ->
           np := Word.add pc len;
@@ -2321,10 +2420,10 @@ let compile_fast_gen (tmpl : Decode_cache.template) =
           retire st pc was_vm)
   | _ -> None
 
-let compile_fast tmpl =
-  match compile_fast_hot tmpl with
+let compile_fast ?fact tmpl =
+  match compile_fast_hot ?fact tmpl with
   | Some _ as r -> r
-  | None -> compile_fast_gen tmpl
+  | None -> compile_fast_gen ?fact tmpl
 
 (* Generic slot: [Decode.operandize] against the cached template with the
    handler and constants pre-resolved — the body of [step] after its
@@ -2351,8 +2450,8 @@ let generic_slot (tmpl : Decode_cache.template) =
           start_pc
     with State.Fault f -> fault_finish st !decoded ~start_pc f
 
-let compile_slot tmpl =
-  match compile_fast tmpl with Some f -> f | None -> generic_slot tmpl
+let compile_slot ?fact tmpl =
+  match compile_fast ?fact tmpl with Some f -> f | None -> generic_slot tmpl
 
 (* Block enders: everything that sets the PC ends a block (and is its
    last slot). *)
@@ -2393,7 +2492,18 @@ let finish_builder st (bc : Block_cache.t) =
    on the page of [b_pa], guarded by that page's store generation alone,
    and the block survives translation changes (every instruction that
    can change translations is itself block-excluded). *)
-let feed_builder st (bc : Block_cache.t) pa (tmpl : Decode_cache.template) =
+(* Opcodes whose hot arms defer the CC write when a fact proves N, Z
+   and V dead (the shadowed helpers in [compile_fast_hot]); used only
+   for the [cc_elided] compile-time gauge. *)
+let cc_deferrable = function
+  | Opcode.Movl | Opcode.Movb | Opcode.Movzbl | Opcode.Clrl | Opcode.Clrb
+  | Opcode.Pushl | Opcode.Moval | Opcode.Tstl | Opcode.Tstb | Opcode.Bisl2
+  | Opcode.Bisl3 | Opcode.Bicl2 | Opcode.Bicl3 | Opcode.Xorl2 | Opcode.Xorl3
+    ->
+      true
+  | _ -> false
+
+let feed_builder st (bc : Block_cache.t) pa ~va (tmpl : Decode_cache.template) =
   let open Block_cache in
   let phys = Mmu.phys st.State.mmu in
   (* a control-flow discontinuity ends the pending prefix (it is still a
@@ -2409,12 +2519,41 @@ let feed_builder st (bc : Block_cache.t) pa (tmpl : Decode_cache.template) =
   then finish_builder st bc
   else begin
     if not (bld_active bc) then bld_begin bc ~pa;
+    (* liveness facts are keyed by the virtual PC the analysis saw; the
+       opcode/length guard in [Block_facts.find] rejects stale ones, and
+       the PSL<VM> gate keeps guest-image facts off monitor code that
+       happens to reuse a guest virtual address *)
+    let fact =
+      match bc.facts with
+      | Some fx when Psl.vm st.State.psl = bc.facts_vm ->
+          (* a fact that proves nothing useful compiles exactly like no
+             fact; drop it here so the compiler skips the specialization
+             plumbing for the ~40% of sites liveness cannot improve *)
+          (match Block_facts.find fx ~va ~op ~len with
+          | Some f
+            when f.Block_facts.f_cc_dead land Block_facts.nzv
+                 <> Block_facts.nzv
+                 && f.Block_facts.f_consts = [] ->
+              None
+          | f -> f)
+      | _ -> None
+    in
+    (match fact with
+    | None -> ()
+    | Some f ->
+        bc.fact_slots <- bc.fact_slots + 1;
+        if
+          f.Block_facts.f_cc_dead land Block_facts.nzv = Block_facts.nzv
+          && cc_deferrable op
+        then bc.cc_elided <- bc.cc_elided + 1;
+        bc.const_folded <-
+          bc.const_folded + List.length (applicable_consts f tmpl));
     bld_append bc
       {
         s_pa = pa;
         s_len = len;
         s_gen1 = Phys_mem.page_gen phys (pa lsr Addr.page_shift);
-        s_exec = compile_slot tmpl;
+        s_exec = compile_slot ?fact tmpl;
       };
     if is_pc_setter op || Addr.offset pa + len >= Addr.page_size || bld_full bc
     then finish_builder st bc
@@ -2422,6 +2561,9 @@ let feed_builder st (bc : Block_cache.t) pa (tmpl : Decode_cache.template) =
 
 (* Cold path: the per-step decode pipeline, plus feeding the builder. *)
 let step_cold st (bc : Block_cache.t) pa start_pc =
+  (* the generic handlers assume a live PSL (branches read it, CHMx and
+     REI push or replace it): materialize any deferred codes first *)
+  State.sync_cc st;
   bc.Block_cache.misses <- bc.Block_cache.misses + 1;
   bc.Block_cache.cur_pa <- -1;
   bc.Block_cache.cur_va <- -1;
@@ -2430,14 +2572,14 @@ let step_cold st (bc : Block_cache.t) pa start_pc =
     let d =
       match Decode_cache.find st.State.dcache ~mmu:st.State.mmu pa with
       | tmpl ->
-          feed_builder st bc pa tmpl;
+          feed_builder st bc pa ~va:start_pc tmpl;
           Decode.operandize st tmpl ~start_pc
       | exception Not_found ->
           let d = Decode.decode st in
           Decode_cache.store st.State.dcache ~mmu:st.State.mmu
             ?pa2:(straddle_pa2 st start_pc d.Decode.tmpl pa)
             pa d.Decode.tmpl;
-          feed_builder st bc pa d.Decode.tmpl;
+          feed_builder st bc pa ~va:start_pc d.Decode.tmpl;
           d
     in
     decoded := Some d;
@@ -2651,7 +2793,10 @@ let run_blocks st bc ?(max_instructions = max_int) () =
       | Stepped -> loop (n - 1)
       | (Machine_halted | Stopped) as s -> s
   in
-  loop max_instructions
+  let s = loop max_instructions in
+  (* the caller is about to observe the PSL *)
+  State.sync_cc st;
+  s
 
 (* Which execution engine a machine uses; [Blocks] is the default
    everywhere, [Stepper] is the reference interpreter. *)

@@ -35,6 +35,9 @@ let vm_frame_params (f : State.vm_frame) =
 
 let deliver_exception st ~vector ~params ~saved_pc ?(interrupt = false)
     ?new_ipl ?(force_is = false) ?vm_frame () =
+  (* the PSL is about to be observed (saved/pushed): materialize any
+     condition codes the superblock engine deferred *)
+  State.sync_cc st;
   Cycles.charge st.State.clock Cost.exception_initiate;
   State.count_exception st vector;
   let from_vm =
@@ -283,6 +286,7 @@ let chm st ~target ~code ~next_pc =
 (* MOVPSL                                                              *)
 
 let movpsl_value st =
+  State.sync_cc st;
   if st.State.variant = Variant.Virtualizing && Psl.vm st.State.psl then
     State.merged_vm_psl st
   else Psl.with_vm st.State.psl false

@@ -69,6 +69,8 @@ type t = {
   dcache : Decode_cache.t;
   regs : Word.t array;
   mutable psl : Psl.t;
+  mutable cc_lazy : int;
+  mutable cc_value : Word.t;
   sp_bank : Word.t array;
   mutable vmpsl : Word.t;
   mutable vmpend : int;
@@ -114,6 +116,8 @@ let create ?(variant = Variant.Standard) ?sid ~mmu ~clock () =
     dcache = Decode_cache.create ();
     regs = Array.make 16 0;
     psl = Psl.initial;
+    cc_lazy = 0;
+    cc_value = 0;
     sp_bank = Array.make 5 0;
     vmpsl = 0;
     vmpend = 0;
@@ -136,6 +140,38 @@ let create ?(variant = Variant.Standard) ?sid ~mmu ~clock () =
     exceptions_by_vector = Hashtbl.create 32;
     trace = Vax_obs.Trace.null;
   }
+
+(* Materialize deferred condition codes.  Computes exactly what the
+   elided eager helper would have written (classes mirror Exec's
+   [set_nz_keep_c] / [set_nz_byte_keep_c] / TSTL / TSTB), so calling
+   this at any PSL observer makes the deferral bit-invisible. *)
+let sync_cc t =
+  if t.cc_lazy <> 0 then begin
+    let value = t.cc_value in
+    (match t.cc_lazy with
+    | 1 ->
+        t.psl <-
+          Psl.with_nzvc t.psl
+            ~n:(Word.to_signed value < 0)
+            ~z:(value = 0) ~v:false ~c:(Psl.c t.psl)
+    | 2 ->
+        let b = value land 0xFF in
+        t.psl <-
+          Psl.with_nzvc t.psl ~n:(b land 0x80 <> 0) ~z:(b = 0) ~v:false
+            ~c:(Psl.c t.psl)
+    | 3 ->
+        t.psl <-
+          Psl.with_nzvc t.psl
+            ~n:(Word.to_signed value < 0)
+            ~z:(value = 0) ~v:false ~c:false
+    | 4 ->
+        let b = value land 0xFF in
+        t.psl <-
+          Psl.with_nzvc t.psl ~n:(b land 0x80 <> 0) ~z:(b = 0) ~v:false
+            ~c:false
+    | _ -> ());
+    t.cc_lazy <- 0
+  end
 
 let pc t = t.regs.(15)
 let set_pc t v = t.regs.(15) <- Word.mask v

@@ -75,6 +75,15 @@ type t = {
   dcache : Decode_cache.t;  (** decoded-instruction cache (see {!Decode_cache}) *)
   regs : Word.t array;  (** R0–R15; R14 = SP of current mode, R15 = PC *)
   mutable psl : Psl.t;
+  mutable cc_lazy : int;
+      (** deferred condition codes (liveness-guided superblocks): 0 =
+          [psl] holds the live NZVC; otherwise the slot compiler proved
+          N, Z and V dead and recorded the would-be CC source in
+          [cc_value] instead of updating [psl] — class 1 long/keep-C,
+          2 byte/keep-C, 3 long/clear-C, 4 byte/clear-C.  Every PSL
+          observer calls {!sync_cc} first, so the deferral is
+          architecturally invisible. *)
+  mutable cc_value : Word.t;  (** the deferred CC source value *)
   sp_bank : Word.t array;  (** kernel, executive, supervisor, user, interrupt *)
   mutable vmpsl : Word.t;  (** modified VAX only; zero otherwise *)
   mutable vmpend : int;  (** highest pending virtual interrupt level *)
@@ -120,6 +129,12 @@ val sid_virtual_vax : Word.t
     specific member of the family" (paper §8) with its own SID. *)
 
 (** {1 Register and PSL helpers} *)
+
+val sync_cc : t -> unit
+(** Materialize deferred condition codes into [psl] (no-op when none
+    are pending).  Called by every PSL observer — exception delivery,
+    the cold decode path, PSW-reading instructions, and run-loop exits
+    — before the PSL is read, pushed, or partially written. *)
 
 val pc : t -> Word.t
 val set_pc : t -> Word.t -> unit

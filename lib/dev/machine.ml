@@ -98,6 +98,8 @@ let create ?(variant = Variant.Standard) ?(memory_pages = 2048)
       Block_cache.built bcache);
   Vax_obs.Metrics.register metrics "blocks.invalidations" (fun () ->
       Block_cache.invalidations bcache);
+  Vax_obs.Metrics.register_group metrics "blocks.liveness" (fun () ->
+      Block_cache.liveness_metrics bcache);
   { cpu; mmu; phys; clock; sched; timer; console; disk; trace; metrics;
     engine; bcache }
 
@@ -143,4 +145,8 @@ let run t ?(max_cycles = 100_000_000) () =
     | Exec.Machine_halted -> Halted
     | Exec.Stopped -> Stopped
   in
-  loop ()
+  let outcome = loop () in
+  (* anything inspecting the stopped machine (tests, the VMM between
+     [run] calls, state comparison) must see a live PSL *)
+  State.sync_cc t.cpu;
+  outcome

@@ -34,6 +34,7 @@ val run_bare :
   ?engine:Exec.engine ->
   ?instrument:(Machine.t -> unit) ->
   ?flow:bool ->
+  ?liveness:bool ->
   ?max_cycles:int ->
   Minivms.built ->
   measurement
@@ -45,7 +46,15 @@ val run_bare :
     — the hook for enabling [Machine.trace] or attaching a sink.
     [flow] (default [true]) builds the oracle's static pass
     flow-sensitively (vaxflow); its gauges register as
-    ["analysis.flow.*"] in the machine's metrics. *)
+    ["analysis.flow.*"] in the machine's metrics.
+    [liveness] (default [true]) runs the backward NZVC/register
+    liveness pass over the workload's images and installs the resulting
+    fact table in the machine's block cache, letting the superblock
+    compiler defer provably dead condition-code recomputation and fold
+    proven-constant register operands; gauges register as
+    ["blocks.liveness.*"].  Simulated cycles, trace events and TLB
+    statistics are bit-identical with it on or off — only wall-clock
+    changes. *)
 
 val run_vm :
   ?config:Vmm.config ->
@@ -53,6 +62,7 @@ val run_vm :
   ?engine:Exec.engine ->
   ?instrument:(Machine.t -> unit) ->
   ?flow:bool ->
+  ?liveness:bool ->
   ?max_cycles:int ->
   Minivms.built ->
   measurement
@@ -65,6 +75,7 @@ val run_two_vms :
   ?engine:Exec.engine ->
   ?instrument:(Machine.t -> unit) ->
   ?flow:bool ->
+  ?liveness:bool ->
   ?max_cycles:int ->
   Minivms.built ->
   Minivms.built ->

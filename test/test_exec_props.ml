@@ -31,6 +31,78 @@ let run_binop op a_val b_val =
 
 let signed = Word.to_signed
 
+(* Execute ASHL #cnt, R1, R2 and return (result, n, z, v, c).  The
+   count immediate is encoded as a byte, so the machine sees the
+   sign-extended low 8 bits of [cnt]. *)
+let run_ashl cnt v =
+  let cpu = Cpu.create () in
+  let asm = Asm.create ~origin:0x1000 in
+  Asm.ins asm Opcode.Ashl [ Asm.Imm cnt; Asm.R 1; Asm.R 2 ];
+  Asm.ins asm Opcode.Halt [];
+  let img = Asm.assemble asm in
+  Cpu.load cpu 0x1000 img.Asm.code;
+  State.set_pc cpu.Cpu.state 0x1000;
+  State.set_sp cpu.Cpu.state 0x2000;
+  State.set_reg cpu.Cpu.state 1 v;
+  ignore (Cpu.run cpu ~max_instructions:10 ());
+  let p = cpu.Cpu.state.State.psl in
+  (State.reg cpu.Cpu.state 2, Psl.n p, Psl.z p, Psl.v p, Psl.c p)
+
+(* Independent bit-serial ASHL reference: shift one position at a time;
+   overflow iff a left shift ever brings a bit into the sign position
+   that differs from the initial sign.  Returns (result, v). *)
+let ashl_ref cnt v =
+  let cnt = Word.to_signed (Word.sext ~width:8 (cnt land 0xFF)) in
+  let sign x = (x lsr 31) land 1 in
+  if cnt >= 0 then begin
+    let r = ref v and ov = ref false in
+    let s0 = sign v in
+    for _ = 1 to cnt do
+      r := (!r lsl 1) land 0xFFFF_FFFF;
+      if sign !r <> s0 then ov := true
+    done;
+    (!r, !ov)
+  end
+  else begin
+    let r = ref v in
+    for _ = 1 to -cnt do
+      r := (!r lsr 1) lor (sign !r lsl 31)
+    done;
+    (!r, false)
+  end
+
+(* Every count the byte encoding can express, against values covering
+   the interesting sign patterns (sign boundaries, alternating bits,
+   single bits near the top).  Checks the result and all four codes
+   against the bit-serial reference, and that Absdom's transfer
+   (Word.ashl) agrees with what the machine computed. *)
+let ashl_exhaustive () =
+  let values =
+    [
+      0x0000_0000; 0x0000_0001; 0x0000_0002; 0x7FFF_FFFF; 0x8000_0000;
+      0x8000_0001; 0xFFFF_FFFF; 0xFFFF_FFFE; 0xAAAA_AAAA; 0x5555_5555;
+      0x4000_0000; 0xC000_0000; 0x1234_5678; 0xFEDC_BA98; 0x0000_8000;
+      0xFFFF_8000;
+    ]
+  in
+  for cnt = -128 to 127 do
+    List.iter
+      (fun v ->
+        let r, n, z, ov, c = run_ashl cnt v in
+        let er, ev = ashl_ref cnt v in
+        let ctx = Printf.sprintf "ASHL #%d, #0x%08x" cnt v in
+        Alcotest.(check int) (ctx ^ " result") er r;
+        Alcotest.(check bool) (ctx ^ " N") (signed er < 0) n;
+        Alcotest.(check bool) (ctx ^ " Z") (er = 0) z;
+        Alcotest.(check bool) (ctx ^ " V") ev ov;
+        Alcotest.(check bool) (ctx ^ " C") false c;
+        Alcotest.(check int)
+          (ctx ^ " Word.ashl agrees")
+          r
+          (Word.ashl ~cnt:(cnt land 0xFF) v))
+      values
+  done
+
 let exec_props =
   [
     qt "ADDL2 = 32-bit addition with correct N Z V C" (QCheck.pair w32 w32)
@@ -72,29 +144,12 @@ let exec_props =
         (* dst <- dst / src : b / a *)
         let r, _, _, _, _ = run_binop Opcode.Divl2 a b in
         r = (signed b / signed a) land 0xFFFF_FFFF);
-    qt "ASHL shifts per VAX rules"
-      (QCheck.pair (QCheck.int_range (-40) 40) w32)
+    qt "ASHL matches the bit-serial reference"
+      (QCheck.pair (QCheck.int_range (-128) 127) w32)
       (fun (cnt, v) ->
-        let cpu = Cpu.create () in
-        let asm = Asm.create ~origin:0x1000 in
-        Asm.ins asm Opcode.Ashl [ Asm.Imm cnt; Asm.R 1; Asm.R 2 ];
-        Asm.ins asm Opcode.Halt [];
-        let img = Asm.assemble asm in
-        Cpu.load cpu 0x1000 img.Asm.code;
-        State.set_pc cpu.Cpu.state 0x1000;
-        State.set_sp cpu.Cpu.state 0x2000;
-        State.set_reg cpu.Cpu.state 1 v;
-        ignore (Cpu.run cpu ~max_instructions:10 ());
-        let r = State.reg cpu.Cpu.state 2 in
-        (* cnt is encoded as a byte: the machine sees its low 8 bits *)
-        let cnt = Word.to_signed (Word.sext ~width:8 (cnt land 0xFF)) in
-        let expect =
-          if cnt >= 32 then 0
-          else if cnt >= 0 then (v lsl cnt) land 0xFFFF_FFFF
-          else if cnt <= -32 then if signed v < 0 then 0xFFFF_FFFF else 0
-          else (signed v asr -cnt) land 0xFFFF_FFFF
-        in
-        r = expect);
+        let r, n, z, ov, c = run_ashl cnt v in
+        let er, ev = ashl_ref cnt v in
+        r = er && n = (signed er < 0) && z = (er = 0) && ov = ev && not c);
     qt "MOVZBL zero-extends" w32 (fun v ->
         let cpu = Cpu.create () in
         let asm = Asm.create ~origin:0x1000 in
@@ -192,6 +247,9 @@ let () =
   Alcotest.run "exec_props"
     [
       ("semantics", exec_props);
+      ( "ashl",
+        [ Alcotest.test_case "exhaustive counts x sign patterns" `Quick
+            ashl_exhaustive ] );
       ("stack", [ stack_prop ]);
       ( "disasm",
         [

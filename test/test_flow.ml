@@ -281,6 +281,58 @@ let test_value_diags () =
          | _ -> false)
        r.Absdom.diags)
 
+let test_cross_image_resolution () =
+  (* image 1 const-resolves a JMP into image 2: a single-image analysis
+     must close the valve (the target is outside the image), while the
+     workload-wide oracle resolves it against the sibling and keeps the
+     mode facts of both images *)
+  let build_image ~origin f =
+    let a = Asm.create ~origin in
+    f a;
+    Cfg.of_asm ~entry_mode:Mode.Kernel
+      (Printf.sprintf "img%x" origin)
+      (Asm.assemble a)
+  in
+  let img1 =
+    build_image ~origin:0x1000 (fun a ->
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x1F; Asm.Imm 18 ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 0x2000; Asm.R 0 ];
+        Asm.ins a Opcode.Jmp [ Asm.Deref 0 ])
+  in
+  let img2 =
+    build_image ~origin:0x2000 (fun a ->
+        Asm.ins a Opcode.Mtpr [ Asm.Imm 0x1F; Asm.Imm 18 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  (* alone, the resolved-but-foreign target widens every mode fact *)
+  let solo = Absdom.analyze img1 in
+  Alcotest.(check int) "solo: counted unresolved" 1
+    solo.Absdom.stats.Absdom.unresolved;
+  Alcotest.(check bool) "solo: valve closed" false
+    solo.Absdom.stats.Absdom.mode_sound;
+  (* the workload-wide pass resolves it against the sibling image *)
+  let o =
+    Oracle.of_images ~flow:true ~name:"xi" ~mode:Classify.Vm [ img1; img2 ]
+  in
+  (match o.Oracle.flow with
+  | None -> Alcotest.fail "no flow stats"
+  | Some f ->
+      Alcotest.(check bool) "workload: mode_sound" true f.Oracle.fs_mode_sound;
+      Alcotest.(check int) "workload: no unresolved target" 0
+        f.Oracle.fs_unresolved;
+      Alcotest.(check bool) "workload: cross-image target counted" true
+        (f.Oracle.fs_xresolved >= 1));
+  (* the MTPR sites of both images keep kernel-only predictions: under
+     the VM assumption they emulation-trap rather than privileged-fault,
+     so exactly one kind is predicted per site *)
+  List.iter
+    (fun pc ->
+      Alcotest.(check bool)
+        (Printf.sprintf "refined prediction survives at %#x" pc)
+        true
+        (Hashtbl.find_opt o.Oracle.predicted pc <> None))
+    [ 0x1000; 0x2000 ]
+
 (* --- oracle and metrics integration ----------------------------------- *)
 
 let test_oracle_flow_precision () =
@@ -345,6 +397,8 @@ let () =
           Alcotest.test_case "unresolved valve" `Quick test_unresolved_valve;
           Alcotest.test_case "escape seeding" `Quick test_escape_resets_mode;
           Alcotest.test_case "value diagnostics" `Quick test_value_diags;
+          Alcotest.test_case "cross-image resolution" `Quick
+            test_cross_image_resolution;
         ] );
       ( "integration",
         [

@@ -1,0 +1,329 @@
+(* Liveness-guided superblock compilation tests.
+
+   The liveness facts are a pure host-speed optimisation: compiling
+   superblock slots with deferred condition codes and pre-folded
+   constant operands must leave every simulated observable bit-identical
+   to the unguided compiler.  The differential suite runs every catalog
+   workload, bare and under the VMM, with facts installed and without,
+   and compares cycles (total and guest/monitor split), instruction
+   counts, registers, PSL, console output, run outcome, TLB statistics
+   and the full event trace.
+
+   The solver unit tests pin down the backward analysis itself on
+   directed programs: a full kill proves all four codes dead, a
+   conditional branch keeps exactly its condition alive — including
+   across a block boundary and around a loop back-edge — an unresolved
+   computed jump forces all-live, constants fold only when vaxflow
+   settles, and dead register writes are counted but never elided. *)
+
+open Vax_arch
+open Vax_cpu
+open Vax_workloads
+open Vax_analysis
+module Asm = Vax_asm.Asm
+module Disasm = Vax_asm.Disasm
+module Trace = Vax_obs.Trace
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Differential suite: facts on vs. facts off, everything observable *)
+
+type summary = {
+  outcome : string;
+  total : int;
+  guest : int;
+  monitor : int;
+  instrs : int;
+  console : string;
+  regs : int list;
+  psl : int;
+  tlb : int * int * int;
+  trace_total : int;
+  trace_events : string list;
+}
+
+let enable_trace (m : Vax_dev.Machine.t) =
+  Trace.set_enabled m.Vax_dev.Machine.trace true
+
+let summarize (m : Runner.measurement) =
+  let mach = m.Runner.machine in
+  let st = mach.Vax_dev.Machine.cpu in
+  let tlb = Vax_mem.Mmu.tlb mach.Vax_dev.Machine.mmu in
+  let tr = mach.Vax_dev.Machine.trace in
+  let evs = ref [] in
+  Trace.iter_retained tr (fun ~seq k ~a ~b ~c ->
+      evs :=
+        Printf.sprintf "%d:%s:%d:%d:%d" seq (Trace.kind_name k) a b c :: !evs);
+  {
+    outcome = Format.asprintf "%a" Vax_dev.Machine.pp_outcome m.Runner.outcome;
+    total = m.Runner.total_cycles;
+    guest = m.Runner.guest_cycles;
+    monitor = m.Runner.monitor_cycles;
+    instrs = m.Runner.instructions;
+    console = m.Runner.console;
+    regs = List.init 16 (State.reg st);
+    psl = st.State.psl;
+    tlb = (Vax_mem.Tlb.hits tlb, Vax_mem.Tlb.misses tlb, Vax_mem.Tlb.evictions tlb);
+    trace_total = Trace.total tr;
+    trace_events = List.rev !evs;
+  }
+
+let check_summary name a b =
+  Alcotest.(check string) (name ^ ": outcome") a.outcome b.outcome;
+  check_int (name ^ ": total cycles") a.total b.total;
+  check_int (name ^ ": guest cycles") a.guest b.guest;
+  check_int (name ^ ": monitor cycles") a.monitor b.monitor;
+  check_int (name ^ ": instructions") a.instrs b.instrs;
+  Alcotest.(check string) (name ^ ": console") a.console b.console;
+  Alcotest.(check (list int)) (name ^ ": registers") a.regs b.regs;
+  check_int (name ^ ": psl") a.psl b.psl;
+  let ah, am, ae = a.tlb and bh, bm, be = b.tlb in
+  check_int (name ^ ": tlb hits") ah bh;
+  check_int (name ^ ": tlb misses") am bm;
+  check_int (name ^ ": tlb evictions") ae be;
+  check_int (name ^ ": trace total") a.trace_total b.trace_total;
+  Alcotest.(check (list string)) (name ^ ": trace events") a.trace_events
+    b.trace_events
+
+let test_bare_differential () =
+  List.iter
+    (fun w ->
+      let built = Catalog.build w in
+      let on =
+        summarize
+          (Runner.run_bare ~instrument:enable_trace ~liveness:true built)
+      in
+      let off =
+        summarize
+          (Runner.run_bare ~instrument:enable_trace ~liveness:false built)
+      in
+      check_summary ("bare " ^ w) off on)
+    Catalog.names
+
+let test_vm_differential () =
+  List.iter
+    (fun w ->
+      let built = Catalog.build w in
+      let on =
+        summarize (Runner.run_vm ~instrument:enable_trace ~liveness:true built)
+      in
+      let off =
+        summarize
+          (Runner.run_vm ~instrument:enable_trace ~liveness:false built)
+      in
+      check_summary ("vm " ^ w) off on)
+    Catalog.names
+
+let test_two_vm_differential () =
+  let b1 = Catalog.build "editing" and b2 = Catalog.build "transaction" in
+  let run liveness =
+    let m1, m2 =
+      Runner.run_two_vms ~instrument:enable_trace ~liveness b1 b2
+    in
+    (summarize m1, summarize m2)
+  in
+  let on1, on2 = run true and off1, off2 = run false in
+  check_summary "two-vms vm1" off1 on1;
+  check_summary "two-vms vm2" off2 on2
+
+(* The facts must actually engage on the workloads, otherwise the
+   differential above proves nothing. *)
+let test_facts_engage () =
+  let built = Catalog.build "mix" in
+  let m = Runner.run_bare ~liveness:true built in
+  let bc = m.Runner.machine.Vax_dev.Machine.bcache in
+  Alcotest.(check bool) "facts installed" true (bc.Block_cache.facts <> None);
+  Alcotest.(check bool) "fact slots" true (bc.Block_cache.fact_slots > 0);
+  Alcotest.(check bool) "cc elided" true (bc.Block_cache.cc_elided > 0);
+  let off = Runner.run_bare ~liveness:false built in
+  let bco = off.Runner.machine.Vax_dev.Machine.bcache in
+  Alcotest.(check bool) "no facts when off" true (bco.Block_cache.facts = None);
+  check_int "no fact slots when off" 0 bco.Block_cache.fact_slots
+
+(* ------------------------------------------------------------------ *)
+(* Solver unit tests on directed programs *)
+
+let image_of ~origin f =
+  let a = Asm.create ~origin in
+  f a;
+  let img = Asm.assemble a in
+  { (Cfg.of_asm "t" img) with Cfg.entries = [ origin ] }
+
+(* The fact recorded at the first instruction with [op], via the same
+   CFG recovery the pass itself uses. *)
+let fact_at facts image op =
+  let cfg = Cfg.analyze image in
+  let insns =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (b : Cfg.block) ->
+           List.map (fun (i : Disasm.insn) -> (i.Disasm.address, i)) b.Cfg.b_insns)
+         cfg.Cfg.blocks)
+  in
+  match List.find_opt (fun (_, i) -> i.Disasm.opcode = Some op) insns with
+  | None -> Alcotest.fail "opcode not found in recovered CFG"
+  | Some (va, i) ->
+      Block_facts.find facts ~va ~op ~len:i.Disasm.length
+
+let cc_dead facts image op =
+  match fact_at facts image op with
+  | None -> Alcotest.fail "no fact at site"
+  | Some f -> f.Block_facts.f_cc_dead
+
+let nvc = Block_facts.n_bit lor Block_facts.v_bit lor Block_facts.c_bit
+
+(* A straight line that overwrites every code before any read: all four
+   bits are dead after the arithmetic op (MOVL keeps C, but the TSTL
+   then kills it unread). *)
+let test_full_kill () =
+  let image =
+    image_of ~origin:0x1000 (fun a ->
+        Asm.ins a Opcode.Addl2 [ Asm.R 1; Asm.R 0 ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 5; Asm.R 2 ];
+        Asm.ins a Opcode.Tstl [ Asm.R 2 ];
+        Asm.ins a Opcode.Bneq [ Asm.Branch "end" ];
+        Asm.label a "end";
+        Asm.ins a Opcode.Halt [])
+  in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  check_int "all codes dead after ADDL2" Block_facts.all_cc
+    (cc_dead facts image Opcode.Addl2)
+
+(* A conditional branch keeps exactly its condition alive: both arms of
+   the BNEQ kill the codes immediately, so after the CMPL only Z (read
+   by the branch) survives. *)
+let test_branch_keeps_condition () =
+  let image =
+    image_of ~origin:0x1000 (fun a ->
+        Asm.ins a Opcode.Cmpl [ Asm.R 0; Asm.R 1 ];
+        Asm.ins a Opcode.Bneq [ Asm.Branch "taken" ];
+        Asm.ins a Opcode.Tstl [ Asm.R 3 ];
+        Asm.ins a Opcode.Brb [ Asm.Branch "end" ];
+        Asm.label a "taken";
+        Asm.ins a Opcode.Tstl [ Asm.R 4 ];
+        Asm.label a "end";
+        Asm.ins a Opcode.Halt [])
+  in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  check_int "N, V, C dead after CMPL; Z live" nvc
+    (cc_dead facts image Opcode.Cmpl)
+
+(* The condition must survive a block boundary: the INCL's Z is read by
+   a branch in the *next* block (after an unconditional BRB). *)
+let test_cc_across_block_boundary () =
+  let image =
+    image_of ~origin:0x1000 (fun a ->
+        Asm.ins a Opcode.Incl [ Asm.R 0 ];
+        Asm.ins a Opcode.Brb [ Asm.Branch "l1" ];
+        Asm.label a "l1";
+        Asm.ins a Opcode.Bneq [ Asm.Branch "l2" ];
+        Asm.ins a Opcode.Tstl [ Asm.R 1 ];
+        Asm.label a "l2";
+        Asm.ins a Opcode.Tstl [ Asm.R 2 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  check_int "Z flows across the BRB boundary" nvc
+    (cc_dead facts image Opcode.Incl)
+
+(* A loop: Z stays live around the back edge (the BNEQ reads what the
+   DECL of the *next* iteration wrote), N/V/C die on both the back edge
+   (DECL is a full writer) and the exit (TSTL).  The loop counter stays
+   live at the loop head. *)
+let test_loop_back_edge () =
+  let origin = 0x1000 in
+  let image =
+    image_of ~origin (fun a ->
+        Asm.ins a Opcode.Movl [ Asm.Imm 3; Asm.R 1 ];
+        Asm.label a "loop";
+        Asm.ins a Opcode.Decl [ Asm.R 1 ];
+        Asm.ins a Opcode.Bneq [ Asm.Branch "loop" ];
+        Asm.ins a Opcode.Tstl [ Asm.R 2 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  check_int "only Z live after DECL in the loop" nvc
+    (cc_dead facts image Opcode.Decl);
+  (* the entry block's solved live-out is the loop head's live-in: the
+     counter register must be in it *)
+  let cfg = Cfg.analyze image in
+  let liveouts, _ = Liveness.solve_image cfg in
+  match Hashtbl.find_opt liveouts origin with
+  | None -> Alcotest.fail "entry block not solved"
+  | Some m ->
+      Alcotest.(check bool) "R1 live at loop head" true
+        (Liveness.regs_of m land (1 lsl 1) <> 0)
+
+(* An unresolved computed jump is an unknown successor: everything is
+   live behind it, so the ADDL2 keeps all four codes. *)
+let test_computed_jump_all_live () =
+  let image =
+    image_of ~origin:0x1000 (fun a ->
+        Asm.ins a Opcode.Addl2 [ Asm.R 1; Asm.R 2 ];
+        Asm.ins a Opcode.Jmp [ Asm.Deref 0 ])
+  in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  check_int "nothing dead before a computed jump" 0
+    (cc_dead facts image Opcode.Addl2)
+
+(* Constant folding: vaxflow proves R0 = 5 at the ADDL2's read, the
+   workload settles, so the fact carries the folded operand. *)
+let test_const_fact () =
+  let image =
+    image_of ~origin:0x1000 (fun a ->
+        Asm.ins a Opcode.Movl [ Asm.Imm 5; Asm.R 0 ];
+        Asm.ins a Opcode.Addl2 [ Asm.R 0; Asm.R 1 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  let facts, stats = Liveness.facts_of_images [ image ] in
+  Alcotest.(check bool) "analysis settled" true stats.Liveness.mode_sound;
+  match fact_at facts image Opcode.Addl2 with
+  | None -> Alcotest.fail "no fact at ADDL2"
+  | Some f ->
+      Alcotest.(check (list (pair int int)))
+        "operand 0 folded to 5"
+        [ (0, 5) ]
+        f.Block_facts.f_consts
+
+(* Dead register writes are counted — and only counted. *)
+let test_dead_reg_write_counted () =
+  let image =
+    image_of ~origin:0x1000 (fun a ->
+        Asm.ins a Opcode.Movl [ Asm.Imm 1; Asm.R 5 ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 2; Asm.R 5 ];
+        Asm.ins a Opcode.Tstl [ Asm.R 5 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  Alcotest.(check bool) "first write to R5 detected dead" true
+    (facts.Block_facts.dead_reg_writes >= 1)
+
+let () =
+  Alcotest.run "liveness"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "bare workloads: facts = no facts" `Quick
+            test_bare_differential;
+          Alcotest.test_case "vm workloads: facts = no facts" `Quick
+            test_vm_differential;
+          Alcotest.test_case "two vms: facts = no facts" `Quick
+            test_two_vm_differential;
+          Alcotest.test_case "facts engage" `Quick test_facts_engage;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "full kill: all codes dead" `Quick test_full_kill;
+          Alcotest.test_case "branch keeps its condition" `Quick
+            test_branch_keeps_condition;
+          Alcotest.test_case "cc across a block boundary" `Quick
+            test_cc_across_block_boundary;
+          Alcotest.test_case "loop back edge" `Quick test_loop_back_edge;
+          Alcotest.test_case "computed jump keeps all live" `Quick
+            test_computed_jump_all_live;
+          Alcotest.test_case "constant operand fact" `Quick test_const_fact;
+          Alcotest.test_case "dead register write counted" `Quick
+            test_dead_reg_write_counted;
+        ] );
+    ]
