@@ -43,7 +43,8 @@ let run_fleet_mode ~fleet ~jobs ~vm ~mmio ~quiet ~fleet_json =
       exit 1
 
 let run workload fleet jobs fleet_json vm mmio assist slots no_cache
-    no_block_cache no_liveness prefill separate quiet trace_out metrics =
+    no_block_cache no_liveness no_dead_store prefill separate quiet trace_out
+    metrics =
   if fleet > 0 then run_fleet_mode ~fleet ~jobs ~vm ~mmio ~quiet ~fleet_json
   else
   let built = Catalog.build ~force_mmio:(vm && mmio) workload in
@@ -80,8 +81,11 @@ let run workload fleet jobs fleet_json vm mmio assist slots no_cache
             separate_vmm_space = separate;
             default_io_mode = (if mmio then Vm.Mmio_io else Vm.Kcall_io);
           }
-        ~engine ~instrument ~liveness:(not no_liveness) built
-    else Runner.run_bare ~engine ~instrument ~liveness:(not no_liveness) built
+        ~engine ~instrument ~liveness:(not no_liveness)
+        ~dead_store:(not no_dead_store) built
+    else
+      Runner.run_bare ~engine ~instrument ~liveness:(not no_liveness)
+        ~dead_store:(not no_dead_store) built
   in
   (match !trace_oc with
   | Some oc ->
@@ -109,8 +113,8 @@ let cmd =
       & opt string "mix"
       & info [ "workload"; "w" ]
           ~doc:
-            "Workload: hello, mix, editing, transaction, compute, syscall, \
-             ipl, io.")
+            "Workload: hello, mix, editing, transaction, compute, calls, \
+             syscall, ipl, io.")
   in
   let fleet =
     Arg.(
@@ -170,6 +174,15 @@ let cmd =
              deferred condition codes, no constant folding (identical \
              simulated behaviour, slower host wall-clock).")
   in
+  let no_dead_store =
+    Arg.(
+      value & flag
+      & info [ "no-dead-store" ]
+          ~doc:
+            "Compile superblocks without dead-store elision: every proven-dead \
+             register write still goes straight to the register file \
+             (identical simulated behaviour, slower host wall-clock).")
+  in
   let prefill =
     Arg.(value & opt int 0 & info [ "prefill" ] ~doc:"Shadow prefill group.")
   in
@@ -198,7 +211,7 @@ let cmd =
     (Cmd.info "vaxrun" ~doc:"Run MiniVMS workloads on the simulated VAX")
     Term.(
       const run $ workload $ fleet $ jobs $ fleet_json $ vm $ mmio $ assist
-      $ slots $ no_cache $ no_block_cache $ no_liveness $ prefill $ separate
-      $ quiet $ trace_out $ metrics)
+      $ slots $ no_cache $ no_block_cache $ no_liveness $ no_dead_store
+      $ prefill $ separate $ quiet $ trace_out $ metrics)
 
 let () = exit (Cmd.eval cmd)

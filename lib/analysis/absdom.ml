@@ -130,7 +130,7 @@ type effect = {
 
 let width_bytes = function Opcode.Byte -> 1 | Opcode.Word -> 2 | Opcode.Long -> 4
 
-let step (st : state) (i : Disasm.insn) : effect =
+let step ?(clobber = fun _ -> None) (st : state) (i : Disasm.insn) : effect =
   let nops =
     match i.Disasm.opcode with
     | None -> 0
@@ -231,11 +231,22 @@ let step (st : state) (i : Disasm.insn) : effect =
         | _ -> ());
         (match op with
         | Opcode.Pushl -> set 14 (Const.map (fun v -> v - 4) (get 14))
-        | Opcode.Chmk | Opcode.Chme | Opcode.Chms | Opcode.Chmu
-        | Opcode.Ldpctx | Opcode.Calls | Opcode.Jsb | Opcode.Bsbb ->
-            (* the callee (or handler, for CHMx resuming here) may
-               clobber anything; the mode is restored on return *)
+        | Opcode.Chmk | Opcode.Chme | Opcode.Chms | Opcode.Chmu | Opcode.Ldpctx
+          ->
+            (* the handler (CHMx resumes here) may clobber anything;
+               the mode is restored on return *)
             Array.fill regs 0 nregs Const.Top
+        | Opcode.Calls | Opcode.Jsb | Opcode.Bsbb -> (
+            (* the callee may clobber anything — unless an
+               interprocedural summary proves a narrower write set
+               (registers outside [mask] are preserved across the
+               call, so constants survive it) *)
+            match clobber i with
+            | Some mask ->
+                for rn = 0 to nregs - 1 do
+                  if mask land (1 lsl rn) <> 0 then set rn Const.Top
+                done
+            | None -> Array.fill regs 0 nregs Const.Top)
         | _ -> ());
         { post = { st with regs }; vals; addrs }
       end
@@ -333,7 +344,8 @@ type result = {
 
 let max_rounds = 8
 
-let analyze ?escapes ?(extern = fun _ -> false) (image : Cfg.image) =
+let analyze ?(clobber = fun _ -> None) ?escapes ?(extern = fun _ -> false)
+    (image : Cfg.image) =
   let lo = image.Cfg.base and hi = image.Cfg.base + Bytes.length image.Cfg.code in
   let escape_list =
     match escapes with Some l -> l | None -> escape_values (Cfg.analyze image)
@@ -352,7 +364,7 @@ let analyze ?escapes ?(extern = fun _ -> false) (image : Cfg.image) =
       (fun (i : Disasm.insn) ->
         if i.Disasm.address <> b.Cfg.b_start && Hashtbl.mem esc i.Disasm.address
         then st := top_state ();
-        let eff = step !st i in
+        let eff = step ~clobber !st i in
         f !st i eff;
         st := eff.post)
       b.Cfg.b_insns
@@ -537,7 +549,7 @@ let analyze ?escapes ?(extern = fun _ -> false) (image : Cfg.image) =
    settled.  Shared by the oracle (mode facts) and the liveness pass
    (constant facts): both need the same settled workload-wide fixpoint
    before trusting any per-site fact. *)
-let analyze_images (images : Cfg.image list) =
+let analyze_images ?(clobber = fun _ -> None) (images : Cfg.image list) =
   let cfg0s = List.map Cfg.analyze images in
   let escapes0 = List.concat_map escape_values cfg0s in
   let ranges =
@@ -562,7 +574,9 @@ let analyze_images (images : Cfg.image list) =
     in
     let escapes = known @ escapes0 in
     let results =
-      List.map (fun img -> analyze ~escapes ~extern (with_entries img)) images
+      List.map
+        (fun img -> analyze ~clobber ~escapes ~extern (with_entries img))
+        images
     in
     let fresh =
       List.sort_uniq compare (List.concat_map (fun r -> r.xtargets) results)

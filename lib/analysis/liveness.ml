@@ -2,11 +2,13 @@
    bits, and which of R0..R14, can still be read after each instruction
    executes.  The results feed the tier-3 slot compiler through
    [Vax_cpu.Block_facts]: a site whose N, Z and V are provably dead gets
-   its condition-code recomputation deferred (see [State.cc_lazy]), and
-   a pure register source operand whose value vaxflow proves constant on
-   every path is pre-folded to an immediate.  Dead register writes are
-   detected too, but only counted — register state must stay
-   bit-identical, so nothing is elided there.
+   its condition-code recomputation deferred (see [State.cc_lazy]), a
+   pure register source operand whose value vaxflow proves constant on
+   every path is pre-folded to an immediate, and a longword register
+   write whose destination is provably dead is deferred into the
+   [State.reg_lazy] shadow slots and materialized at the next
+   observable boundary (see PERF.md "Callee summaries and dead-store
+   elision").
 
    Soundness shape.  Liveness is a backward property: a bit is dead at a
    point iff NO path from that point reads it before writing it.  The
@@ -18,12 +20,23 @@
    - a successor address that is not a recovered block start (cross
      image, mid-block target) likewise forces all-live;
    - an opcode outside the modelled set reads everything ([cc_gen] and
-     [reg_gen] default to all); calls (JSB/BSBB/CALLS) read everything
-     because the callee does;
+     [reg_gen] default to all);
    - only bits an instruction overwrites on *every* non-faulting path
      are killed.  DIVL's divide-by-zero path, which writes V alone, is
      covered differently: exception delivery materializes any deferred
      codes first, so the trap frame is exact whatever was elided.
+
+   Calls used to read everything because the callee does.  With the
+   interprocedural pass ([Summaries]) a JSB/BSBB/CALLS site whose
+   single static target has a usable summary is transformed instead:
+   the callee edge is dropped from the solve and the return edge
+   contributes  S.gen ∪ (live-in(return point) ∖ S.kill)  — what the
+   callee reads, plus what survives its definite writes — and the call
+   instruction's own backward effect shrinks to the hardware protocol
+   (stack pointer, and AP/FP for CALLS).  Sites without a usable
+   summary (computed callee, cross-image target, summary forced to
+   top) fall back to the old all-read behaviour and are counted in
+   [Block_facts.summary_fallbacks].
 
    Unlike the mode facts, CC/register liveness stays sound even when
    vaxflow's computed-flow valve closes: unresolved flow only ever
@@ -36,121 +49,20 @@ open Vax_arch
 module Disasm = Vax_asm.Disasm
 module Block_facts = Vax_cpu.Block_facts
 
-let n_bit = Block_facts.n_bit
-let z_bit = Block_facts.z_bit
-let v_bit = Block_facts.v_bit
-let c_bit = Block_facts.c_bit
 let all_cc = Block_facts.all_cc
 
-(* The combined abstract state packs both masks into one int: CC bits in
-   0..3, R0..R14 liveness in bits 4..18.  One solver run covers both. *)
-let all_regs = 0x7FFF
-let reg_bit rn = 1 lsl (4 + rn)
-let all_live = all_cc lor (all_regs lsl 4)
-let cc_of m = m land all_cc
-let regs_of m = (m lsr 4) land all_regs
-
-(* ---- per-instruction transfer ---------------------------------------- *)
-
-(* CC bits an instruction reads.  Conditional branches read their
-   condition; the modelled data instructions read none; everything else
-   (CHMx pushes the PSL, MOVPSL/BISPSW observe it, calls run unknown
-   code, ...) conservatively reads all four. *)
-let cc_gen : Opcode.t -> int = function
-  | Opcode.Bneq | Opcode.Beql -> z_bit
-  | Opcode.Bgtr | Opcode.Bleq -> n_bit lor z_bit
-  | Opcode.Bgeq | Opcode.Blss -> n_bit
-  | Opcode.Bgtru | Opcode.Blequ -> c_bit lor z_bit
-  | Opcode.Bvc | Opcode.Bvs -> v_bit
-  | Opcode.Bcc | Opcode.Bcs -> c_bit
-  | Opcode.Blbs | Opcode.Blbc | Opcode.Brb | Opcode.Brw | Opcode.Nop
-  | Opcode.Aoblss | Opcode.Sobgtr ->
-      0
-  | Opcode.Movl | Opcode.Movb | Opcode.Movzbl | Opcode.Clrl | Opcode.Clrb
-  | Opcode.Pushl | Opcode.Moval | Opcode.Addl2 | Opcode.Addl3 | Opcode.Subl2
-  | Opcode.Subl3 | Opcode.Mull2 | Opcode.Mull3 | Opcode.Divl2 | Opcode.Divl3
-  | Opcode.Mnegl | Opcode.Incl | Opcode.Decl | Opcode.Ashl | Opcode.Cmpl
-  | Opcode.Cmpb | Opcode.Tstl | Opcode.Tstb | Opcode.Bisl2 | Opcode.Bisl3
-  | Opcode.Bicl2 | Opcode.Bicl3 | Opcode.Xorl2 | Opcode.Xorl3 ->
-      0
-  | _ -> all_cc
-
-(* CC bits an instruction overwrites on every non-faulting path.  The
-   full writers set all four; MOV/CLR/MOVZ/PUSH/MOVA and the logicals
-   write N and Z, clear V, and pass C through (a pass-through neither
-   reads nor kills).  DIVL kills all four on its normal path; its
-   zero-divisor path is handled by materialize-at-delivery, so claiming
-   the normal path's kill here stays sound.  AOBLSS/SOBGTR write N, Z
-   and V and keep C. *)
-let cc_kill : Opcode.t -> int = function
-  | Opcode.Addl2 | Opcode.Addl3 | Opcode.Subl2 | Opcode.Subl3 | Opcode.Mull2
-  | Opcode.Mull3 | Opcode.Divl2 | Opcode.Divl3 | Opcode.Mnegl | Opcode.Incl
-  | Opcode.Decl | Opcode.Ashl | Opcode.Cmpl | Opcode.Cmpb | Opcode.Tstl
-  | Opcode.Tstb ->
-      all_cc
-  | Opcode.Movl | Opcode.Movb | Opcode.Movzbl | Opcode.Clrl | Opcode.Clrb
-  | Opcode.Pushl | Opcode.Moval | Opcode.Bisl2 | Opcode.Bisl3 | Opcode.Bicl2
-  | Opcode.Bicl3 | Opcode.Xorl2 | Opcode.Xorl3 | Opcode.Aoblss | Opcode.Sobgtr
-    ->
-      n_bit lor z_bit lor v_bit
-  | _ -> 0
-
-(* Opcodes whose register effects are fully described by their operand
-   specifiers (plus PUSHL's implicit SP use).  Anything else — calls,
-   returns, CHMx, MTPR, string/context instructions — conservatively
-   reads every register. *)
-let regs_modelled : Opcode.t -> bool = function
-  | Opcode.Nop | Opcode.Brb | Opcode.Brw | Opcode.Bneq | Opcode.Beql
-  | Opcode.Bgtr | Opcode.Bleq | Opcode.Bgeq | Opcode.Blss | Opcode.Bgtru
-  | Opcode.Blequ | Opcode.Bvc | Opcode.Bvs | Opcode.Bcc | Opcode.Bcs
-  | Opcode.Blbs | Opcode.Blbc | Opcode.Aoblss | Opcode.Sobgtr | Opcode.Movl
-  | Opcode.Movb | Opcode.Movzbl | Opcode.Clrl | Opcode.Clrb | Opcode.Pushl
-  | Opcode.Moval | Opcode.Addl2 | Opcode.Addl3 | Opcode.Subl2 | Opcode.Subl3
-  | Opcode.Mull2 | Opcode.Mull3 | Opcode.Divl2 | Opcode.Divl3 | Opcode.Mnegl
-  | Opcode.Incl | Opcode.Decl | Opcode.Ashl | Opcode.Cmpl | Opcode.Cmpb
-  | Opcode.Tstl | Opcode.Tstb | Opcode.Bisl2 | Opcode.Bisl3 | Opcode.Bicl2
-  | Opcode.Bicl3 | Opcode.Xorl2 | Opcode.Xorl3 ->
-      true
-  | _ -> false
-
-let sp = 14
-
-(* Register gen/kill masks from the operand specifiers.  A register is
-   killed only by a pure longword [Write] register operand: byte-width
-   register writes merge into the low byte (they read the rest), and
-   [Modify] reads first.  Addressing bases, autoincrement and
-   autodecrement registers are always read. *)
-let reg_effect (op : Opcode.t) (i : Disasm.insn) =
-  if not (regs_modelled op) then (all_regs, 0)
-  else begin
-    let gen = ref (if op = Opcode.Pushl then reg_bit sp lsr 4 else 0) in
-    let kill = ref 0 in
-    let accs = Opcode.operands op in
-    List.iteri
-      (fun idx spec ->
-        let acc = List.nth_opt accs idx in
-        let read rn = if rn < 15 then gen := !gen lor (1 lsl rn) in
-        match spec with
-        | Disasm.Register rn -> (
-            match acc with
-            | Some (Opcode.Write, Opcode.Long) ->
-                if rn < 15 then kill := !kill lor (1 lsl rn)
-            | Some ((Opcode.Read | Opcode.Modify), _)
-            | Some (Opcode.Write, _) ->
-                read rn
-            | Some ((Opcode.Address | Opcode.Branch_byte | Opcode.Branch_word), _)
-            | None ->
-                read rn)
-        | Disasm.Reg_deferred rn | Disasm.Autodec rn | Disasm.Autoinc rn
-        | Disasm.Autoinc_deferred rn | Disasm.Index rn ->
-            read rn
-        | Disasm.Disp { rn; _ } -> read rn
-        | Disasm.Literal _ | Disasm.Immediate _ | Disasm.Absolute _
-        | Disasm.Branch_dest _ ->
-            ())
-      i.Disasm.specs;
-    (!gen, !kill land lnot !gen)
-  end
+(* The packed domain and the per-instruction effect tables live in
+   [Summaries] (both passes share one modelled-instruction set; a
+   divergence would be a soundness bug in whichever pass was weaker). *)
+let all_regs = Summaries.all_regs
+let reg_bit = Summaries.reg_bit
+let all_live = Summaries.all_live
+let cc_of = Summaries.cc_of
+let regs_of = Summaries.regs_of
+let cc_gen = Summaries.cc_gen
+let cc_kill = Summaries.cc_kill
+let regs_modelled = Summaries.regs_modelled
+let reg_effect = Summaries.reg_effect
 
 (* Combined (gen, kill) over the packed domain. *)
 let insn_effect (i : Disasm.insn) =
@@ -164,9 +76,68 @@ let live_before i live_after =
   let gen, kill = insn_effect i in
   gen lor (live_after land lnot kill)
 
-(* live-in of a block given its live-out: right fold = backward walk *)
-let block_live_in (b : Cfg.block) live_out =
-  List.fold_right live_before b.Cfg.b_insns live_out
+(* ---- summary-transformed call sites ---------------------------------- *)
+
+(* One call block the solver treats interprocedurally: the callee edge
+   is suppressed, the return edge is filtered through the callee's
+   summary, and the call instruction's own effect is the protocol's. *)
+type call_xform = {
+  x_target : int;
+  x_ret : int;
+  x_summary : Summaries.summary;
+  x_protocol : Summaries.summary;
+}
+
+let last_insn (b : Cfg.block) =
+  List.nth b.Cfg.b_insns (List.length b.Cfg.b_insns - 1)
+
+(* Call blocks of [cfg] with a same-image static target whose summary
+   is usable.  Everything else falls back to the conservative call
+   treatment baked into [reg_effect]/[cc_gen]. *)
+let call_xforms (cfg : Cfg.t) (summ : Summaries.t) =
+  let block_at = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Cfg.block) -> Hashtbl.replace block_at b.Cfg.b_start ())
+    cfg.Cfg.blocks;
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      if b.Cfg.b_insns <> [] then
+        let l = last_insn b in
+        match Summaries.call_site l with
+        | Some (op, t, r) when Hashtbl.mem block_at t && Hashtbl.mem block_at r
+          -> (
+            match Summaries.find summ t with
+            | Some s when Summaries.usable s ->
+                Hashtbl.replace tbl b.Cfg.b_start
+                  {
+                    x_target = t;
+                    x_ret = r;
+                    x_summary = s;
+                    x_protocol = Summaries.protocol_effect op l;
+                  }
+            | _ -> ())
+        | _ -> ())
+    cfg.Cfg.blocks;
+  tbl
+
+let no_xforms : (int, call_xform) Hashtbl.t = Hashtbl.create 1
+
+(* live-in of a block given its live-out: right fold = backward walk.
+   For a transformed call block the live-out is the liveness at the
+   callee entry, and the call instruction contributes only its protocol
+   effect. *)
+let block_live_in ?(xforms = no_xforms) (b : Cfg.block) live_out =
+  match Hashtbl.find_opt xforms b.Cfg.b_start with
+  | None -> List.fold_right live_before b.Cfg.b_insns live_out
+  | Some xi ->
+      let n = List.length b.Cfg.b_insns in
+      let body = List.filteri (fun k _ -> k < n - 1) b.Cfg.b_insns in
+      let after_body =
+        xi.x_protocol.Summaries.sg
+        lor (live_out land lnot xi.x_protocol.Summaries.sk)
+      in
+      List.fold_right live_before body after_body
 
 (* ---- per-image solve -------------------------------------------------- *)
 
@@ -175,8 +146,10 @@ let block_live_in (b : Cfg.block) live_out =
    live-out; its transfer hands its live-in to every predecessor.
    Every block is seeded with its control-flow-boundary contribution —
    all-live when any successor is unrecovered, bottom otherwise — which
-   also enqueues every block at least once. *)
-let solve_image (cfg : Cfg.t) =
+   also enqueues every block at least once.  A predecessor that is a
+   transformed call block receives the summary-filtered contribution on
+   its return edge and nothing on its callee edge. *)
+let solve_image ?(xforms = no_xforms) (cfg : Cfg.t) =
   let block_at = Hashtbl.create 64 in
   List.iter (fun (b : Cfg.block) -> Hashtbl.replace block_at b.Cfg.b_start b)
     cfg.Cfg.blocks;
@@ -206,9 +179,17 @@ let solve_image (cfg : Cfg.t) =
     match Hashtbl.find_opt block_at node with
     | None -> []
     | Some b ->
-        let live_in = block_live_in b live_out in
-        List.map
-          (fun p -> (p, live_in))
+        let live_in = block_live_in ~xforms b live_out in
+        List.filter_map
+          (fun p ->
+            match Hashtbl.find_opt xforms p with
+            | Some xp when node = xp.x_ret ->
+                Some
+                  ( p,
+                    xp.x_summary.Summaries.sg
+                    lor (live_in land lnot xp.x_summary.Summaries.sk) )
+            | Some xp when node = xp.x_target -> None  (* callee edge *)
+            | _ -> Some (p, live_in))
           (Option.value ~default:[] (Hashtbl.find_opt preds node))
   in
   Dataflow.solve
@@ -218,16 +199,27 @@ let solve_image (cfg : Cfg.t) =
 (* ---- fact extraction -------------------------------------------------- *)
 
 (* Walk a block backward from its solved live-out, handing each
-   instruction its live-after mask in address order via [emit]. *)
-let walk_block (b : Cfg.block) live_out ~emit =
-  let rec go = function
-    | [] -> live_out
+   instruction its live-after mask in address order via [emit], with
+   the same call-site treatment as the solve. *)
+let walk_block ?(xforms = no_xforms) (b : Cfg.block) live_out ~emit =
+  let rec go tail = function
+    | [] -> tail
     | i :: rest ->
-        let live_after = go rest in
+        let live_after = go tail rest in
         emit i live_after;
         live_before i live_after
   in
-  ignore (go b.Cfg.b_insns)
+  match Hashtbl.find_opt xforms b.Cfg.b_start with
+  | None -> ignore (go live_out b.Cfg.b_insns)
+  | Some xi ->
+      let n = List.length b.Cfg.b_insns in
+      let body = List.filteri (fun k _ -> k < n - 1) b.Cfg.b_insns in
+      emit (last_insn b) live_out;
+      let after_body =
+        xi.x_protocol.Summaries.sg
+        lor (live_out land lnot xi.x_protocol.Summaries.sk)
+      in
+      ignore (go after_body body)
 
 type stats = {
   images : int;
@@ -236,24 +228,38 @@ type stats = {
   mode_sound : bool;  (* workload-wide: constants were emitted *)
 }
 
-(* The full pipeline: recover each image's CFG, solve liveness, run the
-   workload-wide vaxflow analysis for constants, and populate one fact
-   table keyed by virtual address.  VA collisions between images merge
-   conservatively inside [Block_facts.add]. *)
+(* The full pipeline: recover each image's CFG, compute the per-image
+   callee summaries, solve liveness with the summary-transformed call
+   edges, run the workload-wide vaxflow analysis for constants — with
+   call-site register clobbers narrowed to each callee's preservation
+   mask — and populate one fact table keyed by virtual address.  VA
+   collisions between images merge conservatively inside
+   [Block_facts.add]. *)
 let facts_of_images (images : Cfg.image list) =
   let facts = Block_facts.create () in
-  let cfg0s, results, settled = Absdom.analyze_images images in
+  let summaries = List.map (fun img -> Summaries.of_cfg (Cfg.analyze img)) images in
+  List.iter
+    (fun (s : Summaries.t) ->
+      facts.Block_facts.solver_visits <-
+        facts.Block_facts.solver_visits + s.Summaries.solver.Dataflow.visits;
+      facts.Block_facts.solver_updates <-
+        facts.Block_facts.solver_updates + s.Summaries.solver.Dataflow.updates)
+    summaries;
+  let clobber = Summaries.clobber_fn (Summaries.summary_table summaries) in
+  let cfg0s, results, settled = Absdom.analyze_images ~clobber images in
   let mode_sound =
     settled && List.for_all (fun r -> r.Absdom.stats.Absdom.mode_sound) results
   in
   let nblocks = ref 0 and ninsns = ref 0 in
   List.iter2
-    (fun (cfg : Cfg.t) (r : Absdom.result) ->
-      let liveouts, st = solve_image cfg in
+    (fun ((cfg : Cfg.t), (summ : Summaries.t)) (r : Absdom.result) ->
+      let xforms = call_xforms cfg summ in
+      let liveouts, st = solve_image ~xforms cfg in
       facts.Block_facts.solver_visits <-
         facts.Block_facts.solver_visits + st.Dataflow.visits;
       facts.Block_facts.solver_updates <-
         facts.Block_facts.solver_updates + st.Dataflow.updates;
+      let code = cfg.Cfg.image.Cfg.code and base = cfg.Cfg.image.Cfg.base in
       List.iter
         (fun (b : Cfg.block) ->
           incr nblocks;
@@ -261,14 +267,36 @@ let facts_of_images (images : Cfg.image list) =
             Option.value ~default:all_live
               (Hashtbl.find_opt liveouts b.Cfg.b_start)
           in
-          walk_block b live_out ~emit:(fun i live_after ->
+          let is_call_block =
+            b.Cfg.b_insns <> []
+            && Summaries.call_site (last_insn b) <> None
+          in
+          if is_call_block then
+            if Hashtbl.mem xforms b.Cfg.b_start then
+              facts.Block_facts.summary_calls <-
+                facts.Block_facts.summary_calls + 1
+            else
+              facts.Block_facts.summary_fallbacks <-
+                facts.Block_facts.summary_fallbacks + 1;
+          walk_block ~xforms b live_out ~emit:(fun i live_after ->
               incr ninsns;
               match i.Disasm.opcode with
               | None -> ()
               | Some op ->
-                  (* dead register writes: detected, counted, never
-                     elided (register state stays bit-identical) *)
+                  (* an unresolved computed call sitting mid-block also
+                     falls back (the resolved ones end their block) *)
+                  (match op with
+                  | (Opcode.Jsb | Opcode.Bsbb | Opcode.Calls)
+                    when i.Disasm.address <> (last_insn b).Disasm.address ->
+                      facts.Block_facts.summary_fallbacks <-
+                        facts.Block_facts.summary_fallbacks + 1
+                  | _ -> ());
+                  (* dead longword register writes: counted, and — for
+                     R0..R13 — recorded for block-exit deferral (SP
+                     stays eager: the interrupt microcode pushes through
+                     it before any sync point) *)
                   let accs = Opcode.operands op in
+                  let dead_regs = ref 0 in
                   if regs_modelled op then
                     List.iteri
                       (fun idx spec ->
@@ -278,7 +306,9 @@ let facts_of_images (images : Cfg.image list) =
                           when rn < 15
                                && regs_of live_after land (1 lsl rn) = 0 ->
                             facts.Block_facts.dead_reg_writes <-
-                              facts.Block_facts.dead_reg_writes + 1
+                              facts.Block_facts.dead_reg_writes + 1;
+                            if rn < 14 then
+                              dead_regs := !dead_regs lor (1 lsl rn)
                         | _ -> ())
                       i.Disasm.specs;
                   let consts =
@@ -301,15 +331,24 @@ let facts_of_images (images : Cfg.image list) =
                                  | _ -> [])
                                i.Disasm.specs)
                   in
+                  let off = i.Disasm.address - base in
+                  let f_bytes =
+                    if off >= 0 && off + i.Disasm.length <= Bytes.length code
+                    then Bytes.sub_string code off i.Disasm.length
+                    else ""
+                  in
                   Block_facts.add facts ~va:i.Disasm.address
                     {
                       Block_facts.f_op = op;
                       f_len = i.Disasm.length;
                       f_cc_dead = all_cc land lnot (cc_of live_after);
+                      f_dead_regs = !dead_regs;
                       f_consts = consts;
+                      f_bytes;
                     }))
         cfg.Cfg.blocks)
-    cfg0s results;
+    (List.combine cfg0s summaries)
+    results;
   ( facts,
     {
       images = List.length images;

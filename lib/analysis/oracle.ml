@@ -103,8 +103,14 @@ let of_images ?(flow = true) ~name ~mode (images : Cfg.image list) =
   else begin
     (* Cross-image computed edges settle workload-wide in
        [Absdom.analyze_images]; a workload that does not settle keeps
-       no mode facts. *)
-    let cfg0s, results, settled = Absdom.analyze_images images in
+       no mode facts.  Callee summaries narrow the register clobber at
+       resolved JSB/BSBB/CALLS sites, so constants — and with them
+       computed-target resolutions and mode facts — survive calls. *)
+    let summaries =
+      List.map (fun img -> Summaries.of_cfg (Cfg.analyze img)) images
+    in
+    let clobber = Summaries.clobber_fn (Summaries.summary_table summaries) in
+    let cfg0s, results, settled = Absdom.analyze_images ~clobber images in
     let mode_sound =
       settled
       && List.for_all (fun r -> r.Absdom.stats.Absdom.mode_sound) results

@@ -49,6 +49,16 @@ type t = {
      only apply while PSL<VM> is set — the monitor's own code may reuse
      a guest virtual address for different instructions *)
   mutable facts_vm : bool;
+  (* when false, the slot compiler ignores [f_dead_regs] (the
+     [--no-dead-store] differential switch); CC deferral and constant
+     folding are governed separately by whether facts are installed *)
+  mutable dead_store : bool;
+  (* fact freshness stamps for runtime-modified code: va -> (page,
+     page-store-generation) recorded when a fact last passed (or was
+     first admitted after) byte verification against the live page.
+     Per-machine because page generations are per-[Phys_mem]; the fact
+     table itself is shared across machines. *)
+  fact_stamps : (int, int * int) Hashtbl.t;
   (* statistics *)
   mutable hits : int;
   mutable misses : int;
@@ -58,6 +68,7 @@ type t = {
   mutable fact_slots : int;
   mutable cc_elided : int;
   mutable const_folded : int;
+  mutable dead_writes_elided : int;
 }
 
 let null_slot = { s_pa = -1; s_len = 0; s_gen1 = 0; s_exec = (fun _ _ -> ()) }
@@ -85,6 +96,8 @@ let create ?(size = 2048) ?(max_block = default_max_block) () =
     bld_next_pa = -1;
     facts = None;
     facts_vm = false;
+    dead_store = true;
+    fact_stamps = Hashtbl.create 64;
     hits = 0;
     misses = 0;
     chains = 0;
@@ -93,6 +106,7 @@ let create ?(size = 2048) ?(max_block = default_max_block) () =
     fact_slots = 0;
     cc_elided = 0;
     const_folded = 0;
+    dead_writes_elided = 0;
   }
 
 let slot_valid phys s =
@@ -173,7 +187,8 @@ let reset_stats t =
   t.invalidations <- 0;
   t.fact_slots <- 0;
   t.cc_elided <- 0;
-  t.const_folded <- 0
+  t.const_folded <- 0;
+  t.dead_writes_elided <- 0
 
 (* Gauges for the "blocks.liveness" metrics group: compile-time
    specialization counters plus the static shape of the installed fact
@@ -185,10 +200,14 @@ let liveness_metrics t =
     ("fact_slots", t.fact_slots);
     ("cc_elided", t.cc_elided);
     ("const_folded", t.const_folded);
+    ("dead_writes_elided", t.dead_writes_elided);
     ("sites", static Block_facts.sites);
     ("cc_dead_sites", static Block_facts.cc_dead_sites);
     ("const_ops", static Block_facts.const_ops);
     ("dead_reg_writes", static (fun fx -> fx.Block_facts.dead_reg_writes));
+    ("dead_write_sites", static Block_facts.dead_write_sites);
+    ("summary_calls", static (fun fx -> fx.Block_facts.summary_calls));
+    ("summary_fallbacks", static (fun fx -> fx.Block_facts.summary_fallbacks));
     ("solver_visits", static (fun fx -> fx.Block_facts.solver_visits));
     ("solver_updates", static (fun fx -> fx.Block_facts.solver_updates));
   ]
@@ -200,4 +219,5 @@ let clear t =
   t.cur_pa <- -1;
   t.cur_va <- -1;
   t.last <- empty_block;
+  Hashtbl.reset t.fact_stamps;
   bld_reset t

@@ -92,6 +92,17 @@ type t = {
       (** PSL<VM> context the facts describe: guest-image facts only
           apply while PSL<VM> is set, so the monitor's own code cannot
           pick up a guest fact at a colliding virtual address *)
+  mutable dead_store : bool;
+      (** when false, the slot compiler ignores [f_dead_regs] (the
+          [--no-dead-store] differential switch); defaults to true *)
+  fact_stamps : (int, int * int) Hashtbl.t;
+      (** fact freshness for runtime-modified code: va -> (page,
+          store-generation) recorded when the fact's [f_bytes] last
+          matched the live page.  On a stamp miss the compiler re-reads
+          the bytes; a same-opcode byte patch therefore rejects the
+          fact rather than specializing on stale analysis.  Per-machine
+          (page generations are per-{!Vax_mem.Phys_mem}) while the fact
+          table itself is shared across a fleet. *)
   mutable hits : int;  (** slots executed through the cursor or a block entry *)
   mutable misses : int;  (** cold-path instructions *)
   mutable chains : int;  (** block entries through a chain link *)
@@ -100,6 +111,8 @@ type t = {
   mutable fact_slots : int;  (** slots compiled with a matching fact *)
   mutable cc_elided : int;  (** slots compiled with a deferred CC update *)
   mutable const_folded : int;  (** operands pre-folded to immediates *)
+  mutable dead_writes_elided : int;
+      (** slots compiled with a deferred (shadowed) dead register write *)
 }
 
 val create : ?size:int -> ?max_block:int -> unit -> t

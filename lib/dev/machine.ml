@@ -147,6 +147,8 @@ let run t ?(max_cycles = 100_000_000) () =
   in
   let outcome = loop () in
   (* anything inspecting the stopped machine (tests, the VMM between
-     [run] calls, state comparison) must see a live PSL *)
+     [run] calls, state comparison) must see a live PSL and register
+     file *)
   State.sync_cc t.cpu;
+  State.sync_regs t.cpu;
   outcome

@@ -1,10 +1,13 @@
-(* The eight named example workloads, shared by the vaxrun and vaxlint
+(* The nine named example workloads, shared by the vaxrun and vaxlint
    command-line tools. *)
 
 open Vax_vmos
 
 let names =
-  [ "hello"; "mix"; "editing"; "transaction"; "compute"; "syscall"; "ipl"; "io" ]
+  [
+    "hello"; "mix"; "editing"; "transaction"; "compute"; "calls"; "syscall";
+    "ipl"; "io";
+  ]
 
 let build ?(force_mmio = false) = function
   | "hello" -> Minivms.build ~force_mmio ~programs:[ Programs.hello ~ident:1 ] ()
@@ -26,6 +29,9 @@ let build ?(force_mmio = false) = function
   | "compute" ->
       Minivms.build ~force_mmio
         ~programs:[ Programs.compute ~ident:1 ~iterations:8000 ] ()
+  | "calls" ->
+      Minivms.build ~force_mmio
+        ~programs:[ Programs.calls ~ident:1 ~rounds:4000 ] ()
   | "syscall" ->
       Minivms.build ~force_mmio
         ~programs:[ Programs.syscall_storm ~iterations:1000 ] ()

@@ -139,3 +139,45 @@ let io_storm ~ident ~count =
       ii a Opcode.Sobgtr [ Asm.R 6; Asm.Branch "loop" ];
       Userland.sys_putc_imm a (digit ident);
       Userland.sys_exit a)
+
+let calls ~ident ~rounds =
+  assemble_user "calls" ~data_pages:1 (fun a ->
+      ii a Opcode.Movl [ Asm.Imm rounds; Asm.R 6 ];
+      ii a Opcode.Clrl [ Asm.R 5 ];
+      Asm.label a "round";
+      (* caller-saved scratch: the chain rewrites R0 before reading it,
+         so this write is provably dead across the BSBB site once the
+         callee summary flows back to the caller *)
+      ii a Opcode.Movl [ Asm.R 6; Asm.R 0 ];
+      ii a Opcode.Movl [ Asm.R 6; Asm.R 1 ];
+      ii a Opcode.Bsbb [ Asm.Branch "mid1" ];
+      ii a Opcode.Addl2 [ Asm.R 0; Asm.R 5 ];
+      (* same pattern across a CALLS site *)
+      ii a Opcode.Movl [ Asm.Imm 0x55; Asm.R 0 ];
+      ii a Opcode.Calls [ Asm.Imm 0; Asm.Abs_label "cfunc" ];
+      ii a Opcode.Addl2 [ Asm.R 0; Asm.R 5 ];
+      ii a Opcode.Bicl2 [ Asm.Imm 0x7F00_0000; Asm.R 5 ];
+      ii a Opcode.Sobgtr [ Asm.R 6; Asm.Branch "round_b" ];
+      Userland.sys_putc_imm a (digit ident);
+      Userland.sys_exit a;
+      Asm.label a "round_b";
+      ii a Opcode.Jmp [ Asm.Abs_label "round" ];
+      (* three-deep BSBB/JSB chain; no routine touches SP or FP outside
+         the call protocol itself, so every entry keeps a usable summary *)
+      Asm.label a "mid1";
+      ii a Opcode.Movl [ Asm.R 1; Asm.R 3 ];
+      ii a Opcode.Bsbb [ Asm.Branch "mid2" ];
+      ii a Opcode.Addl2 [ Asm.R 3; Asm.R 0 ];
+      ii a Opcode.Rsb [];
+      Asm.label a "mid2";
+      ii a Opcode.Jsb [ Asm.Abs_label "leaf" ];
+      ii a Opcode.Addl2 [ Asm.Imm 1; Asm.R 0 ];
+      ii a Opcode.Rsb [];
+      Asm.label a "leaf";
+      ii a Opcode.Movl [ Asm.Imm 5; Asm.R 0 ];
+      ii a Opcode.Xorl2 [ Asm.R 1; Asm.R 0 ];
+      ii a Opcode.Rsb [];
+      Asm.label a "cfunc";
+      ii a Opcode.Movl [ Asm.Imm 3; Asm.R 0 ];
+      ii a Opcode.Mull2 [ Asm.Imm 7; Asm.R 0 ];
+      ii a Opcode.Ret [])

@@ -39,3 +39,9 @@ val probe_storm : iterations:int -> Minivms.program
 
 val io_storm : ident:int -> count:int -> Minivms.program
 (** Back-to-back disk block I/O, for the start-I/O-vs-MMIO experiment. *)
+
+val calls : ident:int -> rounds:int -> Minivms.program
+(** Call-heavy microworkload: a three-deep BSBB/JSB chain plus a CALLS
+    frame per round, with caller-saved scratch registers the callees
+    overwrite — the stress case for interprocedural callee summaries
+    and dead-store elision. *)

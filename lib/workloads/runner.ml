@@ -104,17 +104,19 @@ let make_facts (builts : Minivms.built list) =
                 else !facts_cache);
           f)
 
-let install_facts m ~vm builts =
+let install_facts m ~vm ~dead_store builts =
   m.Machine.bcache.Block_cache.facts <- Some (make_facts builts);
-  m.Machine.bcache.Block_cache.facts_vm <- vm
+  m.Machine.bcache.Block_cache.facts_vm <- vm;
+  m.Machine.bcache.Block_cache.dead_store <- dead_store
 
 let run_bare ?(variant = Variant.Standard) ?engine ?instrument ?(flow = true)
-    ?(liveness = true) ?(max_cycles = default_max) (built : Minivms.built) =
+    ?(liveness = true) ?(dead_store = true) ?(max_cycles = default_max)
+    (built : Minivms.built) =
   let m = Machine.create ~variant ~memory_pages:1024 ~disk_blocks:256 ?engine () in
   let oracle = make_oracle ~mode:Classify.Bare ~flow [ built ] in
   Oracle.install oracle m.Machine.cpu;
   register_flow_metrics m oracle;
-  if liveness then install_facts m ~vm:false [ built ];
+  if liveness then install_facts m ~vm:false ~dead_store [ built ];
   (match instrument with Some f -> f m | None -> ());
   List.iter
     (fun (pa, data) -> Machine.load m pa data)
@@ -148,7 +150,8 @@ let measure_vm m vmm vm outcome oracle =
   }
 
 let run_vm ?config ?io_mode ?engine ?instrument ?(flow = true)
-    ?(liveness = true) ?(max_cycles = default_max) (built : Minivms.built) =
+    ?(liveness = true) ?(dead_store = true) ?(max_cycles = default_max)
+    (built : Minivms.built) =
   let m =
     Machine.create ~variant:Variant.Virtualizing ~memory_pages:2048
       ~disk_blocks:256 ?engine ()
@@ -157,7 +160,7 @@ let run_vm ?config ?io_mode ?engine ?instrument ?(flow = true)
   let oracle = make_oracle ~mode:Classify.Vm ~flow [ built ] in
   Oracle.install oracle m.Machine.cpu;
   register_flow_metrics m oracle;
-  if liveness then install_facts m ~vm:true [ built ];
+  if liveness then install_facts m ~vm:true ~dead_store [ built ];
   let vm =
     Vmm.add_vm vmm ~name:"guest" ~memory_pages:built.Minivms.memsize
       ~disk_blocks:64 ?io_mode ~images:built.Minivms.images
@@ -168,7 +171,8 @@ let run_vm ?config ?io_mode ?engine ?instrument ?(flow = true)
   measure_vm m vmm vm outcome oracle
 
 let run_two_vms ?config ?engine ?instrument ?(flow = true) ?(liveness = true)
-    ?(max_cycles = default_max) (b1 : Minivms.built) (b2 : Minivms.built) =
+    ?(dead_store = true) ?(max_cycles = default_max) (b1 : Minivms.built)
+    (b2 : Minivms.built) =
   let m =
     Machine.create ~variant:Variant.Virtualizing ~memory_pages:2048
       ~disk_blocks:256 ?engine ()
@@ -177,7 +181,7 @@ let run_two_vms ?config ?engine ?instrument ?(flow = true) ?(liveness = true)
   let oracle = make_oracle ~mode:Classify.Vm ~flow [ b1; b2 ] in
   Oracle.install oracle m.Machine.cpu;
   register_flow_metrics m oracle;
-  if liveness then install_facts m ~vm:true [ b1; b2 ];
+  if liveness then install_facts m ~vm:true ~dead_store [ b1; b2 ];
   let vm1 =
     Vmm.add_vm vmm ~name:"vm1" ~memory_pages:b1.Minivms.memsize
       ~disk_blocks:64 ~images:b1.Minivms.images ~start_pc:b1.Minivms.entry ()

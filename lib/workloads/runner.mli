@@ -35,6 +35,7 @@ val run_bare :
   ?instrument:(Machine.t -> unit) ->
   ?flow:bool ->
   ?liveness:bool ->
+  ?dead_store:bool ->
   ?max_cycles:int ->
   Minivms.built ->
   measurement
@@ -52,9 +53,13 @@ val run_bare :
     fact table in the machine's block cache, letting the superblock
     compiler defer provably dead condition-code recomputation and fold
     proven-constant register operands; gauges register as
-    ["blocks.liveness.*"].  Simulated cycles, trace events and TLB
-    statistics are bit-identical with it on or off — only wall-clock
-    changes. *)
+    ["blocks.liveness.*"].
+    [dead_store] (default [true]) additionally lets the compiler defer
+    register writes the interprocedural summary-sharpened liveness pass
+    proved dead into shadow slots ({!State.reg_lazy}), materialized at
+    every observable boundary; only meaningful when [liveness] is on.
+    Simulated cycles, trace events and TLB statistics are bit-identical
+    with either switch on or off — only wall-clock changes. *)
 
 val run_vm :
   ?config:Vmm.config ->
@@ -63,6 +68,7 @@ val run_vm :
   ?instrument:(Machine.t -> unit) ->
   ?flow:bool ->
   ?liveness:bool ->
+  ?dead_store:bool ->
   ?max_cycles:int ->
   Minivms.built ->
   measurement
@@ -76,6 +82,7 @@ val run_two_vms :
   ?instrument:(Machine.t -> unit) ->
   ?flow:bool ->
   ?liveness:bool ->
+  ?dead_store:bool ->
   ?max_cycles:int ->
   Minivms.built ->
   Minivms.built ->

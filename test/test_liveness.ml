@@ -1,20 +1,33 @@
 (* Liveness-guided superblock compilation tests.
 
    The liveness facts are a pure host-speed optimisation: compiling
-   superblock slots with deferred condition codes and pre-folded
-   constant operands must leave every simulated observable bit-identical
-   to the unguided compiler.  The differential suite runs every catalog
-   workload, bare and under the VMM, with facts installed and without,
-   and compares cycles (total and guest/monitor split), instruction
-   counts, registers, PSL, console output, run outcome, TLB statistics
-   and the full event trace.
+   superblock slots with deferred condition codes, pre-folded constant
+   operands and deferred dead register writes must leave every
+   simulated observable bit-identical to the unguided compiler.  The
+   differential suite runs every catalog workload, bare and under the
+   VMM, with facts installed and without — and again with dead-store
+   deferral on and off — and compares cycles (total and guest/monitor
+   split), instruction counts, registers, PSL, console output, run
+   outcome, TLB statistics and the full event trace.
 
    The solver unit tests pin down the backward analysis itself on
    directed programs: a full kill proves all four codes dead, a
    conditional branch keeps exactly its condition alive — including
    across a block boundary and around a loop back-edge — an unresolved
    computed jump forces all-live, constants fold only when vaxflow
-   settles, and dead register writes are counted but never elided. *)
+   settles, and dead register writes are counted and (for R0..R13)
+   recorded for block-exit deferral.  The summary tests pin the
+   interprocedural pass: a callee's (gen, kill, clobber) summary lets a
+   caller-side write stay provably dead across a resolved JSB/BSBB
+   site, a computed call falls back to all-live, and a callee that
+   moves the stack pointer escapes to top.
+
+   The runtime tests cover the two ways a deferred or folded fact can
+   leak: a same-opcode byte patch (self-modifying code that rewrites an
+   operand specifier without changing the opcode) must reject the stale
+   fact through the page-generation stamp plus byte verification, and
+   an interrupt delivered mid-block must materialize deferred register
+   writes before the handler can observe them. *)
 
 open Vax_arch
 open Vax_cpu
@@ -127,6 +140,55 @@ let test_two_vm_differential () =
   check_summary "two-vms vm1" off1 on1;
   check_summary "two-vms vm2" off2 on2
 
+(* Dead-store deferral on vs. off, liveness facts installed in both
+   runs: the elision itself must be architecturally invisible. *)
+let test_bare_dead_store_differential () =
+  List.iter
+    (fun w ->
+      let built = Catalog.build w in
+      let on =
+        summarize
+          (Runner.run_bare ~instrument:enable_trace ~liveness:true
+             ~dead_store:true built)
+      in
+      let off =
+        summarize
+          (Runner.run_bare ~instrument:enable_trace ~liveness:true
+             ~dead_store:false built)
+      in
+      check_summary ("bare dead-store " ^ w) off on)
+    Catalog.names
+
+let test_vm_dead_store_differential () =
+  List.iter
+    (fun w ->
+      let built = Catalog.build w in
+      let on =
+        summarize
+          (Runner.run_vm ~instrument:enable_trace ~liveness:true
+             ~dead_store:true built)
+      in
+      let off =
+        summarize
+          (Runner.run_vm ~instrument:enable_trace ~liveness:true
+             ~dead_store:false built)
+      in
+      check_summary ("vm dead-store " ^ w) off on)
+    Catalog.names
+
+let test_two_vm_dead_store_differential () =
+  let b1 = Catalog.build "editing" and b2 = Catalog.build "transaction" in
+  let run dead_store =
+    let m1, m2 =
+      Runner.run_two_vms ~instrument:enable_trace ~liveness:true ~dead_store b1
+        b2
+    in
+    (summarize m1, summarize m2)
+  in
+  let on1, on2 = run true and off1, off2 = run false in
+  check_summary "two-vms dead-store vm1" off1 on1;
+  check_summary "two-vms dead-store vm2" off2 on2
+
 (* The facts must actually engage on the workloads, otherwise the
    differential above proves nothing. *)
 let test_facts_engage () =
@@ -140,6 +202,32 @@ let test_facts_engage () =
   let bco = off.Runner.machine.Vax_dev.Machine.bcache in
   Alcotest.(check bool) "no facts when off" true (bco.Block_cache.facts = None);
   check_int "no fact slots when off" 0 bco.Block_cache.fact_slots
+
+(* The call-heavy workload is the stress case for the interprocedural
+   pass: its callee summaries must solve every resolved call site, its
+   caller-side dead writes must be detected across those sites, and the
+   compiled blocks must actually defer them. *)
+let test_dead_store_engages () =
+  let built = Catalog.build "calls" in
+  let m = Runner.run_bare ~liveness:true ~dead_store:true built in
+  let bc = m.Runner.machine.Vax_dev.Machine.bcache in
+  let facts =
+    match bc.Block_cache.facts with
+    | Some f -> f
+    | None -> Alcotest.fail "facts not installed"
+  in
+  Alcotest.(check bool) "summary calls solved" true
+    (facts.Block_facts.summary_calls > 0);
+  check_int "no summary fallbacks on calls" 0
+    facts.Block_facts.summary_fallbacks;
+  Alcotest.(check bool) "dead write sites found" true
+    (Block_facts.dead_write_sites facts >= 2);
+  Alcotest.(check bool) "dead writes deferred at runtime" true
+    (bc.Block_cache.dead_writes_elided > 0);
+  let off = Runner.run_bare ~liveness:true ~dead_store:false built in
+  let bco = off.Runner.machine.Vax_dev.Machine.bcache in
+  check_int "nothing deferred when dead-store is off" 0
+    bco.Block_cache.dead_writes_elided
 
 (* ------------------------------------------------------------------ *)
 (* Solver unit tests on directed programs *)
@@ -286,7 +374,8 @@ let test_const_fact () =
         [ (0, 5) ]
         f.Block_facts.f_consts
 
-(* Dead register writes are counted — and only counted. *)
+(* Dead register writes are counted, and — for R0..R13 — recorded in
+   the per-fact deferral mask the slot compiler consumes. *)
 let test_dead_reg_write_counted () =
   let image =
     image_of ~origin:0x1000 (fun a ->
@@ -297,7 +386,247 @@ let test_dead_reg_write_counted () =
   in
   let facts, _ = Liveness.facts_of_images [ image ] in
   Alcotest.(check bool) "first write to R5 detected dead" true
-    (facts.Block_facts.dead_reg_writes >= 1)
+    (facts.Block_facts.dead_reg_writes >= 1);
+  match fact_at facts image Opcode.Movl with
+  | None -> Alcotest.fail "no fact at the dead MOVL"
+  | Some f ->
+      check_int "R5 recorded in the deferral mask" (1 lsl 5)
+        (f.Block_facts.f_dead_regs land (1 lsl 5))
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural summary tests *)
+
+(* A write that is dead only because the callee's summary proves the
+   callee never reads the register: without the interprocedural pass
+   the BSBB would force all-live and the first MOVL would stay live.
+   This is the fact-survives-a-call-site property the whole pass
+   exists for. *)
+let test_dead_across_call () =
+  let image =
+    image_of ~origin:0x1000 (fun a ->
+        Asm.ins a Opcode.Movl [ Asm.Imm 1; Asm.R 5 ];
+        Asm.ins a Opcode.Bsbb [ Asm.Branch "leaf" ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 2; Asm.R 5 ];
+        Asm.ins a Opcode.Tstl [ Asm.R 5 ];
+        Asm.ins a Opcode.Halt [];
+        Asm.label a "leaf";
+        Asm.ins a Opcode.Movl [ Asm.Imm 9; Asm.R 0 ];
+        Asm.ins a Opcode.Rsb [])
+  in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  Alcotest.(check bool) "call site solved through the summary" true
+    (facts.Block_facts.summary_calls >= 1);
+  check_int "no fallback on a resolved call" 0
+    facts.Block_facts.summary_fallbacks;
+  match fact_at facts image Opcode.Movl with
+  | None -> Alcotest.fail "no fact at the MOVL before the call"
+  | Some f ->
+      check_int "R5 write dead across the BSBB" (1 lsl 5)
+        (f.Block_facts.f_dead_regs land (1 lsl 5))
+
+(* The same caller with a computed callee: no summary applies, the
+   call is all-read/all-clobbered, and the write before it stays
+   live. *)
+let test_computed_call_fallback () =
+  let image =
+    image_of ~origin:0x1000 (fun a ->
+        Asm.ins a Opcode.Movl [ Asm.Imm 1; Asm.R 5 ];
+        Asm.ins a Opcode.Jsb [ Asm.Deref 0 ];
+        Asm.ins a Opcode.Movl [ Asm.Imm 2; Asm.R 5 ];
+        Asm.ins a Opcode.Tstl [ Asm.R 5 ];
+        Asm.ins a Opcode.Halt [])
+  in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  check_int "no summary solves a computed call" 0
+    facts.Block_facts.summary_calls;
+  match fact_at facts image Opcode.Movl with
+  | None -> ()
+  | Some f ->
+      check_int "R5 stays live into the unknown callee" 0
+        (f.Block_facts.f_dead_regs land (1 lsl 5))
+
+(* The summary lattice on a directed leaf: reads R1 (and SP through
+   the RSB), kills and clobbers R0, leaves R5 untouched. *)
+let test_leaf_summary () =
+  let origin = 0x1000 in
+  let image =
+    image_of ~origin (fun a ->
+        Asm.ins a Opcode.Movl [ Asm.Imm 9; Asm.R 0 ];
+        Asm.ins a Opcode.Xorl2 [ Asm.R 1; Asm.R 0 ];
+        Asm.ins a Opcode.Rsb [])
+  in
+  let t = Summaries.of_cfg (Cfg.analyze image) in
+  match Summaries.find t origin with
+  | None -> Alcotest.fail "no summary at the leaf entry"
+  | Some s ->
+      Alcotest.(check bool) "usable" true (Summaries.usable s);
+      Alcotest.(check bool) "reads R1" true
+        (s.Summaries.sg land Summaries.reg_bit 1 <> 0);
+      check_int "does not read R0" 0 (s.Summaries.sg land Summaries.reg_bit 0);
+      Alcotest.(check bool) "kills R0" true
+        (s.Summaries.sk land Summaries.reg_bit 0 <> 0);
+      Alcotest.(check bool) "clobbers R0" true (s.Summaries.sc land 1 <> 0);
+      check_int "does not clobber R5" 0 (s.Summaries.sc land (1 lsl 5))
+
+(* A callee that moves the stack pointer breaks the well-behaved-stack
+   assumption the lattice rests on: its summary must escape to top and
+   never be applied at a call site. *)
+let test_sp_write_escapes () =
+  let origin = 0x1000 in
+  let image =
+    image_of ~origin (fun a ->
+        Asm.ins a Opcode.Movl [ Asm.Imm 0x800; Asm.R 14 ];
+        Asm.ins a Opcode.Rsb [])
+  in
+  let t = Summaries.of_cfg (Cfg.analyze image) in
+  match Summaries.find t origin with
+  | None -> Alcotest.fail "no summary at the leaf entry"
+  | Some s ->
+      Alcotest.(check bool) "summary escapes to top" true (Summaries.is_top s);
+      Alcotest.(check bool) "never usable at a call site" false
+        (Summaries.usable s)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: stale facts and deferred writes under fire *)
+
+let boot ~engine ?facts ?(origin = 0x1000) f =
+  let cpu = Cpu.create ~engine () in
+  let a = Asm.create ~origin in
+  f a;
+  let img = Asm.assemble a in
+  Cpu.load cpu img.Vax_asm.Asm.image_origin img.Vax_asm.Asm.code;
+  (match facts with
+  | Some fc -> cpu.Cpu.bcache.Block_cache.facts <- Some fc
+  | None -> ());
+  State.set_pc cpu.Cpu.state origin;
+  State.set_sp cpu.Cpu.state 0x2000;
+  (cpu, img)
+
+let cpu_summary (cpu : Cpu.t) =
+  ( List.init 16 (State.reg cpu.Cpu.state),
+    cpu.Cpu.state.State.psl,
+    Cycles.now cpu.Cpu.clock,
+    cpu.Cpu.state.State.instructions )
+
+(* Self-modifying code that rewrites an operand specifier of an
+   already-analyzed instruction without changing its opcode or length:
+   the ADDL2's first operand was proven constant 5 (vaxflow folds R0),
+   and the patch retargets it to R3 = 9.  The op/len guard alone
+   cannot catch this — only the page-generation stamp plus byte
+   verification can.  A stale fold would add 5 instead of 9 on the
+   second iteration. *)
+let smc_program addl2_addr a =
+  Asm.ins a Opcode.Movl [ Asm.Imm 2; Asm.R 2 ];
+  Asm.ins a Opcode.Movl [ Asm.Imm 5; Asm.R 0 ];
+  Asm.ins a Opcode.Movl [ Asm.Imm 9; Asm.R 3 ];
+  Asm.label a "loop";
+  Asm.ins a Opcode.Clrl [ Asm.R 1 ];
+  addl2_addr := Asm.here a;
+  Asm.ins a Opcode.Addl2 [ Asm.R 0; Asm.R 1 ];
+  (* 0x53 is the register-mode specifier for R3: same opcode, same
+     length, different operand *)
+  Asm.ins a Opcode.Movb [ Asm.Imm 0x53; Asm.Abs (!addl2_addr + 1) ];
+  Asm.ins a Opcode.Sobgtr [ Asm.R 2; Asm.Branch "loop" ];
+  Asm.ins a Opcode.Halt []
+
+let test_smc_same_opcode_patch () =
+  let addl2_addr = ref 0 in
+  let prog = smc_program addl2_addr in
+  let image = image_of ~origin:0x1000 prog in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  (* the stale fact really is dangerous: it folds the patched operand *)
+  (match fact_at facts image Opcode.Addl2 with
+  | None -> Alcotest.fail "no fact at the ADDL2"
+  | Some f ->
+      Alcotest.(check (list (pair int int)))
+        "operand 0 folded to 5 pre-patch"
+        [ (0, 5) ]
+        f.Block_facts.f_consts);
+  let run engine facts' =
+    let cpu, _ = boot ~engine ?facts:facts' prog in
+    (match Cpu.run cpu ~max_instructions:1000 () with
+    | Exec.Machine_halted -> ()
+    | _ -> Alcotest.fail "no halt");
+    cpu_summary cpu
+  in
+  let rs, ps, cs, is = run Exec.Stepper None in
+  let rb, pb, cb, ib = run Exec.Blocks (Some facts) in
+  Alcotest.(check (list int)) "registers" rs rb;
+  check_int "psl" ps pb;
+  check_int "cycles" cs cb;
+  check_int "instructions" is ib;
+  (* iteration 1 adds the folded 5; iteration 2 must add R3 = 9 *)
+  check_int "patched operand re-read, stale fact rejected" 9 (List.nth rb 1)
+
+(* An interrupt delivered mid-block must observe deferred register
+   writes: the MNEGL's destination is dead on every synchronous path
+   (the MOVL below rewrites R0 before any read) so the compiled slot
+   defers it into the shadow — but the handler reads R0
+   asynchronously, and exception delivery must materialize the shadow
+   first.  Compared against the per-step interpreter for several
+   posting offsets inside the loop body. *)
+let deferred_interrupt_program a =
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0x8000; Asm.Imm (Ipr.to_int Ipr.SCBB) ];
+  Asm.ins a Opcode.Moval [ Asm.Abs_label "handler"; Asm.R 6 ];
+  Asm.ins a Opcode.Movl [ Asm.R 6; Asm.Abs (0x8000 + Scb.interval_timer) ];
+  Asm.ins a Opcode.Mtpr [ Asm.Imm 0; Asm.Imm (Ipr.to_int Ipr.IPL) ];
+  Asm.ins a Opcode.Movl [ Asm.Imm 40; Asm.R 2 ];
+  Asm.label a "loop";
+  Asm.ins a Opcode.Mnegl [ Asm.R 2; Asm.R 0 ];
+  for _ = 1 to 4 do
+    Asm.ins a Opcode.Incl [ Asm.R 1 ]
+  done;
+  Asm.ins a Opcode.Movl [ Asm.Imm 7; Asm.R 0 ];
+  Asm.ins a Opcode.Addl2 [ Asm.R 0; Asm.R 1 ];
+  Asm.ins a Opcode.Sobgtr [ Asm.R 2; Asm.Branch "loop" ];
+  Asm.ins a Opcode.Halt [];
+  Asm.align a 4;
+  Asm.label a "handler";
+  Asm.ins a Opcode.Addl2 [ Asm.R 0; Asm.R 10 ];
+  Asm.ins a Opcode.Rei []
+
+let run_with_interrupt engine facts k =
+  let cpu, _ = boot ~engine ?facts deferred_interrupt_program in
+  let st = cpu.Cpu.state in
+  for _ = 1 to k do
+    ignore (Cpu.step cpu)
+  done;
+  State.post_interrupt st ~ipl:22 ~vector:Scb.interval_timer;
+  let delivery = ref (-1, -1) in
+  let rec go n =
+    if n = 0 then Alcotest.fail "no halt";
+    if st.State.interrupts_taken > 0 && !delivery = (-1, -1) then
+      delivery := (Cycles.now cpu.Cpu.clock, st.State.instructions);
+    match Cpu.step cpu with Exec.Machine_halted -> () | _ -> go (n - 1)
+  in
+  go 5000;
+  check_int "interrupt delivered once" 1 st.State.interrupts_taken;
+  (cpu_summary cpu, !delivery, cpu.Cpu.bcache.Block_cache.dead_writes_elided)
+
+let test_interrupt_materializes_deferred () =
+  let image = image_of ~origin:0x1000 deferred_interrupt_program in
+  let facts, _ = Liveness.facts_of_images [ image ] in
+  (match fact_at facts image Opcode.Mnegl with
+  | None -> Alcotest.fail "no fact at the MNEGL"
+  | Some f ->
+      check_int "R0 write dead on every synchronous path" 1
+        (f.Block_facts.f_dead_regs land 1));
+  List.iter
+    (fun k ->
+      let ss, sd, _ = run_with_interrupt Exec.Stepper None k in
+      let bs, bd, elided = run_with_interrupt Exec.Blocks (Some facts) k in
+      let rs, ps, cs, is = ss and rb, pb, cb, ib = bs in
+      Alcotest.(check (list int)) (Printf.sprintf "k=%d registers" k) rs rb;
+      check_int (Printf.sprintf "k=%d psl" k) ps pb;
+      check_int (Printf.sprintf "k=%d final cycles" k) cs cb;
+      check_int (Printf.sprintf "k=%d instructions" k) is ib;
+      let dc_s, di_s = sd and dc_b, di_b = bd in
+      check_int (Printf.sprintf "k=%d delivery cycle" k) dc_s dc_b;
+      check_int (Printf.sprintf "k=%d delivery instruction" k) di_s di_b;
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d deferral engaged" k)
+        true (elided > 0))
+    [ 5; 6; 7; 8; 9; 11; 14; 17; 23; 42 ]
 
 let () =
   Alcotest.run "liveness"
@@ -310,7 +639,15 @@ let () =
             test_vm_differential;
           Alcotest.test_case "two vms: facts = no facts" `Quick
             test_two_vm_differential;
+          Alcotest.test_case "bare workloads: dead-store on = off" `Quick
+            test_bare_dead_store_differential;
+          Alcotest.test_case "vm workloads: dead-store on = off" `Quick
+            test_vm_dead_store_differential;
+          Alcotest.test_case "two vms: dead-store on = off" `Quick
+            test_two_vm_dead_store_differential;
           Alcotest.test_case "facts engage" `Quick test_facts_engage;
+          Alcotest.test_case "dead-store deferral engages" `Quick
+            test_dead_store_engages;
         ] );
       ( "solver",
         [
@@ -325,5 +662,22 @@ let () =
           Alcotest.test_case "constant operand fact" `Quick test_const_fact;
           Alcotest.test_case "dead register write counted" `Quick
             test_dead_reg_write_counted;
+        ] );
+      ( "summaries",
+        [
+          Alcotest.test_case "write dead across a resolved call" `Quick
+            test_dead_across_call;
+          Alcotest.test_case "computed call falls back" `Quick
+            test_computed_call_fallback;
+          Alcotest.test_case "leaf summary lattice" `Quick test_leaf_summary;
+          Alcotest.test_case "SP write escapes to top" `Quick
+            test_sp_write_escapes;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "same-opcode byte patch rejects stale fact"
+            `Quick test_smc_same_opcode_patch;
+          Alcotest.test_case "interrupt materializes deferred writes" `Quick
+            test_interrupt_materializes_deferred;
         ] );
     ]
