@@ -266,10 +266,10 @@ let fleet_stats () =
     let r = Vax_fleet.Fleet.run ~jobs:j batch in
     (match Vax_fleet.Fleet.crashed r with
     | [] -> ()
-    | (job, msg) :: _ ->
+    | (job, e) :: _ ->
         failwith
           (Printf.sprintf "fleet bench job %s crashed: %s"
-             job.Vax_fleet.Fleet.job_name msg));
+             job.Vax_fleet.Fleet.job_name e.Vax_fleet.Fleet.error));
     r.Vax_fleet.Fleet.jobs_per_sec
   in
   let j1 = jps 1 and j2 = jps 2 and j4 = jps 4 in

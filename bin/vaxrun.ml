@@ -12,6 +12,9 @@ open Vax_vmm
 open Vax_workloads
 module Trace = Vax_obs.Trace
 module Fleet = Vax_fleet.Fleet
+module Campaign = Vax_fleet.Campaign
+module Fault_plan = Vax_fault.Fault_plan
+module Fault_engine = Vax_fault.Engine
 
 (* --fleet N: run N independent jobs drawn round-robin from the workload
    catalog across --jobs worker domains, print the per-job table, and
@@ -37,17 +40,52 @@ let run_fleet_mode ~fleet ~jobs ~vm ~mmio ~quiet ~fleet_json =
   | [] -> ()
   | crashed ->
       List.iter
-        (fun (j, msg) ->
-          Format.eprintf "fleet job %s crashed: %s@." j.Fleet.job_name msg)
+        (fun (j, (e : Fleet.job_error)) ->
+          Format.eprintf "fleet job %s quarantined after %d attempt(s): %s@."
+            j.Fleet.job_name e.Fleet.attempts e.Fleet.error)
         crashed;
       exit 1
 
-let run workload fleet jobs fleet_json vm mmio assist slots no_cache
-    no_block_cache no_liveness no_dead_store prefill separate quiet trace_out
-    metrics =
-  if fleet > 0 then run_fleet_mode ~fleet ~jobs ~vm ~mmio ~quiet ~fleet_json
+(* --campaign: sweep the standard fault-plan catalog across workloads
+   bare+VM and check the containment invariant.  Exits nonzero on any
+   violation. *)
+let run_campaign_mode ~jobs ~quiet ~campaign_json =
+  let outcome = Campaign.run ?jobs () in
+  if quiet then
+    Format.printf "campaign: %d cells, %d faults injected, %d violations@."
+      outcome.Campaign.cells outcome.Campaign.injected_total
+      (List.length outcome.Campaign.violations)
+  else Format.printf "%a" Campaign.pp outcome;
+  (match campaign_json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Vax_obs.Json.to_string (Campaign.to_json outcome));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "campaign report: %s@." path);
+  if outcome.Campaign.violations <> [] then exit 1
+
+let load_plan path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Fault_plan.of_string s with
+  | plan -> plan
+  | exception Fault_plan.Invalid_plan msg ->
+      Format.eprintf "vaxrun: invalid fault plan %s: %s@." path msg;
+      exit 2
+
+let run workload fleet jobs fleet_json campaign campaign_json inject_plan vm
+    mmio assist slots no_cache no_block_cache no_liveness no_dead_store
+    prefill separate quiet trace_out metrics =
+  if campaign then run_campaign_mode ~jobs ~quiet ~campaign_json
+  else if fleet > 0 then
+    run_fleet_mode ~fleet ~jobs ~vm ~mmio ~quiet ~fleet_json
   else
   let built = Catalog.build ~force_mmio:(vm && mmio) workload in
+  let inject = Option.map (fun p -> Fault_engine.create (load_plan p)) inject_plan in
   let engine =
     if no_block_cache then Vax_cpu.Exec.Stepper else Vax_cpu.Exec.Blocks
   in
@@ -81,10 +119,10 @@ let run workload fleet jobs fleet_json vm mmio assist slots no_cache
             separate_vmm_space = separate;
             default_io_mode = (if mmio then Vm.Mmio_io else Vm.Kcall_io);
           }
-        ~engine ~instrument ~liveness:(not no_liveness)
+        ~engine ?inject ~instrument ~liveness:(not no_liveness)
         ~dead_store:(not no_dead_store) built
     else
-      Runner.run_bare ~engine ~instrument ~liveness:(not no_liveness)
+      Runner.run_bare ~engine ?inject ~instrument ~liveness:(not no_liveness)
         ~dead_store:(not no_dead_store) built
   in
   (match !trace_oc with
@@ -102,6 +140,19 @@ let run workload fleet jobs fleet_json vm mmio assist slots no_cache
   if metrics then
     Format.printf "metrics:@.%a" Vax_obs.Metrics.pp
       m.Runner.machine.Vax_dev.Machine.metrics;
+  (match inject with
+  | None -> ()
+  | Some engine ->
+      let st = Fault_engine.status engine in
+      Format.printf
+        "fault injection: %d fired, %d parity raised, %d MC delivered, %d \
+         reflected, %d absorbed, %d double faults — %s@."
+        st.Fault_engine.injected st.Fault_engine.parity_raised
+        st.Fault_engine.mc_delivered st.Fault_engine.mc_reflected
+        st.Fault_engine.mc_absorbed st.Fault_engine.double_faults
+        (if st.Fault_engine.contained then "contained"
+         else "CONTAINMENT VIOLATION");
+      if not st.Fault_engine.contained then exit 1);
   match m.Runner.vm with
   | Some g -> Format.printf "%a@." Vmm.pp_vm_stats g
   | None -> ()
@@ -141,7 +192,32 @@ let cmd =
       value
       & opt (some string) None
       & info [ "fleet-json" ] ~docv:"FILE"
-          ~doc:"Write the vax-fleet/1 JSON report to $(docv).")
+          ~doc:"Write the vax-fleet/2 JSON report to $(docv).")
+  in
+  let campaign =
+    Arg.(
+      value & flag
+      & info [ "campaign" ]
+          ~doc:
+            "Fault campaign: sweep the built-in fault-plan catalog across \
+             workloads, bare and under the VMM, and check the containment \
+             invariant on every cell.  Exits nonzero on any violation.")
+  in
+  let campaign_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "campaign-json" ] ~docv:"FILE"
+          ~doc:"Write the vax-campaign/1 JSON report to $(docv).")
+  in
+  let inject_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"PLAN"
+          ~doc:
+            "Arm the vax-fault-plan/1 JSON plan in $(docv) on the single-run \
+             machine and report the containment status after the run.")
   in
   let vm = Arg.(value & flag & info [ "vm" ] ~doc:"Run in a virtual machine.") in
   let mmio =
@@ -210,8 +286,9 @@ let cmd =
   Cmd.v
     (Cmd.info "vaxrun" ~doc:"Run MiniVMS workloads on the simulated VAX")
     Term.(
-      const run $ workload $ fleet $ jobs $ fleet_json $ vm $ mmio $ assist
-      $ slots $ no_cache $ no_block_cache $ no_liveness $ no_dead_store
-      $ prefill $ separate $ quiet $ trace_out $ metrics)
+      const run $ workload $ fleet $ jobs $ fleet_json $ campaign
+      $ campaign_json $ inject_plan $ vm $ mmio $ assist $ slots $ no_cache
+      $ no_block_cache $ no_liveness $ no_dead_store $ prefill $ separate
+      $ quiet $ trace_out $ metrics)
 
 let () = exit (Cmd.eval cmd)

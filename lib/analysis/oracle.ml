@@ -36,6 +36,7 @@ type t = {
   predicted : (int, int) Hashtbl.t;  (* pc -> kind bitmask *)
   hits : (int, int) Hashtbl.t;  (* pc -> bitmask of kinds observed *)
   mutable observed : int;  (* total observed events *)
+  mutable unpredicted : int;  (* events off the predicted table (tolerant) *)
   mutable flow : flow_stats option;  (* present for flow-sensitive passes *)
 }
 
@@ -64,6 +65,7 @@ let create ~name =
     predicted = Hashtbl.create 512;
     hits = Hashtbl.create 64;
     observed = 0;
+    unpredicted = 0;
     flow = None;
   }
 
@@ -171,17 +173,26 @@ let with_predictions ~name src =
     predicted = src.predicted;
     hits = Hashtbl.create 64;
     observed = 0;
+    unpredicted = 0;
     flow = src.flow;
   }
 
-let observe t kind pc =
+(* [strict:false] tolerates events off the predicted table (counting
+   them instead of raising): fault-injection runs perturb control flow
+   into places no sound static pass can foresee — a reflected machine
+   check landing on an uninstalled guest vector, say. *)
+let observe ?(strict = true) t kind pc =
   t.observed <- t.observed + 1;
   let b = kind_bit kind in
-  if find0 t.predicted pc land b = 0 then raise (Unpredicted (t.name, kind, pc));
-  Hashtbl.replace t.hits pc (find0 t.hits pc lor b)
+  if find0 t.predicted pc land b = 0 then
+    if strict then raise (Unpredicted (t.name, kind, pc))
+    else t.unpredicted <- t.unpredicted + 1
+  else Hashtbl.replace t.hits pc (find0 t.hits pc lor b)
 
-let install t (st : State.t) =
-  st.State.trap_observer <- Some (fun kind pc -> observe t kind pc)
+let unpredicted_events t = t.unpredicted
+
+let install ?strict t (st : State.t) =
+  st.State.trap_observer <- Some (fun kind pc -> observe ?strict t kind pc)
 
 type coverage = {
   predicted_pairs : int;  (* distinct (site, kind) pairs predicted *)

@@ -1103,6 +1103,20 @@ let handle_host_interrupt t (ev : State.event) =
 (* ------------------------------------------------------------------ *)
 (* The kernel agent                                                    *)
 
+(* A machine check raised while a VM was running: its page was poisoned
+   (injected parity) or its shadow map reached nonexistent physical
+   memory.  Per the paper's exception discipline the VMM reflects it
+   through the VM's SCB, so the guest OS sees the frame a real VAX
+   would push; a guest whose SCB or stack cannot take the frame is
+   cleanly halted instead (the fault is absorbed with the VM). *)
+let handle_guest_machine_check t vm (ev : State.event) =
+  reflect_exception t vm ~vector:Scb.machine_check ~params:ev.State.ev_params
+    ~pc:ev.State.ev_pc;
+  let inject = (st t).State.inject in
+  match vm.Vm.run_state with
+  | Vm.Halted_vm _ -> Vax_fault.Engine.note_mc_absorbed inject
+  | _ -> Vax_fault.Engine.note_mc_reflected inject
+
 let dispatch t (ev : State.event) =
   let s = st t in
   Cycles.set_in_monitor (clock t) true;
@@ -1130,7 +1144,7 @@ let dispatch t (ev : State.event) =
            | v when v = Scb.access_violation -> handle_acv t vm ev
            | v when v = Scb.modify_fault -> handle_modify t vm ev
            | v when v = Scb.machine_check ->
-               halt_vm t vm "machine check (nonexistent memory)"
+               handle_guest_machine_check t vm ev
            | v
              when v = Scb.privileged_instruction
                   || v = Scb.reserved_operand
@@ -1147,6 +1161,13 @@ let dispatch t (ev : State.event) =
                halt_vm t vm "unexpected CHM trap from VM"
            | v -> halt_vm t vm (Printf.sprintf "unhandled vector 0x%x" v))
    end
+   else if
+     (not ev.State.ev_interrupt) && ev.State.ev_vector = Scb.machine_check
+   then
+     (* the monitor's own memory reference machine-checked; there is no
+        more privileged software to reflect to — halt cleanly instead
+        of silently dismissing it as a spurious host event *)
+     State.double_fault_halt s "machine check in the monitor"
    else handle_host_interrupt t ev);
   schedule t;
   if t.cfg.separate_vmm_space then charge t Cost.vmm_address_space_switch;

@@ -116,8 +116,17 @@ let probe_previous_mode st =
 let probe_one_byte st d ~start_pc ~mode ~write va =
   match
     (try Mmu.probe st.State.mmu ~mode ~write va
-     with Phys_mem.Nonexistent_memory pa ->
-       raise (State.Fault (State.Machine_check_fault pa)))
+     with
+     | Phys_mem.Nonexistent_memory pa ->
+         raise
+           (State.Fault
+              (State.Machine_check_fault
+                 { mc_code = State.mc_nonexistent; mc_pa = pa }))
+     | Vax_fault.Engine.Parity_error pa ->
+         raise
+           (State.Fault
+              (State.Machine_check_fault
+                 { mc_code = State.mc_parity; mc_pa = pa })))
   with
   | Error f -> raise (State.Fault (State.Mm_fault f))
   | Ok { Mmu.accessible; pte_valid } ->
@@ -171,8 +180,17 @@ let exec_probevm st ~write ops =
       else begin
         match
           (try Mmu.read_pte st.State.mmu base
-           with Phys_mem.Nonexistent_memory pa ->
-             raise (State.Fault (State.Machine_check_fault pa)))
+           with
+           | Phys_mem.Nonexistent_memory pa ->
+               raise
+                 (State.Fault
+                    (State.Machine_check_fault
+                       { mc_code = State.mc_nonexistent; mc_pa = pa }))
+           | Vax_fault.Engine.Parity_error pa ->
+               raise
+                 (State.Fault
+                    (State.Machine_check_fault
+                       { mc_code = State.mc_parity; mc_pa = pa })))
         with
         | Error (Mmu.Access_violation { length_violation = true; _ }) ->
             set_nzvc st ~n:false ~z:true ~v:false ~c:false

@@ -12,6 +12,38 @@ let push_kernel_frame st words =
      the console; our console is the test harness). *)
   List.iter (State.push_long st) (List.rev words)
 
+(* Convert a raw physical-memory exception (SCB or PCB reference made
+   via SCBB/PCBB without translation) into the architectural
+   machine-check fault. *)
+let machine_check_of_phys = function
+  | Phys_mem.Nonexistent_memory pa ->
+      State.Fault
+        (State.Machine_check_fault
+           { mc_code = State.mc_nonexistent; mc_pa = pa })
+  | Vax_fault.Engine.Parity_error pa ->
+      State.Fault
+        (State.Machine_check_fault { mc_code = State.mc_parity; mc_pa = pa })
+  | e -> e
+
+(* A fault raised while *delivering* an exception: the SCB, the service
+   stack, or the PCB is itself bad.  A real VAX is architecturally
+   stuck and aborts to the console; we record the reason and halt
+   cleanly — the outcome becomes [Machine.Double_fault], never an
+   escaping OCaml exception. *)
+let double_fault st ~vector e =
+  let what =
+    match e with
+    | State.Fault f -> Format.asprintf "%a" State.pp_fault f
+    | Phys_mem.Nonexistent_memory pa ->
+        Format.asprintf "nonexistent memory pa=%a" Word.pp pa
+    | Vax_fault.Engine.Parity_error pa ->
+        Format.asprintf "memory parity pa=%a" Word.pp pa
+    | e -> raise e
+  in
+  State.double_fault_halt st
+    (Printf.sprintf "exception delivery through vector 0x%02X faulted: %s"
+       vector what)
+
 let vm_frame_params (f : State.vm_frame) =
   let opcode_byte =
     match Opcode.encoding f.State.vf_opcode with
@@ -56,61 +88,70 @@ let deliver_exception st ~vector ~params ~saved_pc ?(interrupt = false)
      if from_vm then Trace.emit tr Trace.Vm_exit ~b:saved_pc vector
    end);
   let saved_psl = st.State.psl in
-  (* Read the SCB entry (physically, via SCBB); with an agent attached the
-     handler address is unused but the fetch is still charged. *)
-  Cycles.charge st.State.clock Cost.memory_access;
-  let entry =
-    if st.State.agent = None then
-      Phys_mem.read_long (Mmu.phys st.State.mmu)
-        (Word.add st.State.scbb vector)
-    else 0
-  in
-  let use_is =
-    interrupt || force_is || Psl.is saved_psl
-    || (st.State.agent = None && entry land 1 = 1)
-  in
-  let new_psl =
-    let p = saved_psl in
-    let p = Psl.with_cur p Mode.Kernel in
-    let p =
-      Psl.with_prv p (if interrupt then Mode.Kernel else Psl.cur saved_psl)
+  (* From here delivery touches memory the machine cannot fault its way
+     out of — the SCB entry (raw physical via SCBB) and the service
+     stack.  A machine check or memory-management fault in this span is
+     a double fault: contain it as a clean halt. *)
+  try
+    (* Read the SCB entry (physically, via SCBB); with an agent attached
+       the handler address is unused but the fetch is still charged. *)
+    Cycles.charge st.State.clock Cost.memory_access;
+    let entry =
+      if st.State.agent = None then
+        Phys_mem.read_long (Mmu.phys st.State.mmu)
+          (Word.add st.State.scbb vector)
+      else 0
     in
-    let p = Psl.with_vm p false in
-    let p = Psl.with_fpd p false in
-    let p = Psl.with_is p use_is in
-    match new_ipl with Some l -> Psl.with_ipl p l | None -> p
-  in
-  let target_slot = if use_is then 4 else Mode.to_int Mode.Kernel in
-  let old_slot = State.stack_slot st in
-  if old_slot <> target_slot then begin
-    st.State.sp_bank.(old_slot) <- State.sp st;
-    State.set_sp st st.State.sp_bank.(target_slot)
-  end;
-  st.State.psl <- new_psl;
-  let all_params =
-    match vm_frame with
-    | None -> params
-    | Some f ->
-        List.iter
-          (fun (_ : State.vm_operand) ->
-            Cycles.charge st.State.clock Cost.vm_operand_capture)
-          f.State.vf_operands;
-        vm_frame_params f @ params
-  in
-  push_kernel_frame st (all_params @ [ saved_pc; saved_psl ]);
-  match st.State.agent with
-  | Some agent ->
-      agent
-        {
-          State.ev_vector = vector;
-          ev_params = all_params;
-          ev_pc = saved_pc;
-          ev_psl = saved_psl;
-          ev_interrupt = interrupt;
-          ev_from_vm = from_vm;
-          ev_vm_frame = vm_frame;
-        }
-  | None -> State.set_pc st (Word.logand entry (Word.lognot 3))
+    let use_is =
+      interrupt || force_is || Psl.is saved_psl
+      || (st.State.agent = None && entry land 1 = 1)
+    in
+    let new_psl =
+      let p = saved_psl in
+      let p = Psl.with_cur p Mode.Kernel in
+      let p =
+        Psl.with_prv p (if interrupt then Mode.Kernel else Psl.cur saved_psl)
+      in
+      let p = Psl.with_vm p false in
+      let p = Psl.with_fpd p false in
+      let p = Psl.with_is p use_is in
+      match new_ipl with Some l -> Psl.with_ipl p l | None -> p
+    in
+    let target_slot = if use_is then 4 else Mode.to_int Mode.Kernel in
+    let old_slot = State.stack_slot st in
+    if old_slot <> target_slot then begin
+      st.State.sp_bank.(old_slot) <- State.sp st;
+      State.set_sp st st.State.sp_bank.(target_slot)
+    end;
+    st.State.psl <- new_psl;
+    let all_params =
+      match vm_frame with
+      | None -> params
+      | Some f ->
+          List.iter
+            (fun (_ : State.vm_operand) ->
+              Cycles.charge st.State.clock Cost.vm_operand_capture)
+            f.State.vf_operands;
+          vm_frame_params f @ params
+    in
+    push_kernel_frame st (all_params @ [ saved_pc; saved_psl ]);
+    match st.State.agent with
+    | Some agent ->
+        agent
+          {
+            State.ev_vector = vector;
+            ev_params = all_params;
+            ev_pc = saved_pc;
+            ev_psl = saved_psl;
+            ev_interrupt = interrupt;
+            ev_from_vm = from_vm;
+            ev_vm_frame = vm_frame;
+          }
+    | None -> State.set_pc st (Word.logand entry (Word.lognot 3))
+  with
+  | (State.Fault _ | Phys_mem.Nonexistent_memory _
+    | Vax_fault.Engine.Parity_error _) as e ->
+      double_fault st ~vector e
 
 (* ------------------------------------------------------------------ *)
 (* Fault dispatch                                                      *)
@@ -175,9 +216,14 @@ let dispatch_fault st ~start_pc ~next_pc (fault : State.fault) =
   | State.Vm_emulation_fault frame ->
       deliver_exception st ~vector:Scb.vm_emulation ~params:[]
         ~saved_pc:start_pc ~vm_frame:frame ()
-  | State.Machine_check_fault pa ->
-      deliver_exception st ~vector:Scb.machine_check ~params:[ pa ]
-        ~saved_pc:start_pc ~new_ipl:31 ~force_is:true ()
+  | State.Machine_check_fault { mc_code; mc_pa } ->
+      deliver_exception st ~vector:Scb.machine_check
+        ~params:[ mc_code; mc_pa ] ~saved_pc:start_pc ~new_ipl:31
+        ~force_is:true ();
+      (* delivered through the bare machine's SCB (an attached agent —
+         the VMM — does its own reflected/absorbed accounting) *)
+      if st.State.agent = None && st.State.double_fault = None then
+        Vax_fault.Engine.note_mc_delivered st.State.inject
 
 let take_interrupt st ~ipl ~vector =
   st.State.interrupts_taken <- st.State.interrupts_taken + 1;
@@ -248,41 +294,47 @@ let chm st ~target ~code ~next_pc =
   let vector = Scb.chm_vector target in
   State.count_exception st vector;
   Cycles.charge st.State.clock Cost.memory_access;
-  let entry =
-    if st.State.agent = None then
-      Phys_mem.read_long (Mmu.phys st.State.mmu) (Word.add st.State.scbb vector)
-    else 0
-  in
-  let saved_psl = st.State.psl in
-  let new_psl =
-    let p = saved_psl in
-    let p = Psl.with_cur p new_mode in
-    let p = Psl.with_prv p cur in
-    Psl.with_fpd p false
-  in
-  let old_slot = State.stack_slot st in
-  let new_slot = Mode.to_int new_mode in
-  if old_slot <> new_slot then begin
-    st.State.sp_bank.(old_slot) <- State.sp st;
-    State.set_sp st st.State.sp_bank.(new_slot)
-  end;
-  st.State.psl <- new_psl;
-  push_kernel_frame st [ Word.sext ~width:16 code; next_pc; saved_psl ];
-  if Trace.enabled st.State.trace then
-    Trace.emit st.State.trace Trace.Chm ~b:next_pc (Mode.to_int target);
-  match st.State.agent with
-  | Some agent ->
-      agent
-        {
-          State.ev_vector = vector;
-          ev_params = [ Word.sext ~width:16 code ];
-          ev_pc = next_pc;
-          ev_psl = saved_psl;
-          ev_interrupt = false;
-          ev_from_vm = false;
-          ev_vm_frame = None;
-        }
-  | None -> State.set_pc st (Word.logand entry (Word.lognot 3))
+  try
+    let entry =
+      if st.State.agent = None then
+        Phys_mem.read_long (Mmu.phys st.State.mmu)
+          (Word.add st.State.scbb vector)
+      else 0
+    in
+    let saved_psl = st.State.psl in
+    let new_psl =
+      let p = saved_psl in
+      let p = Psl.with_cur p new_mode in
+      let p = Psl.with_prv p cur in
+      Psl.with_fpd p false
+    in
+    let old_slot = State.stack_slot st in
+    let new_slot = Mode.to_int new_mode in
+    if old_slot <> new_slot then begin
+      st.State.sp_bank.(old_slot) <- State.sp st;
+      State.set_sp st st.State.sp_bank.(new_slot)
+    end;
+    st.State.psl <- new_psl;
+    push_kernel_frame st [ Word.sext ~width:16 code; next_pc; saved_psl ];
+    if Trace.enabled st.State.trace then
+      Trace.emit st.State.trace Trace.Chm ~b:next_pc (Mode.to_int target);
+    match st.State.agent with
+    | Some agent ->
+        agent
+          {
+            State.ev_vector = vector;
+            ev_params = [ Word.sext ~width:16 code ];
+            ev_pc = next_pc;
+            ev_psl = saved_psl;
+            ev_interrupt = false;
+            ev_from_vm = false;
+            ev_vm_frame = None;
+          }
+    | None -> State.set_pc st (Word.logand entry (Word.lognot 3))
+  with
+  | (State.Fault _ | Phys_mem.Nonexistent_memory _
+    | Vax_fault.Engine.Parity_error _) as e ->
+      double_fault st ~vector e
 
 (* ------------------------------------------------------------------ *)
 (* MOVPSL                                                              *)
@@ -300,13 +352,23 @@ let pcb_size = 96
 let pcb_off_pc = 72
 let pcb_off_psl = 76
 
+(* PCB references go straight to physical memory via PCBB; a bad PCBB
+   used to crash the host with a raw [Nonexistent_memory].  Convert to
+   the architectural machine check instead, so LDPCTX/SVPCTX against a
+   garbage PCBB is delivered (or contained) like any other MC. *)
 let pcb_read st off =
   Cycles.charge st.State.clock Cost.memory_access;
-  Phys_mem.read_long (Mmu.phys st.State.mmu) (Word.add st.State.pcbb off)
+  try Phys_mem.read_long (Mmu.phys st.State.mmu) (Word.add st.State.pcbb off)
+  with
+  | (Phys_mem.Nonexistent_memory _ | Vax_fault.Engine.Parity_error _) as e ->
+      raise (machine_check_of_phys e)
 
 let pcb_write st off v =
   Cycles.charge st.State.clock Cost.memory_access;
-  Phys_mem.write_long (Mmu.phys st.State.mmu) (Word.add st.State.pcbb off) v
+  try Phys_mem.write_long (Mmu.phys st.State.mmu) (Word.add st.State.pcbb off) v
+  with
+  | (Phys_mem.Nonexistent_memory _ | Vax_fault.Engine.Parity_error _) as e ->
+      raise (machine_check_of_phys e)
 
 let ldpctx st =
   (* load stack pointers and general registers *)

@@ -24,7 +24,16 @@ type fault =
   | Chm_trap of { target : Mode.t; code : Word.t }
   | Arithmetic_trap of int
   | Vm_emulation_fault of vm_frame
-  | Machine_check_fault of Word.t
+  | Machine_check_fault of { mc_code : int; mc_pa : Word.t }
+
+(* machine-check codes, the first parameter of the SCB 0x04 frame *)
+let mc_nonexistent = 1
+let mc_parity = 2
+
+let mc_name = function
+  | 1 -> "nonexistent memory"
+  | 2 -> "memory parity"
+  | _ -> "unknown"
 
 exception Fault of fault
 
@@ -50,7 +59,9 @@ let pp_fault ppf = function
   | Arithmetic_trap c -> Format.fprintf ppf "arithmetic trap %d" c
   | Vm_emulation_fault f ->
       Format.fprintf ppf "VM-emulation trap (%s)" (Opcode.name f.vf_opcode)
-  | Machine_check_fault pa -> Format.fprintf ppf "machine check pa=%a" Word.pp pa
+  | Machine_check_fault { mc_code; mc_pa } ->
+      Format.fprintf ppf "machine check (%s) pa=%a" (mc_name mc_code) Word.pp
+        mc_pa
 
 type event = {
   ev_vector : Scb.vector;
@@ -87,8 +98,10 @@ type t = {
   mutable ipr_write_hook : Ipr.t -> Word.t -> bool;
   mutable trap_observer : (trap_kind -> Word.t -> unit) option;
   mutable halted : bool;
+  mutable double_fault : string option;
   mutable stop_requested : bool;
   mutable idle_hint : bool;
+  mutable inject : Vax_fault.Engine.t;
   mutable instructions : int;
   mutable vm_instructions : int;
   mutable interrupts_taken : int;
@@ -136,8 +149,10 @@ let create ?(variant = Variant.Standard) ?sid ~mmu ~clock () =
     ipr_write_hook = (fun _ _ -> false);
     trap_observer = None;
     halted = false;
+    double_fault = None;
     stop_requested = false;
     idle_hint = false;
+    inject = Vax_fault.Engine.null;
     instructions = 0;
     vm_instructions = 0;
     interrupts_taken = 0;
@@ -232,7 +247,11 @@ let read_byte t mode va =
   try
     let v = Mmu.v_read_byte_fast t.mmu ~mode va in
     if v >= 0 then v else lift (Mmu.v_read_byte t.mmu ~mode va)
-  with Phys_mem.Nonexistent_memory pa -> raise (Fault (Machine_check_fault pa))
+  with
+  | Phys_mem.Nonexistent_memory pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_nonexistent; mc_pa = pa }))
+  | Vax_fault.Engine.Parity_error pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_parity; mc_pa = pa }))
 
 let fetch_byte t va =
   try
@@ -241,45 +260,73 @@ let fetch_byte t va =
     else
       let pa = lift (Mmu.translate t.mmu ~mode:(cur_mode t) ~write:false va) in
       Phys_mem.read_byte (Mmu.phys t.mmu) pa
-  with Phys_mem.Nonexistent_memory pa -> raise (Fault (Machine_check_fault pa))
+  with
+  | Phys_mem.Nonexistent_memory pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_nonexistent; mc_pa = pa }))
+  | Vax_fault.Engine.Parity_error pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_parity; mc_pa = pa }))
 
 let code_pa t va =
   let pa = Mmu.try_translate t.mmu ~mode:(cur_mode t) ~write:false va in
   if pa >= 0 then pa
   else
     try lift (Mmu.translate t.mmu ~mode:(cur_mode t) ~write:false va)
-    with Phys_mem.Nonexistent_memory pa ->
-      raise (Fault (Machine_check_fault pa))
+    with
+    | Phys_mem.Nonexistent_memory pa ->
+        raise
+          (Fault (Machine_check_fault { mc_code = mc_nonexistent; mc_pa = pa }))
+    | Vax_fault.Engine.Parity_error pa ->
+        raise (Fault (Machine_check_fault { mc_code = mc_parity; mc_pa = pa }))
 
 let write_byte t mode va b =
   try
     if not (Mmu.v_write_byte_fast t.mmu ~mode va b) then
       lift (Mmu.v_write_byte t.mmu ~mode va b)
-  with Phys_mem.Nonexistent_memory pa -> raise (Fault (Machine_check_fault pa))
+  with
+  | Phys_mem.Nonexistent_memory pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_nonexistent; mc_pa = pa }))
+  | Vax_fault.Engine.Parity_error pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_parity; mc_pa = pa }))
 
 let read_word16 t mode va =
   try
     let v = Mmu.v_read_word_fast t.mmu ~mode va in
     if v >= 0 then v else lift (Mmu.v_read_word t.mmu ~mode va)
-  with Phys_mem.Nonexistent_memory pa -> raise (Fault (Machine_check_fault pa))
+  with
+  | Phys_mem.Nonexistent_memory pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_nonexistent; mc_pa = pa }))
+  | Vax_fault.Engine.Parity_error pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_parity; mc_pa = pa }))
 
 let write_word16 t mode va w =
   try
     if not (Mmu.v_write_word_fast t.mmu ~mode va w) then
       lift (Mmu.v_write_word t.mmu ~mode va w)
-  with Phys_mem.Nonexistent_memory pa -> raise (Fault (Machine_check_fault pa))
+  with
+  | Phys_mem.Nonexistent_memory pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_nonexistent; mc_pa = pa }))
+  | Vax_fault.Engine.Parity_error pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_parity; mc_pa = pa }))
 
 let read_long t mode va =
   try
     let v = Mmu.v_read_long_fast t.mmu ~mode va in
     if v >= 0 then v else lift (Mmu.v_read_long t.mmu ~mode va)
-  with Phys_mem.Nonexistent_memory pa -> raise (Fault (Machine_check_fault pa))
+  with
+  | Phys_mem.Nonexistent_memory pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_nonexistent; mc_pa = pa }))
+  | Vax_fault.Engine.Parity_error pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_parity; mc_pa = pa }))
 
 let write_long t mode va w =
   try
     if not (Mmu.v_write_long_fast t.mmu ~mode va w) then
       lift (Mmu.v_write_long t.mmu ~mode va w)
-  with Phys_mem.Nonexistent_memory pa -> raise (Fault (Machine_check_fault pa))
+  with
+  | Phys_mem.Nonexistent_memory pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_nonexistent; mc_pa = pa }))
+  | Vax_fault.Engine.Parity_error pa ->
+      raise (Fault (Machine_check_fault { mc_code = mc_parity; mc_pa = pa }))
 
 let push_long t w =
   let nsp = Word.sub (sp t) 4 in
@@ -340,6 +387,16 @@ let merged_vm_psl t =
   let p = Psl.with_ipl p (Psl.ipl vp) in
   let p = Psl.with_is p (Psl.is vp) in
   Psl.with_vm p false
+
+(* Exception delivery itself took a machine check (e.g. the SCB or the
+   kernel stack sits on nonexistent or poisoned memory): a real VAX is
+   architecturally stuck and console-halts.  We model that as a clean
+   halt with the reason recorded, which [Machine.run] reports as a
+   [Double_fault] outcome — never as an escaping OCaml exception. *)
+let double_fault_halt t reason =
+  t.double_fault <- Some reason;
+  t.halted <- true;
+  Vax_fault.Engine.note_double_fault t.inject
 
 let count_exception t vector =
   let n = Option.value ~default:0 (Hashtbl.find_opt t.exceptions_by_vector vector) in

@@ -40,7 +40,17 @@ type fault =
   | Chm_trap of { target : Mode.t; code : Word.t }
   | Arithmetic_trap of int  (** 1 = integer overflow, 2 = divide by zero *)
   | Vm_emulation_fault of vm_frame
-  | Machine_check_fault of Word.t  (** nonexistent physical address *)
+  | Machine_check_fault of { mc_code : int; mc_pa : Word.t }
+      (** delivered through SCB vector 0x04 with the code and the
+          faulting physical address as frame parameters *)
+
+val mc_nonexistent : int
+(** Machine-check code 1: reference to nonexistent physical memory. *)
+
+val mc_parity : int
+(** Machine-check code 2: memory parity error (fault injection). *)
+
+val mc_name : int -> string
 
 exception Fault of fault
 
@@ -111,10 +121,18 @@ type t = {
           every VM-emulation trap, privileged-instruction fault, and
           modify fault; installed by the vaxlint differential oracle *)
   mutable halted : bool;
+  mutable double_fault : string option;
+      (** set (with [halted]) when machine-check delivery itself
+          machine-checked; [Machine.run] reports the run as
+          [Double_fault] instead of [Halted] *)
   mutable stop_requested : bool;
   mutable idle_hint : bool;
       (** set by the VMM when no VM is runnable: the machine loop may skip
           simulated time to the next device event *)
+  mutable inject : Vax_fault.Engine.t;
+      (** the armed fault-injection engine, [Engine.null] unless
+          [Machine.create ~inject] wired one in; used for containment
+          accounting on the machine-check paths *)
   (* statistics *)
   mutable instructions : int;
   mutable vm_instructions : int;
@@ -209,5 +227,10 @@ val highest_pending : t -> (int * Scb.vector) option
 val merged_vm_psl : t -> Word.t
 (** The VM's PSL as MOVPSL and the VM-emulation frame present it: the real
     PSL with CUR/PRV/IPL/IS taken from VMPSL and PSL<VM> cleared. *)
+
+val double_fault_halt : t -> string -> unit
+(** Record that exception delivery itself machine-checked and halt
+    cleanly; a real VAX console-halts here.  Notes the double fault on
+    the injection engine for containment accounting. *)
 
 val count_exception : t -> Scb.vector -> unit

@@ -7,8 +7,11 @@ let mmio_base = Phys_mem.io_space_base
 let mmio_size = 512
 let block_size = 512
 let bit_busy = 1
+let bit_error = 1 lsl 5
 let bit_ie = 1 lsl 6
 let bit_done = 1 lsl 7
+
+type fault = Fault_error | Fault_timeout
 
 type t = {
   sched : Sched.t;
@@ -20,6 +23,8 @@ type t = {
   mutable block : int;
   mutable addr : Word.t;
   mutable ios : int;
+  mutable inject : Vax_fault.Engine.t;
+  mutable pending_fault : fault option;  (* consumed by the next op *)
 }
 
 let blocks t = t.nblocks
@@ -50,23 +55,61 @@ let trace_io t ~write ~block =
       ~b:(if write then 1 else 0)
       ~c:block 2
 
+(* Fault injection.  [arm_fault] is the engine's [act_disk] callback:
+   the armed fault is consumed by the next operation to start.  The
+   [device_op] trigger hook runs first at op start, so a plan entry
+   "at the k-th disk op, inject X" makes the k-th op itself fail. *)
+let arm_fault t ~timeout =
+  t.pending_fault <- Some (if timeout then Fault_timeout else Fault_error)
+
+let set_inject t e = t.inject <- e
+
+let op_start t =
+  if Vax_fault.Engine.dev_armed t.inject then
+    Vax_fault.Engine.device_op t.inject;
+  let f = t.pending_fault in
+  if f <> None then t.pending_fault <- None;
+  f
+
 let submit t ~write ~block ~phys_addr ~on_complete =
-  Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
-      transfer t ~write ~block ~phys_addr;
-      t.ios <- t.ios + 1;
-      trace_io t ~write ~block;
-      on_complete ())
+  match op_start t with
+  | Some Fault_timeout ->
+      (* the operation never completes; the requester's own recovery
+         (or the workload's cycle budget) must notice *)
+      ()
+  | Some Fault_error ->
+      (* completes on time, error signalled, no data moved *)
+      Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
+          t.ios <- t.ios + 1;
+          trace_io t ~write ~block;
+          on_complete ())
+  | None ->
+      Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
+          transfer t ~write ~block ~phys_addr;
+          t.ios <- t.ios + 1;
+          trace_io t ~write ~block;
+          on_complete ())
 
 let start_mmio t ~write =
   t.csr <- t.csr lor bit_busy;
   let block = t.block and phys_addr = t.addr in
-  Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
-      transfer t ~write ~block ~phys_addr;
-      t.ios <- t.ios + 1;
-      trace_io t ~write ~block;
-      t.csr <- (t.csr land lnot bit_busy) lor bit_done;
-      if t.csr land bit_ie <> 0 then
-        State.post_interrupt t.cpu ~ipl ~vector:Scb.disk)
+  match op_start t with
+  | Some Fault_timeout -> ()  (* busy forever *)
+  | Some Fault_error ->
+      Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
+          t.ios <- t.ios + 1;
+          trace_io t ~write ~block;
+          t.csr <- (t.csr land lnot bit_busy) lor bit_done lor bit_error;
+          if t.csr land bit_ie <> 0 then
+            State.post_interrupt t.cpu ~ipl ~vector:Scb.disk)
+  | None ->
+      Sched.after t.sched ~delay:Cost.device_io_latency_cycles (fun () ->
+          transfer t ~write ~block ~phys_addr;
+          t.ios <- t.ios + 1;
+          trace_io t ~write ~block;
+          t.csr <- (t.csr land lnot bit_busy) lor bit_done;
+          if t.csr land bit_ie <> 0 then
+            State.post_interrupt t.cpu ~ipl ~vector:Scb.disk)
 
 let mmio_read t ~offset ~width:_ =
   match offset land lnot 3 with
@@ -79,7 +122,8 @@ let mmio_write t ~offset ~width:_ v =
   match offset land lnot 3 with
   | 0 ->
       if v land bit_done <> 0 then begin
-        t.csr <- t.csr land lnot bit_done;
+        (* writing 1 to DONE clears it and any latched error *)
+        t.csr <- t.csr land lnot (bit_done lor bit_error);
         State.retract_interrupt t.cpu ~vector:Scb.disk
       end;
       t.csr <- (t.csr land lnot bit_ie) lor (v land bit_ie);
@@ -101,6 +145,8 @@ let create ~sched ~cpu ~phys ~blocks () =
       block = 0;
       addr = 0;
       ios = 0;
+      inject = Vax_fault.Engine.null;
+      pending_fault = None;
     }
   in
   Phys_mem.register_io phys

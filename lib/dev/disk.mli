@@ -48,3 +48,15 @@ val submit :
 
 val io_count : t -> int
 (** Transfers completed. *)
+
+(** {2 Fault injection} *)
+
+val set_inject : t -> Vax_fault.Engine.t -> unit
+(** Wire the injection engine; every operation start then counts as a
+    [device-op] trigger event. *)
+
+val arm_fault : t -> timeout:bool -> unit
+(** Make the next operation fail: with [timeout] it never completes
+    (MMIO stays busy forever); otherwise it completes on time with CSR
+    bit 5 (error) latched and no data transferred.  One-shot.  Used as
+    the engine's disk action callback. *)

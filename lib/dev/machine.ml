@@ -15,9 +15,10 @@ type t = {
   metrics : Vax_obs.Metrics.t;
   engine : Exec.engine;
   bcache : Block_cache.t;
+  inject : Vax_fault.Engine.t;
 }
 
-type outcome = Halted | Stopped | Cycle_limit | Deadlock
+type outcome = Halted | Stopped | Cycle_limit | Deadlock | Double_fault
 
 let pp_outcome ppf o =
   Format.pp_print_string ppf
@@ -25,10 +26,12 @@ let pp_outcome ppf o =
     | Halted -> "halted"
     | Stopped -> "stopped"
     | Cycle_limit -> "cycle limit"
-    | Deadlock -> "deadlock")
+    | Deadlock -> "deadlock"
+    | Double_fault -> "double fault")
 
 let create ?(variant = Variant.Standard) ?(memory_pages = 2048)
-    ?(disk_blocks = 256) ?modify_policy ?(engine = Exec.Blocks) () =
+    ?(disk_blocks = 256) ?modify_policy ?(engine = Exec.Blocks)
+    ?(inject = Vax_fault.Engine.null) () =
   let policy =
     match modify_policy with
     | Some p -> p
@@ -100,8 +103,26 @@ let create ?(variant = Variant.Standard) ?(memory_pages = 2048)
       Block_cache.invalidations bcache);
   Vax_obs.Metrics.register_group metrics "blocks.liveness" (fun () ->
       Block_cache.liveness_metrics bcache);
+  (* Arm the fault-injection engine (everything below is skipped — and
+     the [fault.*] gauge group never registered — when no plan is
+     armed, so a disarmed machine's metrics and behaviour stay
+     bit-identical). *)
+  if not (Vax_fault.Engine.is_null inject) then begin
+    Phys_mem.set_inject phys inject;
+    cpu.State.inject <- inject;
+    Disk.set_inject disk inject;
+    Vax_fault.Engine.install inject
+      ~flip:(fun ~pa ~bit -> Phys_mem.flip_bit phys pa ~bit)
+      ~tlb:(fun ~va -> Mmu.tbis mmu va)
+      ~post:(fun ~vector ~ipl -> State.post_interrupt cpu ~ipl ~vector)
+      ~stuck_timer:(fun () -> Timer.jam timer)
+      ~disk:(fun ~timeout -> Disk.arm_fault disk ~timeout);
+    Vax_fault.Engine.set_trace inject trace;
+    Vax_obs.Metrics.register_group metrics "fault" (fun () ->
+        Vax_fault.Engine.metrics inject)
+  end;
   { cpu; mmu; phys; clock; sched; timer; console; disk; trace; metrics;
-    engine; bcache }
+    engine; bcache; inject }
 
 let load t pa image = Phys_mem.blit_in t.phys pa image
 
@@ -121,7 +142,22 @@ let run t ?(max_cycles = 100_000_000) () =
   let rec loop () =
     if Cycles.now t.clock >= limit then Cycle_limit
     else begin
-      Sched.run_due t.sched;
+      (* Device callbacks (disk DMA against a guest-supplied address)
+         can hit nonexistent or poisoned memory with no instruction to
+         fault: contain it as a double fault, not a host crash. *)
+      (try Sched.run_due t.sched
+       with
+      | Phys_mem.Nonexistent_memory pa ->
+          State.double_fault_halt t.cpu
+            (Printf.sprintf
+               "machine check (nonexistent memory pa=0x%X) in a device \
+                callback"
+               pa)
+      | Vax_fault.Engine.Parity_error pa ->
+          State.double_fault_halt t.cpu
+            (Printf.sprintf
+               "machine check (memory parity pa=0x%X) in a device callback"
+               pa));
       if t.cpu.State.halted then Halted
       else if t.cpu.State.stop_requested then Stopped
       else if t.cpu.State.idle_hint then begin
@@ -140,6 +176,12 @@ let run t ?(max_cycles = 100_000_000) () =
       else step ()
     end
   and step () =
+    (* timed fault triggers fire at instruction boundaries; the guard
+       is one load + one branch when no plan (or no timed entry) is
+       armed *)
+    if Vax_fault.Engine.timed_armed t.inject then
+      Vax_fault.Engine.poll t.inject ~cycle:(Cycles.now t.clock)
+        ~instructions:t.cpu.State.instructions;
     match exec_once () with
     | Exec.Stepped -> loop ()
     | Exec.Machine_halted -> Halted
@@ -151,4 +193,7 @@ let run t ?(max_cycles = 100_000_000) () =
      file *)
   State.sync_cc t.cpu;
   State.sync_regs t.cpu;
-  outcome
+  (* a halt recorded by [State.double_fault_halt] is its own outcome *)
+  match outcome with
+  | Halted when t.cpu.State.double_fault <> None -> Double_fault
+  | o -> o

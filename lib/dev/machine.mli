@@ -30,6 +30,9 @@ type t = {
   engine : Exec.engine;
   bcache : Block_cache.t;
       (** superblock cache driven by [run] when [engine] is [Blocks] *)
+  inject : Vax_fault.Engine.t;
+      (** armed fault-injection engine; [Engine.null] (all hook guards
+          permanently false) unless [create ~inject] wired one in *)
 }
 
 type outcome =
@@ -37,6 +40,11 @@ type outcome =
   | Stopped  (** the host agent requested a stop *)
   | Cycle_limit
   | Deadlock  (** idle with no future event: nothing can ever happen *)
+  | Double_fault
+      (** machine-check delivery itself machine-checked (bad SCB, bad
+          service stack, device DMA into nonexistent memory): the
+          machine halted cleanly with the reason in
+          [cpu.State.double_fault] instead of crashing the host *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -46,12 +54,20 @@ val create :
   ?disk_blocks:int ->
   ?modify_policy:Mmu.modify_policy ->
   ?engine:Exec.engine ->
+  ?inject:Vax_fault.Engine.t ->
   unit ->
   t
 (** Defaults: 2048 pages (1 MB) RAM, 256-block disk; a [Virtualizing]
     variant gets the modify-fault policy.  [engine] defaults to
     [Exec.Blocks]; pass [Exec.Stepper] for the reference per-step
-    interpreter (the two are architecturally bit-identical). *)
+    interpreter (the two are architecturally bit-identical).
+
+    [inject] arms a fault-injection engine: its hooks are threaded
+    through physical memory, the CPU, the run loop and the disk, its
+    action callbacks are installed here, and a [fault.*] metrics group
+    is registered.  With the default [Engine.null], none of that
+    happens and the machine is bit-identical to one built before the
+    hooks existed. *)
 
 val load : t -> Word.t -> bytes -> unit
 (** Copy an image into physical memory. *)

@@ -81,3 +81,10 @@ let handles_write t r v =
   | _ -> false
 
 let ticks t = t.ticks
+
+(* Fault injection: a stuck timer.  Bumping the generation kills the
+   armed tick without clearing RUN, so the clock silently stops — the
+   guest sees ICCS still running but no further interrupts.  Software
+   that toggles RUN re-arms and unsticks it, as on real hardware after
+   a clock glitch. *)
+let jam t = t.generation <- t.generation + 1

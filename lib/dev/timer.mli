@@ -32,3 +32,7 @@ val ticks : t -> int
 
 val period : t -> int
 (** Current tick period in cycles, derived from NICR (minimum 16). *)
+
+val jam : t -> unit
+(** Fault injection: kill the armed tick without clearing RUN, so the
+    clock silently stops until software toggles RUN again. *)

@@ -1,0 +1,298 @@
+(* The fault-injection engine: a plan armed against one machine.
+
+   Discipline (the same as Trace.null): every component is born wired to
+   [null], and every hook site guards with one mutable-bool load and one
+   branch ([mem_armed] in the physical-memory accessors, [timed_armed]
+   in the machine loop, [dev_armed] in the disk).  With no plan armed
+   the flags never go true, the hooks never execute, and cycles, trace
+   and metrics are bit-identical to a build without the hooks at all.
+
+   The engine owns no subsystem: actions that must touch a component
+   (flip a RAM bit, scrub a TB entry, post an interrupt, jam the timer,
+   arm a disk fault) go through callbacks the machine installs at
+   attach time, keeping this library below [vax_mem] in the dependency
+   order. *)
+
+module Trace = Vax_obs.Trace
+
+(* A poisoned page was touched: the memory subsystem reports a parity
+   machine check.  Carries the faulting physical address. *)
+exception Parity_error of int
+
+type status = {
+  injected : int;
+  parity_raised : int;
+  mc_delivered : int;
+  mc_reflected : int;
+  mc_absorbed : int;
+  double_faults : int;
+  contained : bool;
+}
+
+type t = {
+  is_null : bool;
+  plan : Fault_plan.t;
+  entries : Fault_plan.entry array;
+  fired : bool array;
+  (* hook-family arming flags: one load + one branch when clear *)
+  mutable timed_armed : bool;
+  mutable mem_armed : bool;
+  mutable dev_armed : bool;
+  (* memory-trigger state *)
+  mutable poisoned : int list;  (* poisoned page frames *)
+  mutable pending_page_triggers : int;
+  page_counts : (int, int) Hashtbl.t;
+  (* device-trigger state *)
+  mutable dev_ops : int;
+  mutable pending_dev_triggers : int;
+  (* spurious-interrupt burst in progress *)
+  mutable spurious : (int * int * int) option;  (* vector, ipl, remaining *)
+  (* subsystem action callbacks, installed by the machine *)
+  mutable act_flip : pa:int -> bit:int -> unit;
+  mutable act_tlb : va:int -> unit;
+  mutable act_post : vector:int -> ipl:int -> unit;
+  mutable act_stuck_timer : unit -> unit;
+  mutable act_disk : timeout:bool -> unit;
+  (* containment accounting *)
+  mutable injected : int;
+  mutable parity_raised : int;
+  mutable mc_delivered : int;
+  mutable mc_reflected : int;
+  mutable mc_absorbed : int;
+  mutable double_faults : int;
+  mutable trace : Trace.t;
+}
+
+let nop_flip ~pa:_ ~bit:_ = ()
+let nop_tlb ~va:_ = ()
+let nop_post ~vector:_ ~ipl:_ = ()
+let nop_disk ~timeout:_ = ()
+
+let make ~is_null (plan : Fault_plan.t) =
+  let entries = Array.of_list plan.Fault_plan.entries in
+  let timed =
+    Array.exists
+      (fun e ->
+        match e.Fault_plan.trigger with
+        | Fault_plan.At_cycle _ | Fault_plan.At_instruction _ -> true
+        | _ -> false)
+      entries
+  in
+  let pages =
+    Array.fold_left
+      (fun n e ->
+        match e.Fault_plan.trigger with
+        | Fault_plan.Page_access _ -> n + 1
+        | _ -> n)
+      0 entries
+  in
+  let devs =
+    Array.fold_left
+      (fun n e ->
+        match e.Fault_plan.trigger with
+        | Fault_plan.Device_op _ -> n + 1
+        | _ -> n)
+      0 entries
+  in
+  {
+    is_null;
+    plan;
+    entries;
+    fired = Array.make (max 1 (Array.length entries)) false;
+    timed_armed = timed;
+    mem_armed = pages > 0;
+    dev_armed = devs > 0;
+    poisoned = [];
+    pending_page_triggers = pages;
+    page_counts = Hashtbl.create 8;
+    dev_ops = 0;
+    pending_dev_triggers = devs;
+    spurious = None;
+    act_flip = nop_flip;
+    act_tlb = nop_tlb;
+    act_post = nop_post;
+    act_stuck_timer = (fun () -> ());
+    act_disk = nop_disk;
+    injected = 0;
+    parity_raised = 0;
+    mc_delivered = 0;
+    mc_reflected = 0;
+    mc_absorbed = 0;
+    double_faults = 0;
+    trace = Trace.null;
+  }
+
+let null = make ~is_null:true { Fault_plan.name = "null"; entries = [] }
+
+let create plan = make ~is_null:false plan
+
+let is_null t = t.is_null
+let plan t = t.plan
+
+let install t ~flip ~tlb ~post ~stuck_timer ~disk =
+  if t.is_null then invalid_arg "Engine.install: null engine";
+  t.act_flip <- flip;
+  t.act_tlb <- tlb;
+  t.act_post <- post;
+  t.act_stuck_timer <- stuck_timer;
+  t.act_disk <- disk
+
+let set_trace t tr = if not t.is_null then t.trace <- tr
+
+(* fast-path guards, read at every hook site *)
+let timed_armed t = t.timed_armed
+let mem_armed t = t.mem_armed
+let dev_armed t = t.dev_armed
+
+let fire t i =
+  let e = t.entries.(i) in
+  t.fired.(i) <- true;
+  t.injected <- t.injected + 1;
+  (let tr = t.trace in
+   if Trace.enabled tr then
+     Trace.emit tr Trace.Fault_inject
+       ~b:(Fault_plan.action_code e.Fault_plan.action)
+       ~c:(Fault_plan.action_detail e.Fault_plan.action)
+       i);
+  (match e.Fault_plan.trigger with
+  | Fault_plan.Page_access _ ->
+      t.pending_page_triggers <- t.pending_page_triggers - 1
+  | Fault_plan.Device_op _ ->
+      t.pending_dev_triggers <- t.pending_dev_triggers - 1
+  | _ -> ());
+  match e.Fault_plan.action with
+  | Fault_plan.Parity { page } ->
+      t.poisoned <- page :: t.poisoned;
+      t.mem_armed <- true
+  | Fault_plan.Bit_flip { pa; bit } -> t.act_flip ~pa ~bit
+  | Fault_plan.Tlb_corrupt { va } -> t.act_tlb ~va
+  | Fault_plan.Disk_error ->
+      t.act_disk ~timeout:false;
+      t.dev_armed <- true
+  | Fault_plan.Disk_timeout ->
+      t.act_disk ~timeout:true;
+      t.dev_armed <- true
+  | Fault_plan.Spurious_interrupt { vector; ipl; count } ->
+      t.spurious <- Some (vector, ipl, count);
+      t.timed_armed <- true
+  | Fault_plan.Stuck_timer -> t.act_stuck_timer ()
+
+(* Re-derive [timed_armed] after a poll pass: any unfired cycle or
+   instruction trigger left, or a burst still in flight, keeps it on. *)
+let recompute_timed t =
+  let pending = ref (t.spurious <> None) in
+  Array.iteri
+    (fun i e ->
+      if not t.fired.(i) then
+        match e.Fault_plan.trigger with
+        | Fault_plan.At_cycle _ | Fault_plan.At_instruction _ -> pending := true
+        | _ -> ())
+    t.entries;
+  t.timed_armed <- !pending
+
+(* Called once per instruction boundary by the machine loop, only while
+   [timed_armed]. *)
+let poll t ~cycle ~instructions =
+  (match t.spurious with
+  | Some (vector, ipl, n) when n > 0 ->
+      t.act_post ~vector ~ipl;
+      t.spurious <- (if n = 1 then None else Some (vector, ipl, n - 1))
+  | Some _ -> t.spurious <- None
+  | None -> ());
+  Array.iteri
+    (fun i e ->
+      if not t.fired.(i) then
+        match e.Fault_plan.trigger with
+        | Fault_plan.At_cycle n when cycle >= n -> fire t i
+        | Fault_plan.At_instruction n when instructions >= n -> fire t i
+        | _ -> ())
+    t.entries;
+  recompute_timed t
+
+(* Called by the physical-memory accessors on every RAM access, only
+   while [mem_armed]; [pa] is the access's first physical byte.  May
+   raise {!Parity_error}. *)
+let phys_access t pa =
+  let page = pa lsr Vax_arch.Addr.page_shift in
+  if t.pending_page_triggers > 0 then begin
+    let c = (try Hashtbl.find t.page_counts page with Not_found -> 0) + 1 in
+    Hashtbl.replace t.page_counts page c;
+    Array.iteri
+      (fun i e ->
+        if not t.fired.(i) then
+          match e.Fault_plan.trigger with
+          | Fault_plan.Page_access { page = p; k } when p = page && k = c ->
+              fire t i
+          | _ -> ())
+      t.entries
+  end;
+  if t.poisoned <> [] && List.mem page t.poisoned then begin
+    (* one-shot: the machine check scrubs the poison, so the retried
+       access after delivery succeeds instead of livelocking *)
+    t.poisoned <- List.filter (fun p -> p <> page) t.poisoned;
+    t.parity_raised <- t.parity_raised + 1;
+    if t.poisoned = [] && t.pending_page_triggers = 0 then
+      t.mem_armed <- false;
+    raise (Parity_error pa)
+  end
+  else if t.poisoned = [] && t.pending_page_triggers = 0 then
+    t.mem_armed <- false
+
+(* Called by the disk on every operation start, only while [dev_armed]. *)
+let device_op t =
+  t.dev_ops <- t.dev_ops + 1;
+  if t.pending_dev_triggers > 0 then begin
+    let c = t.dev_ops in
+    Array.iteri
+      (fun i e ->
+        if not t.fired.(i) then
+          match e.Fault_plan.trigger with
+          | Fault_plan.Device_op { k } when k = c -> fire t i
+          | _ -> ())
+      t.entries
+  end
+
+(* containment accounting, called on the (rare) machine-check paths *)
+let note_mc_delivered t = if not t.is_null then t.mc_delivered <- t.mc_delivered + 1
+let note_mc_reflected t = if not t.is_null then t.mc_reflected <- t.mc_reflected + 1
+let note_mc_absorbed t = if not t.is_null then t.mc_absorbed <- t.mc_absorbed + 1
+let note_double_fault t = if not t.is_null then t.double_faults <- t.double_faults + 1
+
+let status t =
+  {
+    injected = t.injected;
+    parity_raised = t.parity_raised;
+    mc_delivered = t.mc_delivered;
+    mc_reflected = t.mc_reflected;
+    mc_absorbed = t.mc_absorbed;
+    double_faults = t.double_faults;
+    (* the containment invariant: every parity machine check the engine
+       raised was architecturally delivered through the SCB, reflected
+       into a guest, absorbed by cleanly halting the VM that hit it, or
+       ended in a clean double-fault halt *)
+    contained =
+      t.parity_raised
+      <= t.mc_delivered + t.mc_reflected + t.mc_absorbed + t.double_faults;
+  }
+
+let metrics t =
+  [
+    ("injected", t.injected);
+    ("parity_raised", t.parity_raised);
+    ("mc_delivered", t.mc_delivered);
+    ("mc_reflected", t.mc_reflected);
+    ("mc_absorbed", t.mc_absorbed);
+    ("double_faults", t.double_faults);
+  ]
+
+let status_to_json (s : status) =
+  Vax_obs.Json.Obj
+    [
+      ("injected", Vax_obs.Json.int s.injected);
+      ("parity_raised", Vax_obs.Json.int s.parity_raised);
+      ("mc_delivered", Vax_obs.Json.int s.mc_delivered);
+      ("mc_reflected", Vax_obs.Json.int s.mc_reflected);
+      ("mc_absorbed", Vax_obs.Json.int s.mc_absorbed);
+      ("double_faults", Vax_obs.Json.int s.double_faults);
+      ("contained", Vax_obs.Json.Bool s.contained);
+    ]

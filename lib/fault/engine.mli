@@ -1,0 +1,99 @@
+(** The runtime fault-injection engine: a {!Fault_plan.t} armed against
+    one machine.
+
+    The engine follows the [Trace.null] discipline: every component is
+    born wired to {!null}, and every hook site guards with one mutable
+    bool ({!mem_armed} in the physical-memory accessors, {!timed_armed}
+    in the machine run loop, {!dev_armed} in the disk).  With no plan
+    armed, cycles, trace and metrics are bit-identical to a build
+    without the hooks.
+
+    The engine owns no subsystem; actions reach components through
+    callbacks installed with {!install}, keeping [vax_fault] below
+    [vax_mem] in the dependency order. *)
+
+exception Parity_error of int
+(** A poisoned page was accessed; carries the faulting physical
+    address.  Raised out of the [Phys_mem] accessors, caught by the CPU
+    accessors, and converted into a memory-parity machine check. *)
+
+type t
+
+val null : t
+(** The shared disarmed instance.  All hook guards stay false forever;
+    {!install} on it raises [Invalid_argument]. *)
+
+val create : Fault_plan.t -> t
+val is_null : t -> bool
+val plan : t -> Fault_plan.t
+
+val install :
+  t ->
+  flip:(pa:int -> bit:int -> unit) ->
+  tlb:(va:int -> unit) ->
+  post:(vector:int -> ipl:int -> unit) ->
+  stuck_timer:(unit -> unit) ->
+  disk:(timeout:bool -> unit) ->
+  unit
+(** Wire the subsystem action callbacks; called once by
+    [Machine.create] when a plan is armed. *)
+
+val set_trace : t -> Vax_obs.Trace.t -> unit
+(** Emit a [Fault_inject] trace event whenever an entry fires. *)
+
+(** {2 Hook sites} — each family guarded by its own flag *)
+
+val timed_armed : t -> bool
+val mem_armed : t -> bool
+val dev_armed : t -> bool
+
+val poll : t -> cycle:int -> instructions:int -> unit
+(** Instruction-boundary hook: fires due [At_cycle]/[At_instruction]
+    entries and drives any spurious-interrupt burst.  Call only while
+    {!timed_armed}. *)
+
+val phys_access : t -> int -> unit
+(** Physical-RAM access hook; [pa] is the first byte of the access.
+    Counts page accesses, fires due [Page_access] entries, and raises
+    {!Parity_error} if the page is poisoned (one-shot: the poison is
+    scrubbed before raising, so the post-delivery retry succeeds).
+    Call only while {!mem_armed}. *)
+
+val device_op : t -> unit
+(** Disk operation-start hook: counts ops and fires due [Device_op]
+    entries.  Call only while {!dev_armed}. *)
+
+(** {2 Containment accounting} — no-ops on {!null} *)
+
+val note_mc_delivered : t -> unit
+(** A machine check was architecturally delivered through the SCB. *)
+
+val note_mc_reflected : t -> unit
+(** The VMM reflected a guest machine check into the VM's SCB. *)
+
+val note_mc_absorbed : t -> unit
+(** The VMM absorbed a guest machine check by cleanly halting that VM. *)
+
+val note_double_fault : t -> unit
+(** Machine-check delivery itself faulted; the machine halted cleanly
+    with a [Double_fault] outcome. *)
+
+type status = {
+  injected : int;  (** plan entries fired *)
+  parity_raised : int;  (** [Parity_error] raises out of [Phys_mem] *)
+  mc_delivered : int;
+  mc_reflected : int;
+  mc_absorbed : int;
+  double_faults : int;
+  contained : bool;
+      (** [parity_raised <= delivered + reflected + absorbed +
+          double_faults]: no raised machine check escaped or was
+          silently swallowed *)
+}
+
+val status : t -> status
+val status_to_json : status -> Vax_obs.Json.t
+
+val metrics : t -> (string * int) list
+(** Current counter values for the [fault.*] metrics group, in
+    registration order. *)

@@ -1,0 +1,193 @@
+(* Declarative fault plans: what to break, and exactly when.
+
+   A plan is a list of (trigger, action) entries.  Triggers are phrased
+   in deterministic simulated quantities only — cycle count, retired
+   instructions, k-th access to a physical page, k-th device operation —
+   so the same plan against the same workload produces a bit-identical
+   run on any host, any domain count, any wall-clock.  The JSON form is
+   schema [vax-fault-plan/1] (see OBSERVABILITY.md). *)
+
+open Vax_arch
+module Json = Vax_obs.Json
+
+type trigger =
+  | At_cycle of int
+  | At_instruction of int
+  | Page_access of { page : int; k : int }
+  | Device_op of { k : int }
+
+type action =
+  | Parity of { page : int }
+  | Bit_flip of { pa : Word.t; bit : int }
+  | Tlb_corrupt of { va : Word.t }
+  | Disk_error
+  | Disk_timeout
+  | Spurious_interrupt of { vector : int; ipl : int; count : int }
+  | Stuck_timer
+
+type entry = { label : string; trigger : trigger; action : action }
+type t = { name : string; entries : entry list }
+
+let schema = "vax-fault-plan/1"
+
+(* stable small-int action codes, used by the Fault_inject trace kind *)
+let action_code = function
+  | Parity _ -> 0
+  | Bit_flip _ -> 1
+  | Tlb_corrupt _ -> 2
+  | Disk_error -> 3
+  | Disk_timeout -> 4
+  | Spurious_interrupt _ -> 5
+  | Stuck_timer -> 6
+
+let action_detail = function
+  | Parity { page } -> page
+  | Bit_flip { pa; _ } -> pa
+  | Tlb_corrupt { va } -> va
+  | Disk_error | Disk_timeout -> 0
+  | Spurious_interrupt { vector; _ } -> vector
+  | Stuck_timer -> 0
+
+let action_name = function
+  | Parity _ -> "parity"
+  | Bit_flip _ -> "bit-flip"
+  | Tlb_corrupt _ -> "tlb-corrupt"
+  | Disk_error -> "disk-error"
+  | Disk_timeout -> "disk-timeout"
+  | Spurious_interrupt _ -> "spurious-interrupt"
+  | Stuck_timer -> "stuck-timer"
+
+let trigger_to_json = function
+  | At_cycle n -> [ ("kind", Json.Str "at-cycle"); ("cycle", Json.int n) ]
+  | At_instruction n ->
+      [ ("kind", Json.Str "at-instruction"); ("n", Json.int n) ]
+  | Page_access { page; k } ->
+      [ ("kind", Json.Str "page-access"); ("page", Json.int page);
+        ("k", Json.int k) ]
+  | Device_op { k } -> [ ("kind", Json.Str "device-op"); ("k", Json.int k) ]
+
+let action_to_json a =
+  ("kind", Json.Str (action_name a))
+  ::
+  (match a with
+  | Parity { page } -> [ ("page", Json.int page) ]
+  | Bit_flip { pa; bit } -> [ ("pa", Json.int pa); ("bit", Json.int bit) ]
+  | Tlb_corrupt { va } -> [ ("va", Json.int va) ]
+  | Disk_error | Disk_timeout | Stuck_timer -> []
+  | Spurious_interrupt { vector; ipl; count } ->
+      [ ("vector", Json.int vector); ("ipl", Json.int ipl);
+        ("count", Json.int count) ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("name", Json.Str t.name);
+      ( "entries",
+        Json.Arr
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("label", Json.Str e.label);
+                   ("trigger", Json.Obj (trigger_to_json e.trigger));
+                   ("action", Json.Obj (action_to_json e.action));
+                 ])
+             t.entries) );
+    ]
+
+exception Invalid_plan of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Invalid_plan m)) fmt
+
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> s
+  | _ -> fail "missing string field %S" name
+
+let int_field name j =
+  match Json.member name j with
+  | Some (Json.Num f) -> int_of_float f
+  | _ -> fail "missing numeric field %S" name
+
+let int_field_opt ~default name j =
+  match Json.member name j with
+  | Some (Json.Num f) -> int_of_float f
+  | _ -> default
+
+let trigger_of_json j =
+  match str_field "kind" j with
+  | "at-cycle" -> At_cycle (int_field "cycle" j)
+  | "at-instruction" -> At_instruction (int_field "n" j)
+  | "page-access" ->
+      Page_access { page = int_field "page" j; k = int_field "k" j }
+  | "device-op" -> Device_op { k = int_field "k" j }
+  | k -> fail "unknown trigger kind %S" k
+
+let action_of_json j =
+  match str_field "kind" j with
+  | "parity" -> Parity { page = int_field "page" j }
+  | "bit-flip" -> Bit_flip { pa = int_field "pa" j; bit = int_field "bit" j }
+  | "tlb-corrupt" -> Tlb_corrupt { va = int_field "va" j }
+  | "disk-error" -> Disk_error
+  | "disk-timeout" -> Disk_timeout
+  | "spurious-interrupt" ->
+      Spurious_interrupt
+        {
+          vector = int_field "vector" j;
+          ipl = int_field "ipl" j;
+          count = int_field_opt ~default:1 "count" j;
+        }
+  | "stuck-timer" -> Stuck_timer
+  | k -> fail "unknown action kind %S" k
+
+let of_json j =
+  (match Json.member "schema" j with
+  | Some (Json.Str s) when s = schema -> ()
+  | Some (Json.Str s) -> fail "schema %S, expected %S" s schema
+  | _ -> fail "missing schema field");
+  let name =
+    match Json.member "name" j with Some (Json.Str s) -> s | _ -> "plan"
+  in
+  let entries =
+    match Json.member "entries" j with
+    | Some (Json.Arr es) ->
+        List.mapi
+          (fun i e ->
+            let label =
+              match Json.member "label" e with
+              | Some (Json.Str s) -> s
+              | _ -> Printf.sprintf "entry-%d" i
+            in
+            let trigger =
+              match Json.member "trigger" e with
+              | Some t -> trigger_of_json t
+              | None -> fail "entry %d: missing trigger" i
+            in
+            let action =
+              match Json.member "action" e with
+              | Some a -> action_of_json a
+              | None -> fail "entry %d: missing action" i
+            in
+            { label; trigger; action })
+          es
+    | _ -> fail "missing entries array"
+  in
+  { name; entries }
+
+let of_string s = of_json (Json.parse s)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>plan %s (%d entries)" t.name (List.length t.entries);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@ %-16s %s %s" e.label
+        (match e.trigger with
+        | At_cycle n -> Printf.sprintf "at-cycle %d" n
+        | At_instruction n -> Printf.sprintf "at-instruction %d" n
+        | Page_access { page; k } ->
+            Printf.sprintf "page-access %d #%d" page k
+        | Device_op { k } -> Printf.sprintf "device-op #%d" k)
+        (action_name e.action))
+    t.entries;
+  Format.fprintf ppf "@]"

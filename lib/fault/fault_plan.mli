@@ -1,0 +1,56 @@
+(** Declarative, fully deterministic fault-injection plans.
+
+    A plan arms a set of injection points; each entry pairs a {!trigger}
+    (when) with an {!action} (what).  Triggers are phrased exclusively in
+    simulated quantities, so a plan replays bit-identically: same
+    workload + same plan = same outcome on any host and any [--jobs]
+    count.  Serialized as schema [vax-fault-plan/1]. *)
+
+open Vax_arch
+
+type trigger =
+  | At_cycle of int  (** first instruction boundary at or after cycle N *)
+  | At_instruction of int  (** when retired instructions reach N *)
+  | Page_access of { page : int; k : int }
+      (** the k-th (1-based) CPU access to physical page frame [page] *)
+  | Device_op of { k : int }  (** the k-th (1-based) disk operation *)
+
+type action =
+  | Parity of { page : int }
+      (** poison the page frame: the next CPU access raises a memory
+          parity machine check (one-shot — delivery scrubs the poison) *)
+  | Bit_flip of { pa : Word.t; bit : int }
+      (** flip one bit of physical RAM (page generation is bumped, so
+          derived caches re-validate) *)
+  | Tlb_corrupt of { va : Word.t }
+      (** TB parity scrub: the entry for [va] is dropped, forcing a
+          re-walk (a detected-and-discarded corruption) *)
+  | Disk_error  (** next disk op completes with the error bit, no data *)
+  | Disk_timeout  (** next disk op never completes *)
+  | Spurious_interrupt of { vector : int; ipl : int; count : int }
+      (** post [vector] at [ipl] on [count] consecutive instruction
+          boundaries *)
+  | Stuck_timer  (** the interval timer stops ticking *)
+
+type entry = { label : string; trigger : trigger; action : action }
+type t = { name : string; entries : entry list }
+
+val schema : string
+(** ["vax-fault-plan/1"] *)
+
+val action_code : action -> int
+(** Stable small-int code carried by the [Fault_inject] trace kind. *)
+
+val action_detail : action -> int
+(** The action's salient operand (page, pa, va, or vector). *)
+
+val action_name : action -> string
+
+exception Invalid_plan of string
+
+val to_json : t -> Vax_obs.Json.t
+val of_json : Vax_obs.Json.t -> t
+val of_string : string -> t
+(** Raise {!Invalid_plan} on schema or shape errors. *)
+
+val pp : Format.formatter -> t -> unit

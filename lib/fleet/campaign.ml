@@ -1,0 +1,227 @@
+(* Fault-injection campaign: sweep a catalog of plans across workloads,
+   bare and virtualized, and check the containment invariant on every
+   cell.
+
+   The invariant (the point of the whole exercise): every injected
+   fault is either architecturally delivered through its SCB vector,
+   reflected into the guest by the VMM, absorbed by cleanly halting the
+   VM that hit it, or ends in a clean double-fault halt — never a host
+   crash (an exception escaping the job) and never silent divergence
+   (a parity error raised but accounted nowhere). *)
+
+open Vax_fault
+module Json = Vax_obs.Json
+
+(* The standard plan catalog: one plan per fault kind.  Triggers are
+   tuned to fire inside the shortest catalog workload (hello: ~10k
+   cycles, ~2k instructions bare).  Physical page 3 (pa 0x600) is the
+   MiniVMS kernel-data page — hot bare, so parity there exercises
+   architectural delivery; page 19 is the same page seen through the
+   VMM's guest block (base_pfn 16), so parity there exercises
+   reflection into the guest.  Cells where a trigger targets the other
+   world's hot page simply fire latently — still a valid containment
+   cell (injected but never raised). *)
+let plans =
+  let e label trigger action =
+    { Fault_plan.label; trigger; action }
+  in
+  [
+    {
+      Fault_plan.name = "parity-kdata";
+      entries =
+        [
+          e "parity-on-access"
+            (Fault_plan.Page_access { page = 3; k = 10 })
+            (Fault_plan.Parity { page = 3 });
+        ];
+    };
+    {
+      Fault_plan.name = "parity-guest";
+      entries =
+        [
+          e "parity-guest-kdata"
+            (Fault_plan.Page_access { page = 19; k = 10 })
+            (Fault_plan.Parity { page = 19 });
+        ];
+    };
+    {
+      (* page 24 = the guest's kernel-code page under the VMM: parity
+         there reflects a machine check through a vector the guest
+         kernel never installed — the guest must still halt cleanly *)
+      Fault_plan.name = "parity-gcode";
+      entries =
+        [
+          e "parity-guest-code" (Fault_plan.At_cycle 500)
+            (Fault_plan.Parity { page = 24 });
+        ];
+    };
+    {
+      Fault_plan.name = "parity-cycle";
+      entries =
+        [
+          e "parity-at-cycle" (Fault_plan.At_cycle 5_000)
+            (Fault_plan.Parity { page = 3 });
+        ];
+    };
+    {
+      Fault_plan.name = "bitflip";
+      entries =
+        [
+          e "flip-data-bit" (Fault_plan.At_cycle 6_000)
+            (Fault_plan.Bit_flip { pa = 0x620; bit = 3 });
+        ];
+    };
+    {
+      Fault_plan.name = "tlbcorrupt";
+      entries =
+        [
+          e "scrub-tb-entry" (Fault_plan.At_cycle 5_000)
+            (Fault_plan.Tlb_corrupt { va = 0x8000_0600 });
+        ];
+    };
+    {
+      Fault_plan.name = "spurious";
+      entries =
+        [
+          e "timer-burst" (Fault_plan.At_instruction 1_000)
+            (Fault_plan.Spurious_interrupt
+               { vector = Vax_arch.Scb.interval_timer; ipl = 22; count = 3 });
+        ];
+    };
+    {
+      Fault_plan.name = "stucktimer";
+      entries =
+        [ e "jam-clock" (Fault_plan.At_cycle 5_000) Fault_plan.Stuck_timer ];
+    };
+    {
+      Fault_plan.name = "diskerr";
+      entries =
+        [
+          e "first-op-errors"
+            (Fault_plan.Device_op { k = 1 })
+            Fault_plan.Disk_error;
+        ];
+    };
+    {
+      Fault_plan.name = "disktimeout";
+      entries =
+        [
+          e "second-op-hangs"
+            (Fault_plan.Device_op { k = 2 })
+            Fault_plan.Disk_timeout;
+        ];
+    };
+  ]
+
+let default_workloads = [ "hello"; "io" ]
+
+(* Faulted runs need a budget: a stuck timer or hung disk turns a
+   completing workload into a cycle-limit run, which is a legitimate
+   contained outcome, not a hang of the harness. *)
+let default_max_cycles = 30_000_000
+
+let jobs ?(workloads = default_workloads) ?(max_cycles = default_max_cycles)
+    () =
+  List.concat_map
+    (fun plan ->
+      List.concat_map
+        (fun w ->
+          List.map
+            (fun (mode, mname) ->
+              Fleet.workload_job ~mode ~max_cycles ~inject:plan
+                ~name:(Printf.sprintf "%s+%s/%s" w plan.Fault_plan.name mname)
+                w)
+            [ (Fleet.Bare, "bare"); (Fleet.Vm, "vm") ])
+        workloads)
+    plans
+
+type violation = { job_name : string; reason : string }
+
+type outcome = {
+  report : Fleet.report;
+  cells : int;
+  injected_total : int;
+  violations : violation list;
+}
+
+(* A cell is contained when the job completed without an escaping
+   exception AND its engine's accounting balances.  (A quarantined job
+   under a fault campaign means an injected fault crashed the host —
+   exactly what the invariant forbids.) *)
+let check (report : Fleet.report) =
+  let violations = ref [] in
+  let injected = ref 0 in
+  Array.iter
+    (fun ((job : Fleet.job), result) ->
+      match result with
+      | Error (e : Fleet.job_error) ->
+          violations :=
+            {
+              job_name = job.Fleet.job_name;
+              reason = Printf.sprintf "escaped the machine: %s" e.Fleet.error;
+            }
+            :: !violations
+      | Ok (s : Fleet.job_stats) -> (
+          match s.Fleet.fault with
+          | None ->
+              violations :=
+                {
+                  job_name = job.Fleet.job_name;
+                  reason = "no injection status recorded";
+                }
+                :: !violations
+          | Some st ->
+              injected := !injected + st.Engine.injected;
+              if not st.Engine.contained then
+                violations :=
+                  {
+                    job_name = job.Fleet.job_name;
+                    reason =
+                      Printf.sprintf
+                        "uncontained: %d parity raised vs %d \
+                         delivered+reflected+absorbed+double-faulted"
+                        st.Engine.parity_raised
+                        (st.Engine.mc_delivered + st.Engine.mc_reflected
+                       + st.Engine.mc_absorbed + st.Engine.double_faults);
+                  }
+                  :: !violations))
+    report.Fleet.results;
+  {
+    report;
+    cells = report.Fleet.njobs;
+    injected_total = !injected;
+    violations = List.rev !violations;
+  }
+
+let run ?jobs:njobs ?workloads ?max_cycles () =
+  check (Fleet.run ?jobs:njobs (jobs ?workloads ?max_cycles ()))
+
+let to_json outcome =
+  Json.Obj
+    [
+      ("schema", Json.Str "vax-campaign/1");
+      ("cells", Json.int outcome.cells);
+      ("injected", Json.int outcome.injected_total);
+      ("contained", Json.Bool (outcome.violations = []));
+      ( "violations",
+        Json.Arr
+          (List.map
+             (fun v ->
+               Json.Obj
+                 [
+                   ("job", Json.Str v.job_name);
+                   ("reason", Json.Str v.reason);
+                 ])
+             outcome.violations) );
+      ("fleet", Fleet.to_json outcome.report);
+    ]
+
+let pp ppf outcome =
+  Fleet.pp ppf outcome.report;
+  Format.fprintf ppf "campaign: %d cells, %d faults injected, %s@."
+    outcome.cells outcome.injected_total
+    (if outcome.violations = [] then "all contained"
+     else Printf.sprintf "%d CONTAINMENT VIOLATIONS" (List.length outcome.violations));
+  List.iter
+    (fun v -> Format.fprintf ppf "  VIOLATION %s: %s@." v.job_name v.reason)
+    outcome.violations

@@ -1,0 +1,53 @@
+(** Fault-injection campaign: sweep a catalog of fault plans across
+    catalog workloads, bare and under the VMM, checking the containment
+    invariant on every cell.
+
+    The invariant: every injected fault is architecturally delivered
+    through its SCB vector, reflected into the faulting guest by the
+    VMM, absorbed by cleanly halting that VM, or ends in a clean
+    double-fault halt — never an exception escaping the machine and
+    never a parity error unaccounted for.  A quarantined job or an
+    engine whose accounting doesn't balance is a violation. *)
+
+val plans : Vax_fault.Fault_plan.t list
+(** The standard catalog: one single-entry plan per fault kind
+    (parity on the bare kernel-data page, parity on the guest's
+    kernel-data page as the VMM maps it, parity by cycle, bit flip,
+    TLB corrupt, spurious interrupt burst, stuck timer, disk error,
+    disk timeout). *)
+
+val default_workloads : string list
+(** [["hello"; "io"]] — one compute-light and one I/O-heavy workload. *)
+
+val jobs :
+  ?workloads:string list -> ?max_cycles:int -> unit -> Fleet.job list
+(** The sweep as fleet jobs: every plan x workload x {Bare, Vm},
+    named ["<workload>+<plan>/<mode>"], each carrying its plan as
+    [inject].  [max_cycles] (default 30M) bounds cells a stuck timer
+    or hung disk would otherwise run to the Runner's full budget. *)
+
+type violation = { job_name : string; reason : string }
+
+type outcome = {
+  report : Fleet.report;
+  cells : int;
+  injected_total : int;  (** faults actually fired across all cells *)
+  violations : violation list;  (** empty = campaign contained *)
+}
+
+val check : Fleet.report -> outcome
+(** Judge an already-run sweep: a cell violates containment when its
+    job was quarantined, recorded no injection status, or its engine's
+    parity accounting doesn't balance. *)
+
+val run :
+  ?jobs:int -> ?workloads:string list -> ?max_cycles:int -> unit -> outcome
+(** Build the sweep, run it on the fleet ([jobs] worker domains), and
+    check it.  Deterministic for any [jobs]. *)
+
+val to_json : outcome -> Vax_obs.Json.t
+(** The [vax-campaign/1] report: cell count, faults injected, overall
+    containment verdict, per-violation details, and the full embedded
+    [vax-fleet/2] report. *)
+
+val pp : Format.formatter -> outcome -> unit

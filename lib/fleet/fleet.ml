@@ -10,13 +10,22 @@ type spec =
   | Workload of { workload : string; mode : mode; mmio : bool }
   | Custom of (unit -> Runner.measurement)
 
-type job = { job_name : string; spec : spec; max_cycles : int option }
+type job = {
+  job_name : string;
+  spec : spec;
+  max_cycles : int option;
+  retries : int;
+  inject : Vax_fault.Fault_plan.t option;
+}
 
-let workload_job ?(mode = Vm) ?(mmio = false) ?max_cycles ?name workload =
+let workload_job ?(mode = Vm) ?(mmio = false) ?max_cycles ?(retries = 0)
+    ?inject ?name workload =
   {
     job_name = Option.value ~default:workload name;
     spec = Workload { workload; mode; mmio };
     max_cycles;
+    retries;
+    inject;
   }
 
 let catalog_jobs ~n ~mode ~mmio =
@@ -34,9 +43,12 @@ type job_stats = {
   console : string;
   metrics : (string * int) list;
   oracle : Oracle.coverage;
+  attempts : int;
+  fault : Vax_fault.Engine.status option;
 }
 
-type job_result = (job_stats, string) result
+type job_error = { error : string; backtrace : string; attempts : int }
+type job_result = (job_stats, job_error) result
 
 type report = {
   njobs : int;
@@ -51,17 +63,26 @@ type report = {
    machine, trace and metrics are all built here, shared with no one.
    Only deterministic data survives into the stats — the machine itself
    is dropped so a large fleet does not retain every machine's memory. *)
-let execute job =
+(* One attempt of one job.  A fresh injection engine is armed from the
+   job's plan every attempt, so a retried job replays exactly the same
+   injections — retry is deterministic redo with a larger budget, not a
+   different experiment. *)
+let execute job ~attempt =
+  let max_cycles =
+    (* bounded backoff: attempt k gets the budget doubled k times *)
+    Option.map (fun c -> c lsl (attempt - 1)) job.max_cycles
+  in
+  let engine = Option.map Vax_fault.Engine.create job.inject in
   let measurement =
     match job.spec with
     | Custom f -> f ()
     | Workload { workload; mode; mmio } -> (
         let built = Catalog.build ~force_mmio:(mode = Vm && mmio) workload in
         match mode with
-        | Bare -> Runner.run_bare ?max_cycles:job.max_cycles built
+        | Bare -> Runner.run_bare ?max_cycles ?inject:engine built
         | Vm ->
             let io_mode = if mmio then Some Vax_vmm.Vm.Mmio_io else None in
-            Runner.run_vm ?io_mode ?max_cycles:job.max_cycles built)
+            Runner.run_vm ?io_mode ?max_cycles ?inject:engine built)
   in
   {
     outcome = measurement.Runner.outcome;
@@ -73,6 +94,8 @@ let execute job =
     metrics =
       Metrics.snapshot measurement.Runner.machine.Machine.metrics;
     oracle = Oracle.coverage measurement.Runner.oracle;
+    attempts = attempt;
+    fault = Option.map Vax_fault.Engine.status engine;
   }
 
 let run ?jobs specs =
@@ -92,13 +115,26 @@ let run ?jobs specs =
      the writes to the main domain. *)
   let next = Atomic.make 0 in
   let rec worker () =
+    (* per-domain: backtrace recording is domain-local in OCaml 5 *)
+    Printexc.record_backtrace true;
     let i = Atomic.fetch_and_add next 1 in
     if i < n then begin
-      let r =
-        try Ok (execute specs.(i))
-        with e -> Error (Printexc.to_string e)
+      let job = specs.(i) in
+      (* bounded deterministic retry: a job that raises is re-executed
+         from scratch (fresh machine, fresh injection engine, doubled
+         cycle budget) up to [retries] more times; a job that still
+         fails is quarantined — reported as [Error], never rethrown
+         into the fleet. *)
+      let rec attempt k =
+        match execute job ~attempt:k with
+        | stats -> Ok stats
+        | exception e ->
+            let backtrace = Printexc.get_backtrace () in
+            if k <= job.retries then attempt (k + 1)
+            else
+              Error { error = Printexc.to_string e; backtrace; attempts = k }
       in
-      results.(i) <- Some r;
+      results.(i) <- Some (attempt 1);
       worker ()
     end
   in
@@ -114,7 +150,11 @@ let run ?jobs specs =
     Array.mapi
       (fun i r ->
         ( specs.(i),
-          match r with Some r -> r | None -> Error "job never ran" ))
+          match r with
+          | Some r -> r
+          | None ->
+              Error { error = "job never ran"; backtrace = ""; attempts = 0 }
+        ))
       results
   in
   let merged =
@@ -139,8 +179,10 @@ let run_fleet = run
 let crashed report =
   Array.fold_right
     (fun (job, r) acc ->
-      match r with Ok _ -> acc | Error msg -> (job, msg) :: acc)
+      match r with Ok _ -> acc | Error e -> (job, e) :: acc)
     report.results []
+
+let quarantined = crashed
 
 let mode_name = function Bare -> "bare" | Vm -> "vm"
 let outcome_name o = Format.asprintf "%a" Machine.pp_outcome o
@@ -172,12 +214,23 @@ let to_json report =
             ("oracle_predicted", Json.int s.oracle.Oracle.predicted_pairs);
             ("oracle_hit", Json.int s.oracle.Oracle.hit_pairs);
             ("oracle_events", Json.int s.oracle.Oracle.observed_events);
+            ("attempts", Json.int s.attempts);
           ]
-      | Error msg -> [ ("ok", Json.Bool false); ("error", Json.Str msg) ])
+          @ (match s.fault with
+            | None -> []
+            | Some st -> [ ("fault", Vax_fault.Engine.status_to_json st) ])
+      | Error e ->
+          [
+            ("ok", Json.Bool false);
+            ("quarantined", Json.Bool true);
+            ("error", Json.Str e.error);
+            ("backtrace", Json.Str e.backtrace);
+            ("attempts", Json.int e.attempts);
+          ])
   in
   Json.Obj
     [
-      ("schema", Json.Str "vax-fleet/1");
+      ("schema", Json.Str "vax-fleet/2");
       ("jobs", Json.int report.njobs);
       ("domains", Json.int report.domains);
       ("wall_seconds", Json.Num report.wall_seconds);
@@ -205,8 +258,11 @@ let pp ppf report =
           Format.fprintf ppf "%-18s %-12s %-11s %14d %12d %10d@."
             job.job_name w (outcome_name s.outcome) s.total_cycles
             s.instructions s.oracle.Oracle.observed_events
-      | Error msg ->
-          Format.fprintf ppf "%-18s %-12s CRASHED: %s@." job.job_name w msg)
+      | Error e ->
+          Format.fprintf ppf "%-18s %-12s QUARANTINED after %d attempt%s: %s@."
+            job.job_name w e.attempts
+            (if e.attempts = 1 then "" else "s")
+            e.error)
     report.results;
   Format.fprintf ppf
     "%d jobs on %d domain%s: %.3fs wall, %.2f jobs/sec@." report.njobs

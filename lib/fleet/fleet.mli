@@ -36,12 +36,22 @@ type job = {
   job_name : string;
   spec : spec;
   max_cycles : int option;  (** [None] = the Runner default *)
+  retries : int;
+      (** extra attempts after a raised exception: each retry rebuilds
+          the job from scratch (fresh machine, fresh injection engine)
+          with the cycle budget doubled per attempt; a job still failing
+          after all attempts is quarantined (reported as [Error]) *)
+  inject : Vax_fault.Fault_plan.t option;
+      (** fault plan armed (as a fresh engine) on every attempt of this
+          job; [None] = fully disarmed.  Ignored for [Custom] specs. *)
 }
 
 val workload_job : ?mode:mode -> ?mmio:bool -> ?max_cycles:int ->
-  ?name:string -> string -> job
+  ?retries:int -> ?inject:Vax_fault.Fault_plan.t -> ?name:string ->
+  string -> job
 (** [workload_job w] is a job running catalog workload [w] (default
-    [Vm] mode, KCALL I/O, Runner default cycle budget, named [w]). *)
+    [Vm] mode, KCALL I/O, Runner default cycle budget, no retries, no
+    fault plan, named [w]). *)
 
 val catalog_jobs : n:int -> mode:mode -> mmio:bool -> job list
 (** [n] jobs drawn round-robin from {!Vax_workloads.Catalog.names},
@@ -59,10 +69,22 @@ type job_stats = {
       (** {!Vax_obs.Metrics.snapshot} of the job's machine after the
           run: [tlb.*], [blocks.*], [cpu.*], [mmu.*], devices *)
   oracle : Vax_analysis.Oracle.coverage;
+  attempts : int;  (** 1 = succeeded first try *)
+  fault : Vax_fault.Engine.status option;
+      (** injection status (fired entries, containment accounting) when
+          the job carried a fault plan *)
 }
 
-type job_result = (job_stats, string) result
-(** [Error msg] when the job raised; [msg] is the printed exception. *)
+type job_error = {
+  error : string;  (** the printed exception *)
+  backtrace : string;
+      (** [Printexc.get_backtrace] at the final failure — the raise
+          site, not just the exception name *)
+  attempts : int;  (** attempts actually made before quarantine *)
+}
+
+type job_result = (job_stats, job_error) result
+(** [Error] when every attempt raised; the job is quarantined. *)
 
 type report = {
   njobs : int;
@@ -83,13 +105,17 @@ val run : ?jobs:int -> job list -> report
 val run_fleet : ?jobs:int -> job list -> report
 (** Alias of {!run} (the name the tests and docs use). *)
 
-val crashed : report -> (job * string) list
-(** The jobs that raised, with their error messages. *)
+val crashed : report -> (job * job_error) list
+(** The jobs whose every attempt raised, with their diagnostics. *)
+
+val quarantined : report -> (job * job_error) list
+(** Alias of {!crashed}: the failed-and-isolated jobs. *)
 
 val to_json : report -> Vax_obs.Json.t
-(** The [vax-fleet/1] report: batch figures, per-job results in input
-    order (deterministic fields only, no console text), and the merged
-    metrics aggregate. *)
+(** The [vax-fleet/2] report: batch figures, per-job results in input
+    order (deterministic fields only, no console text) including
+    attempts, per-job fault/containment status and quarantine
+    diagnostics, and the merged metrics aggregate. *)
 
 val pp : Format.formatter -> report -> unit
 (** Human-readable per-job table plus the batch summary line. *)

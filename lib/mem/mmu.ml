@@ -411,15 +411,46 @@ let v_write_byte t ~mode va b =
         charge_mem t;
         Ok (Phys_mem.write_byte t.phys pa b)
 
-let rec bytes_read t ~mode va n acc shift =
-  if n = 0 then Ok acc
-  else
-    match v_read_byte t ~mode va with
-    | Error e -> Error e
-    | Ok b ->
-        bytes_read t ~mode (Word.add va 1) (n - 1)
-          (acc lor (b lsl shift))
-          (shift + 8)
+(* Like [bytes_write] below, a page-crossing read resolves every byte's
+   translation before touching physical memory.  A bytewise
+   charge-read interleave could observe the first page and then take a
+   fault (translation, or an injected parity error) on the second —
+   a partially-performed read the restarted instruction would repeat.
+   Two-phase, the fault fires before any physical byte is read.  The
+   charge sequence is identical to the old bytewise path because
+   physical reads themselves charge nothing. *)
+let bytes_read t ~mode va n =
+  let pas = Array.make (max n 1) 0 in
+  let rec resolve i =
+    if i = n then Ok ()
+    else begin
+      let bva = Word.add va i in
+      let pa = try_translate t ~mode ~write:false bva in
+      if pa >= 0 then begin
+        charge_mem t;
+        pas.(i) <- pa;
+        resolve (i + 1)
+      end
+      else
+        match translate t ~mode ~write:false bva with
+        | Error e -> Error e
+        | Ok pa ->
+            charge_mem t;
+            pas.(i) <- pa;
+            resolve (i + 1)
+    end
+  in
+  match resolve 0 with
+  | Error e -> Error e
+  | Ok () ->
+      let rec assemble i acc shift =
+        if i = n then acc
+        else
+          assemble (i + 1)
+            (acc lor (Phys_mem.read_byte t.phys pas.(i) lsl shift))
+            (shift + 8)
+      in
+      Ok (assemble 0 0 0)
 
 (* A page-crossing write must be restartable: a VAX instruction that
    faults partway must leave memory as if it never executed (the
@@ -475,7 +506,7 @@ let v_read_long t ~mode va =
           charge_mem t;
           Ok (Phys_mem.read_long t.phys pa)
   end
-  else bytes_read t ~mode va 4 0 0
+  else bytes_read t ~mode va 4
 
 let v_write_long t ~mode va w =
   if same_page va 4 then begin
@@ -507,7 +538,7 @@ let v_read_word t ~mode va =
           charge_mem t;
           Ok (Phys_mem.read_word t.phys pa)
   end
-  else bytes_read t ~mode va 2 0 0
+  else bytes_read t ~mode va 2
 
 let v_write_word t ~mode va w =
   if same_page va 2 then begin

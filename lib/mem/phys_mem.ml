@@ -15,6 +15,7 @@ type t = {
   npages : int;
   page_gens : int array;  (* bumped on every write into the page *)
   mutable io : io_region list;
+  mutable inject : Vax_fault.Engine.t;
 }
 
 let io_space_base = 0x2000_0000
@@ -28,7 +29,17 @@ let create ~pages =
     npages = pages;
     page_gens = Array.make pages 0;
     io = [];
+    inject = Vax_fault.Engine.null;
   }
+
+let set_inject t e = t.inject <- e
+
+(* Fault-injection hook on the RAM fast path: one load + one branch
+   while disarmed ([Engine.mem_armed] stays false without a plan), so
+   disarmed runs are bit-identical.  May raise [Engine.Parity_error]. *)
+let[@inline] inject_check t pa =
+  if Vax_fault.Engine.mem_armed t.inject then
+    Vax_fault.Engine.phys_access t.inject pa
 
 let pages t = t.npages
 let size_bytes t = t.size
@@ -61,7 +72,10 @@ let register_io t r =
 
 let read_byte t pa =
   let pa = Word.mask pa in
-  if pa < t.size then Char.code (Bytes.unsafe_get t.ram pa)
+  if pa < t.size then begin
+    inject_check t pa;
+    Char.code (Bytes.unsafe_get t.ram pa)
+  end
   else if is_io pa then
     let r = find_io t pa in
     Word.mask (r.io_read ~offset:(pa - r.io_base) ~width:1) land 0xFF
@@ -70,6 +84,7 @@ let read_byte t pa =
 let write_byte t pa b =
   let pa = Word.mask pa in
   if pa < t.size then begin
+    inject_check t pa;
     Bytes.unsafe_set t.ram pa (Char.unsafe_chr (b land 0xFF));
     touch t pa
   end
@@ -80,12 +95,14 @@ let write_byte t pa b =
 
 let read_long t pa =
   let pa = Word.mask pa in
-  if pa + 3 < t.size then
+  if pa + 3 < t.size then begin
+    inject_check t pa;
     Word.of_bytes
       (Char.code (Bytes.unsafe_get t.ram pa))
       (Char.code (Bytes.unsafe_get t.ram (pa + 1)))
       (Char.code (Bytes.unsafe_get t.ram (pa + 2)))
       (Char.code (Bytes.unsafe_get t.ram (pa + 3)))
+  end
   else if is_io pa then
     let r = find_io t pa in
     Word.mask (r.io_read ~offset:(pa - r.io_base) ~width:4)
@@ -94,6 +111,7 @@ let read_long t pa =
 let write_long t pa w =
   let pa = Word.mask pa in
   if pa + 3 < t.size then begin
+    inject_check t pa;
     Bytes.unsafe_set t.ram pa (Char.unsafe_chr (w land 0xFF));
     Bytes.unsafe_set t.ram (pa + 1) (Char.unsafe_chr ((w lsr 8) land 0xFF));
     Bytes.unsafe_set t.ram (pa + 2) (Char.unsafe_chr ((w lsr 16) land 0xFF));
@@ -108,14 +126,17 @@ let write_long t pa w =
 
 let read_word t pa =
   let pa = Word.mask pa in
-  if pa + 1 < t.size then
+  if pa + 1 < t.size then begin
+    inject_check t pa;
     Char.code (Bytes.unsafe_get t.ram pa)
     lor (Char.code (Bytes.unsafe_get t.ram (pa + 1)) lsl 8)
+  end
   else read_byte t pa lor (read_byte t (Word.add pa 1) lsl 8)
 
 let write_word t pa w =
   let pa = Word.mask pa in
   if pa + 1 < t.size then begin
+    inject_check t pa;
     Bytes.unsafe_set t.ram pa (Char.unsafe_chr (w land 0xFF));
     Bytes.unsafe_set t.ram (pa + 1) (Char.unsafe_chr ((w lsr 8) land 0xFF));
     touch t pa;
@@ -125,6 +146,19 @@ let write_word t pa w =
     write_byte t pa (w land 0xFF);
     write_byte t (Word.add pa 1) ((w lsr 8) land 0xFF)
   end
+
+(* Single-bit upset injected by the fault engine.  Goes straight to the
+   backing store — deliberately NOT through the accessors, so it neither
+   perturbs the engine's own page-access counts nor trips a poisoned
+   page — but bumps the page generation like any store, so derived
+   caches (decoded instruction cache, superblocks) re-validate. *)
+let flip_bit t pa ~bit =
+  let pa = Word.mask pa in
+  if not (in_ram t pa) then raise (Nonexistent_memory pa);
+  if bit < 0 || bit > 7 then invalid_arg "Phys_mem.flip_bit: bit";
+  let b = Char.code (Bytes.unsafe_get t.ram pa) in
+  Bytes.unsafe_set t.ram pa (Char.unsafe_chr (b lxor (1 lsl bit)));
+  touch t pa
 
 let blit_in t pa data =
   if not (in_ram t pa && in_ram t (pa + Bytes.length data - 1)) then

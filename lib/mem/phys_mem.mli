@@ -58,3 +58,19 @@ val blit_in : t -> Word.t -> bytes -> unit
 
 val blit_out : t -> Word.t -> int -> bytes
 (** [blit_out t pa len] copies [len] bytes out of RAM. *)
+
+(** {2 Fault injection} *)
+
+val set_inject : t -> Vax_fault.Engine.t -> unit
+(** Arm a fault-injection engine against this memory.  Every RAM access
+    then consults [Engine.mem_armed] (one load + one branch while
+    disarmed — bit-identical to an unarmed build) and may raise
+    [Engine.Parity_error], which the CPU converts into a memory-parity
+    machine check.  The DMA paths ([blit_in]/[blit_out]) are
+    deliberately not hooked: device-side faults are injected at the
+    device instead ([Disk_error]/[Disk_timeout] actions). *)
+
+val flip_bit : t -> Word.t -> bit:int -> unit
+(** Flip one bit of a RAM byte, bypassing the injection hook (so the
+    upset itself does not advance trigger counters) but bumping the
+    page generation like any store. *)

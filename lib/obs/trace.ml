@@ -16,8 +16,9 @@ type kind =
   | Dev_io
   | Kcall
   | Block_build
+  | Fault_inject
 
-let n_kinds = 17
+let n_kinds = 18
 
 let kind_code = function
   | Retire -> 0
@@ -37,12 +38,13 @@ let kind_code = function
   | Dev_io -> 14
   | Kcall -> 15
   | Block_build -> 16
+  | Fault_inject -> 17
 
 let all_kinds =
   [
     Retire; Trap_vm_emulation; Trap_privileged; Trap_modify; Exception;
     Interrupt; Chm; Rei; Vm_entry; Vm_exit; Tlb_fill; Tlb_evict;
-    Tlb_invalidate; Shadow_fill; Dev_io; Kcall; Block_build;
+    Tlb_invalidate; Shadow_fill; Dev_io; Kcall; Block_build; Fault_inject;
   ]
 
 let kind_of_code c =
@@ -66,6 +68,7 @@ let kind_name = function
   | Dev_io -> "dev-io"
   | Kcall -> "kcall"
   | Block_build -> "block-build"
+  | Fault_inject -> "fault-inject"
 
 let kind_of_name s =
   List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -88,6 +91,7 @@ let arg_names = function
   | Dev_io -> ("dev", "op", "value")
   | Kcall -> ("fn", "vmpa", "")
   | Block_build -> ("pa", "slots", "")
+  | Fault_inject -> ("entry", "action", "detail")
 
 type sink = seq:int -> kind -> a:int -> b:int -> c:int -> unit
 

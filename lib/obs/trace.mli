@@ -34,6 +34,9 @@ type kind =
   | Dev_io  (** a=device (0=timer 1=console 2=disk), b=op, c=value *)
   | Kcall  (** a=function code, b=packet address (VM physical) *)
   | Block_build  (** a=physical address of the block head, b=slot count *)
+  | Fault_inject
+      (** a=plan entry index, b=action code (see [vax-fault-plan/1] in
+          OBSERVABILITY.md), c=action detail (page, pa, or vector) *)
 
 val n_kinds : int
 

@@ -109,12 +109,15 @@ let install_facts m ~vm ~dead_store builts =
   m.Machine.bcache.Block_cache.facts_vm <- vm;
   m.Machine.bcache.Block_cache.dead_store <- dead_store
 
-let run_bare ?(variant = Variant.Standard) ?engine ?instrument ?(flow = true)
-    ?(liveness = true) ?(dead_store = true) ?(max_cycles = default_max)
-    (built : Minivms.built) =
-  let m = Machine.create ~variant ~memory_pages:1024 ~disk_blocks:256 ?engine () in
+let run_bare ?(variant = Variant.Standard) ?engine ?inject ?instrument
+    ?(flow = true) ?(liveness = true) ?(dead_store = true)
+    ?(max_cycles = default_max) (built : Minivms.built) =
+  let m =
+    Machine.create ~variant ~memory_pages:1024 ~disk_blocks:256 ?engine
+      ?inject ()
+  in
   let oracle = make_oracle ~mode:Classify.Bare ~flow [ built ] in
-  Oracle.install oracle m.Machine.cpu;
+  Oracle.install ~strict:(inject = None) oracle m.Machine.cpu;
   register_flow_metrics m oracle;
   if liveness then install_facts m ~vm:false ~dead_store [ built ];
   (match instrument with Some f -> f m | None -> ());
@@ -149,16 +152,16 @@ let measure_vm m vmm vm outcome oracle =
     oracle;
   }
 
-let run_vm ?config ?io_mode ?engine ?instrument ?(flow = true)
+let run_vm ?config ?io_mode ?engine ?inject ?instrument ?(flow = true)
     ?(liveness = true) ?(dead_store = true) ?(max_cycles = default_max)
     (built : Minivms.built) =
   let m =
     Machine.create ~variant:Variant.Virtualizing ~memory_pages:2048
-      ~disk_blocks:256 ?engine ()
+      ~disk_blocks:256 ?engine ?inject ()
   in
   let vmm = Vmm.create ?config m in
   let oracle = make_oracle ~mode:Classify.Vm ~flow [ built ] in
-  Oracle.install oracle m.Machine.cpu;
+  Oracle.install ~strict:(inject = None) oracle m.Machine.cpu;
   register_flow_metrics m oracle;
   if liveness then install_facts m ~vm:true ~dead_store [ built ];
   let vm =
@@ -170,16 +173,16 @@ let run_vm ?config ?io_mode ?engine ?instrument ?(flow = true)
   let outcome = Vmm.run vmm ~max_cycles () in
   measure_vm m vmm vm outcome oracle
 
-let run_two_vms ?config ?engine ?instrument ?(flow = true) ?(liveness = true)
-    ?(dead_store = true) ?(max_cycles = default_max) (b1 : Minivms.built)
-    (b2 : Minivms.built) =
+let run_two_vms ?config ?engine ?inject ?instrument ?(flow = true)
+    ?(liveness = true) ?(dead_store = true) ?(max_cycles = default_max)
+    (b1 : Minivms.built) (b2 : Minivms.built) =
   let m =
     Machine.create ~variant:Variant.Virtualizing ~memory_pages:2048
-      ~disk_blocks:256 ?engine ()
+      ~disk_blocks:256 ?engine ?inject ()
   in
   let vmm = Vmm.create ?config m in
   let oracle = make_oracle ~mode:Classify.Vm ~flow [ b1; b2 ] in
-  Oracle.install oracle m.Machine.cpu;
+  Oracle.install ~strict:(inject = None) oracle m.Machine.cpu;
   register_flow_metrics m oracle;
   if liveness then install_facts m ~vm:true ~dead_store [ b1; b2 ];
   let vm1 =

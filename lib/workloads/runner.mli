@@ -32,6 +32,7 @@ val images_of_built : Minivms.built -> Vax_analysis.Cfg.image list
 val run_bare :
   ?variant:Variant.t ->
   ?engine:Exec.engine ->
+  ?inject:Vax_fault.Engine.t ->
   ?instrument:(Machine.t -> unit) ->
   ?flow:bool ->
   ?liveness:bool ->
@@ -43,6 +44,8 @@ val run_bare :
     unmodified VAX; pass [Virtualizing] to check the paper's claim that
     standard operating systems run unchanged on the modified machine).
     [engine] selects the execution engine (default {!Exec.Blocks}).
+    [inject] arms a fault-injection engine on the machine
+    ([Vax_fault.Engine.null], i.e. fully disarmed, by default).
     [instrument] runs on the fully wired machine before execution starts
     — the hook for enabling [Machine.trace] or attaching a sink.
     [flow] (default [true]) builds the oracle's static pass
@@ -65,6 +68,7 @@ val run_vm :
   ?config:Vmm.config ->
   ?io_mode:Vm.io_mode ->
   ?engine:Exec.engine ->
+  ?inject:Vax_fault.Engine.t ->
   ?instrument:(Machine.t -> unit) ->
   ?flow:bool ->
   ?liveness:bool ->
@@ -79,6 +83,7 @@ val run_vm :
 val run_two_vms :
   ?config:Vmm.config ->
   ?engine:Exec.engine ->
+  ?inject:Vax_fault.Engine.t ->
   ?instrument:(Machine.t -> unit) ->
   ?flow:bool ->
   ?liveness:bool ->

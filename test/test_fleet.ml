@@ -24,7 +24,8 @@ let full_batch () =
 
 let stats_exn name = function
   | Ok (s : Fleet.job_stats) -> s
-  | Error msg -> Alcotest.failf "job %s crashed: %s" name msg
+  | Error (e : Fleet.job_error) ->
+      Alcotest.failf "job %s crashed: %s" name e.Fleet.error
 
 (* The acceptance criterion: for every workload in the catalog, each
    per-job result of a [~jobs:4] run is bit-identical to the [~jobs:1]
@@ -94,7 +95,13 @@ let test_crash_isolation () =
   let batch =
     [
       Fleet.workload_job ~mode:Fleet.Vm ~name:"ok-before" "hello";
-      { Fleet.job_name = "crasher"; spec = Fleet.Custom boom; max_cycles = None };
+      {
+        Fleet.job_name = "crasher";
+        spec = Fleet.Custom boom;
+        max_cycles = None;
+        retries = 0;
+        inject = None;
+      };
       Fleet.workload_job ~mode:Fleet.Vm ~name:"ok-after" "hello";
     ]
   in
@@ -106,10 +113,11 @@ let test_crash_isolation () =
     n = 0 || go 0
   in
   (match report.Fleet.results.(1) with
-  | _, Error msg ->
+  | _, Error (e : Fleet.job_error) ->
       Alcotest.(check bool)
         "error names the exception" true
-        (contains ~sub:"Nonexistent_memory" msg)
+        (contains ~sub:"Nonexistent_memory" e.Fleet.error);
+      check_int "single attempt recorded" 1 e.Fleet.attempts
   | _, Ok _ -> Alcotest.fail "crasher reported Ok");
   let s0 = stats_exn "ok-before" (snd report.Fleet.results.(0)) in
   let s2 = stats_exn "ok-after" (snd report.Fleet.results.(2)) in
